@@ -1,0 +1,54 @@
+//===- bench/ablation_solver_budget.cpp - Solver budget ablation -*- C++-*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation of the SMT-lite solver's literal budget (DESIGN.md): the
+/// paper relies on Z3; our in-tree Cooper-elimination solver degrades to
+/// *Unknown* when its budget runs out, and every scheduling operator
+/// fails safe on Unknown. This sweep shows at which budget the full
+/// Gemmini matmul pipeline starts succeeding and how scheduling time
+/// scales with the budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "apps/GemminiMatmul.h"
+#include "smt/Solver.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace exo;
+using namespace exo::bench;
+
+int main() {
+  std::printf("Ablation: solver literal budget vs scheduling success "
+              "(Gemmini matmul 128^3 pipeline)\n\n");
+  printRow({"budget", "pipeline", "time (ms)", "first failing step"},
+           {10, 9, 10, 40});
+  const uint64_t Budgets[] = {100,     1000,    10'000,   50'000,
+                              200'000, 500'000, 2'000'000};
+  for (uint64_t Budget : Budgets) {
+    smt::setDefaultMaxLiterals(Budget);
+    auto T0 = std::chrono::steady_clock::now();
+    auto K = apps::buildGemminiMatmul(128, 128, 128);
+    auto T1 = std::chrono::steady_clock::now();
+    double Ms =
+        std::chrono::duration<double, std::milli>(T1 - T0).count();
+    char BBuf[32], TBuf[32];
+    std::snprintf(BBuf, 32, "%llu", (unsigned long long)Budget);
+    std::snprintf(TBuf, 32, "%.1f", Ms);
+    printRow({BBuf, K ? "ok" : "FAILS", TBuf,
+              K ? "-" : K.error().message().substr(0, 40)},
+             {10, 9, 10, 40});
+  }
+  smt::setDefaultMaxLiterals(2'000'000);
+  std::printf("\nSafety is preserved at every budget: an exhausted solver "
+              "rejects the rewrite\ninstead of admitting it (§5: analyses "
+              "may approximate, but only toward 'no').\n");
+  return 0;
+}

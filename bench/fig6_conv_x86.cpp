@@ -1,0 +1,188 @@
+//===- bench/fig6_conv_x86.cpp - Fig. 6 reproduction -----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 6: single-threaded x86 CONV performance for the
+/// Halide-benchmark layer (N=5, W=82, H=102, IC=OC=128, 3x3, unit
+/// stride, no padding, fused ReLU). The paper's Exo, Halide, and oneDNN
+/// all land within 0.1 % of each other (~40.5 % of peak); here the
+/// baselines are a naive C conv and a channel-vectorized "tuned" C conv,
+/// and the expected shape is Exo ≈ tuned ≫ naive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "apps/Conv.h"
+#include "backend/CodeGen.h"
+
+#include <cstdio>
+
+using namespace exo;
+using namespace exo::bench;
+using apps::ConvShape;
+
+namespace {
+
+const char *HarnessCommon = R"(
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+static double now_s(void) {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec + 1e-9 * ts.tv_nsec;
+}
+)";
+
+std::string mainHarness(const ConvShape &S) {
+  char Buf[8192];
+  std::snprintf(Buf, sizeof(Buf), R"(
+enum { NB = %lld, H = %lld, W = %lld, IC = %lld, OC = %lld,
+       OH = %lld, OW = %lld };
+
+static void naive_conv(const float *x, const float *w, float *y) {
+  for (long n = 0; n < NB; n++)
+    for (long oh = 0; oh < OH; oh++)
+      for (long ow = 0; ow < OW; ow++)
+        for (long oc = 0; oc < OC; oc++) {
+          float acc = 0.0f;
+          for (long kh = 0; kh < 3; kh++)
+            for (long kw = 0; kw < 3; kw++)
+              for (long ic = 0; ic < IC; ic++)
+                acc += x[(((n * H + oh + kh) * W) + ow + kw) * IC + ic] *
+                       w[((kh * 3 + kw) * IC + ic) * OC + oc];
+          y[((n * OH + oh) * OW + ow) * OC + oc] = acc > 0 ? acc : 0.0f;
+        }
+}
+
+static void tuned_conv(const float *restrict x, const float *restrict w,
+                       float *restrict y) {
+  for (long n = 0; n < NB; n++)
+    for (long oh = 0; oh < OH; oh++)
+      for (long ow = 0; ow < OW; ow++) {
+        float acc[OC];
+        for (long oc = 0; oc < OC; oc++) acc[oc] = 0.0f;
+        for (long kh = 0; kh < 3; kh++)
+          for (long kw = 0; kw < 3; kw++) {
+            const float *restrict xr =
+                &x[(((n * H + oh + kh) * W) + ow + kw) * IC];
+            for (long ic = 0; ic < IC; ic++) {
+              float xv = xr[ic];
+              const float *restrict wr = &w[((kh * 3 + kw) * IC + ic) * OC];
+              for (long oc = 0; oc < OC; oc++)
+                acc[oc] += xv * wr[oc];
+            }
+          }
+        float *restrict yr = &y[((n * OH + oh) * OW + ow) * OC];
+        for (long oc = 0; oc < OC; oc++)
+          yr[oc] = acc[oc] > 0 ? acc[oc] : 0.0f;
+      }
+}
+
+static float *x, *w, *ybuf, *yref;
+int main(void) {
+  x = malloc((size_t)NB * H * W * IC * sizeof(float));
+  w = malloc((size_t)9 * IC * OC * sizeof(float));
+  ybuf = malloc((size_t)NB * OH * OW * OC * sizeof(float));
+  yref = malloc((size_t)NB * OH * OW * OC * sizeof(float));
+  unsigned s = 1u;
+  for (long i = 0; i < (long)NB * H * W * IC; i++) {
+    s = s * 1103515245u + 12345u;
+    x[i] = (float)((s >> 16) %% 1000) / 500.0f - 1.0f;
+  }
+  for (long i = 0; i < (long)9 * IC * OC; i++) {
+    s = s * 1103515245u + 12345u;
+    w[i] = (float)((s >> 16) %% 1000) / 500.0f - 1.0f;
+  }
+  tuned_conv(x, w, yref);
+  memset(ybuf, 0, (size_t)NB * OH * OW * OC * sizeof(float));
+  exo_conv_x86(x, w, ybuf);
+  int ok = 1;
+  for (long i = 0; i < (long)NB * OH * OW * OC; i += 53)
+    if (ybuf[i] < yref[i] - 0.05f || ybuf[i] > yref[i] + 0.05f) {
+      ok = 0;
+      break;
+    }
+  double tn = 1e30, tt = 1e30, te = 1e30;
+  for (int r = 0; r < 2; r++) {
+    double t0 = now_s();
+    naive_conv(x, w, ybuf);
+    double t = now_s() - t0;
+    if (t < tn) tn = t;
+  }
+  for (int r = 0; r < 3; r++) {
+    double t0 = now_s();
+    tuned_conv(x, w, ybuf);
+    double t = now_s() - t0;
+    if (t < tt) tt = t;
+  }
+  for (int r = 0; r < 3; r++) {
+    memset(ybuf, 0, (size_t)NB * OH * OW * OC * sizeof(float));
+    double t0 = now_s();
+    exo_conv_x86(x, w, ybuf);
+    double t = now_s() - t0;
+    if (t < te) te = t;
+  }
+  printf("%%d %%.6f %%.6f %%.6f\n", ok, tn, tt, te);
+  return 0;
+}
+)",
+                (long long)S.N, (long long)S.H, (long long)S.W,
+                (long long)S.IC, (long long)S.OC, (long long)S.oh(),
+                (long long)S.ow());
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  // The paper's layer: batch 5, output 100x80, 128 channels in and out.
+  ConvShape S{5, 102, 82, 128, 128};
+  std::printf("Figure 6: x86 CONV (N=%lld W=%lld H=%lld IC=%lld OC=%lld, "
+              "3x3, ReLU)\n",
+              (long long)S.N, (long long)S.W, (long long)S.H,
+              (long long)S.IC, (long long)S.OC);
+  std::printf("paper shape: Exo 40.50%%, Halide 40.59%%, oneDNN 40.55%% of "
+              "peak — all within noise; here Exo vs naive/tuned C\n\n");
+
+  auto K = apps::buildConvX86(S);
+  if (!K) {
+    std::fprintf(stderr, "schedule failed: %s\n", K.error().str().c_str());
+    return 1;
+  }
+  auto CSrc = backend::generateC(K->Scheduled,
+                                 {.Prelude = std::string(HarnessCommon)});
+  if (!CSrc) {
+    std::fprintf(stderr, "codegen failed: %s\n", CSrc.error().str().c_str());
+    return 1;
+  }
+  auto Out = compileAndRun(*CSrc + mainHarness(S), {}, {avx512RuntimeDir()});
+  if (!Out || Out->size() < 4) {
+    std::fprintf(stderr, "harness failed: %s\n",
+                 Out ? "bad output" : Out.error().str().c_str());
+    return 1;
+  }
+  bool Ok = (*Out)[0] == "1";
+  double Flops = 2.0 * S.macs();
+  double GN = Flops / std::atof((*Out)[1].c_str()) * 1e-9;
+  double GT = Flops / std::atof((*Out)[2].c_str()) * 1e-9;
+  double GE = Flops / std::atof((*Out)[3].c_str()) * 1e-9;
+  printRow({"impl", "GFLOP/s", "vs tuned", "check"}, {10, 10, 10, 6});
+  char Buf[3][32];
+  std::snprintf(Buf[0], 32, "%6.2f", GN);
+  std::snprintf(Buf[1], 32, "%6.2f", GT);
+  std::snprintf(Buf[2], 32, "%6.2f", GE);
+  char Pct[2][32];
+  std::snprintf(Pct[0], 32, "%5.0f%%", 100.0 * GN / GT);
+  std::snprintf(Pct[1], 32, "%5.0f%%", 100.0 * GE / GT);
+  printRow({"naive", Buf[0], Pct[0], "ok"}, {10, 10, 10, 6});
+  printRow({"tuned", Buf[1], "100%", "ok"}, {10, 10, 10, 6});
+  printRow({"Exo", Buf[2], Pct[1], Ok ? "ok" : "FAIL"}, {10, 10, 10, 6});
+  return Ok ? 0 : 1;
+}

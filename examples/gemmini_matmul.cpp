@@ -1,0 +1,72 @@
+//===- examples/gemmini_matmul.cpp - Gemmini end-to-end --------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7.1 case study end-to-end: one naive matmul algorithm scheduled
+/// into the Old-lib (per-tile configuration) and Exo-lib (hoisted
+/// configuration) Gemmini kernels, validated against each other, with
+/// the generated C printed at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/GemminiMatmul.h"
+#include "backend/CodeGen.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace exo;
+using namespace exo::ir;
+
+int main() {
+  const int64_t N = 32, M = 32, K = 32;
+  auto Kernels = apps::buildGemminiMatmul(N, M, K);
+  if (!Kernels) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 Kernels.error().str().c_str());
+    return 1;
+  }
+  std::printf("=== algorithm (%u statements) ===\n%s\n",
+              Kernels->AlgStmts, printProc(Kernels->Algorithm).c_str());
+  std::printf("=== Exo-lib schedule (%u directives) ===\n%s\n",
+              Kernels->ExoLibSteps, printProc(Kernels->ExoLib).c_str());
+
+  // Validate all three against each other on the interpreter.
+  std::vector<double> A(N * K), B(K * M);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = (I % 9) * 0.5 - 2.0;
+  for (size_t I = 0; I < B.size(); ++I)
+    B[I] = (I % 5) * 0.25 - 0.5;
+  auto Run = [&](const ProcRef &P) {
+    std::vector<double> C(N * M, 0.0), AC = A, BC = B;
+    interp::Interp In;
+    In.run(P, {interp::ArgValue::buffer(
+                   interp::BufferView::dense(AC.data(), {N, K})),
+               interp::ArgValue::buffer(
+                   interp::BufferView::dense(BC.data(), {K, M})),
+               interp::ArgValue::buffer(
+                   interp::BufferView::dense(C.data(), {N, M}))})
+        .take("interp");
+    return C;
+  };
+  std::vector<double> Ref = Run(Kernels->Algorithm);
+  std::vector<double> Old = Run(Kernels->OldLib);
+  std::vector<double> Exo = Run(Kernels->ExoLib);
+  double MaxDiff = 0;
+  for (size_t I = 0; I < Ref.size(); ++I) {
+    MaxDiff = std::max(MaxDiff, std::abs(Ref[I] - Old[I]));
+    MaxDiff = std::max(MaxDiff, std::abs(Ref[I] - Exo[I]));
+  }
+  std::printf("=== max |difference| across all three versions: %g ===\n\n",
+              MaxDiff);
+
+  std::string CCode =
+      backend::generateC({Kernels->ExoLib}).take("codegen");
+  std::printf("=== generated C (Exo-lib) ===\n%s", CCode.c_str());
+  return MaxDiff == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+//===- examples/x86_sgemm.cpp - AVX-512 SGEMM end-to-end -------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §7.2 case study: the 6x64 register-blocked SGEMM micro-kernel
+/// derived from three loops by scheduling, printed alongside its
+/// generated C (vector loads, broadcast FMAs, register-resident
+/// accumulator).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Sgemm.h"
+#include "backend/CodeGen.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace exo;
+using namespace exo::ir;
+
+int main() {
+  const int64_t M = 12, N = 128, K = 32;
+  auto Kernels = apps::buildSgemm(M, N, K);
+  if (!Kernels) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 Kernels.error().str().c_str());
+    return 1;
+  }
+  std::printf("=== algorithm (%u statements) ===\n%s\n", Kernels->AlgStmts,
+              printProc(Kernels->Algorithm).c_str());
+  std::printf("=== scheduled micro-kernel (%u directives) ===\n%s\n",
+              Kernels->ScheduleSteps,
+              printProc(Kernels->ExoSgemm).c_str());
+
+  // Validate.
+  std::vector<double> A(M * K), B(K * N);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = (I % 11) * 0.125 - 0.5;
+  for (size_t I = 0; I < B.size(); ++I)
+    B[I] = (I % 3) * 0.5 - 0.5;
+  auto Run = [&](const ProcRef &P) {
+    std::vector<double> C(M * N, 0.0), AC = A, BC = B;
+    interp::Interp In;
+    In.run(P, {interp::ArgValue::buffer(
+                   interp::BufferView::dense(AC.data(), {M, K})),
+               interp::ArgValue::buffer(
+                   interp::BufferView::dense(BC.data(), {K, N})),
+               interp::ArgValue::buffer(
+                   interp::BufferView::dense(C.data(), {M, N}))})
+        .take("interp");
+    return C;
+  };
+  std::vector<double> Ref = Run(Kernels->Algorithm);
+  std::vector<double> Exo = Run(Kernels->ExoSgemm);
+  double MaxDiff = 0;
+  for (size_t I = 0; I < Ref.size(); ++I)
+    MaxDiff = std::max(MaxDiff, std::abs(Ref[I] - Exo[I]));
+  std::printf("=== max |difference|: %g ===\n\n", MaxDiff);
+
+  std::string CCode = backend::generateC(Kernels->ExoSgemm).take("codegen");
+  std::printf("=== generated C ===\n%s", CCode.c_str());
+  return MaxDiff == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+//===- analysis/Checks.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Checks.h"
+
+using namespace exo;
+using namespace exo::analysis;
+using namespace exo::smt;
+
+TermRef exo::analysis::commutesCond(const EffectSets &A, const EffectSets &B) {
+  TriBool C = triAnd(
+      triAnd(disjoint(A.wr(), B.all()), disjoint(B.wr(), A.all())),
+      triAnd(disjoint(A.rplus(), B.rd()), disjoint(B.rplus(), A.rd())));
+  return C.Must;
+}
+
+TermRef exo::analysis::shadowsCond(const EffectSets &A, const EffectSets &B) {
+  // For every location possibly modified by A: B does not read it (even
+  // maybe, including reductions) and definitely writes it.
+  LocSetRef ModA = A.mod();
+  LocSetRef RdB = LocSet::unionOf(B.rd(), B.rplus());
+  LocSetRef WrB = B.wr();
+  std::map<ir::Sym, unsigned> Bases;
+  ModA->collectBases(Bases);
+  std::vector<TermRef> Parts;
+  for (auto &[Name, Rank] : Bases) {
+    std::vector<TermVar> PtVars;
+    std::vector<TermRef> Pt;
+    for (unsigned I = 0; I < Rank; ++I) {
+      PtVars.push_back(freshVar("sp" + std::to_string(I), Sort::Int));
+      Pt.push_back(mkVar(PtVars.back()));
+    }
+    TermRef Body = implies(
+        ModA->member(Name, Pt).May,
+        mkAnd(mkNot(RdB->member(Name, Pt).May), WrB->member(Name, Pt).Must));
+    for (auto It = PtVars.rbegin(); It != PtVars.rend(); ++It)
+      Body = forall(*It, Body);
+    Parts.push_back(Body);
+  }
+  return mkAnd(std::move(Parts));
+}
+
+bool exo::analysis::provedUnderPremise(AnalysisCtx &Ctx,
+                                       const TriBool &Premise,
+                                       const TermRef &Cond) {
+  return Ctx.solver().checkValid(implies(Premise.May, Cond)) ==
+         SolverResult::Yes;
+}

@@ -1,0 +1,49 @@
+//===- analysis/Checks.h - Rewrite safety predicates -----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basic program-rewrite predicates of §5.7:
+///
+///   Commutes a1 a2 — s1;s2 ↝ s2;s1 is safe: writes of each effect are
+///   disjoint from everything the other touches, and reductions of each
+///   are disjoint from the other's reads (reductions commute with each
+///   other on the same location — that is the special exception).
+///
+///   Shadows a1 a2 — s1;s2 ↝ s2 is safe: everything s1 might modify is
+///   definitely overwritten by s2 without being read first. This is where
+///   the two-sided (ternary) location sets earn their keep: "definitely
+///   overwritten" needs a lower bound on the write set.
+///
+/// The predicates return formulas; callers discharge them under the
+/// current path condition via provedUnderPremise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_ANALYSIS_CHECKS_H
+#define EXO_ANALYSIS_CHECKS_H
+
+#include "analysis/Effects.h"
+
+namespace exo {
+namespace analysis {
+
+/// D(Commutes a1 a2) as a classical formula (Def 5.6).
+smt::TermRef commutesCond(const EffectSets &A, const EffectSets &B);
+
+/// D(Shadows a1 a2) as a classical formula (Def 5.7). Conservative
+/// extension: locations modified by a1 must not be reduced by a2 either
+/// (a reduction reads its destination).
+smt::TermRef shadowsCond(const EffectSets &A, const EffectSets &B);
+
+/// Discharges: valid(Premise.May ⟹ Cond). Returns true only on a
+/// definite Yes (Unknown fails safe).
+bool provedUnderPremise(AnalysisCtx &Ctx, const TriBool &Premise,
+                        const smt::TermRef &Cond);
+
+} // namespace analysis
+} // namespace exo
+
+#endif // EXO_ANALYSIS_CHECKS_H

@@ -1,0 +1,73 @@
+//===- analysis/Effects.h - Effect extraction ------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Effect extraction (Def 5.4/5.5): computes, for a statement or block,
+/// the five primitive location sets
+///
+///   RdG / WrG  — configuration globals read / written
+///   RdH / WrH  — heap locations read / written
+///   RpH        — heap locations reduced (+=)
+///
+/// plus the set of locally-allocated buffers, with the paper's sequencing
+/// rules (later reads of earlier writes are internal; effects on local
+/// allocations are invisible outside). Guards wrap sets in filters; loops
+/// wrap them in bounded big-unions over a fresh iteration variable; calls
+/// are analyzed through their substituted bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_ANALYSIS_EFFECTS_H
+#define EXO_ANALYSIS_EFFECTS_H
+
+#include "analysis/Dataflow.h"
+#include "analysis/LocSet.h"
+
+namespace exo {
+namespace analysis {
+
+/// The primitive sets of one effect (Def 5.5).
+struct EffectSets {
+  LocSetRef RdG = LocSet::empty();
+  LocSetRef WrG = LocSet::empty();
+  LocSetRef RdH = LocSet::empty();
+  LocSetRef WrH = LocSet::empty();
+  LocSetRef RpH = LocSet::empty();
+  LocSetRef Al = LocSet::empty();
+
+  // Derived sets (Def 5.5, second table).
+  LocSetRef rd() const { return LocSet::unionOf(RdG, RdH); }
+  LocSetRef wr() const { return LocSet::unionOf(WrG, WrH); }
+  LocSetRef rplus() const { return RpH; }
+  LocSetRef mod() const { return LocSet::unionOf(wr(), RpH); }
+  LocSetRef all() const {
+    return LocSet::unionOf({rd(), wr(), RpH});
+  }
+};
+
+/// a1 ; a2 with the sequencing subtractions.
+EffectSets seqEffects(const EffectSets &A, const EffectSets &B);
+/// filter(p, a): every set filtered.
+EffectSets guardEffects(const TriBool &P, const EffectSets &A);
+/// ⋃_x a: every set big-unioned over X.
+EffectSets loopEffects(const smt::TermVar &X, const EffectSets &A);
+
+/// Extracts the effect sets of a statement / block, advancing \p State
+/// exactly as flowStmt would (so sequential extraction is consistent with
+/// the dataflow).
+EffectSets extractStmt(AnalysisCtx &Ctx, FlowState &State,
+                       const ir::StmtRef &S);
+EffectSets extractBlock(AnalysisCtx &Ctx, FlowState &State,
+                        const ir::Block &B);
+
+/// Effect of evaluating an expression (reads only).
+EffectSets extractExprReads(AnalysisCtx &Ctx, const FlowState &State,
+                            const ir::ExprRef &E);
+
+} // namespace analysis
+} // namespace exo
+
+#endif // EXO_ANALYSIS_EFFECTS_H

@@ -1,0 +1,95 @@
+//===- analysis/LocSet.h - Symbolic location sets --------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Location sets (Def 5.3): symbolic abstractions of sets of store
+/// locations — elements of heap buffers (a base symbol plus integer
+/// coordinates) and configuration globals (a field symbol, rank 0).
+///
+/// Because membership is a *ternary* predicate, a LocSet simultaneously
+/// carries a lower bound (D-membership: definitely in) and an upper bound
+/// (M-membership: possibly in), which is exactly what distinguishes the
+/// commutativity checks (needing "definitely disjoint") from the
+/// shadowing checks (needing "definitely overwritten") in §5.7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_ANALYSIS_LOCSET_H
+#define EXO_ANALYSIS_LOCSET_H
+
+#include "analysis/EffExpr.h"
+
+#include <set>
+
+namespace exo {
+namespace analysis {
+
+class LocSet;
+using LocSetRef = std::shared_ptr<const LocSet>;
+
+/// A symbolic set of store locations.
+class LocSet {
+public:
+  enum class Kind {
+    Empty,
+    Single,   ///< { (Base, Coords) } — one (symbolic) location
+    Union,    ///< L1 ∪ ... ∪ Ln
+    Inter,    ///< L1 ∩ L2
+    Diff,     ///< L1 − L2
+    BigUnion, ///< ⋃_x L — union over all integer values of a variable
+    Filter,   ///< filter(p, L) — members of L when p, else nothing
+  };
+
+  Kind kind() const { return TheKind; }
+  ir::Sym base() const { return Base; }
+  const std::vector<EffInt> &coords() const { return Coords; }
+  const std::vector<LocSetRef> &parts() const { return Parts; }
+  const smt::TermVar &boundVar() const { return Bound; }
+  const TriBool &cond() const { return Cond; }
+
+  // Factories --------------------------------------------------------------
+  static LocSetRef empty();
+  static LocSetRef single(ir::Sym Base, std::vector<EffInt> Coords);
+  static LocSetRef unionOf(std::vector<LocSetRef> Parts);
+  static LocSetRef unionOf(LocSetRef A, LocSetRef B);
+  static LocSetRef interOf(LocSetRef A, LocSetRef B);
+  static LocSetRef diffOf(LocSetRef A, LocSetRef B);
+  static LocSetRef bigUnion(smt::TermVar X, LocSetRef L);
+  static LocSetRef filter(TriBool P, LocSetRef L);
+
+  bool isEmpty() const { return TheKind == Kind::Empty; }
+
+  /// The base symbols that can possibly appear in this set, paired with
+  /// their coordinate rank.
+  void collectBases(std::map<ir::Sym, unsigned> &Out) const;
+
+  /// Ternary membership: is the location (Name, Pt) in this set?
+  TriBool member(ir::Sym Name, const std::vector<smt::TermRef> &Pt) const;
+
+  std::string str() const;
+
+  LocSet(Kind K) : TheKind(K), Bound{0, "", smt::Sort::Int} {}
+
+  // Internal state (public for factory use).
+  Kind TheKind;
+  ir::Sym Base;
+  std::vector<EffInt> Coords;
+  std::vector<LocSetRef> Parts;
+  smt::TermVar Bound;
+  TriBool Cond = TriBool::yes();
+};
+
+/// Ternary emptiness of S restricted to base \p Name with \p Rank fresh
+/// point variables: ∀pt. ¬(pt ∈ S).
+TriBool emptyAt(const LocSetRef &S, ir::Sym Name, unsigned Rank);
+
+/// Ternary "S1 ∩ S2 = ∅" across all bases.
+TriBool disjoint(const LocSetRef &A, const LocSetRef &B);
+
+} // namespace analysis
+} // namespace exo
+
+#endif // EXO_ANALYSIS_LOCSET_H

@@ -1,0 +1,67 @@
+//===- apps/Autoschedule.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Autoschedule.h"
+
+using namespace exo;
+using namespace exo::apps;
+
+namespace {
+
+/// Registers available for accumulation on AVX-512 (32 zmm minus a few
+/// the compiler needs for addresses and the broadcast).
+constexpr int64_t UsableRegs = 30;
+
+/// Static quality model for an RxC micro-kernel:
+///  - every FMA consumes one A broadcast; the B row (C/16 vectors) is
+///    loaded once and reused across R rows, so reuse = R;
+///  - the accumulator tile R*(C/16) plus the staged B row (C/16) plus one
+///    broadcast register must fit, or the C compiler spills;
+///  - wider C amortizes loop overhead, as a mild tiebreak.
+double scoreShape(int64_t R, int64_t C) {
+  int64_t Vectors = C / 16;
+  int64_t Regs = R * Vectors + Vectors + 1;
+  if (Regs > UsableRegs)
+    return -1.0; // predicted spill
+  return static_cast<double>(R) + 0.01 * static_cast<double>(Vectors);
+}
+
+} // namespace
+
+Expected<AutoscheduleResult> exo::apps::autoscheduleSgemm(int64_t M,
+                                                          int64_t N,
+                                                          int64_t K) {
+  AutoscheduleResult Best;
+  Best.Score = -1.0;
+  for (int64_t R = 1; R <= 12; ++R) {
+    if (M % R)
+      continue;
+    for (int64_t C : {16, 32, 64, 128}) {
+      if (N % C)
+        continue;
+      ++Best.CandidatesTried;
+      double S = scoreShape(R, C);
+      if (S > Best.Score) {
+        Best.Score = S;
+        Best.RowTile = R;
+        Best.ColTile = C;
+      }
+    }
+  }
+  if (Best.Score < 0)
+    return makeError(Error::Kind::Scheduling,
+                     "autoschedule: no feasible micro-kernel shape for " +
+                         std::to_string(M) + "x" + std::to_string(N));
+  // A split by 1 is the identity; buildSgemm requires a real factor.
+  if (Best.RowTile < 2)
+    return makeError(Error::Kind::Scheduling,
+                     "autoschedule: M has no usable row-tile divisor");
+  auto Kernels = buildSgemm(M, N, K, Best.RowTile, Best.ColTile);
+  if (!Kernels)
+    return Kernels.error();
+  Best.Kernels = std::move(*Kernels);
+  return Best;
+}

@@ -1,0 +1,48 @@
+//===- apps/Autoschedule.h - Compositional autoscheduling ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §9 ("Automatic Scheduling") implemented as future work: "because Exo
+/// schedules are composable (as successive rewrites) rather than
+/// monolithic, Exo autoschedulers can also be developed compositionally
+/// ... entirely external to the Exo compiler."
+///
+/// This autoscheduler is exactly that: a user-level search over
+/// micro-kernel shapes driven by a static register-pressure model, whose
+/// output is an ordinary sequence of primitive rewrites (via buildSgemm).
+/// It lives in apps/, not in the compiler — no core component knows it
+/// exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_APPS_AUTOSCHEDULE_H
+#define EXO_APPS_AUTOSCHEDULE_H
+
+#include "apps/Sgemm.h"
+
+namespace exo {
+namespace apps {
+
+struct AutoscheduleResult {
+  SgemmKernels Kernels;
+  int64_t RowTile = 0;
+  int64_t ColTile = 0;
+  double Score = 0; ///< the model's predicted quality (higher is better)
+  unsigned CandidatesTried = 0;
+};
+
+/// Picks the micro-kernel shape for an MxNxK SGEMM on AVX-512 by static
+/// search: maximize A-element reuse per B load, subject to the
+/// accumulator tile + staged B row + scratch fitting in the 32
+/// zmm registers, and to divisibility of the problem size. Ties break
+/// toward wider tiles (fewer loop iterations).
+Expected<AutoscheduleResult> autoscheduleSgemm(int64_t M, int64_t N,
+                                               int64_t K);
+
+} // namespace apps
+} // namespace exo
+
+#endif // EXO_APPS_AUTOSCHEDULE_H

@@ -1,0 +1,120 @@
+//===- apps/Sgemm.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Sgemm.h"
+
+#include "hwlibs/avx512/Avx512Lib.h"
+#include "scheduling/Schedule.h"
+
+using namespace exo;
+using namespace exo::apps;
+using namespace exo::ir;
+using namespace exo::scheduling;
+using hw::avx512::avx512Lib;
+
+namespace {
+
+std::string algorithmSource(int64_t M, int64_t N, int64_t K) {
+  auto S = [](int64_t V) { return std::to_string(V); };
+  return "@proc\n"
+         "def sgemm(A: f32[" + S(M) + ", " + S(K) + "], "
+         "B: f32[" + S(K) + ", " + S(N) + "], "
+         "C: f32[" + S(M) + ", " + S(N) + "]):\n"
+         "    for i in seq(0, " + S(M) + "):\n"
+         "        for j in seq(0, " + S(N) + "):\n"
+         "            for k in seq(0, " + S(K) + "):\n"
+         "                C[i, j] += A[i, k] * B[k, j]\n";
+}
+
+#define APPLY(Expr)                                                          \
+  do {                                                                       \
+    auto R_ = (Expr);                                                        \
+    if (!R_)                                                                 \
+      return R_.error();                                                     \
+    Cur = *R_;                                                               \
+    ++Steps;                                                                 \
+  } while (0)
+
+} // namespace
+
+Expected<SgemmKernels> exo::apps::buildSgemm(int64_t M, int64_t N, int64_t K,
+                                             int64_t RowTile,
+                                             int64_t ColTile) {
+  if (M <= 0 || N <= 0 || K <= 0 || RowTile <= 0 || ColTile <= 0 ||
+      M % RowTile || N % ColTile || ColTile % 16)
+    return makeError(Error::Kind::Scheduling,
+                     "sgemm needs M %% RowTile == 0, N %% ColTile == 0, "
+                     "ColTile %% 16 == 0");
+  const auto &HW = avx512Lib();
+
+  frontend::ParseEnv Env = HW.Env;
+  auto Alg = frontend::parseProc(algorithmSource(M, N, K), Env);
+  if (!Alg)
+    return Alg.error();
+
+  SgemmKernels Out;
+  Out.Algorithm = *Alg;
+  Out.AlgStmts = 5;
+
+  ProcRef Cur = *Alg;
+  unsigned Steps = 0;
+
+  // --- Register blocking: RowTile x ColTile of C per micro-kernel. ---
+  APPLY(splitLoop(Cur, "for i in _: _", RowTile, "io", "ii",
+                  SplitTail::Perfect));
+  APPLY(splitLoop(Cur, "for j in _: _", ColTile, "jo", "ji",
+                  SplitTail::Perfect));
+  APPLY(reorderLoops(Cur, "for ii in _: _")); // io jo ii ji k
+  APPLY(reorderLoops(Cur, "for ji in _: _")); // io jo ii k ji
+  APPLY(reorderLoops(Cur, "for ii in _: _")); // io jo k ii ji
+  APPLY(simplify(Cur));
+
+  std::string RT = std::to_string(RowTile), CT = std::to_string(ColTile);
+  // --- Keep the C tile in vector registers across the K loop. ---
+  APPLY(stageMem(Cur, "for k in _: _", 1,
+                 "C[" + RT + " * io : " + RT + " * io + " + RT + ", " + CT +
+                     " * jo : " + CT + " * jo + " + CT + "]",
+                 "acc", "AVX512"));
+
+  // --- Stage the current B row slice in registers. ---
+  APPLY(stageMem(Cur, "for ii in _: _", 1,
+                 "B[k, " + CT + " * jo : " + CT + " * jo + " + CT + "]",
+                 "bvec", "AVX512"));
+
+  // --- Vector shape: split lane loops by 16. ---
+  // acc zero-init (i0, i1): split the 64-wide inner loop.
+  APPLY(splitLoop(Cur, "for i1 in _: _ #0", 16, "zv", "zl",
+                  SplitTail::Perfect));
+  // bvec copy-in (single i0 loop of 64).
+  APPLY(splitLoop(Cur, "for i0 in _: _ #1", 16, "lv", "ll",
+                  SplitTail::Perfect));
+  // compute lanes.
+  APPLY(splitLoop(Cur, "for ji in _: _", 16, "jv", "jl",
+                  SplitTail::Perfect));
+  // copy-out (i0, i1): the last i1 loop.
+  APPLY(splitLoop(Cur, "for i1 in _: _ #0", 16, "sv", "sl",
+                  SplitTail::Perfect));
+  APPLY(simplify(Cur));
+
+  // --- Instruction selection. ---
+  APPLY(replaceWith(Cur, "for zl in _: _", 1, HW.ZeroPs));
+  APPLY(replaceWith(Cur, "for ll in _: _", 1, HW.LoaduPs));
+  APPLY(replaceWith(Cur, "for jl in _: _", 1, HW.FmaddBcastPs));
+  APPLY(replaceWith(Cur, "for sl in _: _", 1, HW.AccumPs));
+
+  // --- Unroll the register-resident loops so the C compiler keeps the
+  //     tile in zmm registers. ---
+  APPLY(unrollLoop(Cur, "for jv in _: _"));
+  APPLY(unrollLoop(Cur, "for ii in _: _"));
+  APPLY(unrollLoop(Cur, "for lv in _: _"));
+  APPLY(unrollLoop(Cur, "for zv in _: _"));
+  APPLY(unrollLoop(Cur, "for sv in _: _"));
+  APPLY(simplify(Cur));
+
+  Out.ExoSgemm = renameProc(Cur, "exo_sgemm");
+  Out.ScheduleSteps = Steps;
+  return Out;
+}

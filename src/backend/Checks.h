@@ -1,0 +1,39 @@
+//===- backend/Checks.h - Backend checks (§3.1.1) --------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two checks performed immediately prior to code generation:
+///
+///  * MemoryCheck — buffers in non-addressable memories (scratchpads) may
+///    only be touched via @instr procedures, never by plain reads,
+///    writes, or reductions (§3.2.1, "backend checks").
+///
+///  * PrecisionCheck — all data expressions combined by an operator must
+///    have consistent precision; casts are only inserted at write/reduce
+///    boundaries (§3.1.1). The abstract type R is resolved to f32.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_BACKEND_CHECKS_H
+#define EXO_BACKEND_CHECKS_H
+
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+namespace exo {
+namespace backend {
+
+/// Verifies memory-annotation discipline for \p P (looking through calls
+/// to non-instr procedures). Returns true on success.
+Expected<bool> checkMemories(const ir::ProcRef &P);
+
+/// Verifies precision consistency for \p P. Returns true on success.
+Expected<bool> checkPrecisions(const ir::ProcRef &P);
+
+} // namespace backend
+} // namespace exo
+
+#endif // EXO_BACKEND_CHECKS_H

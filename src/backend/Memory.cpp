@@ -1,0 +1,51 @@
+//===- backend/Memory.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Memory.h"
+
+using namespace exo;
+using namespace exo::backend;
+
+Memory::~Memory() = default;
+
+std::string Memory::allocCode(const AllocInfo &Info) const {
+  std::string Size;
+  for (const std::string &D : Info.DimExprs) {
+    if (!Size.empty())
+      Size += " * ";
+    Size += "(" + D + ")";
+  }
+  if (Size.empty())
+    Size = "1";
+  if (Info.ConstSize && Info.TotalConstSize <= 4096)
+    return Info.PrimType + " " + Info.Name + "[" + Size + "];";
+  return Info.PrimType + " *" + Info.Name + " = (" + Info.PrimType +
+         " *)malloc(" + Size + " * sizeof(" + Info.PrimType + "));";
+}
+
+std::string Memory::freeCode(const AllocInfo &Info) const {
+  if (Info.ConstSize && Info.TotalConstSize <= 4096)
+    return "";
+  return "free(" + Info.Name + ");";
+}
+
+MemoryRegistry::MemoryRegistry() {
+  add(std::make_shared<Memory>("DRAM", /*Addressable=*/true));
+}
+
+MemoryRegistry &MemoryRegistry::instance() {
+  static MemoryRegistry R;
+  return R;
+}
+
+void MemoryRegistry::add(MemoryRef M) {
+  Memories[M->name()] = std::move(M);
+}
+
+MemoryRef MemoryRegistry::find(const std::string &Name) const {
+  auto It = Memories.find(Name);
+  return It == Memories.end() ? nullptr : It->second;
+}

@@ -1,0 +1,142 @@
+//===- backend/PrecisionCheck.cpp ------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Checks.h"
+
+#include "ir/Printer.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace exo;
+using namespace exo::backend;
+using namespace exo::ir;
+
+namespace {
+
+/// Computes the precision of a data expression, requiring operands of
+/// data operators to agree (modulo the adaptable abstract type R and
+/// literals, which take the precision of their context).
+class PrecisionChecker {
+public:
+  std::optional<Error> Err;
+
+  void checkProc(const Proc &P) {
+    if (!Visited.insert(&P).second)
+      return;
+    std::unordered_map<Sym, ScalarKind> Prec;
+    for (const FnArg &A : P.args())
+      if (A.Ty.isData())
+        Prec[A.Name] = A.Ty.elem();
+    checkBlock(P.body(), Prec, P.name());
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (!Err)
+      Err = makeError(Error::Kind::Backend, Msg);
+  }
+
+  /// R and literals adapt; two concrete kinds must be equal.
+  std::optional<ScalarKind> join(std::optional<ScalarKind> A,
+                                 std::optional<ScalarKind> B) {
+    if (!A || *A == ScalarKind::R)
+      return B;
+    if (!B || *B == ScalarKind::R)
+      return A;
+    if (*A != *B)
+      return std::nullopt;
+    return A;
+  }
+
+  /// Returns the inferred precision (nullopt on conflict — Err is set).
+  std::optional<ScalarKind>
+  exprPrec(const ExprRef &E, const std::unordered_map<Sym, ScalarKind> &Prec,
+           const std::string &ProcName) {
+    if (E->type().isControl())
+      return ScalarKind::R; // adapts in data context (e.g. casts of ints)
+    switch (E->kind()) {
+    case ExprKind::Const:
+      return ScalarKind::R; // literals adapt
+    case ExprKind::Read:
+    case ExprKind::WindowExpr: {
+      auto It = Prec.find(E->name());
+      return It == Prec.end() ? ScalarKind::R : It->second;
+    }
+    case ExprKind::USub:
+      return exprPrec(E->args()[0], Prec, ProcName);
+    case ExprKind::BinOp:
+    case ExprKind::BuiltIn: {
+      std::optional<ScalarKind> Out = ScalarKind::R;
+      for (const ExprRef &A : E->args()) {
+        auto P = exprPrec(A, Prec, ProcName);
+        if (Err)
+          return std::nullopt;
+        Out = join(Out, P);
+        if (!Out) {
+          fail("mixed-precision data expression '" + printExpr(E) +
+               "' in " + ProcName +
+               " (insert a staging buffer or set_precision)");
+          return std::nullopt;
+        }
+      }
+      return Out;
+    }
+    default:
+      return ScalarKind::R;
+    }
+  }
+
+  void checkBlock(const Block &B, std::unordered_map<Sym, ScalarKind> Prec,
+                  const std::string &ProcName) {
+    for (const StmtRef &S : B) {
+      if (Err)
+        return;
+      switch (S->kind()) {
+      case StmtKind::Assign:
+      case StmtKind::Reduce:
+        // The rhs must be internally consistent; a cast to the
+        // destination precision is inserted at the write (§3.1.1), so
+        // rhs/dst disagreement is fine.
+        (void)exprPrec(S->rhs(), Prec, ProcName);
+        break;
+      case StmtKind::Alloc:
+        if (S->allocType().isData())
+          Prec[S->name()] = S->allocType().elem();
+        break;
+      case StmtKind::WindowStmt:
+        if (auto It = Prec.find(S->rhs()->name()); It != Prec.end())
+          Prec[S->name()] = It->second;
+        break;
+      case StmtKind::If:
+        checkBlock(S->body(), Prec, ProcName);
+        checkBlock(S->orelse(), Prec, ProcName);
+        break;
+      case StmtKind::For:
+        checkBlock(S->body(), Prec, ProcName);
+        break;
+      case StmtKind::Call:
+        if (!S->proc()->isInstr())
+          checkProc(*S->proc());
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  std::set<const Proc *> Visited;
+};
+
+} // namespace
+
+Expected<bool> exo::backend::checkPrecisions(const ProcRef &P) {
+  PrecisionChecker C;
+  C.checkProc(*P);
+  if (C.Err)
+    return *C.Err;
+  return true;
+}

@@ -1,0 +1,355 @@
+//===- frontend/Lexer.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+
+using namespace exo;
+using namespace exo::frontend;
+
+const char *exo::frontend::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Name: return "identifier";
+  case TokKind::IntLit: return "integer literal";
+  case TokKind::FloatLit: return "float literal";
+  case TokKind::StringLit: return "string literal";
+  case TokKind::LParen: return "'('";
+  case TokKind::RParen: return "')'";
+  case TokKind::LBracket: return "'['";
+  case TokKind::RBracket: return "']'";
+  case TokKind::Colon: return "':'";
+  case TokKind::Comma: return "','";
+  case TokKind::Dot: return "'.'";
+  case TokKind::At: return "'@'";
+  case TokKind::Assign: return "'='";
+  case TokKind::PlusAssign: return "'+='";
+  case TokKind::Plus: return "'+'";
+  case TokKind::Minus: return "'-'";
+  case TokKind::Star: return "'*'";
+  case TokKind::Slash: return "'/'";
+  case TokKind::Percent: return "'%'";
+  case TokKind::EqEq: return "'=='";
+  case TokKind::NotEq: return "'!='";
+  case TokKind::Lt: return "'<'";
+  case TokKind::Gt: return "'>'";
+  case TokKind::Le: return "'<='";
+  case TokKind::Ge: return "'>='";
+  case TokKind::KwDef: return "'def'";
+  case TokKind::KwFor: return "'for'";
+  case TokKind::KwIn: return "'in'";
+  case TokKind::KwSeq: return "'seq'";
+  case TokKind::KwIf: return "'if'";
+  case TokKind::KwElse: return "'else'";
+  case TokKind::KwAssert: return "'assert'";
+  case TokKind::KwPass: return "'pass'";
+  case TokKind::KwAnd: return "'and'";
+  case TokKind::KwOr: return "'or'";
+  case TokKind::KwNot: return "'not'";
+  case TokKind::KwTrue: return "'True'";
+  case TokKind::KwFalse: return "'False'";
+  case TokKind::KwClass: return "'class'";
+  case TokKind::KwStride: return "'stride'";
+  case TokKind::Newline: return "newline";
+  case TokKind::Indent: return "indent";
+  case TokKind::Dedent: return "dedent";
+  case TokKind::EndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+static const std::unordered_map<std::string, TokKind> &keywords() {
+  static const std::unordered_map<std::string, TokKind> KW = {
+      {"def", TokKind::KwDef},       {"for", TokKind::KwFor},
+      {"in", TokKind::KwIn},         {"seq", TokKind::KwSeq},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"assert", TokKind::KwAssert}, {"pass", TokKind::KwPass},
+      {"and", TokKind::KwAnd},       {"or", TokKind::KwOr},
+      {"not", TokKind::KwNot},       {"True", TokKind::KwTrue},
+      {"False", TokKind::KwFalse},   {"class", TokKind::KwClass},
+      {"stride", TokKind::KwStride},
+  };
+  return KW;
+}
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Src) : Src(Src) {}
+
+  Expected<std::vector<Token>> run() {
+    IndentStack.push_back(0);
+    while (Pos < Src.size()) {
+      if (AtLineStart) {
+        if (!handleIndentation())
+          return *Pending;
+        continue;
+      }
+      char C = Src[Pos];
+      if (C == '\n') {
+        // Suppress Newline inside brackets (implicit line joining).
+        if (BracketDepth == 0) {
+          emit(TokKind::Newline);
+          AtLineStart = true;
+        }
+        advance();
+        continue;
+      }
+      if (C == ' ' || C == '\t' || C == '\r') {
+        advance();
+        continue;
+      }
+      if (C == '#') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          advance();
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        lexName();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        lexNumber();
+        continue;
+      }
+      if (C == '"') {
+        if (!lexString())
+          return *Pending;
+        continue;
+      }
+      if (!lexOperator())
+        return *Pending;
+    }
+    if (!Tokens.empty() && Tokens.back().Kind != TokKind::Newline)
+      emit(TokKind::Newline);
+    while (IndentStack.size() > 1) {
+      IndentStack.pop_back();
+      emit(TokKind::Dedent);
+    }
+    emit(TokKind::EndOfFile);
+    return std::move(Tokens);
+  }
+
+private:
+  void advance() {
+    if (Src[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void emit(TokKind K, std::string Text = "") {
+    Tokens.push_back({K, std::move(Text), 0, 0.0, Line, Col});
+  }
+
+  bool fail(const std::string &Msg) {
+    Pending = makeError(Error::Kind::Parse,
+                        "line " + std::to_string(Line) + ": " + Msg);
+    return false;
+  }
+
+  /// Processes leading whitespace of a logical line; emits Indent/Dedent.
+  /// Returns false on error.
+  bool handleIndentation() {
+    unsigned Width = 0;
+    size_t Scan = Pos;
+    while (Scan < Src.size()) {
+      char C = Src[Scan];
+      if (C == ' ') {
+        ++Width;
+        ++Scan;
+      } else if (C == '\t') {
+        return fail("tab in indentation");
+      } else {
+        break;
+      }
+    }
+    // Blank or comment-only line: swallow it entirely.
+    if (Scan >= Src.size() || Src[Scan] == '\n' || Src[Scan] == '#' ||
+        Src[Scan] == '\r') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        advance();
+      if (Pos < Src.size())
+        advance(); // the newline itself
+      return true;
+    }
+    while (Pos < Scan)
+      advance();
+    AtLineStart = false;
+    if (Width > IndentStack.back()) {
+      IndentStack.push_back(Width);
+      emit(TokKind::Indent);
+      return true;
+    }
+    while (Width < IndentStack.back()) {
+      IndentStack.pop_back();
+      emit(TokKind::Dedent);
+    }
+    if (Width != IndentStack.back())
+      return fail("inconsistent dedent");
+    return true;
+  }
+
+  void lexName() {
+    unsigned StartCol = Col;
+    std::string Text;
+    while (Pos < Src.size() &&
+           (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == '_')) {
+      Text += Src[Pos];
+      advance();
+    }
+    auto It = keywords().find(Text);
+    TokKind K = It == keywords().end() ? TokKind::Name : It->second;
+    Tokens.push_back({K, Text, 0, 0.0, Line, StartCol});
+  }
+
+  void lexNumber() {
+    unsigned StartCol = Col;
+    std::string Text;
+    bool IsFloat = false;
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      bool ExpSign = (C == '+' || C == '-') && !Text.empty() &&
+                     (Text.back() == 'e' || Text.back() == 'E');
+      if (!(std::isdigit(static_cast<unsigned char>(C)) || C == '.' ||
+            C == 'e' || C == 'E' || ExpSign))
+        break;
+      if (C == '.' || C == 'e' || C == 'E')
+        IsFloat = true;
+      Text += C;
+      advance();
+    }
+    Token T{IsFloat ? TokKind::FloatLit : TokKind::IntLit, Text, 0, 0.0, Line,
+            StartCol};
+    if (IsFloat)
+      T.FloatValue = std::stod(Text);
+    else
+      T.IntValue = std::stoll(Text);
+    Tokens.push_back(std::move(T));
+  }
+
+  bool lexString() {
+    unsigned StartCol = Col;
+    advance(); // opening quote
+    std::string Text;
+    while (Pos < Src.size() && Src[Pos] != '"') {
+      if (Src[Pos] == '\n')
+        return fail("unterminated string literal");
+      if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
+        advance();
+        switch (Src[Pos]) {
+        case 'n':
+          Text += '\n';
+          break;
+        case 't':
+          Text += '\t';
+          break;
+        case '"':
+          Text += '"';
+          break;
+        case '\\':
+          Text += '\\';
+          break;
+        default:
+          Text += Src[Pos];
+        }
+        advance();
+        continue;
+      }
+      Text += Src[Pos];
+      advance();
+    }
+    if (Pos >= Src.size())
+      return fail("unterminated string literal");
+    advance(); // closing quote
+    Tokens.push_back({TokKind::StringLit, Text, 0, 0.0, Line, StartCol});
+    return true;
+  }
+
+  bool lexOperator() {
+    char C = Src[Pos];
+    char Next = Pos + 1 < Src.size() ? Src[Pos + 1] : '\0';
+    auto two = [&](TokKind K) {
+      advance();
+      advance();
+      emit(K);
+      return true;
+    };
+    auto one = [&](TokKind K) {
+      advance();
+      emit(K);
+      return true;
+    };
+    switch (C) {
+    case '(':
+      ++BracketDepth;
+      return one(TokKind::LParen);
+    case ')':
+      if (BracketDepth)
+        --BracketDepth;
+      return one(TokKind::RParen);
+    case '[':
+      ++BracketDepth;
+      return one(TokKind::LBracket);
+    case ']':
+      if (BracketDepth)
+        --BracketDepth;
+      return one(TokKind::RBracket);
+    case ':':
+      return one(TokKind::Colon);
+    case ',':
+      return one(TokKind::Comma);
+    case '.':
+      return one(TokKind::Dot);
+    case '@':
+      return one(TokKind::At);
+    case '+':
+      return Next == '=' ? two(TokKind::PlusAssign) : one(TokKind::Plus);
+    case '-':
+      return one(TokKind::Minus);
+    case '*':
+      return one(TokKind::Star);
+    case '/':
+      return one(TokKind::Slash);
+    case '%':
+      return one(TokKind::Percent);
+    case '=':
+      return Next == '=' ? two(TokKind::EqEq) : one(TokKind::Assign);
+    case '!':
+      if (Next == '=')
+        return two(TokKind::NotEq);
+      return fail("unexpected '!'");
+    case '<':
+      return Next == '=' ? two(TokKind::Le) : one(TokKind::Lt);
+    case '>':
+      return Next == '=' ? two(TokKind::Ge) : one(TokKind::Gt);
+    default:
+      return fail(std::string("unexpected character '") + C + "'");
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+  bool AtLineStart = true;
+  unsigned BracketDepth = 0;
+  std::vector<unsigned> IndentStack;
+  std::vector<Token> Tokens;
+  std::optional<Error> Pending;
+};
+
+} // namespace
+
+Expected<std::vector<Token>> exo::frontend::tokenize(const std::string &Src) {
+  return Lexer(Src).run();
+}

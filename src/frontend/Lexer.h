@@ -1,0 +1,64 @@
+//===- frontend/Lexer.h - Indentation-sensitive tokenizer ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes the Exo surface syntax. Like the Python host language the
+/// paper embeds Exo in, blocks are indentation-delimited: the lexer emits
+/// synthetic Indent / Dedent tokens from leading whitespace, skipping blank
+/// and comment-only lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FRONTEND_LEXER_H
+#define EXO_FRONTEND_LEXER_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace exo {
+namespace frontend {
+
+enum class TokKind {
+  Name,
+  IntLit,
+  FloatLit,
+  StringLit,
+  // Punctuation & operators.
+  LParen, RParen, LBracket, RBracket,
+  Colon, Comma, Dot, At,
+  Assign,      // =
+  PlusAssign,  // +=
+  Plus, Minus, Star, Slash, Percent,
+  EqEq, NotEq, Lt, Gt, Le, Ge,
+  // Keywords.
+  KwDef, KwFor, KwIn, KwSeq, KwIf, KwElse, KwAssert, KwPass, KwAnd, KwOr,
+  KwNot, KwTrue, KwFalse, KwClass, KwStride,
+  // Layout.
+  Newline, Indent, Dedent,
+  EndOfFile,
+};
+
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind;
+  std::string Text;   ///< names, literals, string contents
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Tokenizes \p Source. Fails on tabs in indentation, bad characters, and
+/// inconsistent dedents.
+Expected<std::vector<Token>> tokenize(const std::string &Source);
+
+} // namespace frontend
+} // namespace exo
+
+#endif // EXO_FRONTEND_LEXER_H

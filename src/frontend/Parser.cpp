@@ -1,0 +1,895 @@
+//===- frontend/Parser.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <optional>
+
+using namespace exo;
+using namespace exo::frontend;
+using namespace exo::ir;
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Performs enough typing
+/// to annotate expressions (full checking is TypeCheck's job).
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, ParseEnv &Env)
+      : Toks(std::move(Toks)), Env(Env) {}
+
+  /// Entry point for parseExprInScope: parses one expression with a
+  /// pre-seeded scope.
+  Expected<ExprRef> runExpr(const std::map<std::string, ScopedName> &Scope) {
+    Scopes.emplace_back();
+    for (auto &[Name, SN] : Scope)
+      bind(Name, SN.S, SN.Ty);
+    auto E = parseExpr();
+    if (!E)
+      return *Err;
+    if (!at(TokKind::Newline) && !at(TokKind::EndOfFile))
+      return fail("trailing tokens after expression"), *Err;
+    return E;
+  }
+
+  Expected<ParsedModule> run() {
+    ParsedModule Module;
+    while (!at(TokKind::EndOfFile)) {
+      if (!expect(TokKind::At, "a '@proc', '@instr' or '@config' decorator"))
+        return *Err;
+      if (at(TokKind::Name) && cur().Text == "proc") {
+        ++Pos;
+        if (!eatNewline())
+          return *Err;
+        auto P = parseProcDef(std::nullopt);
+        if (!P)
+          return *Err;
+        Env.addProc(*P);
+        Module.Procs.push_back(*P);
+        continue;
+      }
+      if (at(TokKind::Name) && cur().Text == "instr") {
+        ++Pos;
+        if (!expect(TokKind::LParen, "'(' after @instr"))
+          return *Err;
+        if (!at(TokKind::StringLit))
+          return fail("string template expected in @instr"), *Err;
+        InstrInfo Info;
+        Info.CTemplate = cur().Text;
+        ++Pos;
+        if (at(TokKind::Comma)) {
+          ++Pos;
+          if (!at(TokKind::StringLit))
+            return fail("global string expected after ','"), *Err;
+          Info.CGlobal = cur().Text;
+          ++Pos;
+        }
+        if (!expect(TokKind::RParen, "')'"))
+          return *Err;
+        if (!eatNewline())
+          return *Err;
+        auto P = parseProcDef(Info);
+        if (!P)
+          return *Err;
+        Env.addProc(*P);
+        Module.Procs.push_back(*P);
+        continue;
+      }
+      if (at(TokKind::Name) && cur().Text == "config") {
+        ++Pos;
+        if (!eatNewline())
+          return *Err;
+        auto C = parseConfigDecl();
+        if (!C)
+          return *Err;
+        Env.addConfig(*C);
+        Module.Configs.push_back(*C);
+        continue;
+      }
+      return fail("unknown decorator"), *Err;
+    }
+    return Module;
+  }
+
+private:
+  //===--------------------------------------------------------------------
+  // Token plumbing
+  //===--------------------------------------------------------------------
+
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atName(const char *Text) const {
+    return at(TokKind::Name) && cur().Text == Text;
+  }
+
+  void fail(const std::string &Msg) {
+    if (!Err)
+      Err = makeError(Error::Kind::Parse,
+                      "line " + std::to_string(cur().Line) + ": " + Msg +
+                          " (found " + tokKindName(cur().Kind) + ")");
+  }
+
+  bool expect(TokKind K, const std::string &What) {
+    if (!at(K)) {
+      fail("expected " + What);
+      return false;
+    }
+    ++Pos;
+    return true;
+  }
+
+  bool eatNewline() { return expect(TokKind::Newline, "end of line"); }
+
+  //===--------------------------------------------------------------------
+  // Scopes
+  //===--------------------------------------------------------------------
+
+  struct Binding {
+    Sym S;
+    Type Ty;
+  };
+
+  std::optional<Binding> lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return std::nullopt;
+  }
+
+  void bind(const std::string &Name, Sym S, Type Ty) {
+    Scopes.back()[Name] = {S, std::move(Ty)};
+  }
+
+  //===--------------------------------------------------------------------
+  // Declarations
+  //===--------------------------------------------------------------------
+
+  Expected<ConfigRef> parseConfigDecl() {
+    if (!expect(TokKind::KwClass, "'class' after @config"))
+      return *Err;
+    if (!at(TokKind::Name))
+      return fail("config name expected"), *Err;
+    std::string Name = cur().Text;
+    ++Pos;
+    if (!expect(TokKind::Colon, "':'") || !eatNewline() ||
+        !expect(TokKind::Indent, "an indented field list"))
+      return *Err;
+    std::vector<ConfigDecl::Field> Fields;
+    while (!at(TokKind::Dedent)) {
+      if (!at(TokKind::Name))
+        return fail("field name expected"), *Err;
+      std::string FieldName = cur().Text;
+      ++Pos;
+      if (!expect(TokKind::Colon, "':' after field name"))
+        return *Err;
+      auto Ty = parseType();
+      if (!Ty)
+        return *Err;
+      if (!Ty->isControl())
+        return fail("config fields must have control types"), *Err;
+      if (!eatNewline())
+        return *Err;
+      Fields.push_back({Sym::fresh(FieldName), *Ty});
+    }
+    ++Pos; // Dedent
+    return ConfigRef(
+        std::make_shared<ConfigDecl>(Sym::fresh(Name), std::move(Fields)));
+  }
+
+  Expected<ProcRef> parseProcDef(std::optional<InstrInfo> Instr) {
+    if (!expect(TokKind::KwDef, "'def'"))
+      return *Err;
+    if (!at(TokKind::Name))
+      return fail("procedure name expected"), *Err;
+    std::string Name = cur().Text;
+    ++Pos;
+    if (!expect(TokKind::LParen, "'('"))
+      return *Err;
+
+    Scopes.clear();
+    Scopes.emplace_back();
+
+    std::vector<FnArg> Args;
+    while (!at(TokKind::RParen)) {
+      if (!Args.empty() && !expect(TokKind::Comma, "','"))
+        return *Err;
+      if (!at(TokKind::Name))
+        return fail("argument name expected"), *Err;
+      std::string ArgName = cur().Text;
+      ++Pos;
+      if (!expect(TokKind::Colon, "':' after argument name"))
+        return *Err;
+      auto Ty = parseType();
+      if (!Ty)
+        return *Err;
+      std::string Mem = "DRAM";
+      if (at(TokKind::At)) {
+        ++Pos;
+        if (!at(TokKind::Name))
+          return fail("memory name expected after '@'"), *Err;
+        Mem = cur().Text;
+        ++Pos;
+      }
+      Sym S = Sym::fresh(ArgName);
+      bind(ArgName, S, *Ty);
+      Args.push_back({S, std::move(*Ty), std::move(Mem)});
+    }
+    ++Pos; // RParen
+    if (!expect(TokKind::Colon, "':'") || !eatNewline())
+      return *Err;
+
+    if (!expect(TokKind::Indent, "an indented body"))
+      return *Err;
+
+    // Leading assertions become preconditions.
+    std::vector<ExprRef> Preds;
+    while (at(TokKind::KwAssert)) {
+      ++Pos;
+      auto E = parseExpr();
+      if (!E)
+        return *Err;
+      if (!eatNewline())
+        return *Err;
+      Preds.push_back(*E);
+    }
+
+    auto Body = parseBlockBody();
+    if (!Body)
+      return *Err;
+
+    auto P = std::make_shared<Proc>(Name, std::move(Args), std::move(Preds),
+                                    std::move(*Body));
+    if (Instr)
+      P->setInstr(std::move(*Instr));
+    return ProcRef(P);
+  }
+
+  //===--------------------------------------------------------------------
+  // Types
+  //===--------------------------------------------------------------------
+
+  std::optional<ScalarKind> scalarKindByName(const std::string &N) {
+    if (N == "R")
+      return ScalarKind::R;
+    if (N == "f32")
+      return ScalarKind::F32;
+    if (N == "f64")
+      return ScalarKind::F64;
+    if (N == "i8")
+      return ScalarKind::I8;
+    if (N == "i16")
+      return ScalarKind::I16;
+    if (N == "i32")
+      return ScalarKind::I32;
+    if (N == "int")
+      return ScalarKind::Int;
+    if (N == "bool")
+      return ScalarKind::Bool;
+    if (N == "size")
+      return ScalarKind::Size;
+    if (N == "index")
+      return ScalarKind::Index;
+    return std::nullopt;
+  }
+
+  Expected<Type> parseType() {
+    // Window types are written [R][n, m].
+    bool IsWindow = false;
+    if (at(TokKind::LBracket)) {
+      IsWindow = true;
+      ++Pos;
+    }
+    ScalarKind Elem;
+    if (at(TokKind::KwStride)) {
+      Elem = ScalarKind::Stride;
+      ++Pos;
+    } else {
+      if (!at(TokKind::Name))
+        return fail("type name expected"), *Err;
+      auto K = scalarKindByName(cur().Text);
+      if (!K)
+        return fail("unknown type '" + cur().Text + "'"), *Err;
+      Elem = *K;
+      ++Pos;
+    }
+    if (IsWindow && !expect(TokKind::RBracket, "']' closing window type"))
+      return *Err;
+    if (!at(TokKind::LBracket)) {
+      if (IsWindow)
+        return fail("window type needs dimensions"), *Err;
+      return Type(Elem);
+    }
+    ++Pos;
+    std::vector<ExprRef> Dims;
+    while (!at(TokKind::RBracket)) {
+      if (!Dims.empty() && !expect(TokKind::Comma, "','"))
+        return *Err;
+      auto D = parseExpr();
+      if (!D)
+        return *Err;
+      Dims.push_back(*D);
+    }
+    ++Pos;
+    if (!isDataScalar(Elem))
+      return fail("tensor of control type"), *Err;
+    return Type::tensor(Elem, std::move(Dims), IsWindow);
+  }
+
+  //===--------------------------------------------------------------------
+  // Statements
+  //===--------------------------------------------------------------------
+
+  Expected<Block> parseBlockBody() {
+    Block B;
+    Scopes.emplace_back();
+    while (!at(TokKind::Dedent) && !at(TokKind::EndOfFile)) {
+      auto S = parseStmt();
+      if (!S)
+        return *Err;
+      if (*S) // null means 'pass' swallowed into an empty marker
+        B.push_back(*S);
+    }
+    if (at(TokKind::Dedent))
+      ++Pos;
+    Scopes.pop_back();
+    return B;
+  }
+
+  Expected<Block> parseIndentedBlock() {
+    if (!eatNewline() || !expect(TokKind::Indent, "an indented block"))
+      return *Err;
+    return parseBlockBody();
+  }
+
+  Expected<StmtRef> parseStmt() {
+    if (at(TokKind::KwPass)) {
+      ++Pos;
+      if (!eatNewline())
+        return *Err;
+      return StmtRef(Stmt::pass());
+    }
+    if (at(TokKind::KwFor))
+      return parseFor();
+    if (at(TokKind::KwIf))
+      return parseIf();
+    if (at(TokKind::KwAssert))
+      return fail("assertions are only allowed at the top of a procedure"),
+             *Err;
+    if (!at(TokKind::Name))
+      return fail("statement expected"), *Err;
+
+    std::string Name = cur().Text;
+    TokKind Next = Toks[Pos + 1].Kind;
+
+    // Allocation: NAME : type [@ mem]
+    if (Next == TokKind::Colon)
+      return parseAlloc();
+    // Config write: NAME . NAME = expr
+    if (Next == TokKind::Dot)
+      return parseConfigWrite();
+    // Call: NAME ( ... )
+    if (Next == TokKind::LParen)
+      return parseCall();
+    // Assignment / reduction / window binding.
+    return parseAssignLike();
+  }
+
+  Expected<StmtRef> parseFor() {
+    ++Pos; // for
+    if (!at(TokKind::Name))
+      return fail("loop variable expected"), *Err;
+    std::string IterName = cur().Text;
+    ++Pos;
+    if (!expect(TokKind::KwIn, "'in'") ||
+        !expect(TokKind::KwSeq, "'seq'") || !expect(TokKind::LParen, "'('"))
+      return *Err;
+    auto Lo = parseExpr();
+    if (!Lo)
+      return *Err;
+    if (!expect(TokKind::Comma, "','"))
+      return *Err;
+    auto Hi = parseExpr();
+    if (!Hi)
+      return *Err;
+    if (!expect(TokKind::RParen, "')'") || !expect(TokKind::Colon, "':'"))
+      return *Err;
+    Sym Iter = Sym::fresh(IterName);
+    Scopes.emplace_back();
+    bind(IterName, Iter, Type(ScalarKind::Index));
+    auto Body = parseIndentedBlock();
+    Scopes.pop_back();
+    if (!Body)
+      return *Err;
+    return StmtRef(Stmt::forStmt(Iter, *Lo, *Hi, std::move(*Body)));
+  }
+
+  Expected<StmtRef> parseIf() {
+    ++Pos; // if
+    auto Cond = parseExpr();
+    if (!Cond)
+      return *Err;
+    if (!expect(TokKind::Colon, "':'"))
+      return *Err;
+    auto Body = parseIndentedBlock();
+    if (!Body)
+      return *Err;
+    Block Orelse;
+    if (at(TokKind::KwElse)) {
+      ++Pos;
+      if (!expect(TokKind::Colon, "':'"))
+        return *Err;
+      auto E = parseIndentedBlock();
+      if (!E)
+        return *Err;
+      Orelse = std::move(*E);
+    }
+    return StmtRef(Stmt::ifStmt(*Cond, std::move(*Body), std::move(Orelse)));
+  }
+
+  Expected<StmtRef> parseAlloc() {
+    std::string Name = cur().Text;
+    ++Pos; // name
+    ++Pos; // colon
+    auto Ty = parseType();
+    if (!Ty)
+      return *Err;
+    std::string Mem = "DRAM";
+    if (at(TokKind::At)) {
+      ++Pos;
+      if (!at(TokKind::Name))
+        return fail("memory name expected after '@'"), *Err;
+      Mem = cur().Text;
+      ++Pos;
+    }
+    if (!eatNewline())
+      return *Err;
+    if (!Ty->isData())
+      return fail("allocations must have data type"), *Err;
+    Sym S = Sym::fresh(Name);
+    bind(Name, S, *Ty);
+    return StmtRef(Stmt::alloc(S, std::move(*Ty), std::move(Mem)));
+  }
+
+  Expected<StmtRef> parseConfigWrite() {
+    std::string CfgName = cur().Text;
+    ConfigRef Cfg = Env.findConfig(CfgName);
+    if (!Cfg)
+      return fail("unknown config '" + CfgName + "'"), *Err;
+    ++Pos; // config name
+    ++Pos; // dot
+    if (!at(TokKind::Name))
+      return fail("config field expected"), *Err;
+    const ConfigDecl::Field *F = Cfg->findField(cur().Text);
+    if (!F)
+      return fail("config '" + CfgName + "' has no field '" + cur().Text +
+                  "'"),
+             *Err;
+    ++Pos;
+    if (!expect(TokKind::Assign, "'='"))
+      return *Err;
+    auto Rhs = parseExpr();
+    if (!Rhs)
+      return *Err;
+    if (!eatNewline())
+      return *Err;
+    return StmtRef(Stmt::writeConfig(Cfg->name(), F->Name, *Rhs));
+  }
+
+  Expected<StmtRef> parseCall() {
+    std::string Name = cur().Text;
+    ProcRef Callee = Env.findProc(Name);
+    if (!Callee)
+      return fail("unknown procedure '" + Name + "'"), *Err;
+    ++Pos; // name
+    ++Pos; // lparen
+    std::vector<ExprRef> Args;
+    while (!at(TokKind::RParen)) {
+      if (!Args.empty() && !expect(TokKind::Comma, "','"))
+        return *Err;
+      auto A = parseExpr();
+      if (!A)
+        return *Err;
+      Args.push_back(*A);
+    }
+    ++Pos;
+    if (!eatNewline())
+      return *Err;
+    return StmtRef(Stmt::call(std::move(Callee), std::move(Args)));
+  }
+
+  Expected<StmtRef> parseAssignLike() {
+    std::string Name = cur().Text;
+    auto B = lookup(Name);
+    if (!B) {
+      // `y = x[lo:hi]` introduces a window alias; an unknown name is only
+      // legal in that form.
+      if (Toks[Pos + 1].Kind != TokKind::Assign)
+        return fail("unknown variable '" + Name + "'"), *Err;
+      ++Pos; // name
+      ++Pos; // '='
+      auto Rhs = parseExpr();
+      if (!Rhs)
+        return *Err;
+      if (!eatNewline())
+        return *Err;
+      if ((*Rhs)->kind() != ExprKind::WindowExpr)
+        return fail("unknown variable '" + Name + "'"), *Err;
+      Sym S = Sym::fresh(Name);
+      bind(Name, S, (*Rhs)->type());
+      return StmtRef(Stmt::windowStmt(S, *Rhs));
+    }
+    ++Pos;
+    std::vector<ExprRef> Indices;
+    bool SawInterval = false;
+    if (at(TokKind::LBracket)) {
+      auto Coords = parseWindowCoords();
+      if (!Coords)
+        return *Err;
+      for (auto &C : *Coords) {
+        if (C.IsInterval)
+          SawInterval = true;
+        else
+          Indices.push_back(C.Lo);
+      }
+      if (SawInterval)
+        return fail("cannot assign into a window expression"), *Err;
+    }
+    bool IsReduce = at(TokKind::PlusAssign);
+    if (!IsReduce && !at(TokKind::Assign))
+      return fail("'=' or '+=' expected"), *Err;
+    ++Pos;
+    auto Rhs = parseExpr();
+    if (!Rhs)
+      return *Err;
+    if (!eatNewline())
+      return *Err;
+
+    // `y = x[lo:hi, ...]` with no indices binds a window alias.
+    if (!IsReduce && Indices.empty() &&
+        (*Rhs)->kind() == ExprKind::WindowExpr) {
+      Sym S = Sym::fresh(Name);
+      bind(Name, S, (*Rhs)->type());
+      return StmtRef(Stmt::windowStmt(S, *Rhs));
+    }
+
+    ExprRef Value = coerceToData(*Rhs, B->Ty.elem());
+    return IsReduce
+               ? StmtRef(Stmt::reduce(B->S, std::move(Indices), Value))
+               : StmtRef(Stmt::assign(B->S, std::move(Indices), Value));
+  }
+
+  //===--------------------------------------------------------------------
+  // Expressions
+  //===--------------------------------------------------------------------
+
+  /// Converts control-int literals to data literals where a data value is
+  /// required ("a[i] = 0" meaning 0.0).
+  ExprRef coerceToData(ExprRef E, ScalarKind Want) {
+    if (isDataScalar(Want) && E->kind() == ExprKind::Const &&
+        E->type().isControl() && E->type().elem() != ScalarKind::Bool)
+      return Expr::constData(static_cast<double>(E->intValue()), Want);
+    return E;
+  }
+
+  Expected<ExprRef> parseExpr() { return parseOr(); }
+
+  Expected<ExprRef> parseOr() {
+    auto L = parseAnd();
+    if (!L)
+      return *Err;
+    while (at(TokKind::KwOr)) {
+      ++Pos;
+      auto R = parseAnd();
+      if (!R)
+        return *Err;
+      L = Expr::binOp(BinOpKind::Or, *L, *R);
+    }
+    return L;
+  }
+
+  Expected<ExprRef> parseAnd() {
+    auto L = parseCmp();
+    if (!L)
+      return *Err;
+    while (at(TokKind::KwAnd)) {
+      ++Pos;
+      auto R = parseCmp();
+      if (!R)
+        return *Err;
+      L = Expr::binOp(BinOpKind::And, *L, *R);
+    }
+    return L;
+  }
+
+  Expected<ExprRef> parseCmp() {
+    auto L = parseAddSub();
+    if (!L)
+      return *Err;
+    BinOpKind Op;
+    switch (cur().Kind) {
+    case TokKind::EqEq:
+      Op = BinOpKind::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = BinOpKind::Ne;
+      break;
+    case TokKind::Lt:
+      Op = BinOpKind::Lt;
+      break;
+    case TokKind::Gt:
+      Op = BinOpKind::Gt;
+      break;
+    case TokKind::Le:
+      Op = BinOpKind::Le;
+      break;
+    case TokKind::Ge:
+      Op = BinOpKind::Ge;
+      break;
+    default:
+      return L;
+    }
+    ++Pos;
+    auto R = parseAddSub();
+    if (!R)
+      return *Err;
+    return ExprRef(Expr::binOp(Op, *L, *R));
+  }
+
+  Expected<ExprRef> parseAddSub() {
+    auto L = parseMulDiv();
+    if (!L)
+      return *Err;
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      BinOpKind Op = at(TokKind::Plus) ? BinOpKind::Add : BinOpKind::Sub;
+      ++Pos;
+      auto R = parseMulDiv();
+      if (!R)
+        return *Err;
+      L = mixedBinOp(Op, *L, *R);
+    }
+    return L;
+  }
+
+  Expected<ExprRef> parseMulDiv() {
+    auto L = parseUnary();
+    if (!L)
+      return *Err;
+    while (at(TokKind::Star) || at(TokKind::Slash) || at(TokKind::Percent)) {
+      BinOpKind Op = at(TokKind::Star)    ? BinOpKind::Mul
+                     : at(TokKind::Slash) ? BinOpKind::Div
+                                          : BinOpKind::Mod;
+      ++Pos;
+      auto R = parseUnary();
+      if (!R)
+        return *Err;
+      L = mixedBinOp(Op, *L, *R);
+    }
+    return L;
+  }
+
+  /// Builds a binop, coercing int literals when the other side is data.
+  ExprRef mixedBinOp(BinOpKind Op, ExprRef L, ExprRef R) {
+    if (L->type().isData())
+      R = coerceToData(R, L->type().elem());
+    else if (R->type().isData())
+      L = coerceToData(L, R->type().elem());
+    return Expr::binOp(Op, std::move(L), std::move(R));
+  }
+
+  Expected<ExprRef> parseUnary() {
+    if (at(TokKind::Minus)) {
+      ++Pos;
+      auto E = parseUnary();
+      if (!E)
+        return *Err;
+      return ExprRef(Expr::usub(*E));
+    }
+    return parseAtom();
+  }
+
+  Expected<std::vector<WinCoord>> parseWindowCoords() {
+    // cur() is '['.
+    ++Pos;
+    std::vector<WinCoord> Coords;
+    while (!at(TokKind::RBracket)) {
+      if (!Coords.empty() && !expect(TokKind::Comma, "','"))
+        return *Err;
+      auto Lo = parseExpr();
+      if (!Lo)
+        return *Err;
+      if (at(TokKind::Colon)) {
+        ++Pos;
+        auto Hi = parseExpr();
+        if (!Hi)
+          return *Err;
+        Coords.push_back({true, *Lo, *Hi});
+      } else {
+        Coords.push_back({false, *Lo, nullptr});
+      }
+    }
+    ++Pos;
+    return Coords;
+  }
+
+  Expected<ExprRef> parseAtom() {
+    switch (cur().Kind) {
+    case TokKind::IntLit: {
+      ExprRef E = Expr::constInt(cur().IntValue);
+      ++Pos;
+      return E;
+    }
+    case TokKind::FloatLit: {
+      ExprRef E = Expr::constData(cur().FloatValue, ScalarKind::R);
+      ++Pos;
+      return E;
+    }
+    case TokKind::KwTrue:
+      ++Pos;
+      return ExprRef(Expr::constBool(true));
+    case TokKind::KwFalse:
+      ++Pos;
+      return ExprRef(Expr::constBool(false));
+    case TokKind::LParen: {
+      ++Pos;
+      auto E = parseExpr();
+      if (!E)
+        return *Err;
+      if (!expect(TokKind::RParen, "')'"))
+        return *Err;
+      return E;
+    }
+    case TokKind::KwStride: {
+      ++Pos;
+      if (!expect(TokKind::LParen, "'('"))
+        return *Err;
+      if (!at(TokKind::Name))
+        return fail("buffer name expected in stride()"), *Err;
+      auto B = lookup(cur().Text);
+      if (!B)
+        return fail("unknown variable '" + cur().Text + "'"), *Err;
+      ++Pos;
+      if (!expect(TokKind::Comma, "','"))
+        return *Err;
+      if (!at(TokKind::IntLit))
+        return fail("literal dimension expected in stride()"), *Err;
+      unsigned Dim = static_cast<unsigned>(cur().IntValue);
+      ++Pos;
+      if (!expect(TokKind::RParen, "')'"))
+        return *Err;
+      return ExprRef(Expr::stride(B->S, Dim));
+    }
+    case TokKind::Name:
+      return parseNameAtom();
+    default:
+      return fail("expression expected"), *Err;
+    }
+  }
+
+  Expected<ExprRef> parseNameAtom() {
+    std::string Name = cur().Text;
+    TokKind Next = Toks[Pos + 1].Kind;
+
+    // Config read: Cfg.field
+    if (Next == TokKind::Dot) {
+      ConfigRef Cfg = Env.findConfig(Name);
+      if (!Cfg)
+        return fail("unknown config '" + Name + "'"), *Err;
+      ++Pos;
+      ++Pos;
+      if (!at(TokKind::Name))
+        return fail("config field expected"), *Err;
+      const ConfigDecl::Field *F = Cfg->findField(cur().Text);
+      if (!F)
+        return fail("config '" + Name + "' has no field '" + cur().Text +
+                    "'"),
+               *Err;
+      ++Pos;
+      return ExprRef(Expr::readConfig(Cfg->name(), F->Name, F->Ty));
+    }
+
+    // Built-in data function call: max(a, b), relu(x), ...
+    if (Next == TokKind::LParen) {
+      ++Pos;
+      ++Pos;
+      std::vector<ExprRef> Args;
+      while (!at(TokKind::RParen)) {
+        if (!Args.empty() && !expect(TokKind::Comma, "','"))
+          return *Err;
+        auto A = parseExpr();
+        if (!A)
+          return *Err;
+        Args.push_back(*A);
+      }
+      ++Pos;
+      Type Ty = Args.empty() ? Type(ScalarKind::R) : Args[0]->type();
+      // Coerce int-literal args when siblings are data.
+      if (Ty.isData())
+        for (auto &A : Args)
+          A = coerceToData(A, Ty.elem());
+      return ExprRef(Expr::builtIn(Name, std::move(Args), Ty));
+    }
+
+    auto B = lookup(Name);
+    if (!B)
+      return fail("unknown variable '" + Name + "'"), *Err;
+    ++Pos;
+
+    if (!at(TokKind::LBracket))
+      return ExprRef(Expr::read(B->S, {}, B->Ty));
+
+    auto Coords = parseWindowCoords();
+    if (!Coords)
+      return *Err;
+    bool AnyInterval = false;
+    for (auto &C : *Coords)
+      AnyInterval |= C.IsInterval;
+    if (!B->Ty.isTensor())
+      return fail("indexing a non-tensor"), *Err;
+    if (Coords->size() != B->Ty.rank())
+      return fail("rank mismatch indexing '" + Name + "'"), *Err;
+
+    if (!AnyInterval) {
+      std::vector<ExprRef> Idx;
+      for (auto &C : *Coords)
+        Idx.push_back(C.Lo);
+      return ExprRef(Expr::read(B->S, std::move(Idx), Type(B->Ty.elem())));
+    }
+    std::vector<ExprRef> Dims;
+    for (auto &C : *Coords)
+      if (C.IsInterval)
+        Dims.push_back(Expr::binOp(BinOpKind::Sub, C.Hi, C.Lo));
+    return ExprRef(Expr::window(
+        B->S, std::move(*Coords),
+        Type::tensor(B->Ty.elem(), std::move(Dims), /*IsWindow=*/true)));
+  }
+
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  ParseEnv &Env;
+  std::vector<std::map<std::string, Binding>> Scopes;
+  std::optional<Error> Err;
+};
+
+} // namespace
+
+Expected<ParsedModule> exo::frontend::parseModule(const std::string &Source,
+                                                  ParseEnv &Env) {
+  auto Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  return Parser(std::move(*Toks), Env).run();
+}
+
+Expected<ProcRef> exo::frontend::parseProc(const std::string &Source,
+                                           ParseEnv &Env) {
+  auto M = parseModule(Source, Env);
+  if (!M)
+    return M.error();
+  if (M->Procs.size() != 1)
+    return makeError(Error::Kind::Parse,
+                     "expected exactly one procedure, found " +
+                         std::to_string(M->Procs.size()));
+  return M->Procs[0];
+}
+
+Expected<ProcRef> exo::frontend::parseProc(const std::string &Source) {
+  ParseEnv Env;
+  return parseProc(Source, Env);
+}
+
+Expected<ExprRef> exo::frontend::parseExprInScope(
+    const std::string &Source, const std::map<std::string, ScopedName> &Scope,
+    const ParseEnv &Env) {
+  auto Toks = tokenize(Source);
+  if (!Toks)
+    return Toks.error();
+  // The parser only reads the environment here, so the cast is benign.
+  return Parser(std::move(*Toks), const_cast<ParseEnv &>(Env)).runExpr(Scope);
+}

@@ -1,0 +1,96 @@
+//===- frontend/Parser.h - Exo surface-syntax parser -----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the Exo surface syntax into LoopIR. A module is a sequence of
+/// @config class declarations and @proc / @instr("...") procedure
+/// definitions. The ParseEnv provides name resolution for procedures and
+/// configuration structs defined elsewhere (e.g. a hardware library), and
+/// accumulates the definitions of parsed modules.
+///
+/// Example accepted input (the paper's §2 kernel):
+///
+///   @proc
+///   def gemm(n: size, A: R[n, n], B: R[n, n], C: R[n, n]):
+///       assert n > 0
+///       for i in seq(0, n):
+///           for j in seq(0, n):
+///               for k in seq(0, n):
+///                   C[i, j] += A[i, k] * B[k, j]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FRONTEND_PARSER_H
+#define EXO_FRONTEND_PARSER_H
+
+#include "ir/Config.h"
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+#include <map>
+
+namespace exo {
+namespace frontend {
+
+/// Name-resolution context shared across parses. Procedures and configs
+/// registered here are visible to subsequently parsed modules.
+class ParseEnv {
+public:
+  void addProc(ir::ProcRef P) { Procs[P->name()] = std::move(P); }
+  void addConfig(ir::ConfigRef C) { Configs[C->name().name()] = std::move(C); }
+
+  ir::ProcRef findProc(const std::string &Name) const {
+    auto It = Procs.find(Name);
+    return It == Procs.end() ? nullptr : It->second;
+  }
+  ir::ConfigRef findConfig(const std::string &Name) const {
+    auto It = Configs.find(Name);
+    return It == Configs.end() ? nullptr : It->second;
+  }
+
+  const std::map<std::string, ir::ProcRef> &procs() const { return Procs; }
+  const std::map<std::string, ir::ConfigRef> &configs() const {
+    return Configs;
+  }
+
+private:
+  std::map<std::string, ir::ProcRef> Procs;
+  std::map<std::string, ir::ConfigRef> Configs;
+};
+
+/// All definitions of one parsed module, in order.
+struct ParsedModule {
+  std::vector<ir::ProcRef> Procs;
+  std::vector<ir::ConfigRef> Configs;
+};
+
+/// Parses a module; definitions are also registered into \p Env.
+Expected<ParsedModule> parseModule(const std::string &Source, ParseEnv &Env);
+
+/// Parses a module expected to contain exactly one procedure and returns
+/// it. Convenience for tests and examples.
+Expected<ir::ProcRef> parseProc(const std::string &Source, ParseEnv &Env);
+
+/// Like parseProc with a throwaway environment.
+Expected<ir::ProcRef> parseProc(const std::string &Source);
+
+/// A name visible at some program point (used by scheduling operators
+/// that parse user-supplied index/window expressions, e.g. stage_mem).
+struct ScopedName {
+  ir::Sym S;
+  ir::Type Ty;
+};
+
+/// Parses a single expression with the given name scope.
+Expected<ir::ExprRef>
+parseExprInScope(const std::string &Source,
+                 const std::map<std::string, ScopedName> &Scope,
+                 const ParseEnv &Env);
+
+} // namespace frontend
+} // namespace exo
+
+#endif // EXO_FRONTEND_PARSER_H

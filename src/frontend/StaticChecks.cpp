@@ -1,0 +1,277 @@
+//===- frontend/StaticChecks.cpp -------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/StaticChecks.h"
+
+#include "analysis/Checks.h"
+#include "ir/Printer.h"
+#include "ir/Subst.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace exo;
+using namespace exo::frontend;
+using namespace exo::ir;
+using namespace exo::analysis;
+
+namespace {
+
+/// Walks a procedure accumulating path conditions and symbolic dimension
+/// information, discharging in-bounds and precondition obligations.
+class StaticChecker {
+public:
+  StaticChecker(bool Bounds, bool Asserts)
+      : DoBounds(Bounds), DoAsserts(Asserts) {}
+
+  std::optional<Error> Err;
+
+  void checkProc(const Proc &P) {
+    if (!Visited.insert(&P).second)
+      return;
+    FlowState State;
+    TriBool Premise = TriBool::yes();
+    std::unordered_map<Sym, std::vector<EffInt>> Shapes;
+    for (const FnArg &A : P.args()) {
+      if (A.Ty.isControl()) {
+        // size arguments are strictly positive by construction (§3.1.3).
+        if (A.Ty.elem() == ScalarKind::Size) {
+          EffInt V = EffInt::known(smt::mkVar(Ctx.varFor(A.Name)));
+          Premise = triAnd(Premise,
+                           triCmp(BinOpKind::Ge, V,
+                                  EffInt::known(smt::intConst(1))));
+        }
+        continue;
+      }
+      if (A.Ty.isTensor()) {
+        std::vector<EffInt> Dims;
+        for (const ExprRef &D : A.Ty.dims())
+          Dims.push_back(Ctx.liftControl(D, State.Env));
+        Shapes[A.Name] = std::move(Dims);
+      } else {
+        Shapes[A.Name] = {};
+      }
+    }
+    for (const ExprRef &Pred : P.preds())
+      Premise = triAnd(Premise, Ctx.liftBool(Pred, State.Env));
+    checkBlock(P.body(), State, Premise, Shapes, P);
+  }
+
+private:
+  void fail(Error::Kind K, const Proc &P, const std::string &Msg) {
+    if (!Err)
+      Err = makeError(K, P.name() + ": " + Msg);
+  }
+
+  bool prove(const TriBool &Premise, const TriBool &Goal) {
+    return provedUnderPremise(Ctx, Premise, Goal.Must);
+  }
+
+  void checkIndex(const ExprRef &Idx, const EffInt &Dim,
+                  const FlowState &State, const TriBool &Premise,
+                  const Proc &P, const std::string &What) {
+    if (!DoBounds)
+      return;
+    EffInt V = Ctx.liftControl(Idx, State.Env);
+    TriBool In = triAnd(
+        triCmp(BinOpKind::Le, EffInt::known(smt::intConst(0)), V),
+        triCmp(BinOpKind::Lt, V, Dim));
+    if (!prove(Premise, In))
+      fail(Error::Kind::Bounds, P,
+           "cannot prove " + What + " index '" + printExpr(Idx) +
+               "' in bounds");
+  }
+
+  void checkAccess(Sym Buf, const std::vector<ExprRef> &Idx,
+                   const FlowState &State, const TriBool &Premise,
+                   const std::unordered_map<Sym, std::vector<EffInt>> &Shapes,
+                   const Proc &P) {
+    auto It = Shapes.find(Buf);
+    if (It == Shapes.end())
+      return; // not a tracked buffer (e.g. control var)
+    if (Idx.size() != It->second.size())
+      return; // rank errors are typeCheck's business
+    for (size_t D = 0; D < Idx.size(); ++D)
+      checkIndex(Idx[D], It->second[D], State, Premise, P,
+                 "'" + Buf.name() + "' dim " + std::to_string(D));
+  }
+
+  void checkExpr(const ExprRef &E, const FlowState &State,
+                 const TriBool &Premise,
+                 const std::unordered_map<Sym, std::vector<EffInt>> &Shapes,
+                 const Proc &P) {
+    switch (E->kind()) {
+    case ExprKind::Read:
+      if (!E->args().empty())
+        checkAccess(E->name(), E->args(), State, Premise, Shapes, P);
+      break;
+    case ExprKind::WindowExpr: {
+      if (!DoBounds)
+        break;
+      auto It = Shapes.find(E->name());
+      if (It == Shapes.end() ||
+          It->second.size() != E->winCoords().size())
+        break;
+      for (size_t D = 0; D < E->winCoords().size(); ++D) {
+        const WinCoord &C = E->winCoords()[D];
+        EffInt Lo = Ctx.liftControl(C.Lo, State.Env);
+        EffInt Zero = EffInt::known(smt::intConst(0));
+        if (C.IsInterval) {
+          EffInt Hi = Ctx.liftControl(C.Hi, State.Env);
+          TriBool Ok = triAnd(
+              triAnd(triCmp(BinOpKind::Le, Zero, Lo),
+                     triCmp(BinOpKind::Le, Lo, Hi)),
+              triCmp(BinOpKind::Le, Hi, It->second[D]));
+          if (!prove(Premise, Ok))
+            fail(Error::Kind::Bounds, P,
+                 "cannot prove window '" + printExpr(E) +
+                     "' in bounds (dim " + std::to_string(D) + ")");
+        } else {
+          checkIndex(C.Lo, It->second[D], State, Premise, P,
+                     "window point on '" + E->name().name() + "'");
+        }
+      }
+      break;
+    }
+    default:
+      break;
+    }
+    for (const ExprRef &K : childExprs(E))
+      if (K)
+        checkExpr(K, State, Premise, Shapes, P);
+  }
+
+  void checkBlock(const Block &B, FlowState State, TriBool Premise,
+                  std::unordered_map<Sym, std::vector<EffInt>> Shapes,
+                  const Proc &P) {
+    for (const StmtRef &S : B) {
+      if (Err)
+        return;
+      switch (S->kind()) {
+      case StmtKind::Pass:
+        break;
+      case StmtKind::Assign:
+      case StmtKind::Reduce:
+        checkAccess(S->name(), S->indices(), State, Premise, Shapes, P);
+        for (const ExprRef &I : S->indices())
+          checkExpr(I, State, Premise, Shapes, P);
+        checkExpr(S->rhs(), State, Premise, Shapes, P);
+        break;
+      case StmtKind::WriteConfig:
+        checkExpr(S->rhs(), State, Premise, Shapes, P);
+        flowStmt(Ctx, State, S);
+        break;
+      case StmtKind::If: {
+        checkExpr(S->rhs(), State, Premise, Shapes, P);
+        TriBool Cond = Ctx.liftBool(S->rhs(), State.Env);
+        checkBlock(S->body(), State, triAnd(Premise, Cond), Shapes, P);
+        checkBlock(S->orelse(), State, triAnd(Premise, triNot(Cond)),
+                   Shapes, P);
+        flowStmt(Ctx, State, S);
+        break;
+      }
+      case StmtKind::For: {
+        checkExpr(S->lo(), State, Premise, Shapes, P);
+        checkExpr(S->hi(), State, Premise, Shapes, P);
+        EffInt Lo = Ctx.liftControl(S->lo(), State.Env);
+        EffInt Hi = Ctx.liftControl(S->hi(), State.Env);
+        // Stabilize globals for the body (as ValG does).
+        FlowState Probe = State;
+        Probe.Env[S->name()] = Ctx.unknownInt();
+        flowBlock(Ctx, Probe, S->body());
+        Probe.Env.erase(S->name());
+        FlowState BodyState = State;
+        havocKeys(Ctx, BodyState.Env, changedKeys(State.Env, Probe.Env));
+        smt::TermVar X = Ctx.varFor(S->name());
+        EffInt XV = EffInt::known(smt::mkVar(X));
+        BodyState.Env[S->name()] = XV;
+        TriBool InBounds = triAnd(triCmp(BinOpKind::Le, Lo, XV),
+                                  triCmp(BinOpKind::Lt, XV, Hi));
+        checkBlock(S->body(), BodyState, triAnd(Premise, InBounds), Shapes,
+                   P);
+        havocKeys(Ctx, State.Env, changedKeys(State.Env, Probe.Env));
+        break;
+      }
+      case StmtKind::Alloc: {
+        const Type &T = S->allocType();
+        std::vector<EffInt> Dims;
+        for (const ExprRef &D : T.dims()) {
+          EffInt V = Ctx.liftControl(D, State.Env);
+          if (DoBounds &&
+              !prove(Premise, triCmp(BinOpKind::Ge, V,
+                                     EffInt::known(smt::intConst(1)))))
+            fail(Error::Kind::Bounds, P,
+                 "cannot prove allocation dimension '" + printExpr(D) +
+                     "' strictly positive");
+          Dims.push_back(std::move(V));
+        }
+        Shapes[S->name()] = std::move(Dims);
+        break;
+      }
+      case StmtKind::Call: {
+        const ProcRef &Callee = S->proc();
+        for (const ExprRef &A : S->args())
+          checkExpr(A, State, Premise, Shapes, P);
+        if (DoAsserts && S->args().size() == Callee->args().size()) {
+          SymSubst Map;
+          for (size_t I = 0; I < S->args().size(); ++I)
+            Map[Callee->args()[I].Name] = S->args()[I];
+          for (const ExprRef &Pred : Callee->preds()) {
+            ExprRef Inst = substExpr(Pred, Map);
+            TriBool Goal = Ctx.liftBool(Inst, State.Env);
+            if (!prove(Premise, Goal))
+              fail(Error::Kind::Precondition, P,
+                   "cannot prove precondition '" + printExpr(Pred) +
+                       "' of " + Callee->name() + " at call site (" +
+                       printExpr(Inst) + ")");
+          }
+        }
+        // Modular: the callee is checked once under its own assertions.
+        checkProc(*Callee);
+        flowStmt(Ctx, State, S);
+        break;
+      }
+      case StmtKind::WindowStmt: {
+        checkExpr(S->rhs(), State, Premise, Shapes, P);
+        const ExprRef &W = S->rhs();
+        std::vector<EffInt> Dims;
+        for (const WinCoord &C : W->winCoords())
+          if (C.IsInterval) {
+            EffInt Lo = Ctx.liftControl(C.Lo, State.Env);
+            EffInt Hi = Ctx.liftControl(C.Hi, State.Env);
+            Dims.push_back({smt::sub(Hi.Val, Lo.Val),
+                            smt::mkAnd(Lo.Def, Hi.Def)});
+          }
+        Shapes[S->name()] = std::move(Dims);
+        flowStmt(Ctx, State, S);
+        break;
+      }
+      }
+    }
+  }
+
+  AnalysisCtx Ctx;
+  bool DoBounds, DoAsserts;
+  std::set<const Proc *> Visited;
+};
+
+} // namespace
+
+Expected<bool> exo::frontend::boundsCheck(const ProcRef &P) {
+  StaticChecker C(/*Bounds=*/true, /*Asserts=*/false);
+  C.checkProc(*P);
+  if (C.Err)
+    return *C.Err;
+  return true;
+}
+
+Expected<bool> exo::frontend::assertCheck(const ProcRef &P) {
+  StaticChecker C(/*Bounds=*/false, /*Asserts=*/true);
+  C.checkProc(*P);
+  if (C.Err)
+    return *C.Err;
+  return true;
+}

@@ -1,0 +1,40 @@
+//===- frontend/StaticChecks.h - Bounds & assertion checks -----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT-backed front-end checks of §3.1:
+///
+///  * boundsCheck — every buffer access and window is statically proven
+///    in-bounds (item 3: "guaranteeing memory safety without incurring
+///    any of the costs of dynamic bounds checks");
+///
+///  * assertCheck — every call site is proven to establish the callee's
+///    asserted preconditions (item 6), using the symbolic global
+///    dataflow so configuration-state assertions discharge through
+///    earlier configuration writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FRONTEND_STATICCHECKS_H
+#define EXO_FRONTEND_STATICCHECKS_H
+
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+namespace exo {
+namespace frontend {
+
+/// Statically proves all accesses in-bounds under the procedure's
+/// preconditions and path conditions. Unknown ⇒ failure (fail-safe).
+Expected<bool> boundsCheck(const ir::ProcRef &P);
+
+/// Statically proves callee preconditions at every call site.
+Expected<bool> assertCheck(const ir::ProcRef &P);
+
+} // namespace frontend
+} // namespace exo
+
+#endif // EXO_FRONTEND_STATICCHECKS_H

@@ -1,0 +1,270 @@
+//===- frontend/TypeCheck.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/TypeCheck.h"
+
+#include "ir/Printer.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace exo;
+using namespace exo::frontend;
+using namespace exo::ir;
+
+namespace {
+
+class TypeChecker {
+public:
+  std::optional<Error> Err;
+
+  void checkProc(const Proc &P) {
+    if (!Visited.insert(&P).second)
+      return;
+    std::unordered_map<Sym, Type> Env;
+    for (const FnArg &A : P.args()) {
+      if (A.Ty.isTensor() && !A.Ty.isData())
+        fail(P, "tensor argument of control type");
+      Env[A.Name] = A.Ty;
+    }
+    for (const ExprRef &Pred : P.preds()) {
+      checkExpr(Pred, Env, P);
+      if (!isBool(Pred))
+        fail(P, "assertion is not a boolean: " + printExpr(Pred));
+    }
+    checkBlock(P.body(), Env, P);
+  }
+
+private:
+  void fail(const Proc &P, const std::string &Msg) {
+    if (!Err)
+      Err = makeError(Error::Kind::Type, P.name() + ": " + Msg);
+  }
+
+  static bool isBool(const ExprRef &E) {
+    return E->type().isScalar() && E->type().elem() == ScalarKind::Bool;
+  }
+  static bool isControlInt(const ExprRef &E) {
+    return E->type().isControl() && E->type().elem() != ScalarKind::Bool;
+  }
+
+  /// Quasi-affine restriction: *, /, % on control values need a literal
+  /// on the required side (§3.1 item 1).
+  void checkQuasiAffine(const ExprRef &E, const Proc &P) {
+    BinOpKind Op = E->binOp();
+    const ExprRef &L = E->args()[0], &R = E->args()[1];
+    bool LConst = L->kind() == ExprKind::Const;
+    bool RConst = R->kind() == ExprKind::Const;
+    if (Op == BinOpKind::Mul && !LConst && !RConst)
+      fail(P, "non-quasi-affine control multiplication: " + printExpr(E));
+    if ((Op == BinOpKind::Div || Op == BinOpKind::Mod)) {
+      if (!RConst)
+        fail(P, "control division/modulo needs a literal divisor: " +
+                    printExpr(E));
+      else if (R->intValue() <= 0)
+        fail(P, "control division/modulo needs a positive divisor: " +
+                    printExpr(E));
+    }
+  }
+
+  void checkExpr(const ExprRef &E, std::unordered_map<Sym, Type> &Env,
+                 const Proc &P) {
+    switch (E->kind()) {
+    case ExprKind::Const:
+      return;
+    case ExprKind::Read: {
+      auto It = Env.find(E->name());
+      if (It == Env.end()) {
+        fail(P, "use of unbound variable '" + E->name().name() + "'");
+        return;
+      }
+      const Type &T = It->second;
+      if (!E->args().empty()) {
+        if (!T.isTensor())
+          fail(P, "indexing non-tensor '" + E->name().name() + "'");
+        else if (E->args().size() != T.rank())
+          fail(P, "rank mismatch indexing '" + E->name().name() + "'");
+        for (const ExprRef &I : E->args()) {
+          checkExpr(I, Env, P);
+          if (!isControlInt(I))
+            fail(P, "non-control index expression: " + printExpr(I));
+        }
+      }
+      return;
+    }
+    case ExprKind::USub:
+      checkExpr(E->args()[0], Env, P);
+      return;
+    case ExprKind::BinOp: {
+      checkExpr(E->args()[0], Env, P);
+      checkExpr(E->args()[1], Env, P);
+      const ExprRef &L = E->args()[0], &R = E->args()[1];
+      BinOpKind Op = E->binOp();
+      if (Op == BinOpKind::And || Op == BinOpKind::Or) {
+        if (!isBool(L) || !isBool(R))
+          fail(P, "boolean operator on non-booleans: " + printExpr(E));
+        return;
+      }
+      // Control values never mix with data values in one operator.
+      if (L->type().isData() != R->type().isData())
+        fail(P, "mixing control and data values: " + printExpr(E));
+      if (!L->type().isData() && !isCompareOp(Op))
+        checkQuasiAffine(E, P);
+      return;
+    }
+    case ExprKind::BuiltIn:
+      for (const ExprRef &A : E->args())
+        checkExpr(A, Env, P);
+      return;
+    case ExprKind::WindowExpr: {
+      auto It = Env.find(E->name());
+      if (It == Env.end() || !It->second.isTensor()) {
+        fail(P, "windowing a non-tensor");
+        return;
+      }
+      if (E->winCoords().size() != It->second.rank())
+        fail(P, "window rank mismatch on '" + E->name().name() + "'");
+      for (const WinCoord &C : E->winCoords()) {
+        checkExpr(C.Lo, Env, P);
+        if (!isControlInt(C.Lo))
+          fail(P, "non-control window bound");
+        if (C.IsInterval) {
+          checkExpr(C.Hi, Env, P);
+          if (!isControlInt(C.Hi))
+            fail(P, "non-control window bound");
+        }
+      }
+      return;
+    }
+    case ExprKind::StrideExpr: {
+      auto It = Env.find(E->name());
+      if (It == Env.end() || !It->second.isTensor())
+        fail(P, "stride() of a non-tensor");
+      else if (E->strideDim() >= It->second.rank())
+        fail(P, "stride() dimension out of range");
+      return;
+    }
+    case ExprKind::ReadConfig:
+      if (!E->type().isControl())
+        fail(P, "config field with data type");
+      return;
+    }
+  }
+
+  void checkBlock(const Block &B, std::unordered_map<Sym, Type> Env,
+                  const Proc &P) {
+    for (const StmtRef &S : B) {
+      if (Err)
+        return;
+      switch (S->kind()) {
+      case StmtKind::Pass:
+        break;
+      case StmtKind::Assign:
+      case StmtKind::Reduce: {
+        auto It = Env.find(S->name());
+        if (It == Env.end()) {
+          fail(P, "write to unbound variable '" + S->name().name() + "'");
+          break;
+        }
+        if (!It->second.isData())
+          fail(P, "write to control variable '" + S->name().name() + "'");
+        if (It->second.isTensor() &&
+            S->indices().size() != It->second.rank())
+          fail(P, "rank mismatch writing '" + S->name().name() + "'");
+        if (!It->second.isTensor() && !S->indices().empty())
+          fail(P, "indices on scalar write");
+        for (const ExprRef &I : S->indices()) {
+          checkExpr(I, Env, P);
+          if (!isControlInt(I))
+            fail(P, "non-control index: " + printExpr(I));
+        }
+        checkExpr(S->rhs(), Env, P);
+        if (!S->rhs()->type().isData())
+          fail(P, "control value assigned to data location: " +
+                      printStmt(S));
+        break;
+      }
+      case StmtKind::WriteConfig:
+        checkExpr(S->rhs(), Env, P);
+        if (S->rhs()->type().isData())
+          fail(P, "data value written to configuration state");
+        break;
+      case StmtKind::If:
+        checkExpr(S->rhs(), Env, P);
+        if (!isBool(S->rhs()))
+          fail(P, "non-boolean branch condition: " + printExpr(S->rhs()));
+        checkBlock(S->body(), Env, P);
+        checkBlock(S->orelse(), Env, P);
+        break;
+      case StmtKind::For: {
+        checkExpr(S->lo(), Env, P);
+        checkExpr(S->hi(), Env, P);
+        if (!isControlInt(S->lo()) || !isControlInt(S->hi()))
+          fail(P, "loop bounds must be control integers");
+        auto Inner = Env;
+        Inner[S->name()] = Type(ScalarKind::Index);
+        checkBlock(S->body(), std::move(Inner), P);
+        break;
+      }
+      case StmtKind::Alloc: {
+        const Type &T = S->allocType();
+        if (!T.isData())
+          fail(P, "allocation of control type");
+        if (T.isWindow())
+          fail(P, "allocation of a window type");
+        for (const ExprRef &D : T.dims()) {
+          checkExpr(const_cast<ExprRef &>(D), Env, P);
+          if (!isControlInt(D))
+            fail(P, "non-control tensor dimension");
+        }
+        Env[S->name()] = T;
+        break;
+      }
+      case StmtKind::Call: {
+        const ProcRef &Callee = S->proc();
+        if (S->args().size() != Callee->args().size()) {
+          fail(P, "arity mismatch calling " + Callee->name());
+          break;
+        }
+        for (size_t I = 0; I < S->args().size(); ++I) {
+          const ExprRef &A = S->args()[I];
+          const FnArg &F = Callee->args()[I];
+          checkExpr(A, Env, P);
+          if (F.Ty.isControl()) {
+            if (A->type().isData())
+              fail(P, "data value passed to control parameter of " +
+                          Callee->name());
+          } else if (F.Ty.isTensor()) {
+            if (!A->type().isTensor())
+              fail(P, "non-tensor passed to tensor parameter of " +
+                          Callee->name());
+            else if (A->type().rank() != F.Ty.rank())
+              fail(P, "rank mismatch passing tensor to " + Callee->name());
+          }
+        }
+        checkProc(*Callee);
+        break;
+      }
+      case StmtKind::WindowStmt:
+        checkExpr(S->rhs(), Env, P);
+        Env[S->name()] = S->rhs()->type();
+        break;
+      }
+    }
+  }
+
+  std::set<const Proc *> Visited;
+};
+
+} // namespace
+
+Expected<bool> exo::frontend::typeCheck(const ProcRef &P) {
+  TypeChecker C;
+  C.checkProc(*P);
+  if (C.Err)
+    return *C.Err;
+  return true;
+}

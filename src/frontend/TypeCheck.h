@@ -1,0 +1,33 @@
+//===- frontend/TypeCheck.h - Front-end type checking ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end type checks of §3.1: control/data separation, the
+/// quasi-affine restriction on control arithmetic, control-typed loop
+/// bounds and branch conditions, dependent tensor shapes, and call-site
+/// arity/kind agreement. The parser establishes most of this for surface
+/// programs; typeCheck() re-validates programmatically-built or rewritten
+/// IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_FRONTEND_TYPECHECK_H
+#define EXO_FRONTEND_TYPECHECK_H
+
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+namespace exo {
+namespace frontend {
+
+/// Validates \p P (and transitively called procedures). Returns true on
+/// success.
+Expected<bool> typeCheck(const ir::ProcRef &P);
+
+} // namespace frontend
+} // namespace exo
+
+#endif // EXO_FRONTEND_TYPECHECK_H

@@ -1,0 +1,45 @@
+//===- hwlibs/avx512/Avx512Lib.h - AVX-512 as a library --------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The x86/AVX-512 hardware target as a user library (§7.2): an "AVX512"
+/// memory standing for vector registers plus @instr definitions for the
+/// loads, stores, broadcasts, fused multiply-adds, masked tail
+/// operations, and the ReLU used by the CONV kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_HWLIBS_AVX512_AVX512LIB_H
+#define EXO_HWLIBS_AVX512_AVX512LIB_H
+
+#include "frontend/Parser.h"
+
+namespace exo {
+namespace hw {
+namespace avx512 {
+
+struct Avx512Lib {
+  frontend::ParseEnv Env;
+
+  ir::ProcRef LoaduPs;      ///< dst(vec) = src(mem), 16 lanes
+  ir::ProcRef StoreuPs;     ///< dst(mem) = src(vec)
+  ir::ProcRef ZeroPs;       ///< dst(vec) = 0
+  ir::ProcRef FmaddPs;      ///< c += a * b (all vectors)
+  ir::ProcRef FmaddBcastPs; ///< c += broadcast(a) * b
+  ir::ProcRef AccumPs;      ///< dst(mem) += src(vec)
+  ir::ProcRef ReluPs;       ///< dst(mem) = max(src(vec), 0)
+  ir::ProcRef MaskzLoaduPs; ///< masked load of m <= 16 lanes (zero fill)
+  ir::ProcRef MaskStoreuPs; ///< masked store of m <= 16 lanes
+};
+
+/// The library singleton; the vector-register memory is "AVX512".
+const Avx512Lib &avx512Lib();
+
+} // namespace avx512
+} // namespace hw
+} // namespace exo
+
+#endif // EXO_HWLIBS_AVX512_AVX512LIB_H

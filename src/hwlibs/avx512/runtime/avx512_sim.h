@@ -1,0 +1,109 @@
+/*===- avx512_sim.h - AVX-512 intrinsics layer ------------------- C ----===
+ *
+ * Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+ *
+ * The instruction layer Exo-generated x86 kernels call into. On machines
+ * with AVX-512 it compiles to the real intrinsics; elsewhere it falls
+ * back to plain 16-wide loops that compilers auto-vectorize to whatever
+ * SIMD ISA is available (SSE/AVX2). The *relative* performance picture
+ * of Fig. 5 — scheduled Exo code vs naive and hand-blocked baselines —
+ * survives this substitution because all three run on the same ISA.
+ *
+ * Vectors in the "AVX512" Exo memory are 16-float chunks of ordinary
+ * arrays, always manipulated whole through these operations.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef EXO_AVX512_SIM_H
+#define EXO_AVX512_SIM_H
+
+#include <stdint.h>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+static inline void exo_mm512_loadu_ps(float *dst, const float *src) {
+  _mm512_storeu_ps(dst, _mm512_loadu_ps(src));
+}
+static inline void exo_mm512_storeu_ps(float *dst, const float *src) {
+  _mm512_storeu_ps(dst, _mm512_loadu_ps(src));
+}
+static inline void exo_mm512_set1_ps(float *dst, float v) {
+  _mm512_storeu_ps(dst, _mm512_set1_ps(v));
+}
+static inline void exo_mm512_fmadd_ps(const float *a, const float *b,
+                                      float *c) {
+  _mm512_storeu_ps(c, _mm512_fmadd_ps(_mm512_loadu_ps(a),
+                                      _mm512_loadu_ps(b),
+                                      _mm512_loadu_ps(c)));
+}
+static inline void exo_mm512_fmadd_bcast_ps(float a, const float *b,
+                                            float *c) {
+  _mm512_storeu_ps(c, _mm512_fmadd_ps(_mm512_set1_ps(a), _mm512_loadu_ps(b),
+                                      _mm512_loadu_ps(c)));
+}
+static inline void exo_mm512_accum_ps(float *dst, const float *src) {
+  _mm512_storeu_ps(dst,
+                   _mm512_add_ps(_mm512_loadu_ps(dst), _mm512_loadu_ps(src)));
+}
+static inline void exo_mm512_relu_ps(float *dst, const float *src) {
+  _mm512_storeu_ps(dst, _mm512_max_ps(_mm512_loadu_ps(src),
+                                      _mm512_setzero_ps()));
+}
+static inline void exo_mm512_maskz_loadu_ps(int64_t m, float *dst,
+                                            const float *src) {
+  __mmask16 k = (__mmask16)((1u << m) - 1u);
+  _mm512_storeu_ps(dst, _mm512_maskz_loadu_ps(k, src));
+}
+static inline void exo_mm512_mask_storeu_ps(int64_t m, float *dst,
+                                            const float *src) {
+  __mmask16 k = (__mmask16)((1u << m) - 1u);
+  _mm512_mask_storeu_ps(dst, k, _mm512_loadu_ps(src));
+}
+
+#else /* scalar / autovectorized fallback */
+
+static inline void exo_mm512_loadu_ps(float *dst, const float *src) {
+  for (int l = 0; l < 16; ++l)
+    dst[l] = src[l];
+}
+static inline void exo_mm512_storeu_ps(float *dst, const float *src) {
+  for (int l = 0; l < 16; ++l)
+    dst[l] = src[l];
+}
+static inline void exo_mm512_set1_ps(float *dst, float v) {
+  for (int l = 0; l < 16; ++l)
+    dst[l] = v;
+}
+static inline void exo_mm512_fmadd_ps(const float *a, const float *b,
+                                      float *c) {
+  for (int l = 0; l < 16; ++l)
+    c[l] += a[l] * b[l];
+}
+static inline void exo_mm512_fmadd_bcast_ps(float a, const float *b,
+                                            float *c) {
+  for (int l = 0; l < 16; ++l)
+    c[l] += a * b[l];
+}
+static inline void exo_mm512_accum_ps(float *dst, const float *src) {
+  for (int l = 0; l < 16; ++l)
+    dst[l] += src[l];
+}
+static inline void exo_mm512_relu_ps(float *dst, const float *src) {
+  for (int l = 0; l < 16; ++l)
+    dst[l] = src[l] > 0.0f ? src[l] : 0.0f;
+}
+static inline void exo_mm512_maskz_loadu_ps(int64_t m, float *dst,
+                                            const float *src) {
+  for (int l = 0; l < 16; ++l)
+    dst[l] = l < m ? src[l] : 0.0f;
+}
+static inline void exo_mm512_mask_storeu_ps(int64_t m, float *dst,
+                                            const float *src) {
+  for (int l = 0; l < m; ++l)
+    dst[l] = src[l];
+}
+
+#endif /* __AVX512F__ */
+
+#endif /* EXO_AVX512_SIM_H */

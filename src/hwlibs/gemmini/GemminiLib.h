@@ -1,0 +1,56 @@
+//===- hwlibs/gemmini/GemminiLib.h - Gemmini as a library ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Gemmini hardware target defined entirely *as a user library*
+/// (§3.2): custom memories (a non-addressable scratchpad and accumulator),
+/// configuration structs for the load/store channels, and @instr
+/// procedures for the mvin/mvout/matmul ISA. The core compiler knows
+/// nothing about Gemmini — exactly the paper's exocompilation thesis.
+///
+/// Following real Gemmini, there are two mvin channels with independent
+/// stride configuration (this is what made the Section 7.1 config
+/// disaggregation story possible).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_HWLIBS_GEMMINI_GEMMINILIB_H
+#define EXO_HWLIBS_GEMMINI_GEMMINILIB_H
+
+#include "frontend/Parser.h"
+
+namespace exo {
+namespace hw {
+namespace gemmini {
+
+struct GemminiLib {
+  /// Parse environment pre-populated with the Gemmini definitions;
+  /// applications parse their algorithms against it.
+  frontend::ParseEnv Env;
+
+  ir::ConfigRef CfgLd1, CfgLd2, CfgSt;
+
+  ir::ProcRef ConfigLd1;  ///< gemmini_config_ld  (mvin channel 1)
+  ir::ProcRef ConfigLd2;  ///< gemmini_config_ld2 (mvin channel 2)
+  ir::ProcRef ConfigSt;   ///< gemmini_config_st
+  ir::ProcRef LdData;     ///< mvin  via channel 1 (DRAM -> scratchpad)
+  ir::ProcRef LdData2;    ///< mvin2 via channel 2
+  ir::ProcRef ZeroAcc;    ///< zero an accumulator tile
+  ir::ProcRef Matmul16;   ///< 16x16x16 tile matmul into the accumulator
+  ir::ProcRef StAcc;      ///< mvout, accumulating into DRAM
+  ir::ProcRef StAccRelu;  ///< mvout with fused ReLU (assignment)
+};
+
+/// The library singleton; parsing and memory registration happen on first
+/// use. The scratchpad memory is "GEMM_SCRATCH", the accumulator
+/// "GEMM_ACC" — both non-addressable.
+const GemminiLib &gemminiLib();
+
+} // namespace gemmini
+} // namespace hw
+} // namespace exo
+
+#endif // EXO_HWLIBS_GEMMINI_GEMMINILIB_H

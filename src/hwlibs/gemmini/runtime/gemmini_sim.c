@@ -1,0 +1,152 @@
+/*===- gemmini_sim.c - Gemmini accelerator simulator ------------- C ----===
+ *
+ * Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+ *
+ * Timeline model: two units (DMA for mvin/mvout, EX for matmuls) each
+ * with a busy-until time, plus a CPU issue clock. In software mode every
+ * instruction serializes behind its unit and pays the issue cost; a
+ * config write waits for *both* units to drain (pipeline flush) before
+ * taking effect. In hardware-unroller mode the units run concurrently
+ * from a shared dispatch queue with no per-instruction issue cost — the
+ * dynamically scheduled CISC loops of the paper's "Hardware" bars.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#include "gemmini_sim.h"
+
+static struct {
+  int mode;
+  uint64_t cpu_now;   /* next issue time */
+  uint64_t dma_busy;  /* DMA unit busy until */
+  uint64_t ex_busy;   /* systolic array busy until */
+  int64_t ld_stride;  /* channel 1 */
+  int64_t ld2_stride; /* channel 2 */
+  int64_t st_stride;
+  uint64_t n_config, n_mvin_rows, n_matmul;
+} S;
+
+void gemmini_reset(int mode) {
+  S.mode = mode;
+  S.cpu_now = 0;
+  S.dma_busy = 0;
+  S.ex_busy = 0;
+  S.ld_stride = 0;
+  S.ld2_stride = 0;
+  S.st_stride = 0;
+  S.n_config = 0;
+  S.n_mvin_rows = 0;
+  S.n_matmul = 0;
+}
+
+uint64_t gemmini_cycles(void) {
+  uint64_t End = S.cpu_now;
+  if (S.dma_busy > End)
+    End = S.dma_busy;
+  if (S.ex_busy > End)
+    End = S.ex_busy;
+  return End;
+}
+
+uint64_t gemmini_stat_config_writes(void) { return S.n_config; }
+uint64_t gemmini_stat_mvin_rows(void) { return S.n_mvin_rows; }
+uint64_t gemmini_stat_matmuls(void) { return S.n_matmul; }
+
+static uint64_t max_u64(uint64_t A, uint64_t B) { return A > B ? A : B; }
+
+/* Issues one instruction on a unit. In software mode the in-order CPU
+ * waits for each instruction's dependence chain, so execution is fully
+ * sequential; in hardware-unroller mode the units drain a dispatch queue
+ * concurrently with no issue overhead (double-buffered overlap). */
+static void issue(uint64_t *unit_busy, uint64_t latency) {
+  if (S.mode == EXO_GEMMINI_MODE_HW) {
+    /* one dispatch-queue cycle per instruction */
+    *unit_busy = *unit_busy + latency + 1;
+    return;
+  }
+  S.cpu_now = max_u64(S.cpu_now + GEMMINI_ISSUE, *unit_busy) + latency;
+  *unit_busy = S.cpu_now;
+}
+
+static void config_write(void) {
+  S.n_config++;
+  /* Pipeline flush: wait for both units to drain, then stall. */
+  uint64_t drained = max_u64(max_u64(S.dma_busy, S.ex_busy), S.cpu_now);
+  uint64_t done = drained + GEMMINI_CONFIG_FLUSH;
+  S.cpu_now = done;
+  S.dma_busy = done;
+  S.ex_busy = done;
+}
+
+void gemmini_config_ld(int64_t src_stride) {
+  S.ld_stride = src_stride;
+  config_write();
+}
+
+void gemmini_config_ld2(int64_t src_stride) {
+  S.ld2_stride = src_stride;
+  config_write();
+}
+
+void gemmini_config_st(int64_t dst_stride) {
+  S.st_stride = dst_stride;
+  config_write();
+}
+
+static void do_mvin(const float *src, float *dst, int64_t dst_stride,
+                    int64_t rows, int64_t cols, int64_t src_stride) {
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c)
+      dst[r * dst_stride + c] = src[r * src_stride + c];
+  S.n_mvin_rows += (uint64_t)rows;
+  issue(&S.dma_busy, ((uint64_t)rows + 1) / GEMMINI_DMA_ROWS_PER_CYC);
+}
+
+void gemmini_mvin(const float *src, float *spad_dst, int64_t dst_stride,
+                  int64_t rows, int64_t cols) {
+  do_mvin(src, spad_dst, dst_stride, rows, cols, S.ld_stride);
+}
+
+void gemmini_mvin2(const float *src, float *spad_dst, int64_t dst_stride,
+                   int64_t rows, int64_t cols) {
+  do_mvin(src, spad_dst, dst_stride, rows, cols, S.ld2_stride);
+}
+
+void gemmini_mvout_acc(float *dst, const float *acc_src, int64_t src_stride,
+                       int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c)
+      dst[r * S.st_stride + c] += acc_src[r * src_stride + c];
+  issue(&S.dma_busy, ((uint64_t)rows + 1) / GEMMINI_DMA_ROWS_PER_CYC);
+}
+
+void gemmini_mvout_relu(float *dst, const float *acc_src, int64_t src_stride,
+                        int64_t rows, int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c) {
+      float v = acc_src[r * src_stride + c];
+      dst[r * S.st_stride + c] = v > 0.0f ? v : 0.0f;
+    }
+  issue(&S.dma_busy, ((uint64_t)rows + 1) / GEMMINI_DMA_ROWS_PER_CYC);
+}
+
+void gemmini_zero_acc(float *acc, int64_t acc_stride, int64_t rows,
+                      int64_t cols) {
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c)
+      acc[r * acc_stride + c] = 0.0f;
+  issue(&S.ex_busy, GEMMINI_PRELOAD);
+}
+
+void gemmini_matmul(const float *a, int64_t a_stride, const float *b,
+                    int64_t b_stride, float *acc, int64_t c_stride,
+                    int64_t n, int64_t m, int64_t k) {
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) {
+      float sum = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk)
+        sum += a[i * a_stride + kk] * b[kk * b_stride + j];
+      acc[i * c_stride + j] += sum;
+    }
+  S.n_matmul++;
+  issue(&S.ex_busy, GEMMINI_MATMUL16);
+}

@@ -1,0 +1,95 @@
+/*===- gemmini_sim.h - Gemmini accelerator simulator ------------- C ----===
+ *
+ * Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+ *
+ * A functional, cycle-approximate model of the Berkeley Gemmini DNN
+ * accelerator (Genc et al., DAC 2021) standing in for the real RTL the
+ * paper evaluates on. The model charges the costs the paper's schedules
+ * optimize:
+ *
+ *   - configuration writes flush the pipeline (the expensive operation
+ *     the Section 2 hoisting removes),
+ *   - mvin/mvout move rows at a DMA bandwidth on a load/store unit,
+ *   - 16x16x16 matmuls run on the systolic array at 256 MACs/cycle,
+ *   - every instruction pays a RoCC issue cost on the CPU side,
+ *   - in EXO_GEMMINI_MODE_HW ("hardware loop unroller"), DMA and compute
+ *     timelines overlap perfectly and issue costs amortize, modeling the
+ *     dynamically-scheduled CISC instructions of the paper's "Hardware"
+ *     baseline.
+ *
+ * Functionally, scratchpad and accumulator contents live in host memory;
+ * generated Exo code can never touch them directly (the SCRATCH/ACC
+ * memories are non-addressable), so only these instruction calls observe
+ * that simplification.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef EXO_GEMMINI_SIM_H
+#define EXO_GEMMINI_SIM_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+enum {
+  EXO_GEMMINI_MODE_SW = 0, /* software-controlled (Old-lib / Exo-lib) */
+  EXO_GEMMINI_MODE_HW = 1, /* hardware loop unrollers */
+};
+
+/* --- timing model parameters (cycles) --- */
+enum {
+  GEMMINI_CONFIG_FLUSH = 70,     /* pipeline flush on any config write */
+  GEMMINI_ISSUE = 1,             /* RoCC instruction issue overhead */
+  GEMMINI_DMA_ROWS_PER_CYC = 2,  /* mvin/mvout rows moved per cycle */
+  GEMMINI_MATMUL16 = 16,         /* 16x16x16 tile matmul (pipelined) */
+  GEMMINI_PRELOAD = 2,
+};
+
+/* Resets cycle counters and statistics; selects the execution mode. */
+void gemmini_reset(int mode);
+
+/* Total cycles consumed so far. */
+uint64_t gemmini_cycles(void);
+
+/* Statistics. */
+uint64_t gemmini_stat_config_writes(void);
+uint64_t gemmini_stat_mvin_rows(void);
+uint64_t gemmini_stat_matmuls(void);
+
+/* --- configuration instructions (flush the pipeline) --- */
+void gemmini_config_ld(int64_t src_stride);  /* mvin channel 1 */
+void gemmini_config_ld2(int64_t src_stride); /* mvin channel 2 */
+void gemmini_config_st(int64_t dst_stride);
+
+/* --- data movement ---
+ * src/dst DRAM pointers use the configured stride between rows; the
+ * scratchpad/accumulator side is dense rows of 16 floats. */
+void gemmini_mvin(const float *src, float *spad_dst, int64_t dst_stride,
+                  int64_t rows, int64_t cols);
+void gemmini_mvin2(const float *src, float *spad_dst, int64_t dst_stride,
+                   int64_t rows, int64_t cols);
+/* mvout accumulates into DRAM (our ISA's accumulate-on-store). */
+void gemmini_mvout_acc(float *dst, const float *acc_src, int64_t src_stride,
+                       int64_t rows, int64_t cols);
+/* mvout with fused ReLU activation (assignment, not accumulation). */
+void gemmini_mvout_relu(float *dst, const float *acc_src, int64_t src_stride,
+                        int64_t rows, int64_t cols);
+
+/* Zeroes a tile of the accumulator. */
+void gemmini_zero_acc(float *acc, int64_t acc_stride, int64_t rows,
+                      int64_t cols);
+
+/* 16x16x16 (or smaller) tile matmul: acc[n,m] += a[n,k] * b[k,m].
+ * a and b live in the scratchpad, acc in the accumulator; row strides are
+ * explicit (scratchpad buffers may be wider panels). */
+void gemmini_matmul(const float *a, int64_t a_stride, const float *b,
+                    int64_t b_stride, float *acc, int64_t c_stride,
+                    int64_t n, int64_t m, int64_t k);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* EXO_GEMMINI_SIM_H */

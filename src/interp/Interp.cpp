@@ -1,0 +1,453 @@
+//===- interp/Interp.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "ir/Printer.h"
+#include "support/MathExtras.h"
+
+#include <cmath>
+#include <variant>
+
+using namespace exo;
+using namespace exo::interp;
+using namespace exo::ir;
+
+BufferView BufferView::dense(double *Data, std::vector<int64_t> Dims) {
+  BufferView B;
+  B.Data = Data;
+  B.Dims = Dims;
+  B.Strides.assign(Dims.size(), 1);
+  for (size_t D = Dims.size(); D-- > 1;)
+    B.Strides[D - 1] = B.Strides[D] * Dims[D];
+  return B;
+}
+
+namespace {
+
+using ControlValue = int64_t;
+
+/// A local environment entry.
+using EnvValue = std::variant<ControlValue, BufferView>;
+
+class Executor {
+public:
+  Executor(Interp &I) : I(I) {}
+
+  Expected<bool> callProc(const ProcRef &P, std::vector<ArgValue> Args) {
+    if (Args.size() != P->args().size())
+      return makeError(Error::Kind::Internal,
+                       "interp: arity mismatch calling " + P->name());
+    std::unordered_map<Sym, EnvValue> Env;
+    for (size_t A = 0; A < Args.size(); ++A) {
+      const FnArg &Formal = P->args()[A];
+      if (Formal.Ty.isControl()) {
+        if (Args[A].K != ArgValue::Kind::Control)
+          return makeError(Error::Kind::Internal,
+                           "interp: control argument expected for " +
+                               Formal.Name.name());
+        Env[Formal.Name] = Args[A].Control;
+      } else if (Formal.Ty.isTensor()) {
+        if (Args[A].K != ArgValue::Kind::Buffer)
+          return makeError(Error::Kind::Internal,
+                           "interp: buffer argument expected for " +
+                               Formal.Name.name());
+        Env[Formal.Name] = Args[A].Buffer;
+      } else {
+        // Data scalar: rank-0 view.
+        if (Args[A].K != ArgValue::Kind::Buffer)
+          return makeError(Error::Kind::Internal,
+                           "interp: scalar buffer expected for " +
+                               Formal.Name.name());
+        Env[Formal.Name] = Args[A].Buffer;
+      }
+    }
+    if (I.CheckAsserts) {
+      for (const ExprRef &Pred : P->preds()) {
+        auto V = evalControl(Pred, Env);
+        if (!V)
+          return V.error();
+        if (!*V)
+          return makeError(Error::Kind::Precondition,
+                           "interp: precondition of " + P->name() +
+                               " violated: " + printExpr(Pred));
+      }
+    }
+    return execBlock(P->body(), Env);
+  }
+
+private:
+  Expected<bool> execBlock(const Block &B,
+                           std::unordered_map<Sym, EnvValue> &Env) {
+    for (const StmtRef &S : B) {
+      auto R = execStmt(S, Env);
+      if (!R)
+        return R;
+    }
+    return true;
+  }
+
+  Expected<bool> execStmt(const StmtRef &S,
+                          std::unordered_map<Sym, EnvValue> &Env) {
+    ++I.StmtCount;
+    switch (S->kind()) {
+    case StmtKind::Pass:
+      return true;
+    case StmtKind::Assign:
+    case StmtKind::Reduce: {
+      auto Dst = locate(S->name(), S->indices(), Env);
+      if (!Dst)
+        return Dst.error();
+      auto V = evalData(S->rhs(), Env);
+      if (!V)
+        return V.error();
+      if (S->kind() == StmtKind::Assign)
+        **Dst = *V;
+      else
+        **Dst += *V;
+      return true;
+    }
+    case StmtKind::WriteConfig: {
+      auto V = evalControl(S->rhs(), Env);
+      if (!V)
+        return V.error();
+      I.writeConfig(S->field(), *V);
+      return true;
+    }
+    case StmtKind::If: {
+      auto C = evalControl(S->rhs(), Env);
+      if (!C)
+        return C.error();
+      return execBlock(*C ? S->body() : S->orelse(), Env);
+    }
+    case StmtKind::For: {
+      auto Lo = evalControl(S->lo(), Env);
+      auto Hi = evalControl(S->hi(), Env);
+      if (!Lo)
+        return Lo.error();
+      if (!Hi)
+        return Hi.error();
+      for (int64_t It = *Lo; It < *Hi; ++It) {
+        Env[S->name()] = It;
+        auto R = execBlock(S->body(), Env);
+        if (!R)
+          return R;
+      }
+      Env.erase(S->name());
+      return true;
+    }
+    case StmtKind::Alloc: {
+      const Type &T = S->allocType();
+      std::vector<int64_t> Dims;
+      int64_t Total = 1;
+      for (const ExprRef &D : T.dims()) {
+        auto V = evalControl(D, Env);
+        if (!V)
+          return V.error();
+        if (*V <= 0)
+          return makeError(Error::Kind::Internal,
+                           "interp: non-positive dimension in alloc of " +
+                               S->name().name());
+        Dims.push_back(*V);
+        Total *= *V;
+      }
+      I.OwnedStorage.emplace_back(static_cast<size_t>(Total),
+                                  0.0); // zero-filled ("uninitialized")
+      Env[S->name()] =
+          BufferView::dense(I.OwnedStorage.back().data(), std::move(Dims));
+      return true;
+    }
+    case StmtKind::Call: {
+      std::vector<ArgValue> Args;
+      for (const ExprRef &A : S->args()) {
+        auto V = evalArg(A, Env);
+        if (!V)
+          return V.error();
+        Args.push_back(std::move(*V));
+      }
+      return callProc(S->proc(), std::move(Args));
+    }
+    case StmtKind::WindowStmt: {
+      auto W = evalWindow(S->rhs(), Env);
+      if (!W)
+        return W.error();
+      Env[S->name()] = std::move(*W);
+      return true;
+    }
+    }
+    return makeError(Error::Kind::Internal, "interp: unhandled statement");
+  }
+
+  Expected<ArgValue> evalArg(const ExprRef &E,
+                             std::unordered_map<Sym, EnvValue> &Env) {
+    if (E->type().isControl()) {
+      auto V = evalControl(E, Env);
+      if (!V)
+        return V.error();
+      return ArgValue::control(*V);
+    }
+    if (E->kind() == ExprKind::WindowExpr) {
+      auto W = evalWindow(E, Env);
+      if (!W)
+        return W.error();
+      return ArgValue::buffer(std::move(*W));
+    }
+    if (E->kind() == ExprKind::Read && E->args().empty()) {
+      auto It = Env.find(E->name());
+      if (It == Env.end())
+        return makeError(Error::Kind::Internal,
+                         "interp: unbound buffer " + E->name().name());
+      return ArgValue::buffer(std::get<BufferView>(It->second));
+    }
+    if (E->kind() == ExprKind::Read && E->type().isData()) {
+      // Element passed to a data-scalar parameter: a rank-0 view.
+      auto P = locate(E->name(), E->args(), Env);
+      if (!P)
+        return P.error();
+      BufferView Scalar;
+      Scalar.Data = *P;
+      return ArgValue::buffer(std::move(Scalar));
+    }
+    return makeError(Error::Kind::Internal,
+                     "interp: unsupported argument " + printExpr(E));
+  }
+
+  Expected<BufferView> evalWindow(const ExprRef &E,
+                                  std::unordered_map<Sym, EnvValue> &Env) {
+    auto It = Env.find(E->name());
+    if (It == Env.end())
+      return makeError(Error::Kind::Internal,
+                       "interp: unbound buffer " + E->name().name());
+    const BufferView &Base = std::get<BufferView>(It->second);
+    const auto &Coords = E->winCoords();
+    if (Coords.size() != Base.rank())
+      return makeError(Error::Kind::Internal, "interp: window rank mismatch");
+    BufferView Out;
+    int64_t Offset = 0;
+    for (size_t D = 0; D < Coords.size(); ++D) {
+      auto Lo = evalControl(Coords[D].Lo, Env);
+      if (!Lo)
+        return Lo.error();
+      if (*Lo < 0 || *Lo > Base.Dims[D])
+        return makeError(Error::Kind::Bounds,
+                         "interp: window lower bound out of range");
+      Offset += *Lo * Base.Strides[D];
+      if (Coords[D].IsInterval) {
+        auto Hi = evalControl(Coords[D].Hi, Env);
+        if (!Hi)
+          return Hi.error();
+        if (*Hi < *Lo || *Hi > Base.Dims[D])
+          return makeError(Error::Kind::Bounds,
+                           "interp: window upper bound out of range");
+        Out.Dims.push_back(*Hi - *Lo);
+        Out.Strides.push_back(Base.Strides[D]);
+      }
+    }
+    Out.Data = Base.Data + Offset;
+    return Out;
+  }
+
+  Expected<double *> locate(Sym Name, const std::vector<ExprRef> &Indices,
+                            std::unordered_map<Sym, EnvValue> &Env) {
+    auto It = Env.find(Name);
+    if (It == Env.end())
+      return makeError(Error::Kind::Internal,
+                       "interp: unbound buffer " + Name.name());
+    BufferView &B = std::get<BufferView>(It->second);
+    if (Indices.size() != B.rank())
+      return makeError(Error::Kind::Internal,
+                       "interp: access rank mismatch on " + Name.name());
+    std::vector<int64_t> Idx;
+    for (const ExprRef &E : Indices) {
+      auto V = evalControl(E, Env);
+      if (!V)
+        return V.error();
+      Idx.push_back(*V);
+    }
+    for (size_t D = 0; D < Idx.size(); ++D)
+      if (Idx[D] < 0 || Idx[D] >= B.Dims[D])
+        return makeError(Error::Kind::Bounds,
+                         "interp: index " + std::to_string(Idx[D]) +
+                             " out of bounds [0, " +
+                             std::to_string(B.Dims[D]) + ") on " +
+                             Name.name());
+    return &B.at(Idx);
+  }
+
+  Expected<int64_t> evalControl(const ExprRef &E,
+                                std::unordered_map<Sym, EnvValue> &Env) {
+    switch (E->kind()) {
+    case ExprKind::Const:
+      if (E->type().elem() == ScalarKind::Bool)
+        return static_cast<int64_t>(E->boolValue());
+      return E->intValue();
+    case ExprKind::Read: {
+      auto It = Env.find(E->name());
+      if (It == Env.end())
+        return makeError(Error::Kind::Internal,
+                         "interp: unbound control var " + E->name().name());
+      return std::get<ControlValue>(It->second);
+    }
+    case ExprKind::ReadConfig:
+      return I.readConfig(E->field());
+    case ExprKind::StrideExpr: {
+      auto It = Env.find(E->name());
+      if (It == Env.end())
+        return makeError(Error::Kind::Internal,
+                         "interp: unbound buffer " + E->name().name());
+      const BufferView &B = std::get<BufferView>(It->second);
+      if (E->strideDim() >= B.rank())
+        return makeError(Error::Kind::Internal,
+                         "interp: stride dim out of range");
+      return B.Strides[E->strideDim()];
+    }
+    case ExprKind::USub: {
+      auto V = evalControl(E->args()[0], Env);
+      if (!V)
+        return V;
+      return -*V;
+    }
+    case ExprKind::BinOp: {
+      auto L = evalControl(E->args()[0], Env);
+      if (!L)
+        return L;
+      auto R = evalControl(E->args()[1], Env);
+      if (!R)
+        return R;
+      switch (E->binOp()) {
+      case BinOpKind::Add:
+        return *L + *R;
+      case BinOpKind::Sub:
+        return *L - *R;
+      case BinOpKind::Mul:
+        return *L * *R;
+      case BinOpKind::Div:
+        if (*R <= 0)
+          return makeError(Error::Kind::Internal,
+                           "interp: division by non-positive value");
+        return floorDiv(*L, *R);
+      case BinOpKind::Mod:
+        if (*R <= 0)
+          return makeError(Error::Kind::Internal,
+                           "interp: modulo by non-positive value");
+        return floorMod(*L, *R);
+      case BinOpKind::And:
+        return (*L != 0 && *R != 0) ? 1 : 0;
+      case BinOpKind::Or:
+        return (*L != 0 || *R != 0) ? 1 : 0;
+      case BinOpKind::Eq:
+        return *L == *R ? 1 : 0;
+      case BinOpKind::Ne:
+        return *L != *R ? 1 : 0;
+      case BinOpKind::Lt:
+        return *L < *R ? 1 : 0;
+      case BinOpKind::Gt:
+        return *L > *R ? 1 : 0;
+      case BinOpKind::Le:
+        return *L <= *R ? 1 : 0;
+      case BinOpKind::Ge:
+        return *L >= *R ? 1 : 0;
+      }
+      return makeError(Error::Kind::Internal, "interp: bad binop");
+    }
+    default:
+      return makeError(Error::Kind::Internal,
+                       "interp: not a control expression: " + printExpr(E));
+    }
+  }
+
+  Expected<double> evalData(const ExprRef &E,
+                            std::unordered_map<Sym, EnvValue> &Env) {
+    switch (E->kind()) {
+    case ExprKind::Const:
+      if (E->type().isControl())
+        return static_cast<double>(E->intValue());
+      return E->dataValue();
+    case ExprKind::Read: {
+      if (E->type().isControl()) {
+        auto V = evalControl(E, Env);
+        if (!V)
+          return V.error();
+        return static_cast<double>(*V);
+      }
+      auto P = locate(E->name(), E->args(), Env);
+      if (!P)
+        return P.error();
+      return **P;
+    }
+    case ExprKind::USub: {
+      auto V = evalData(E->args()[0], Env);
+      if (!V)
+        return V;
+      return -*V;
+    }
+    case ExprKind::BinOp: {
+      if (E->type().isControl()) {
+        auto V = evalControl(E, Env);
+        if (!V)
+          return V.error();
+        return static_cast<double>(*V);
+      }
+      auto L = evalData(E->args()[0], Env);
+      if (!L)
+        return L;
+      auto R = evalData(E->args()[1], Env);
+      if (!R)
+        return R;
+      switch (E->binOp()) {
+      case BinOpKind::Add:
+        return *L + *R;
+      case BinOpKind::Sub:
+        return *L - *R;
+      case BinOpKind::Mul:
+        return *L * *R;
+      case BinOpKind::Div:
+        return *L / *R; // total per §4.1 (0/0 is not an error)
+      default:
+        return makeError(Error::Kind::Internal,
+                         "interp: bad data binop " +
+                             std::string(binOpName(E->binOp())));
+      }
+    }
+    case ExprKind::BuiltIn: {
+      std::vector<double> Args;
+      for (const ExprRef &A : E->args()) {
+        auto V = evalData(A, Env);
+        if (!V)
+          return V;
+        Args.push_back(*V);
+      }
+      const std::string &F = E->builtin();
+      if (F == "max" && Args.size() == 2)
+        return std::max(Args[0], Args[1]);
+      if (F == "min" && Args.size() == 2)
+        return std::min(Args[0], Args[1]);
+      if (F == "relu" && Args.size() == 1)
+        return std::max(Args[0], 0.0);
+      if (F == "abs" && Args.size() == 1)
+        return std::fabs(Args[0]);
+      if (F == "sqrt" && Args.size() == 1)
+        return std::sqrt(Args[0]);
+      if (F == "select" && Args.size() == 3)
+        return Args[0] > 0.0 ? Args[1] : Args[2];
+      return makeError(Error::Kind::Internal,
+                       "interp: unknown builtin '" + F + "'");
+    }
+    default:
+      return makeError(Error::Kind::Internal,
+                       "interp: not a data expression: " + printExpr(E));
+    }
+  }
+
+  Interp &I;
+};
+
+} // namespace
+
+Expected<bool> Interp::run(const ProcRef &P, std::vector<ArgValue> Args) {
+  Executor E(*this);
+  return E.callProc(P, std::move(Args));
+}

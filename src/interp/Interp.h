@@ -1,0 +1,105 @@
+//===- interp/Interp.h - LoopIR reference interpreter ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct interpreter for LoopIR: the executable counterpart of the
+/// denotational semantics of §4. It is the ground truth for the
+/// schedule-equivalence property tests (a scheduling operator must
+/// preserve observable behaviour — program equivalence, Def 4.1 — modulo
+/// its declared configuration delta, Def 4.2) and for validating the C
+/// code generator.
+///
+/// Data values are computed in double precision regardless of the
+/// declared precision type, matching the analysis' type-blind model of R.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_INTERP_INTERP_H
+#define EXO_INTERP_INTERP_H
+
+#include "ir/Config.h"
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+namespace exo {
+namespace interp {
+
+/// A strided view over caller- or interpreter-owned storage.
+struct BufferView {
+  double *Data = nullptr;
+  std::vector<int64_t> Dims;
+  std::vector<int64_t> Strides; ///< in elements
+
+  unsigned rank() const { return static_cast<unsigned>(Dims.size()); }
+
+  double &at(const std::vector<int64_t> &Idx) {
+    assert(Idx.size() == Dims.size() && "rank mismatch");
+    int64_t Off = 0;
+    for (size_t D = 0; D < Idx.size(); ++D) {
+      assert(Idx[D] >= 0 && Idx[D] < Dims[D] && "index out of bounds");
+      Off += Idx[D] * Strides[D];
+    }
+    return Data[Off];
+  }
+
+  /// Dense row-major view over existing storage.
+  static BufferView dense(double *Data, std::vector<int64_t> Dims);
+};
+
+/// An actual argument: a control value or a buffer view.
+struct ArgValue {
+  enum class Kind { Control, Buffer } K;
+  int64_t Control = 0;
+  BufferView Buffer;
+
+  static ArgValue control(int64_t V) { return {Kind::Control, V, {}}; }
+  static ArgValue buffer(BufferView B) {
+    return {Kind::Buffer, 0, std::move(B)};
+  }
+};
+
+/// The interpreter. Configuration state persists across run() calls (it
+/// models hardware registers), which the equivalence-modulo-globals tests
+/// exploit.
+class Interp {
+public:
+  /// Executes \p P with the given arguments. Returns an error on runtime
+  /// precondition violations (when checkAsserts is on), out-of-bounds
+  /// accesses, or arity mismatches.
+  Expected<bool> run(const ir::ProcRef &P, std::vector<ArgValue> Args);
+
+  /// Enables checking of procedure preconditions at call time (default on).
+  void setCheckAsserts(bool On) { CheckAsserts = On; }
+
+  /// Configuration field access (values are control ints).
+  int64_t readConfig(ir::Sym Field) const {
+    auto It = Config.find(Field);
+    return It == Config.end() ? 0 : It->second;
+  }
+  void writeConfig(ir::Sym Field, int64_t V) { Config[Field] = V; }
+  const std::map<ir::Sym, int64_t> &configState() const { return Config; }
+  void resetConfig() { Config.clear(); }
+
+  /// Total statements executed (a cheap behavioural fingerprint used by
+  /// benchmarks and tests).
+  uint64_t statementsExecuted() const { return StmtCount; }
+
+  // Internal state, public for the file-local executor.
+  bool CheckAsserts = true;
+  std::map<ir::Sym, int64_t> Config;
+  std::deque<std::vector<double>> OwnedStorage;
+  uint64_t StmtCount = 0;
+};
+
+} // namespace interp
+} // namespace exo
+
+#endif // EXO_INTERP_INTERP_H

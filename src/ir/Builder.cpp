@@ -1,0 +1,166 @@
+//===- ir/Builder.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Error.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+void ProcBuilder::declare(Sym S, Type T) { Types.emplace(S, std::move(T)); }
+
+Sym ProcBuilder::controlArg(const std::string &ArgName, ScalarKind K) {
+  assert(isControlScalar(K) && "control argument with data type");
+  Sym S = Sym::fresh(ArgName);
+  Args.push_back({S, Type(K), "DRAM"});
+  declare(S, Type(K));
+  return S;
+}
+
+Sym ProcBuilder::tensorArg(const std::string &ArgName, ScalarKind Elem,
+                           std::vector<ExprRef> Dims, const std::string &Mem,
+                           bool IsWindow) {
+  Sym S = Sym::fresh(ArgName);
+  Type T = Type::tensor(Elem, std::move(Dims), IsWindow);
+  Args.push_back({S, T, Mem});
+  declare(S, std::move(T));
+  return S;
+}
+
+Sym ProcBuilder::scalarArg(const std::string &ArgName, ScalarKind Elem,
+                           const std::string &Mem) {
+  assert(isDataScalar(Elem) && "data argument with control type");
+  Sym S = Sym::fresh(ArgName);
+  Args.push_back({S, Type(Elem), Mem});
+  declare(S, Type(Elem));
+  return S;
+}
+
+const Type &ProcBuilder::typeOf(Sym Var) const {
+  auto It = Types.find(Var);
+  if (It == Types.end())
+    fatalError("ProcBuilder: undeclared variable " + Var.uniqueName());
+  return It->second;
+}
+
+ExprRef ProcBuilder::rd(Sym Var, std::vector<ExprRef> Indices) const {
+  const Type &T = typeOf(Var);
+  if (Indices.empty())
+    return Expr::read(Var, {}, T);
+  assert(T.isTensor() && Indices.size() == T.rank() &&
+         "indexed read rank mismatch");
+  return Expr::read(Var, std::move(Indices), Type(T.elem()));
+}
+
+ExprRef ProcBuilder::win(Sym Var, std::vector<WinCoord> Coords) const {
+  const Type &T = typeOf(Var);
+  assert(T.isTensor() && Coords.size() == T.rank() && "window rank mismatch");
+  std::vector<ExprRef> Dims;
+  for (const WinCoord &C : Coords)
+    if (C.IsInterval)
+      Dims.push_back(eSub(C.Hi, C.Lo));
+  assert(!Dims.empty() && "window must keep at least one interval");
+  return Expr::window(Var, std::move(Coords),
+                      Type::tensor(T.elem(), std::move(Dims), true));
+}
+
+void ProcBuilder::assign(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs) {
+  append(Stmt::assign(Dst, std::move(Indices), std::move(Rhs)));
+}
+
+void ProcBuilder::reduce(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs) {
+  append(Stmt::reduce(Dst, std::move(Indices), std::move(Rhs)));
+}
+
+void ProcBuilder::writeConfig(Sym Config, Sym Field, ExprRef Rhs) {
+  append(Stmt::writeConfig(Config, Field, std::move(Rhs)));
+}
+
+void ProcBuilder::pass() { append(Stmt::pass()); }
+
+void ProcBuilder::call(ProcRef Callee, std::vector<ExprRef> CallArgs) {
+  append(Stmt::call(std::move(Callee), std::move(CallArgs)));
+}
+
+Sym ProcBuilder::allocScalar(const std::string &VarName, ScalarKind Elem,
+                             const std::string &Mem) {
+  Sym S = Sym::fresh(VarName);
+  declare(S, Type(Elem));
+  append(Stmt::alloc(S, Type(Elem), Mem));
+  return S;
+}
+
+Sym ProcBuilder::allocTensor(const std::string &VarName, ScalarKind Elem,
+                             std::vector<ExprRef> Dims,
+                             const std::string &Mem) {
+  Sym S = Sym::fresh(VarName);
+  Type T = Type::tensor(Elem, std::move(Dims));
+  declare(S, T);
+  append(Stmt::alloc(S, std::move(T), Mem));
+  return S;
+}
+
+Sym ProcBuilder::windowAlias(const std::string &VarName, Sym Base,
+                             std::vector<WinCoord> Coords) {
+  ExprRef W = win(Base, std::move(Coords));
+  Sym S = Sym::fresh(VarName);
+  declare(S, W->type());
+  append(Stmt::windowStmt(S, std::move(W)));
+  return S;
+}
+
+Sym ProcBuilder::beginFor(const std::string &IterName, ExprRef Lo,
+                          ExprRef Hi) {
+  Sym Iter = Sym::fresh(IterName);
+  declare(Iter, Type(ScalarKind::Index));
+  Frames.push_back({Frame::Kind::For, Iter, std::move(Lo), std::move(Hi), {}});
+  Blocks.emplace_back();
+  return Iter;
+}
+
+void ProcBuilder::endFor() {
+  assert(!Frames.empty() && Frames.back().FrameKind == Frame::Kind::For &&
+         "endFor without beginFor");
+  Frame F = std::move(Frames.back());
+  Frames.pop_back();
+  Block Body = std::move(Blocks.back());
+  Blocks.pop_back();
+  append(Stmt::forStmt(F.Iter, F.A, F.B, std::move(Body)));
+}
+
+void ProcBuilder::beginIf(ExprRef Cond) {
+  Frames.push_back({Frame::Kind::IfThen, Sym(), std::move(Cond), nullptr, {}});
+  Blocks.emplace_back();
+}
+
+void ProcBuilder::beginElse() {
+  assert(!Frames.empty() && Frames.back().FrameKind == Frame::Kind::IfThen &&
+         "beginElse without beginIf");
+  Frames.back().FrameKind = Frame::Kind::IfElse;
+  Frames.back().Saved = std::move(Blocks.back());
+  Blocks.back().clear();
+}
+
+void ProcBuilder::endIf() {
+  assert(!Frames.empty() && "endIf without beginIf");
+  Frame F = std::move(Frames.back());
+  Frames.pop_back();
+  Block Last = std::move(Blocks.back());
+  Blocks.pop_back();
+  if (F.FrameKind == Frame::Kind::IfThen) {
+    append(Stmt::ifStmt(F.A, std::move(Last)));
+  } else {
+    assert(F.FrameKind == Frame::Kind::IfElse && "mismatched frame");
+    append(Stmt::ifStmt(F.A, std::move(F.Saved), std::move(Last)));
+  }
+}
+
+ProcRef ProcBuilder::result() {
+  assert(Frames.empty() && Blocks.size() == 1 && "unbalanced begin/end");
+  return std::make_shared<Proc>(std::move(Name), std::move(Args),
+                                std::move(Preds), std::move(Blocks.back()));
+}

@@ -1,0 +1,146 @@
+//===- ir/Builder.h - Programmatic proc construction -----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProcBuilder: a typed fluent API for constructing procedures from C++.
+/// The surface-syntax parser (frontend/Parser.h) is the usual authoring
+/// path; the builder serves unit tests and generated code. It tracks
+/// declared variable types so element reads and windows are typed
+/// automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_BUILDER_H
+#define EXO_IR_BUILDER_H
+
+#include "ir/Proc.h"
+
+#include <unordered_map>
+
+namespace exo {
+namespace ir {
+
+class ProcBuilder {
+public:
+  explicit ProcBuilder(std::string Name) : Name(std::move(Name)) {
+    Blocks.emplace_back();
+  }
+
+  // Arguments -------------------------------------------------------------
+
+  /// Adds a control-typed argument (size, index, int, bool, stride).
+  Sym controlArg(const std::string &ArgName, ScalarKind K);
+  /// Adds a size argument (the common case).
+  Sym sizeArg(const std::string &ArgName) {
+    return controlArg(ArgName, ScalarKind::Size);
+  }
+  /// Adds a data tensor argument.
+  Sym tensorArg(const std::string &ArgName, ScalarKind Elem,
+                std::vector<ExprRef> Dims, const std::string &Mem = "DRAM",
+                bool IsWindow = false);
+  /// Adds a data scalar argument.
+  Sym scalarArg(const std::string &ArgName, ScalarKind Elem,
+                const std::string &Mem = "DRAM");
+
+  /// Adds an asserted precondition.
+  void pred(ExprRef E) { Preds.push_back(std::move(E)); }
+
+  // Expressions -----------------------------------------------------------
+
+  /// Reads a declared variable (element read when indices are given).
+  ExprRef rd(Sym Var, std::vector<ExprRef> Indices = {}) const;
+  /// Builds a window expression over a declared buffer.
+  ExprRef win(Sym Var, std::vector<WinCoord> Coords) const;
+  /// Declared type lookup.
+  const Type &typeOf(Sym Var) const;
+
+  // Statements ------------------------------------------------------------
+
+  void assign(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs);
+  void reduce(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs);
+  void writeConfig(Sym Config, Sym Field, ExprRef Rhs);
+  void pass();
+  void call(ProcRef Callee, std::vector<ExprRef> Args);
+
+  /// Declares a local buffer / scalar.
+  Sym allocScalar(const std::string &VarName, ScalarKind Elem,
+                  const std::string &Mem = "DRAM");
+  Sym allocTensor(const std::string &VarName, ScalarKind Elem,
+                  std::vector<ExprRef> Dims, const std::string &Mem = "DRAM");
+  /// Binds a window of a declared buffer to a new name.
+  Sym windowAlias(const std::string &VarName, Sym Base,
+                  std::vector<WinCoord> Coords);
+
+  /// Opens `for <name> in seq(lo, hi):`; returns the iterator symbol.
+  Sym beginFor(const std::string &IterName, ExprRef Lo, ExprRef Hi);
+  void endFor();
+
+  void beginIf(ExprRef Cond);
+  void beginElse();
+  void endIf();
+
+  /// Finishes construction. The builder is dead afterwards.
+  ProcRef result();
+
+private:
+  void append(StmtRef S) { Blocks.back().push_back(std::move(S)); }
+  void declare(Sym S, Type T);
+
+  std::string Name;
+  std::vector<FnArg> Args;
+  std::vector<ExprRef> Preds;
+  std::vector<Block> Blocks;
+  /// Control stack describing what each open block belongs to.
+  struct Frame {
+    enum class Kind { For, IfThen, IfElse } FrameKind;
+    Sym Iter;
+    ExprRef A, B; ///< For: lo/hi. If: condition in A, then-block in Saved.
+    Block Saved;  ///< for IfElse: the completed then-block
+  };
+  std::vector<Frame> Frames;
+  std::unordered_map<Sym, Type> Types;
+};
+
+/// Shorthand expression constructors used heavily by tests and apps.
+inline ExprRef litInt(int64_t V, ScalarKind K = ScalarKind::Int) {
+  return Expr::constInt(V, K);
+}
+inline ExprRef litData(double V, ScalarKind K = ScalarKind::R) {
+  return Expr::constData(V, K);
+}
+inline ExprRef eAdd(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Add, std::move(A), std::move(B));
+}
+inline ExprRef eSub(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Sub, std::move(A), std::move(B));
+}
+inline ExprRef eMul(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Mul, std::move(A), std::move(B));
+}
+inline ExprRef eDiv(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Div, std::move(A), std::move(B));
+}
+inline ExprRef eMod(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Mod, std::move(A), std::move(B));
+}
+inline ExprRef eLt(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Lt, std::move(A), std::move(B));
+}
+inline ExprRef eLe(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Le, std::move(A), std::move(B));
+}
+inline ExprRef eEq(ExprRef A, ExprRef B) {
+  return Expr::binOp(BinOpKind::Eq, std::move(A), std::move(B));
+}
+inline WinCoord pt(ExprRef E) { return {false, std::move(E), nullptr}; }
+inline WinCoord iv(ExprRef Lo, ExprRef Hi) {
+  return {true, std::move(Lo), std::move(Hi)};
+}
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_BUILDER_H

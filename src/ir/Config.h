@@ -1,0 +1,68 @@
+//===- ir/Config.h - Configuration state declarations ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration state (§2.4, §3.2.3): global structs of mutable control
+/// variables modeling hardware configuration registers. Declared with
+/// @config in the surface syntax; read/written via ReadConfig /
+/// WriteConfig nodes that reference the config and field symbols below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_CONFIG_H
+#define EXO_IR_CONFIG_H
+
+#include "ir/Type.h"
+
+#include <memory>
+#include <vector>
+
+namespace exo {
+namespace ir {
+
+/// A @config declaration: a named struct of control-typed fields.
+class ConfigDecl {
+public:
+  struct Field {
+    Sym Name;
+    Type Ty;
+  };
+
+  ConfigDecl(Sym Name, std::vector<Field> Fields, bool Addressable = true)
+      : Name(Name), Fields(std::move(Fields)), Addressable(Addressable) {}
+
+  Sym name() const { return Name; }
+  const std::vector<Field> &fields() const { return Fields; }
+
+  /// When false, no C struct is generated and direct access from C is
+  /// impossible (§3.2.3) — the state exists purely for the analysis.
+  bool isAddressable() const { return Addressable; }
+
+  const Field *findField(Sym FieldName) const {
+    for (const Field &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+  const Field *findField(const std::string &FieldName) const {
+    for (const Field &F : Fields)
+      if (F.Name.name() == FieldName)
+        return &F;
+    return nullptr;
+  }
+
+private:
+  Sym Name;
+  std::vector<Field> Fields;
+  bool Addressable;
+};
+
+using ConfigRef = std::shared_ptr<const ConfigDecl>;
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_CONFIG_H

@@ -1,0 +1,200 @@
+//===- ir/Expr.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Expr.h"
+
+#include "support/Error.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+const char *exo::ir::binOpName(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::And:
+    return "and";
+  case BinOpKind::Or:
+    return "or";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+bool exo::ir::isBoolBinOp(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::And:
+  case BinOpKind::Or:
+  case BinOpKind::Eq:
+  case BinOpKind::Ne:
+  case BinOpKind::Lt:
+  case BinOpKind::Gt:
+  case BinOpKind::Le:
+  case BinOpKind::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool exo::ir::isCompareOp(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Eq:
+  case BinOpKind::Ne:
+  case BinOpKind::Lt:
+  case BinOpKind::Gt:
+  case BinOpKind::Le:
+  case BinOpKind::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprRef Expr::read(Sym Name, std::vector<ExprRef> Indices, Type Ty) {
+  auto E = std::make_shared<Expr>(ExprKind::Read, std::move(Ty));
+  E->Name = Name;
+  E->Args = std::move(Indices);
+  return E;
+}
+
+ExprRef Expr::constInt(int64_t V, ScalarKind K) {
+  assert(isControlScalar(K) && K != ScalarKind::Bool && "bad int const kind");
+  auto E = std::make_shared<Expr>(ExprKind::Const, Type(K));
+  E->IntVal = V;
+  return E;
+}
+
+ExprRef Expr::constBool(bool V) {
+  auto E = std::make_shared<Expr>(ExprKind::Const, Type(ScalarKind::Bool));
+  E->IntVal = V ? 1 : 0;
+  return E;
+}
+
+ExprRef Expr::constData(double V, ScalarKind K) {
+  assert(isDataScalar(K) && "bad data const kind");
+  auto E = std::make_shared<Expr>(ExprKind::Const, Type(K));
+  E->DataVal = V;
+  return E;
+}
+
+ExprRef Expr::usub(ExprRef Operand) {
+  auto E = std::make_shared<Expr>(ExprKind::USub, Operand->type());
+  E->Args = {std::move(Operand)};
+  return E;
+}
+
+ExprRef Expr::binOp(BinOpKind Op, ExprRef L, ExprRef R) {
+  Type Ty = isBoolBinOp(Op) ? Type(ScalarKind::Bool) : L->type();
+  auto E = std::make_shared<Expr>(ExprKind::BinOp, std::move(Ty));
+  E->Op = Op;
+  E->Args = {std::move(L), std::move(R)};
+  return E;
+}
+
+ExprRef Expr::builtIn(const std::string &Name, std::vector<ExprRef> Args,
+                      Type Ty) {
+  auto E = std::make_shared<Expr>(ExprKind::BuiltIn, std::move(Ty));
+  E->Builtin = Name;
+  E->Args = std::move(Args);
+  return E;
+}
+
+ExprRef Expr::window(Sym Base, std::vector<WinCoord> Coords, Type WinTy) {
+  assert(WinTy.isTensor() && WinTy.isWindow() && "window type required");
+  auto E = std::make_shared<Expr>(ExprKind::WindowExpr, std::move(WinTy));
+  E->Name = Base;
+  E->Coords = std::move(Coords);
+  return E;
+}
+
+ExprRef Expr::stride(Sym Buffer, unsigned Dim) {
+  auto E = std::make_shared<Expr>(ExprKind::StrideExpr,
+                                  Type(ScalarKind::Stride));
+  E->Name = Buffer;
+  E->IntVal = Dim;
+  return E;
+}
+
+ExprRef Expr::readConfig(Sym Config, Sym Field, Type Ty) {
+  auto E = std::make_shared<Expr>(ExprKind::ReadConfig, std::move(Ty));
+  E->Name = Config;
+  E->Field = Field;
+  return E;
+}
+
+std::vector<ExprRef> exo::ir::childExprs(const ExprRef &E) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+  case ExprKind::StrideExpr:
+  case ExprKind::ReadConfig:
+    return {};
+  case ExprKind::Read:
+  case ExprKind::USub:
+  case ExprKind::BinOp:
+  case ExprKind::BuiltIn:
+    return E->args();
+  case ExprKind::WindowExpr: {
+    std::vector<ExprRef> Out;
+    for (auto &C : E->winCoords()) {
+      Out.push_back(C.Lo);
+      Out.push_back(C.Hi); // null for point coordinates
+    }
+    return Out;
+  }
+  }
+  return {};
+}
+
+ExprRef exo::ir::withNewArgs(const ExprRef &E, std::vector<ExprRef> NewArgs) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+  case ExprKind::StrideExpr:
+  case ExprKind::ReadConfig:
+    assert(NewArgs.empty() && "leaf expression has no children");
+    return E;
+  case ExprKind::Read:
+    return Expr::read(E->name(), std::move(NewArgs), E->type());
+  case ExprKind::USub:
+    assert(NewArgs.size() == 1 && "usub has one operand");
+    return Expr::usub(NewArgs[0]);
+  case ExprKind::BinOp:
+    assert(NewArgs.size() == 2 && "binop has two operands");
+    return Expr::binOp(E->binOp(), NewArgs[0], NewArgs[1]);
+  case ExprKind::BuiltIn:
+    return Expr::builtIn(E->builtin(), std::move(NewArgs), E->type());
+  case ExprKind::WindowExpr: {
+    const auto &Coords = E->winCoords();
+    assert(NewArgs.size() == 2 * Coords.size() && "coord list mismatch");
+    std::vector<WinCoord> NewCoords;
+    NewCoords.reserve(Coords.size());
+    for (size_t I = 0; I < Coords.size(); ++I)
+      NewCoords.push_back(
+          {Coords[I].IsInterval, NewArgs[2 * I], NewArgs[2 * I + 1]});
+    return Expr::window(E->name(), std::move(NewCoords), E->type());
+  }
+  }
+  fatalError("withNewArgs: unhandled expression kind");
+}

@@ -1,0 +1,161 @@
+//===- ir/Expr.h - LoopIR expressions --------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression AST of the core language (Fig. 3 of the paper):
+/// variable/array reads, literals, built-in operations, window expressions,
+/// stride expressions, and configuration-field reads. Expressions are
+/// immutable shared trees; rewrites construct new nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_EXPR_H
+#define EXO_IR_EXPR_H
+
+#include "ir/Type.h"
+
+#include <optional>
+
+namespace exo {
+namespace ir {
+
+enum class ExprKind {
+  Read,       ///< x or x[e*]
+  Const,      ///< literal (control int/bool or data floating value)
+  USub,       ///< -e
+  BinOp,      ///< e op e
+  BuiltIn,    ///< named pure data function, e.g. max(a, b)
+  WindowExpr, ///< x[w*] producing a window (view)
+  StrideExpr, ///< stride(x, dim) — control value
+  ReadConfig, ///< Config.field
+};
+
+enum class BinOpKind {
+  Add, Sub, Mul, Div, Mod,       // arithmetic (Div/Mod quasi-affine on ctrl)
+  And, Or,                        // boolean
+  Eq, Ne, Lt, Gt, Le, Ge,         // comparisons
+};
+
+const char *binOpName(BinOpKind K);
+/// True for And/Or/Eq/Ne/Lt/Gt/Le/Ge (result is Bool).
+bool isBoolBinOp(BinOpKind K);
+/// True for Eq/Ne/Lt/Gt/Le/Ge.
+bool isCompareOp(BinOpKind K);
+
+/// One coordinate of a window expression: either a point access (Lo only)
+/// or a half-open interval [Lo, Hi).
+struct WinCoord {
+  bool IsInterval;
+  ExprRef Lo;
+  ExprRef Hi; ///< null for point accesses
+};
+
+/// An expression node. Build via the factories below, which compute types.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  const Type &type() const { return Ty; }
+
+  /// Read / WindowExpr / StrideExpr base buffer, or ReadConfig config name.
+  Sym name() const {
+    assert((Kind == ExprKind::Read || Kind == ExprKind::WindowExpr ||
+            Kind == ExprKind::StrideExpr || Kind == ExprKind::ReadConfig) &&
+           "no name payload");
+    return Name;
+  }
+
+  /// ReadConfig field.
+  Sym field() const {
+    assert(Kind == ExprKind::ReadConfig && "no field payload");
+    return Field;
+  }
+
+  /// Read indices / USub-BinOp-BuiltIn operands.
+  const std::vector<ExprRef> &args() const { return Args; }
+
+  /// Const payloads.
+  int64_t intValue() const {
+    assert(Kind == ExprKind::Const && Ty.isControl() && "not a control const");
+    return IntVal;
+  }
+  double dataValue() const {
+    assert(Kind == ExprKind::Const && Ty.isData() && "not a data const");
+    return DataVal;
+  }
+  bool boolValue() const {
+    assert(Kind == ExprKind::Const && Ty.elem() == ScalarKind::Bool &&
+           "not a bool const");
+    return IntVal != 0;
+  }
+
+  BinOpKind binOp() const {
+    assert(Kind == ExprKind::BinOp && "not a binop");
+    return Op;
+  }
+
+  /// BuiltIn function name ("max", "relu", "select", ...).
+  const std::string &builtin() const {
+    assert(Kind == ExprKind::BuiltIn && "not a builtin");
+    return Builtin;
+  }
+
+  /// StrideExpr dimension.
+  unsigned strideDim() const {
+    assert(Kind == ExprKind::StrideExpr && "not a stride expr");
+    return static_cast<unsigned>(IntVal);
+  }
+
+  /// Window coordinates.
+  const std::vector<WinCoord> &winCoords() const {
+    assert(Kind == ExprKind::WindowExpr && "not a window expr");
+    return Coords;
+  }
+
+  std::string str() const;
+
+  Expr(ExprKind K, Type Ty) : Kind(K), Ty(std::move(Ty)) {}
+
+  // Factories ------------------------------------------------------------
+
+  /// Scalar or whole-buffer read of a variable (indices empty), or an
+  /// indexed element read.
+  static ExprRef read(Sym Name, std::vector<ExprRef> Indices, Type Ty);
+  static ExprRef constInt(int64_t V, ScalarKind K = ScalarKind::Int);
+  static ExprRef constBool(bool V);
+  static ExprRef constData(double V, ScalarKind K = ScalarKind::R);
+  static ExprRef usub(ExprRef E);
+  static ExprRef binOp(BinOpKind Op, ExprRef L, ExprRef R);
+  static ExprRef builtIn(const std::string &Name, std::vector<ExprRef> Args,
+                         Type Ty);
+  static ExprRef window(Sym Base, std::vector<WinCoord> Coords, Type WinTy);
+  static ExprRef stride(Sym Buffer, unsigned Dim);
+  static ExprRef readConfig(Sym Config, Sym Field, Type Ty);
+
+  // Internal state; public for the factories' emplace use.
+  ExprKind Kind;
+  Type Ty;
+  Sym Name;
+  Sym Field;
+  std::vector<ExprRef> Args;
+  std::vector<WinCoord> Coords;
+  BinOpKind Op = BinOpKind::Add;
+  std::string Builtin;
+  int64_t IntVal = 0;
+  double DataVal = 0.0;
+};
+
+/// Rebuilds \p E with new child expressions (same kind/payloads). The
+/// vector layout matches args() for Read/USub/BinOp/BuiltIn, and the
+/// flattened Lo/Hi list for windows (nulls preserved).
+ExprRef withNewArgs(const ExprRef &E, std::vector<ExprRef> NewArgs);
+
+/// Collects child expressions in the same layout withNewArgs expects.
+std::vector<ExprRef> childExprs(const ExprRef &E);
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_EXPR_H

@@ -1,0 +1,165 @@
+//===- ir/FreeVars.cpp -----------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/FreeVars.h"
+
+#include "ir/Proc.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+struct Collector {
+  std::set<Sym> Free;
+  std::set<Sym> Bound;
+  std::set<Sym> Config;
+
+  void use(Sym S) {
+    if (!Bound.count(S))
+      Free.insert(S);
+  }
+
+  void visitExpr(const ExprRef &E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprKind::Read:
+    case ExprKind::WindowExpr:
+    case ExprKind::StrideExpr:
+      use(E->name());
+      break;
+    case ExprKind::ReadConfig:
+      Config.insert(E->field());
+      break;
+    default:
+      break;
+    }
+    for (auto &C : childExprs(E))
+      visitExpr(C);
+  }
+
+  void visitStmt(const StmtRef &S) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+    case StmtKind::Reduce:
+      use(S->name());
+      for (auto &I : S->indices())
+        visitExpr(I);
+      visitExpr(S->rhs());
+      return;
+    case StmtKind::WriteConfig:
+      Config.insert(S->field());
+      visitExpr(S->rhs());
+      return;
+    case StmtKind::Pass:
+      return;
+    case StmtKind::If:
+      visitExpr(S->rhs());
+      visitBlock(S->body());
+      visitBlock(S->orelse());
+      return;
+    case StmtKind::For: {
+      visitExpr(S->lo());
+      visitExpr(S->hi());
+      bool Inserted = Bound.insert(S->name()).second;
+      visitBlock(S->body());
+      if (Inserted)
+        Bound.erase(S->name());
+      return;
+    }
+    case StmtKind::Alloc:
+      for (auto &D : S->allocType().dims())
+        visitExpr(D);
+      Bound.insert(S->name());
+      return;
+    case StmtKind::Call:
+      for (auto &A : S->args())
+        visitExpr(A);
+      return;
+    case StmtKind::WindowStmt:
+      visitExpr(S->rhs());
+      Bound.insert(S->name());
+      return;
+    }
+  }
+
+  void visitBlock(const Block &B) {
+    // Alloc/WindowStmt bindings scope to the rest of the block; save and
+    // restore the bound set around the block.
+    std::set<Sym> Saved = Bound;
+    for (auto &S : B)
+      visitStmt(S);
+    Bound = std::move(Saved);
+  }
+};
+
+} // namespace
+
+std::set<Sym> exo::ir::freeVars(const ExprRef &E) {
+  Collector C;
+  C.visitExpr(E);
+  return std::move(C.Free);
+}
+
+std::set<Sym> exo::ir::freeVars(const StmtRef &S) {
+  Collector C;
+  C.visitStmt(S);
+  return std::move(C.Free);
+}
+
+std::set<Sym> exo::ir::freeVars(const Block &B) {
+  Collector C;
+  C.visitBlock(B);
+  return std::move(C.Free);
+}
+
+std::set<Sym> exo::ir::configFields(const StmtRef &S) {
+  Collector C;
+  C.visitStmt(S);
+  return std::move(C.Config);
+}
+
+std::set<Sym> exo::ir::configFields(const Block &B) {
+  Collector C;
+  C.visitBlock(B);
+  return std::move(C.Config);
+}
+
+namespace {
+
+void collectBound(const Block &B, std::set<Sym> &Out) {
+  for (auto &S : B) {
+    switch (S->kind()) {
+    case StmtKind::For:
+      Out.insert(S->name());
+      collectBound(S->body(), Out);
+      break;
+    case StmtKind::If:
+      collectBound(S->body(), Out);
+      collectBound(S->orelse(), Out);
+      break;
+    case StmtKind::Alloc:
+    case StmtKind::WindowStmt:
+      Out.insert(S->name());
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::set<Sym> exo::ir::boundVars(const Block &B) {
+  std::set<Sym> Out;
+  collectBound(B, Out);
+  return Out;
+}
+
+bool exo::ir::occursFree(Sym S, const Block &B) {
+  return freeVars(B).count(S) != 0;
+}

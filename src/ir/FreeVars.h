@@ -1,0 +1,44 @@
+//===- ir/FreeVars.h - Free variable collection ----------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free-variable queries over expressions, statements, and blocks.
+/// "Free" means not bound by an enclosing loop, allocation, or window
+/// statement within the queried fragment. Configuration fields are
+/// reported separately (they are globals, never free locals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_FREEVARS_H
+#define EXO_IR_FREEVARS_H
+
+#include "ir/Stmt.h"
+
+#include <set>
+
+namespace exo {
+namespace ir {
+
+/// All symbols read or written free in the fragment.
+std::set<Sym> freeVars(const ExprRef &E);
+std::set<Sym> freeVars(const StmtRef &S);
+std::set<Sym> freeVars(const Block &B);
+
+/// Config fields mentioned (read or written), as field symbols.
+std::set<Sym> configFields(const StmtRef &S);
+std::set<Sym> configFields(const Block &B);
+
+/// All symbols bound within the fragment (loop iterators, allocations,
+/// window bindings).
+std::set<Sym> boundVars(const Block &B);
+
+/// True if \p S occurs free in the fragment.
+bool occursFree(Sym S, const Block &B);
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_FREEVARS_H

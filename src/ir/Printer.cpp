@@ -1,0 +1,359 @@
+//===- ir/Printer.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Printer.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+/// Chooses printable names: the base name when globally unambiguous within
+/// the printed fragment, otherwise base_id.
+class NameEnv {
+public:
+  void noteSym(Sym S) {
+    if (!S.valid())
+      return;
+    auto [It, Inserted] = ByName.try_emplace(S.name());
+    It->second.insert(S);
+  }
+
+  void noteExpr(const ExprRef &E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprKind::Read:
+    case ExprKind::WindowExpr:
+    case ExprKind::StrideExpr:
+      noteSym(E->name());
+      break;
+    default:
+      break;
+    }
+    for (auto &C : childExprs(E))
+      noteExpr(C);
+  }
+
+  void noteStmt(const StmtRef &S) {
+    noteSym(S->name());
+    for (auto &I : S->indices())
+      noteExpr(I);
+    if (S->Rhs)
+      noteExpr(S->Rhs);
+    if (S->kind() == StmtKind::For) {
+      noteExpr(S->lo());
+      noteExpr(S->hi());
+    }
+    if (S->kind() == StmtKind::Alloc)
+      for (auto &D : S->allocType().dims())
+        noteExpr(D);
+    for (auto &Sub : S->body())
+      noteStmt(Sub);
+    for (auto &Sub : S->orelse())
+      noteStmt(Sub);
+  }
+
+  std::string nameOf(Sym S) const {
+    auto It = ByName.find(S.name());
+    if (It != ByName.end() && It->second.size() > 1)
+      return S.uniqueName();
+    return S.name();
+  }
+
+private:
+  std::map<std::string, std::set<Sym>> ByName;
+};
+
+/// Operator precedence for parenthesization (higher binds tighter).
+int precOf(BinOpKind K) {
+  switch (K) {
+  case BinOpKind::Or:
+    return 1;
+  case BinOpKind::And:
+    return 2;
+  case BinOpKind::Eq:
+  case BinOpKind::Ne:
+  case BinOpKind::Lt:
+  case BinOpKind::Gt:
+  case BinOpKind::Le:
+  case BinOpKind::Ge:
+    return 3;
+  case BinOpKind::Add:
+  case BinOpKind::Sub:
+    return 4;
+  case BinOpKind::Mul:
+  case BinOpKind::Div:
+  case BinOpKind::Mod:
+    return 5;
+  }
+  return 0;
+}
+
+std::string formatData(double V) {
+  std::ostringstream OS;
+  OS << V;
+  std::string S = OS.str();
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+class IRPrinter {
+public:
+  explicit IRPrinter(const NameEnv &Names) : Names(Names) {}
+
+  std::string expr(const ExprRef &E, int ParentPrec = 0) {
+    switch (E->kind()) {
+    case ExprKind::Read: {
+      std::string Out = Names.nameOf(E->name());
+      if (!E->args().empty()) {
+        Out += '[';
+        for (size_t I = 0; I < E->args().size(); ++I) {
+          if (I != 0)
+            Out += ", ";
+          Out += expr(E->args()[I]);
+        }
+        Out += ']';
+      }
+      return Out;
+    }
+    case ExprKind::Const:
+      if (E->type().elem() == ScalarKind::Bool)
+        return E->boolValue() ? "True" : "False";
+      if (E->type().isControl())
+        return std::to_string(E->intValue());
+      return formatData(E->dataValue());
+    case ExprKind::USub: {
+      std::string Out = "-" + expr(E->args()[0], 6);
+      return ParentPrec > 5 ? "(" + Out + ")" : Out;
+    }
+    case ExprKind::BinOp: {
+      int P = precOf(E->binOp());
+      std::string Out = expr(E->args()[0], P) + " " +
+                        binOpName(E->binOp()) + " " +
+                        expr(E->args()[1], P + 1);
+      return P < ParentPrec ? "(" + Out + ")" : Out;
+    }
+    case ExprKind::BuiltIn: {
+      std::string Out = E->builtin() + "(";
+      for (size_t I = 0; I < E->args().size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += expr(E->args()[I]);
+      }
+      return Out + ")";
+    }
+    case ExprKind::WindowExpr: {
+      std::string Out = Names.nameOf(E->name()) + "[";
+      const auto &Coords = E->winCoords();
+      for (size_t I = 0; I < Coords.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += expr(Coords[I].Lo);
+        if (Coords[I].IsInterval)
+          Out += ":" + expr(Coords[I].Hi);
+      }
+      return Out + "]";
+    }
+    case ExprKind::StrideExpr:
+      return "stride(" + Names.nameOf(E->name()) + ", " +
+             std::to_string(E->strideDim()) + ")";
+    case ExprKind::ReadConfig:
+      return E->name().name() + "." + E->field().name();
+    }
+    return "?";
+  }
+
+  std::string type(const Type &T) {
+    std::string Out = scalarKindName(T.elem());
+    if (T.isTensor()) {
+      Out += '[';
+      for (size_t I = 0; I < T.dims().size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += expr(T.dims()[I]);
+      }
+      Out += ']';
+      if (T.isWindow())
+        Out = "[" + Out + "]";
+    }
+    return Out;
+  }
+
+  void stmt(Printer &P, const StmtRef &S) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+    case StmtKind::Reduce: {
+      std::string Dst = Names.nameOf(S->name());
+      if (!S->indices().empty()) {
+        Dst += '[';
+        for (size_t I = 0; I < S->indices().size(); ++I) {
+          if (I != 0)
+            Dst += ", ";
+          Dst += expr(S->indices()[I]);
+        }
+        Dst += ']';
+      }
+      const char *Op = S->kind() == StmtKind::Assign ? " = " : " += ";
+      P.line(Dst + Op + expr(S->rhs()));
+      return;
+    }
+    case StmtKind::WriteConfig:
+      P.line(S->name().name() + "." + S->field().name() + " = " +
+             expr(S->rhs()));
+      return;
+    case StmtKind::Pass:
+      P.line("pass");
+      return;
+    case StmtKind::If: {
+      P.line("if " + expr(S->rhs()) + ":");
+      {
+        Printer::Scope In(P);
+        block(P, S->body());
+      }
+      if (!S->orelse().empty()) {
+        P.line("else:");
+        Printer::Scope In(P);
+        block(P, S->orelse());
+      }
+      return;
+    }
+    case StmtKind::For: {
+      P.line("for " + Names.nameOf(S->name()) + " in seq(" + expr(S->lo()) +
+             ", " + expr(S->hi()) + "):");
+      Printer::Scope In(P);
+      block(P, S->body());
+      return;
+    }
+    case StmtKind::Alloc: {
+      std::string Line =
+          Names.nameOf(S->name()) + " : " + type(S->allocType());
+      if (S->memName() != "DRAM")
+        Line += " @ " + S->memName();
+      P.line(Line);
+      return;
+    }
+    case StmtKind::Call: {
+      std::string Out = S->proc()->name() + "(";
+      for (size_t I = 0; I < S->args().size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += expr(S->args()[I]);
+      }
+      P.line(Out + ")");
+      return;
+    }
+    case StmtKind::WindowStmt:
+      P.line(Names.nameOf(S->name()) + " = " + expr(S->rhs()));
+      return;
+    }
+  }
+
+  void block(Printer &P, const Block &B) {
+    if (B.empty()) {
+      P.line("pass");
+      return;
+    }
+    for (auto &S : B)
+      stmt(P, S);
+  }
+
+  void proc(Printer &P, const Proc &ProcDef) {
+    if (ProcDef.isInstr())
+      P.line("@instr(\"" + ProcDef.instr().CTemplate + "\")");
+    else
+      P.line("@proc");
+    std::string Head = "def " + ProcDef.name() + "(";
+    for (size_t I = 0; I < ProcDef.args().size(); ++I) {
+      const FnArg &A = ProcDef.args()[I];
+      if (I != 0)
+        Head += ", ";
+      Head += Names.nameOf(A.Name) + ": " + type(A.Ty);
+      if (A.Mem != "DRAM" && A.Ty.isTensor())
+        Head += " @ " + A.Mem;
+    }
+    P.line(Head + "):");
+    Printer::Scope In(P);
+    for (auto &Pred : ProcDef.preds())
+      P.line("assert " + expr(Pred));
+    block(P, ProcDef.body());
+  }
+
+private:
+  const NameEnv &Names;
+};
+
+NameEnv collectNames(const Proc &P) {
+  NameEnv Names;
+  for (auto &A : P.args())
+    Names.noteSym(A.Name);
+  for (auto &Pred : P.preds())
+    Names.noteExpr(Pred);
+  for (auto &S : P.body())
+    Names.noteStmt(S);
+  return Names;
+}
+
+} // namespace
+
+std::string exo::ir::printExpr(const ExprRef &E) {
+  NameEnv Names;
+  Names.noteExpr(E);
+  return IRPrinter(Names).expr(E);
+}
+
+std::string exo::ir::printStmt(const StmtRef &S, unsigned Indent) {
+  NameEnv Names;
+  Names.noteStmt(S);
+  Printer P;
+  for (unsigned I = 0; I < Indent; ++I)
+    P.indent();
+  IRPrinter(Names).stmt(P, S);
+  return P.str();
+}
+
+std::string exo::ir::printBlock(const Block &B, unsigned Indent) {
+  NameEnv Names;
+  for (auto &S : B)
+    Names.noteStmt(S);
+  Printer P;
+  for (unsigned I = 0; I < Indent; ++I)
+    P.indent();
+  IRPrinter(Names).block(P, B);
+  return P.str();
+}
+
+std::string exo::ir::printProc(const Proc &ProcDef) {
+  NameEnv Names = collectNames(ProcDef);
+  Printer P;
+  IRPrinter(Names).proc(P, ProcDef);
+  return P.str();
+}
+
+std::string exo::ir::printProc(const ProcRef &P) { return printProc(*P); }
+
+// Out-of-line str() definitions (declared in Expr.h / Stmt.h / Proc.h).
+std::string Expr::str() const {
+  // Wrap in a temporary shared_ptr-less copy: cheapest is to re-print via
+  // a non-owning alias. We construct a shared_ptr with a no-op deleter.
+  ExprRef Alias(this, [](const Expr *) {});
+  return printExpr(Alias);
+}
+
+std::string Stmt::str() const {
+  StmtRef Alias(this, [](const Stmt *) {});
+  return printStmt(Alias);
+}
+
+std::string Proc::str() const { return printProc(*this); }

@@ -1,0 +1,31 @@
+//===- ir/Printer.h - Exo-syntax pretty printer ----------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders LoopIR back into the Exo surface syntax. The output of
+/// printProc round-trips through the parser (modulo symbol uniquification),
+/// which the integration tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_PRINTER_H
+#define EXO_IR_PRINTER_H
+
+#include "ir/Proc.h"
+
+namespace exo {
+namespace ir {
+
+std::string printExpr(const ExprRef &E);
+std::string printStmt(const StmtRef &S, unsigned Indent = 0);
+std::string printBlock(const Block &B, unsigned Indent = 0);
+std::string printProc(const ProcRef &P);
+std::string printProc(const Proc &P);
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_PRINTER_H

@@ -1,0 +1,25 @@
+//===- ir/Proc.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Proc.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+const FnArg *Proc::findArg(Sym ArgName) const {
+  for (const FnArg &A : Args)
+    if (A.Name == ArgName)
+      return &A;
+  return nullptr;
+}
+
+std::shared_ptr<Proc> Proc::clone() const {
+  auto P = std::make_shared<Proc>(Name, Args, Preds, Body);
+  P->Instr = Instr;
+  P->Parent = Parent;
+  P->ConfigDelta = ConfigDelta;
+  return P;
+}

@@ -1,0 +1,91 @@
+//===- ir/Stmt.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Stmt.h"
+
+#include "ir/Proc.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+StmtRef Stmt::assign(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs) {
+  auto S = std::make_shared<Stmt>(StmtKind::Assign);
+  S->Name = Dst;
+  S->Idx = std::move(Indices);
+  S->Rhs = std::move(Rhs);
+  return S;
+}
+
+StmtRef Stmt::reduce(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs) {
+  auto S = std::make_shared<Stmt>(StmtKind::Reduce);
+  S->Name = Dst;
+  S->Idx = std::move(Indices);
+  S->Rhs = std::move(Rhs);
+  return S;
+}
+
+StmtRef Stmt::writeConfig(Sym Config, Sym Field, ExprRef Rhs) {
+  auto S = std::make_shared<Stmt>(StmtKind::WriteConfig);
+  S->Name = Config;
+  S->Field = Field;
+  S->Rhs = std::move(Rhs);
+  return S;
+}
+
+StmtRef Stmt::pass() { return std::make_shared<Stmt>(StmtKind::Pass); }
+
+StmtRef Stmt::ifStmt(ExprRef Cond, Block Body, Block Orelse) {
+  auto S = std::make_shared<Stmt>(StmtKind::If);
+  S->Rhs = std::move(Cond);
+  S->Body = std::move(Body);
+  S->Orelse = std::move(Orelse);
+  return S;
+}
+
+StmtRef Stmt::forStmt(Sym Iter, ExprRef Lo, ExprRef Hi, Block Body) {
+  auto S = std::make_shared<Stmt>(StmtKind::For);
+  S->Name = Iter;
+  S->LoE = std::move(Lo);
+  S->HiE = std::move(Hi);
+  S->Body = std::move(Body);
+  return S;
+}
+
+StmtRef Stmt::alloc(Sym Name, Type T, std::string Mem) {
+  auto S = std::make_shared<Stmt>(StmtKind::Alloc);
+  S->Name = Name;
+  S->AllocTy = std::move(T);
+  S->Mem = std::move(Mem);
+  return S;
+}
+
+StmtRef Stmt::call(ProcRef Callee, std::vector<ExprRef> Args) {
+  auto S = std::make_shared<Stmt>(StmtKind::Call);
+  S->Callee = std::move(Callee);
+  S->Idx = std::move(Args);
+  return S;
+}
+
+StmtRef Stmt::windowStmt(Sym Name, ExprRef WindowE) {
+  assert(WindowE->kind() == ExprKind::WindowExpr && "window expr required");
+  auto S = std::make_shared<Stmt>(StmtKind::WindowStmt);
+  S->Name = Name;
+  S->Rhs = std::move(WindowE);
+  return S;
+}
+
+StmtRef exo::ir::withIfParts(const StmtRef &S, ExprRef Cond, Block Body,
+                             Block Orelse) {
+  assert(S->kind() == StmtKind::If && "not an if");
+  return Stmt::ifStmt(std::move(Cond), std::move(Body), std::move(Orelse));
+}
+
+StmtRef exo::ir::withForParts(const StmtRef &S, ExprRef Lo, ExprRef Hi,
+                              Block Body) {
+  assert(S->kind() == StmtKind::For && "not a for");
+  return Stmt::forStmt(S->name(), std::move(Lo), std::move(Hi),
+                       std::move(Body));
+}

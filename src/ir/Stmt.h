@@ -1,0 +1,131 @@
+//===- ir/Stmt.h - LoopIR statements ---------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement AST of the core language (Fig. 3): assignment, reduction,
+/// configuration writes, guards, sequential loops, allocation, window
+/// binding, sub-procedure calls, and Pass (the no-op). A statement block is
+/// a plain vector, which keeps splice-style rewrites simple.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_STMT_H
+#define EXO_IR_STMT_H
+
+#include "ir/Expr.h"
+
+namespace exo {
+namespace ir {
+
+class Stmt;
+using StmtRef = std::shared_ptr<const Stmt>;
+/// A sequence of statements.
+using Block = std::vector<StmtRef>;
+
+class Proc;
+using ProcRef = std::shared_ptr<const Proc>;
+
+enum class StmtKind {
+  Assign,      ///< x[e*] = e     (scalar when no indices)
+  Reduce,      ///< x[e*] += e
+  WriteConfig, ///< Config.field = e
+  Pass,        ///< no-op
+  If,          ///< if e: body [else: orelse]
+  For,         ///< for x in seq(lo, hi): body
+  Alloc,       ///< x : T @ mem
+  Call,        ///< p(e*)
+  WindowStmt,  ///< x = y[w*]  (window binding)
+};
+
+/// A statement node. Build via the factories.
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+
+  /// Assign/Reduce destination, For iterator, Alloc/WindowStmt name, or
+  /// WriteConfig config name.
+  Sym name() const { return Name; }
+  /// WriteConfig field.
+  Sym field() const {
+    assert(Kind == StmtKind::WriteConfig && "no field payload");
+    return Field;
+  }
+
+  /// Assign/Reduce destination indices.
+  const std::vector<ExprRef> &indices() const { return Idx; }
+
+  /// Assign/Reduce/WriteConfig right-hand side; If condition;
+  /// WindowStmt window expression.
+  const ExprRef &rhs() const {
+    assert(Rhs && "no rhs payload");
+    return Rhs;
+  }
+
+  /// For bounds.
+  const ExprRef &lo() const {
+    assert(Kind == StmtKind::For && "not a loop");
+    return LoE;
+  }
+  const ExprRef &hi() const {
+    assert(Kind == StmtKind::For && "not a loop");
+    return HiE;
+  }
+
+  /// If/For body; If orelse.
+  const Block &body() const { return Body; }
+  const Block &orelse() const { return Orelse; }
+
+  /// Alloc type and memory annotation ("DRAM" by default).
+  const Type &allocType() const {
+    assert(Kind == StmtKind::Alloc && "not an alloc");
+    return AllocTy;
+  }
+  const std::string &memName() const { return Mem; }
+
+  /// Call target and arguments.
+  const ProcRef &proc() const {
+    assert(Kind == StmtKind::Call && "not a call");
+    return Callee;
+  }
+  const std::vector<ExprRef> &args() const { return Idx; }
+
+  std::string str() const;
+
+  // Factories ------------------------------------------------------------
+  static StmtRef assign(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs);
+  static StmtRef reduce(Sym Dst, std::vector<ExprRef> Indices, ExprRef Rhs);
+  static StmtRef writeConfig(Sym Config, Sym Field, ExprRef Rhs);
+  static StmtRef pass();
+  static StmtRef ifStmt(ExprRef Cond, Block Body, Block Orelse = {});
+  static StmtRef forStmt(Sym Iter, ExprRef Lo, ExprRef Hi, Block Body);
+  static StmtRef alloc(Sym Name, Type T, std::string Mem = "DRAM");
+  static StmtRef call(ProcRef Callee, std::vector<ExprRef> Args);
+  static StmtRef windowStmt(Sym Name, ExprRef WindowE);
+
+  Stmt(StmtKind K) : Kind(K) {}
+
+  // Internal state; public for factory use.
+  StmtKind Kind;
+  Sym Name;
+  Sym Field;
+  std::vector<ExprRef> Idx; ///< indices, or call args
+  ExprRef Rhs;              ///< rhs / condition / window expr
+  ExprRef LoE, HiE;
+  Block Body, Orelse;
+  Type AllocTy;
+  std::string Mem = "DRAM";
+  ProcRef Callee;
+};
+
+/// Rebuilds an If with new parts.
+StmtRef withIfParts(const StmtRef &S, ExprRef Cond, Block Body, Block Orelse);
+/// Rebuilds a For with new parts.
+StmtRef withForParts(const StmtRef &S, ExprRef Lo, ExprRef Hi, Block Body);
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_STMT_H

@@ -1,0 +1,167 @@
+//===- ir/StructuralEq.cpp -------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StructuralEq.h"
+
+#include "ir/Proc.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+/// Equality walker; with a symbol correspondence it implements
+/// alpha-equivalence, without one plain structural equality.
+class EqWalker {
+public:
+  explicit EqWalker(std::unordered_map<Sym, Sym> *Map) : Map(Map) {}
+
+  bool symEq(Sym A, Sym B) const {
+    if (Map) {
+      auto It = Map->find(A);
+      if (It != Map->end())
+        return It->second == B;
+    }
+    return A == B;
+  }
+
+  void bind(Sym A, Sym B) {
+    if (Map)
+      (*Map)[A] = B;
+    // Without a map, binders must literally coincide; symEq handles it.
+  }
+
+  bool exprEq(const ExprRef &A, const ExprRef &B) {
+    if (A == B)
+      return true;
+    if (!A || !B)
+      return false;
+    if (A->kind() != B->kind())
+      return false;
+    switch (A->kind()) {
+    case ExprKind::Read: {
+      if (!symEq(A->name(), B->name()) || A->args().size() != B->args().size())
+        return false;
+      return allExprEq(A->args(), B->args());
+    }
+    case ExprKind::Const:
+      if (A->type().elem() != B->type().elem())
+        return false;
+      if (A->type().isControl())
+        return A->IntVal == B->IntVal;
+      return A->dataValue() == B->dataValue();
+    case ExprKind::USub:
+      return exprEq(A->args()[0], B->args()[0]);
+    case ExprKind::BinOp:
+      return A->binOp() == B->binOp() && allExprEq(A->args(), B->args());
+    case ExprKind::BuiltIn:
+      return A->builtin() == B->builtin() && allExprEq(A->args(), B->args());
+    case ExprKind::WindowExpr: {
+      if (!symEq(A->name(), B->name()) ||
+          A->winCoords().size() != B->winCoords().size())
+        return false;
+      for (size_t I = 0; I < A->winCoords().size(); ++I) {
+        const WinCoord &CA = A->winCoords()[I], &CB = B->winCoords()[I];
+        if (CA.IsInterval != CB.IsInterval || !exprEq(CA.Lo, CB.Lo))
+          return false;
+        if (CA.IsInterval && !exprEq(CA.Hi, CB.Hi))
+          return false;
+      }
+      return true;
+    }
+    case ExprKind::StrideExpr:
+      return symEq(A->name(), B->name()) && A->strideDim() == B->strideDim();
+    case ExprKind::ReadConfig:
+      return A->name() == B->name() && A->field() == B->field();
+    }
+    return false;
+  }
+
+  bool allExprEq(const std::vector<ExprRef> &A, const std::vector<ExprRef> &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!exprEq(A[I], B[I]))
+        return false;
+    return true;
+  }
+
+  bool stmtEq(const StmtRef &A, const StmtRef &B) {
+    if (A == B)
+      return true;
+    if (!A || !B || A->kind() != B->kind())
+      return false;
+    switch (A->kind()) {
+    case StmtKind::Assign:
+    case StmtKind::Reduce:
+      return symEq(A->name(), B->name()) &&
+             allExprEq(A->indices(), B->indices()) &&
+             exprEq(A->rhs(), B->rhs());
+    case StmtKind::WriteConfig:
+      return A->name() == B->name() && A->field() == B->field() &&
+             exprEq(A->rhs(), B->rhs());
+    case StmtKind::Pass:
+      return true;
+    case StmtKind::If:
+      return exprEq(A->rhs(), B->rhs()) && blockEq(A->body(), B->body()) &&
+             blockEq(A->orelse(), B->orelse());
+    case StmtKind::For: {
+      if (!exprEq(A->lo(), B->lo()) || !exprEq(A->hi(), B->hi()))
+        return false;
+      bind(A->name(), B->name());
+      return blockEq(A->body(), B->body());
+    }
+    case StmtKind::Alloc: {
+      if (!A->allocType().equals(B->allocType()) ||
+          A->memName() != B->memName())
+        return false;
+      bind(A->name(), B->name());
+      return Map != nullptr || A->name() == B->name();
+    }
+    case StmtKind::Call:
+      return A->proc() == B->proc() && allExprEq(A->args(), B->args());
+    case StmtKind::WindowStmt: {
+      if (!exprEq(A->rhs(), B->rhs()))
+        return false;
+      bind(A->name(), B->name());
+      return Map != nullptr || A->name() == B->name();
+    }
+    }
+    return false;
+  }
+
+  bool blockEq(const Block &A, const Block &B) {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!stmtEq(A[I], B[I]))
+        return false;
+    return true;
+  }
+
+private:
+  std::unordered_map<Sym, Sym> *Map;
+};
+
+} // namespace
+
+bool exo::ir::structurallyEqual(const ExprRef &A, const ExprRef &B) {
+  return EqWalker(nullptr).exprEq(A, B);
+}
+
+bool exo::ir::structurallyEqual(const StmtRef &A, const StmtRef &B) {
+  return EqWalker(nullptr).stmtEq(A, B);
+}
+
+bool exo::ir::structurallyEqual(const Block &A, const Block &B) {
+  return EqWalker(nullptr).blockEq(A, B);
+}
+
+bool exo::ir::alphaEquivalent(const Block &A, const Block &B,
+                              std::unordered_map<Sym, Sym> Map) {
+  EqWalker W(&Map);
+  return W.blockEq(A, B);
+}

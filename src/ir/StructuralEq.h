@@ -1,0 +1,38 @@
+//===- ir/StructuralEq.h - Structural AST equality -------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural equality on expressions, statements, and blocks. Symbols are
+/// compared by identity, except for bound variables when an explicit
+/// correspondence map is supplied (alpha-equivalence, used by tests and by
+/// the unification engine's exact-match phase).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_STRUCTURALEQ_H
+#define EXO_IR_STRUCTURALEQ_H
+
+#include "ir/Stmt.h"
+
+#include <unordered_map>
+
+namespace exo {
+namespace ir {
+
+bool structurallyEqual(const ExprRef &A, const ExprRef &B);
+bool structurallyEqual(const StmtRef &A, const StmtRef &B);
+bool structurallyEqual(const Block &A, const Block &B);
+
+/// Alpha-equivalence: \p Map carries the required correspondence from
+/// symbols of A to symbols of B and is extended at binders (loops,
+/// allocations, window statements).
+bool alphaEquivalent(const Block &A, const Block &B,
+                     std::unordered_map<Sym, Sym> Map);
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_STRUCTURALEQ_H

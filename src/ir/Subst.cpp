@@ -1,0 +1,300 @@
+//===- ir/Subst.cpp --------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Subst.h"
+
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+std::vector<ExprRef>
+exo::ir::composeWindowIndices(const std::vector<WinCoord> &Coords,
+                              const std::vector<ExprRef> &Applied) {
+  std::vector<ExprRef> Out;
+  Out.reserve(Coords.size());
+  size_t Next = 0;
+  for (const WinCoord &C : Coords) {
+    if (!C.IsInterval) {
+      Out.push_back(C.Lo);
+      continue;
+    }
+    assert(Next < Applied.size() && "not enough indices for window rank");
+    ExprRef Idx = Applied[Next++];
+    // base index = lo + idx; fold the common lo == 0 case.
+    if (C.Lo->kind() == ExprKind::Const && C.Lo->intValue() == 0)
+      Out.push_back(Idx);
+    else
+      Out.push_back(Expr::binOp(BinOpKind::Add, C.Lo, Idx));
+  }
+  assert(Next == Applied.size() && "too many indices for window rank");
+  return Out;
+}
+
+std::vector<WinCoord>
+exo::ir::composeWindowCoords(const std::vector<WinCoord> &Inner,
+                             const std::vector<WinCoord> &Outer) {
+  // Inner: coords of the existing window w over base b.
+  // Outer: coords applied to w. Result: coords over b.
+  std::vector<WinCoord> Out;
+  Out.reserve(Inner.size());
+  size_t Next = 0;
+  auto Offset = [](const ExprRef &Lo, const ExprRef &E) -> ExprRef {
+    if (Lo->kind() == ExprKind::Const && Lo->intValue() == 0)
+      return E;
+    return Expr::binOp(BinOpKind::Add, Lo, E);
+  };
+  for (const WinCoord &C : Inner) {
+    if (!C.IsInterval) {
+      Out.push_back(C);
+      continue;
+    }
+    assert(Next < Outer.size() && "outer coords do not cover window rank");
+    const WinCoord &O = Outer[Next++];
+    if (O.IsInterval)
+      Out.push_back({true, Offset(C.Lo, O.Lo), Offset(C.Lo, O.Hi)});
+    else
+      Out.push_back({false, Offset(C.Lo, O.Lo), nullptr});
+  }
+  assert(Next == Outer.size() && "too many outer coords");
+  return Out;
+}
+
+namespace {
+
+class Substituter {
+public:
+  explicit Substituter(const SymSubst &Map) : Map(Map) {}
+
+  const ExprRef *lookup(Sym S) const {
+    auto It = Map.find(S);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  ExprRef expr(const ExprRef &E) {
+    if (!E)
+      return E;
+    switch (E->kind()) {
+    case ExprKind::Const:
+      return E;
+    case ExprKind::Read: {
+      std::vector<ExprRef> Idx;
+      Idx.reserve(E->args().size());
+      for (auto &I : E->args())
+        Idx.push_back(expr(I));
+      const ExprRef *R = lookup(E->name());
+      if (!R)
+        return Expr::read(E->name(), std::move(Idx), E->type());
+      if (Idx.empty() && !(*R)->type().isTensor())
+        return *R; // scalar / control use: drop in the replacement
+      // Buffer use: the replacement must be a rename or a window.
+      if ((*R)->kind() == ExprKind::Read && (*R)->args().empty())
+        return Expr::read((*R)->name(), std::move(Idx), E->type());
+      if ((*R)->kind() == ExprKind::WindowExpr) {
+        if (Idx.empty()) // whole-buffer use: pass the window itself
+          return *R;
+        return Expr::read((*R)->name(),
+                          composeWindowIndices((*R)->winCoords(), Idx),
+                          E->type());
+      }
+      fatalError("substExpr: buffer replaced by non-buffer expression");
+    }
+    case ExprKind::USub:
+      return Expr::usub(expr(E->args()[0]));
+    case ExprKind::BinOp:
+      return Expr::binOp(E->binOp(), expr(E->args()[0]), expr(E->args()[1]));
+    case ExprKind::BuiltIn: {
+      std::vector<ExprRef> Args;
+      Args.reserve(E->args().size());
+      for (auto &A : E->args())
+        Args.push_back(expr(A));
+      return Expr::builtIn(E->builtin(), std::move(Args), E->type());
+    }
+    case ExprKind::WindowExpr: {
+      std::vector<WinCoord> Coords;
+      Coords.reserve(E->winCoords().size());
+      for (auto &C : E->winCoords())
+        Coords.push_back({C.IsInterval, expr(C.Lo),
+                          C.Hi ? expr(C.Hi) : nullptr});
+      const ExprRef *R = lookup(E->name());
+      if (!R)
+        return Expr::window(E->name(), std::move(Coords), E->type());
+      if ((*R)->kind() == ExprKind::Read && (*R)->args().empty())
+        return Expr::window((*R)->name(), std::move(Coords), E->type());
+      if ((*R)->kind() == ExprKind::WindowExpr)
+        return Expr::window((*R)->name(),
+                            composeWindowCoords((*R)->winCoords(), Coords),
+                            E->type());
+      fatalError("substExpr: window base replaced by non-buffer");
+    }
+    case ExprKind::StrideExpr: {
+      const ExprRef *R = lookup(E->name());
+      if (!R)
+        return E;
+      if ((*R)->kind() == ExprKind::Read && (*R)->args().empty())
+        return Expr::stride((*R)->name(), E->strideDim());
+      if ((*R)->kind() == ExprKind::WindowExpr) {
+        // The stride of window dim k is the stride of the base dimension
+        // the k-th interval coordinate maps to (windows never change
+        // strides, only offsets and rank).
+        unsigned K = E->strideDim(), Seen = 0;
+        const auto &Coords = (*R)->winCoords();
+        for (unsigned D = 0; D < Coords.size(); ++D) {
+          if (!Coords[D].IsInterval)
+            continue;
+          if (Seen == K)
+            return Expr::stride((*R)->name(), D);
+          ++Seen;
+        }
+        fatalError("substExpr: stride dim out of window rank");
+      }
+      fatalError("substExpr: stride base replaced by non-buffer");
+    }
+    case ExprKind::ReadConfig:
+      return E;
+    }
+    fatalError("substExpr: unhandled kind");
+  }
+
+  StmtRef stmt(const StmtRef &S) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+    case StmtKind::Reduce: {
+      std::vector<ExprRef> Idx;
+      Idx.reserve(S->indices().size());
+      for (auto &I : S->indices())
+        Idx.push_back(expr(I));
+      ExprRef Rhs = expr(S->rhs());
+      Sym Dst = S->name();
+      if (const ExprRef *R = lookup(Dst)) {
+        if ((*R)->kind() == ExprKind::Read && (*R)->args().empty()) {
+          Dst = (*R)->name();
+        } else if ((*R)->kind() == ExprKind::WindowExpr) {
+          Dst = (*R)->name();
+          Idx = composeWindowIndices((*R)->winCoords(), Idx);
+        } else {
+          fatalError("substStmt: write destination replaced by non-buffer");
+        }
+      }
+      return S->kind() == StmtKind::Assign
+                 ? Stmt::assign(Dst, std::move(Idx), std::move(Rhs))
+                 : Stmt::reduce(Dst, std::move(Idx), std::move(Rhs));
+    }
+    case StmtKind::WriteConfig:
+      return Stmt::writeConfig(S->name(), S->field(), expr(S->rhs()));
+    case StmtKind::Pass:
+      return S;
+    case StmtKind::If:
+      return Stmt::ifStmt(expr(S->rhs()), block(S->body()),
+                          block(S->orelse()));
+    case StmtKind::For:
+      assert(!Map.count(S->name()) && "substituting a bound iterator");
+      return Stmt::forStmt(S->name(), expr(S->lo()), expr(S->hi()),
+                           block(S->body()));
+    case StmtKind::Alloc: {
+      assert(!Map.count(S->name()) && "substituting a bound allocation");
+      const Type &T = S->allocType();
+      if (!T.isTensor())
+        return S;
+      std::vector<ExprRef> Dims;
+      Dims.reserve(T.dims().size());
+      for (auto &D : T.dims())
+        Dims.push_back(expr(D));
+      return Stmt::alloc(S->name(),
+                         Type::tensor(T.elem(), std::move(Dims), T.isWindow()),
+                         S->memName());
+    }
+    case StmtKind::Call: {
+      std::vector<ExprRef> Args;
+      Args.reserve(S->args().size());
+      for (auto &A : S->args())
+        Args.push_back(expr(A));
+      return Stmt::call(S->proc(), std::move(Args));
+    }
+    case StmtKind::WindowStmt:
+      assert(!Map.count(S->name()) && "substituting a bound window");
+      return Stmt::windowStmt(S->name(), expr(S->rhs()));
+    }
+    fatalError("substStmt: unhandled kind");
+  }
+
+  Block block(const Block &B) {
+    Block Out;
+    Out.reserve(B.size());
+    for (auto &S : B)
+      Out.push_back(stmt(S));
+    return Out;
+  }
+
+private:
+  const SymSubst &Map;
+};
+
+} // namespace
+
+ExprRef exo::ir::substExpr(const ExprRef &E, const SymSubst &Map) {
+  return Substituter(Map).expr(E);
+}
+
+StmtRef exo::ir::substStmt(const StmtRef &S, const SymSubst &Map) {
+  return Substituter(Map).stmt(S);
+}
+
+Block exo::ir::substBlock(const Block &B, const SymSubst &Map) {
+  return Substituter(Map).block(B);
+}
+
+namespace {
+
+StmtRef refreshStmt(const StmtRef &S, SymSubst &Map);
+
+Block refreshBlock(const Block &B, SymSubst Map) {
+  Block Out;
+  Out.reserve(B.size());
+  for (auto &S : B)
+    Out.push_back(refreshStmt(S, Map));
+  return Out;
+}
+
+StmtRef refreshStmt(const StmtRef &S, SymSubst &Map) {
+  switch (S->kind()) {
+  case StmtKind::For: {
+    StmtRef Renamed = substStmt(S, Map);
+    Sym Fresh = S->name().copy();
+    SymSubst Inner = Map;
+    Inner[S->name()] = Expr::read(Fresh, {}, Type(ScalarKind::Index));
+    Block Body = refreshBlock(S->body(), Inner);
+    return Stmt::forStmt(Fresh, Renamed->lo(), Renamed->hi(),
+                         std::move(Body));
+  }
+  case StmtKind::Alloc: {
+    StmtRef Renamed = substStmt(S, Map);
+    Sym Fresh = S->name().copy();
+    Map[S->name()] = Expr::read(Fresh, {}, Renamed->allocType());
+    return Stmt::alloc(Fresh, Renamed->allocType(), Renamed->memName());
+  }
+  case StmtKind::WindowStmt: {
+    StmtRef Renamed = substStmt(S, Map);
+    Sym Fresh = S->name().copy();
+    Map[S->name()] = Expr::read(Fresh, {}, Renamed->rhs()->type());
+    return Stmt::windowStmt(Fresh, Renamed->rhs());
+  }
+  case StmtKind::If: {
+    ExprRef Cond = substExpr(S->rhs(), Map);
+    return Stmt::ifStmt(Cond, refreshBlock(S->body(), Map),
+                        refreshBlock(S->orelse(), Map));
+  }
+  default:
+    return substStmt(S, Map);
+  }
+}
+
+} // namespace
+
+Block exo::ir::refreshBinders(const Block &B) {
+  return refreshBlock(B, SymSubst{});
+}

@@ -1,0 +1,60 @@
+//===- ir/Subst.h - Capture-avoiding substitution --------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Substitution of symbols by expressions, including the buffer/window
+/// composition needed by inline(): when a tensor parameter is bound to a
+/// window argument, accesses through the parameter are re-indexed into the
+/// underlying buffer. The paper highlights this automatic re-indexing as a
+/// key productivity win of scheduling over manual rewriting (§1).
+///
+/// Callers are responsible for freshness: replacement expressions must not
+/// mention symbols bound inside the target fragment (scheduling ops mint
+/// fresh names, so this holds by construction; it is asserted where cheap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_SUBST_H
+#define EXO_IR_SUBST_H
+
+#include "ir/Stmt.h"
+
+#include <unordered_map>
+
+namespace exo {
+namespace ir {
+
+/// Mapping from symbols to replacement expressions. Replacements for
+/// symbols used as buffers (indexed reads, assignment destinations,
+/// window bases) must be Read (whole-buffer, i.e. a rename) or WindowExpr
+/// nodes; replacements for scalar/control uses may be arbitrary
+/// expressions.
+using SymSubst = std::unordered_map<Sym, ExprRef>;
+
+ExprRef substExpr(const ExprRef &E, const SymSubst &Map);
+StmtRef substStmt(const StmtRef &S, const SymSubst &Map);
+Block substBlock(const Block &B, const SymSubst &Map);
+
+/// Composes indexing through a window: given the window's coordinates and
+/// the indices applied to the window, yields the indices into the base
+/// buffer. Point coordinates pass through; interval coordinates add their
+/// lower bound to the next applied index.
+std::vector<ExprRef> composeWindowIndices(const std::vector<WinCoord> &Coords,
+                                          const std::vector<ExprRef> &Applied);
+
+/// Composes a window-of-a-window into a single window on the base buffer.
+std::vector<WinCoord> composeWindowCoords(const std::vector<WinCoord> &Inner,
+                                          const std::vector<WinCoord> &Outer);
+
+/// Renames every binder (loop iterators, allocations, window statements)
+/// in \p B to fresh symbols, substituting uses. Used when duplicating a
+/// block (unroll, inline) to maintain global symbol uniqueness.
+Block refreshBinders(const Block &B);
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_SUBST_H

@@ -1,0 +1,46 @@
+//===- ir/Sym.cpp ----------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Sym.h"
+
+#include <mutex>
+#include <vector>
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+/// The global name table. Index 0 is the invalid Sym.
+struct SymTable {
+  std::mutex Lock;
+  std::vector<std::string> Names{""};
+};
+
+SymTable &table() {
+  static SymTable T;
+  return T;
+}
+
+} // namespace
+
+Sym Sym::fresh(const std::string &Name) {
+  SymTable &T = table();
+  std::lock_guard<std::mutex> Guard(T.Lock);
+  unsigned Id = static_cast<unsigned>(T.Names.size());
+  T.Names.push_back(Name);
+  return Sym(Id);
+}
+
+const std::string &Sym::name() const {
+  SymTable &T = table();
+  std::lock_guard<std::mutex> Guard(T.Lock);
+  return T.Names[Id];
+}
+
+std::string Sym::uniqueName() const {
+  return name() + "_" + std::to_string(Id);
+}

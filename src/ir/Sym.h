@@ -1,0 +1,63 @@
+//===- ir/Sym.h - Interned identifiers -------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sym: a globally unique identifier with a human-readable base name.
+/// Distinct Syms with the same base name never collide; the printer
+/// disambiguates with the numeric id when needed. Scheduling rewrites mint
+/// fresh Syms liberally (split loop halves, staged buffers, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_SYM_H
+#define EXO_IR_SYM_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace exo {
+namespace ir {
+
+/// A unique program identifier. Copyable, cheap, hashable.
+class Sym {
+public:
+  Sym() : Id(0) {}
+
+  /// Mints a new identifier with the given base name.
+  static Sym fresh(const std::string &Name);
+
+  /// Mints a new identifier reusing this one's base name.
+  Sym copy() const { return fresh(name()); }
+
+  bool valid() const { return Id != 0; }
+  unsigned id() const { return Id; }
+
+  /// The base name (without uniquifying suffix).
+  const std::string &name() const;
+
+  /// Base name plus "_<id>" — always unambiguous.
+  std::string uniqueName() const;
+
+  bool operator==(const Sym &O) const { return Id == O.Id; }
+  bool operator!=(const Sym &O) const { return Id != O.Id; }
+  bool operator<(const Sym &O) const { return Id < O.Id; }
+
+private:
+  explicit Sym(unsigned Id) : Id(Id) {}
+  unsigned Id;
+};
+
+} // namespace ir
+} // namespace exo
+
+template <> struct std::hash<exo::ir::Sym> {
+  size_t operator()(const exo::ir::Sym &S) const {
+    return std::hash<unsigned>()(S.id());
+  }
+};
+
+#endif // EXO_IR_SYM_H

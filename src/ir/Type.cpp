@@ -1,0 +1,104 @@
+//===- ir/Type.cpp ---------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+#include "ir/Expr.h"
+#include "ir/StructuralEq.h"
+
+using namespace exo;
+using namespace exo::ir;
+
+bool exo::ir::isDataScalar(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::R:
+  case ScalarKind::F32:
+  case ScalarKind::F64:
+  case ScalarKind::I8:
+  case ScalarKind::I16:
+  case ScalarKind::I32:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool exo::ir::isControlScalar(ScalarKind K) { return !isDataScalar(K); }
+
+const char *exo::ir::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::R:
+    return "R";
+  case ScalarKind::F32:
+    return "f32";
+  case ScalarKind::F64:
+    return "f64";
+  case ScalarKind::I8:
+    return "i8";
+  case ScalarKind::I16:
+    return "i16";
+  case ScalarKind::I32:
+    return "i32";
+  case ScalarKind::Int:
+    return "int";
+  case ScalarKind::Bool:
+    return "bool";
+  case ScalarKind::Size:
+    return "size";
+  case ScalarKind::Index:
+    return "index";
+  case ScalarKind::Stride:
+    return "stride";
+  }
+  return "?";
+}
+
+Type Type::tensor(ScalarKind Elem, std::vector<ExprRef> Dims, bool IsWindow) {
+  assert(isDataScalar(Elem) && "tensors hold data scalars");
+  assert(!Dims.empty() && "tensor needs at least one dimension");
+  Type T(Elem);
+  T.Dims = std::move(Dims);
+  T.Window = IsWindow;
+  return T;
+}
+
+Type Type::withElem(ScalarKind NewElem) const {
+  Type T = *this;
+  T.Elem = NewElem;
+  return T;
+}
+
+Type Type::asWindow() const {
+  assert(isTensor() && "only tensors can be windows");
+  Type T = *this;
+  T.Window = true;
+  return T;
+}
+
+bool Type::equals(const Type &O) const {
+  if (Elem != O.Elem || Window != O.Window || Dims.size() != O.Dims.size())
+    return false;
+  for (size_t I = 0; I < Dims.size(); ++I)
+    if (!structurallyEqual(Dims[I], O.Dims[I]))
+      return false;
+  return true;
+}
+
+std::string Type::str() const {
+  std::string Out = scalarKindName(Elem);
+  if (isTensor()) {
+    Out += '[';
+    for (size_t I = 0; I < Dims.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Dims[I]->str();
+    }
+    Out += ']';
+    if (Window)
+      Out = "[" + Out + "]";
+  }
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- ir/Type.h - LoopIR types --------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the core language (§3.1): a strict control / data
+/// separation. Control scalars (int, bool, size, index, stride) may only be
+/// combined quasi-affinely and may appear in loop bounds, branch
+/// conditions, and array shapes. Data scalars (R and the precision types)
+/// live in scalars and dependently-sized tensors and support arbitrary
+/// arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_IR_TYPE_H
+#define EXO_IR_TYPE_H
+
+#include "ir/Sym.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace exo {
+namespace ir {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// Every scalar type of the language.
+enum class ScalarKind {
+  // Data types.
+  R,   ///< abstract numeric type, refined by set_precision
+  F32, ///< 32-bit float
+  F64, ///< 64-bit float
+  I8,  ///< 8-bit signed integer (quantized data)
+  I16, ///< 16-bit signed integer
+  I32, ///< 32-bit signed integer (accumulator data)
+  // Control types.
+  Int,    ///< plain integer control value
+  Bool,   ///< boolean control value
+  Size,   ///< strictly positive integer (array dimensions)
+  Index,  ///< loop index value
+  Stride, ///< buffer stride value
+};
+
+/// True for R / F32 / F64 / I8 / I16 / I32.
+bool isDataScalar(ScalarKind K);
+/// True for Int / Bool / Size / Index / Stride.
+bool isControlScalar(ScalarKind K);
+/// Printable name ("f32", "size", ...).
+const char *scalarKindName(ScalarKind K);
+
+/// A LoopIR type: a scalar, or a dependently-sized tensor of data scalars.
+/// Tensors may be windows (views): a window aliases another buffer and is
+/// never allocated.
+class Type {
+public:
+  /// Scalar constructor.
+  Type(ScalarKind K) : Elem(K) {}
+  Type() : Elem(ScalarKind::R) {}
+
+  /// Tensor constructor; \p Dims are control-typed expressions.
+  static Type tensor(ScalarKind Elem, std::vector<ExprRef> Dims,
+                     bool IsWindow = false);
+
+  bool isScalar() const { return Dims.empty(); }
+  bool isTensor() const { return !Dims.empty(); }
+  bool isWindow() const { return Window; }
+  bool isData() const { return isDataScalar(Elem); }
+  bool isControl() const { return isScalar() && isControlScalar(Elem); }
+
+  ScalarKind elem() const { return Elem; }
+  const std::vector<ExprRef> &dims() const { return Dims; }
+  unsigned rank() const { return static_cast<unsigned>(Dims.size()); }
+
+  /// Same type with a different element precision (set_precision).
+  Type withElem(ScalarKind NewElem) const;
+  /// Same shape marked as a window.
+  Type asWindow() const;
+
+  /// Shallow equality: same kind, same rank, same window-ness. Dimension
+  /// expressions are compared structurally.
+  bool equals(const Type &O) const;
+
+  std::string str() const;
+
+private:
+  ScalarKind Elem;
+  std::vector<ExprRef> Dims;
+  bool Window = false;
+};
+
+} // namespace ir
+} // namespace exo
+
+#endif // EXO_IR_TYPE_H

@@ -1,0 +1,39 @@
+//===- scheduling/OpsCommon.h - Shared op helpers (private) ----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the scheduling operator implementations.
+/// Not installed; include only from scheduling/*.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SCHEDULING_OPSCOMMON_H
+#define EXO_SCHEDULING_OPSCOMMON_H
+
+#include "analysis/Checks.h"
+#include "scheduling/Schedule.h"
+
+namespace exo {
+namespace scheduling {
+
+/// Builds the derived procedure: same signature, new body, provenance
+/// link to \p Old with the given configuration delta.
+ir::ProcRef deriveProc(const ir::ProcRef &Old, ir::Block NewBody,
+                       std::set<ir::Sym> Delta = {});
+
+/// Recursively simplifies index arithmetic (constant folding, neutral
+/// elements) — shared by simplify() and the ops that synthesize indices.
+ir::ExprRef simplifyExpr(const ir::ExprRef &E);
+
+/// Convenience: cursor must select exactly one statement of kind \p K.
+Expected<StmtCursor> findOneOfKind(const ir::Proc &P,
+                                   const std::string &Pattern,
+                                   ir::StmtKind K, const char *What);
+
+} // namespace scheduling
+} // namespace exo
+
+#endif // EXO_SCHEDULING_OPSCOMMON_H

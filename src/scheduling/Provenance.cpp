@@ -1,0 +1,45 @@
+//===- scheduling/Provenance.cpp - Equivalence lattice ---------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Provenance tracking (§3.3, §6): every scheduling operator links its
+/// result to its input, together with the set of configuration fields the
+/// rewrite polluted. Two procedures are equivalent modulo the union of
+/// the deltas along the paths to their closest common ancestor — the
+/// lattice of equivalence relations of Definition 4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "scheduling/Schedule.h"
+
+#include <unordered_map>
+
+using namespace exo;
+using namespace exo::scheduling;
+using namespace exo::ir;
+
+std::optional<std::set<Sym>>
+exo::scheduling::equivalenceDelta(const ProcRef &A, const ProcRef &B) {
+  // Accumulated delta from A to each of its ancestors.
+  std::unordered_map<const Proc *, std::set<Sym>> FromA;
+  std::set<Sym> Acc;
+  for (ProcRef Cur = A; Cur; Cur = Cur->parent()) {
+    FromA.emplace(Cur.get(), Acc);
+    Acc.insert(Cur->configDelta().begin(), Cur->configDelta().end());
+  }
+  // Walk up from B until we hit A's chain.
+  std::set<Sym> FromB;
+  for (ProcRef Cur = B; Cur; Cur = Cur->parent()) {
+    auto It = FromA.find(Cur.get());
+    if (It != FromA.end()) {
+      std::set<Sym> Delta = It->second;
+      Delta.insert(FromB.begin(), FromB.end());
+      return Delta;
+    }
+    FromB.insert(Cur->configDelta().begin(), Cur->configDelta().end());
+  }
+  return std::nullopt;
+}

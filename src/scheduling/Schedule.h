@@ -1,0 +1,202 @@
+//===- scheduling/Schedule.h - Rewrite-based scheduling ops ----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The primitive scheduling operators (Fig. 2 of the paper). Each operator
+/// is an independent rewrite: it takes a procedure and a syntactic pattern
+/// pointing at code, verifies its own safety condition (via the effect
+/// analysis where needed), and returns a new, provenance-linked procedure.
+/// Operators never mutate their input; failed operators return an Error
+/// and leave everything untouched.
+///
+/// This rewrite architecture — in contrast to Halide/TVM's monolithic
+/// lowering — is the paper's central design claim: the correctness of
+/// each operator is independent of every other operator (§3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SCHEDULING_SCHEDULE_H
+#define EXO_SCHEDULING_SCHEDULE_H
+
+#include "scheduling/Pattern.h"
+
+namespace exo {
+namespace scheduling {
+
+using ir::ProcRef;
+
+/// How splitLoop handles iteration counts not divisible by the factor.
+enum class SplitTail {
+  Guard,   ///< guard the body with a bounds test
+  Cut,     ///< emit a separate tail loop
+  Perfect, ///< prove divisibility (fails otherwise)
+};
+
+//===----------------------------------------------------------------------===//
+// Loop transformations (LoopOps.cpp)
+//===----------------------------------------------------------------------===//
+
+/// split(i, c, io, ii): for i in seq(0, n) becomes a 2-d nest
+/// io in seq(0, ceil(n/c)) x ii in seq(0, c) with i = c*io + ii.
+/// Requires the loop to start at 0. Structurally safe for Guard/Cut;
+/// Perfect requires a divisibility proof under the path condition.
+Expected<ProcRef> splitLoop(const ProcRef &P, const std::string &LoopPat,
+                            int64_t Factor, const std::string &OuterName,
+                            const std::string &InnerName,
+                            SplitTail Tail = SplitTail::Guard);
+
+/// reorder(i, j): swaps a loop with the single loop forming its body.
+/// Safe when reordered iteration pairs commute (§5.8).
+Expected<ProcRef> reorderLoops(const ProcRef &P, const std::string &LoopPat);
+
+/// unroll(i): fully unrolls a constant-bound loop. Always safe.
+Expected<ProcRef> unrollLoop(const ProcRef &P, const std::string &LoopPat);
+
+/// partition_loop(i, c): splits the iteration space [lo, hi) into
+/// [lo, lo+c) and [lo+c, hi). Requires lo + c <= hi under the path
+/// condition. Order-preserving, hence otherwise safe.
+Expected<ProcRef> partitionLoop(const ProcRef &P, const std::string &LoopPat,
+                                int64_t Cut);
+
+/// remove_loop: for x: s becomes s. Requires x not free in s, at least
+/// one iteration, and an idempotent body (Shadows(a, a), §5.8).
+Expected<ProcRef> removeLoop(const ProcRef &P, const std::string &LoopPat);
+
+/// fuse_loop: two adjacent loops with equal bounds fuse into one.
+/// Safe when moved-past iteration pairs commute.
+Expected<ProcRef> fuseLoops(const ProcRef &P, const std::string &LoopPat);
+
+/// lift_if: for x: if e: s becomes if e: for x: s (e independent of x).
+Expected<ProcRef> liftIf(const ProcRef &P, const std::string &IfPat);
+
+//===----------------------------------------------------------------------===//
+// Statement transformations (StmtOps.cpp)
+//===----------------------------------------------------------------------===//
+
+/// reorder_stmts: swaps the selected statement with its successor.
+/// Safe when the two statements commute under the path condition.
+Expected<ProcRef> reorderStmts(const ProcRef &P, const std::string &FirstPat);
+
+/// Swaps the selected statement with its *predecessor* (same check).
+Expected<ProcRef> moveStmtUp(const ProcRef &P, const std::string &StmtPat);
+
+/// Mid-level composite (built purely from primitives, per §9's
+/// compositional-autoscheduling point): hoists the matched statement to
+/// the top of the procedure by repeatedly commuting it above its
+/// predecessors and fissioning + removing enclosing loops. Every step is
+/// safety-checked; the first failing step aborts the whole hoist.
+/// The pattern must match exactly one statement in the procedure.
+Expected<ProcRef> hoistStmtToTop(const ProcRef &P, const std::string &StmtPat);
+
+/// fission_after(s): splits the enclosing loop into two loops, the first
+/// ending after s. Safe per the fission condition of §5.8.
+Expected<ProcRef> fissionAfter(const ProcRef &P, const std::string &StmtPat);
+
+/// lift_alloc: hoists an allocation out of \p Levels enclosing loops.
+Expected<ProcRef> liftAlloc(const ProcRef &P, const std::string &AllocPat,
+                            unsigned Levels = 1);
+
+/// bind_expr: a' : R; a' = e; s[e -> a'] for the selected statement.
+/// \p ExprPat is matched against printed subexpressions of the statement.
+Expected<ProcRef> bindExpr(const ProcRef &P, const std::string &StmtPat,
+                           const std::string &ExprPat,
+                           const std::string &NewName);
+
+/// add_guard: s becomes if e: s. Requires e to be definitely true
+/// whenever s executes (the guard is vacuous; it exists to enable
+/// unification against guarded instruction bodies).
+Expected<ProcRef> addGuard(const ProcRef &P, const std::string &StmtPat,
+                           const std::string &CondSrc);
+
+/// delete_pass: removes Pass statements (empty blocks get one back).
+Expected<ProcRef> deletePass(const ProcRef &P);
+
+//===----------------------------------------------------------------------===//
+// Configuration-state transformations (ConfigOps.cpp) — these only
+// preserve equivalence *modulo* the written fields (§6.2); the returned
+// procedure records the pollution in its provenance.
+//===----------------------------------------------------------------------===//
+
+/// configwrite_at: s ~> s; Cfg.field = e. The §6.2 context condition
+/// requires that no code executing afterwards reads the field.
+Expected<ProcRef> configWriteAt(const ProcRef &P, const std::string &StmtPat,
+                                const ir::ConfigRef &Cfg,
+                                const std::string &Field,
+                                const std::string &ValueSrc);
+
+/// configwrite_root: prepends Cfg.field = e to the procedure.
+Expected<ProcRef> configWriteRoot(const ProcRef &P, const ir::ConfigRef &Cfg,
+                                  const std::string &Field,
+                                  const std::string &ValueSrc);
+
+/// bind_config: replaces occurrences of expression e in the selected
+/// statement by a read of Cfg.field, preceded by Cfg.field = e.
+Expected<ProcRef> bindConfig(const ProcRef &P, const std::string &StmtPat,
+                             const std::string &ExprPat,
+                             const ir::ConfigRef &Cfg,
+                             const std::string &Field);
+
+//===----------------------------------------------------------------------===//
+// Memory & precision (MemOps.cpp)
+//===----------------------------------------------------------------------===//
+
+/// stage_mem: stages the window \p WindowSrc (e.g. "A[16*io:16*io+16,
+/// 16*ko:16*ko+16]") of a buffer into a new buffer \p NewName placed in
+/// \p Mem, around the selected statements: copy-in, redirected body,
+/// copy-out (each part only as needed). All accesses to the buffer inside
+/// the selection must provably fall inside the window.
+Expected<ProcRef> stageMem(const ProcRef &P, const std::string &StmtPat,
+                           unsigned Count, const std::string &WindowSrc,
+                           const std::string &NewName,
+                           const std::string &Mem = "DRAM");
+
+/// set_memory: changes the memory annotation of an allocation or
+/// argument. Annotations are ignored by the analysis (§3.2.1), so this is
+/// structurally safe; the backend checks enforce them at codegen.
+Expected<ProcRef> setMemory(const ProcRef &P, const std::string &Name,
+                            const std::string &Mem);
+
+/// set_precision: refines the R type of an allocation or argument to a
+/// concrete precision; uses of the buffer are retyped.
+Expected<ProcRef> setPrecision(const ProcRef &P, const std::string &Name,
+                               ir::ScalarKind Precision);
+
+//===----------------------------------------------------------------------===//
+// Procedure-level operators (ProcOps.cpp / Unify.cpp / Provenance.cpp)
+//===----------------------------------------------------------------------===//
+
+/// inline(): inlines a call site (substituting arguments, composing
+/// windows, refreshing binders).
+Expected<ProcRef> inlineCall(const ProcRef &P, const std::string &CallPat);
+
+/// call_eqv(): retargets a call to a provenance-equivalent procedure.
+/// The accumulated configuration delta between the callees must not be
+/// read by code executing after the call.
+Expected<ProcRef> callEqv(const ProcRef &P, const std::string &CallPat,
+                          const ProcRef &NewCallee);
+
+/// replace(): unifies the selected statements with the body of \p Target
+/// (typically an @instr) and replaces them with a call — instruction
+/// selection under programmer control (§3.4).
+Expected<ProcRef> replaceWith(const ProcRef &P, const std::string &StmtPat,
+                              unsigned Count, const ProcRef &Target);
+
+/// Renames the procedure (fresh identity, same provenance lattice point).
+ProcRef renameProc(const ProcRef &P, const std::string &NewName);
+
+/// Constant-folds index arithmetic and prunes trivially-true guards;
+/// keeps the program readable after splits. Semantics-preserving.
+Expected<ProcRef> simplify(const ProcRef &P);
+
+/// Provenance queries: the configuration delta modulo which A and B are
+/// equivalent (nullopt if they are unrelated), per the lattice of §6.
+std::optional<std::set<ir::Sym>> equivalenceDelta(const ProcRef &A,
+                                                  const ProcRef &B);
+
+} // namespace scheduling
+} // namespace exo
+
+#endif // EXO_SCHEDULING_SCHEDULE_H

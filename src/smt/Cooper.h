@@ -1,0 +1,43 @@
+//===- smt/Cooper.h - Cooper's quantifier elimination ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooper's algorithm for Presburger arithmetic: eliminates one integer
+/// quantifier from an NNF formula without DNF conversion. Combined with
+/// prenexing this decides arbitrary closed LIA sentences, which is what the
+/// effect analysis of §5/§6 needs.
+///
+/// Reference: D.C. Cooper, "Theorem Proving in Arithmetic without
+/// Multiplication", Machine Intelligence 7, 1972.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SMT_COOPER_H
+#define EXO_SMT_COOPER_H
+
+#include "smt/Prenex.h"
+#include "smt/QForm.h"
+
+namespace exo {
+namespace smt {
+
+/// Eliminates `exists VarId` from \p F (an NNF QForm). The result mentions
+/// only the remaining variables. On budget exhaustion returns garbage; the
+/// caller must check \p B.exceeded().
+QFormRef eliminateExists(unsigned VarId, const QFormRef &F, Budget &B);
+
+/// Three-valued decision result.
+enum class Decision { True, False, Unknown };
+
+/// Decides a *closed* prenexed sentence by eliminating the prefix
+/// innermost-out. Returns Unknown if the budget is exhausted or a
+/// non-ground residue remains (i.e. the sentence was not closed).
+Decision decideClosed(const PrenexResult &P, Budget &B);
+
+} // namespace smt
+} // namespace exo
+
+#endif // EXO_SMT_COOPER_H

@@ -1,0 +1,122 @@
+//===- smt/Linear.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Linear.h"
+
+#include "support/MathExtras.h"
+
+using namespace exo;
+using namespace exo::smt;
+
+LinearForm &LinearForm::operator+=(const LinearForm &O) {
+  Constant += O.Constant;
+  for (auto &[Var, Coeff] : O.Coeffs)
+    setCoeff(Var, coeff(Var) + Coeff);
+  return *this;
+}
+
+LinearForm &LinearForm::operator-=(const LinearForm &O) {
+  Constant -= O.Constant;
+  for (auto &[Var, Coeff] : O.Coeffs)
+    setCoeff(Var, coeff(Var) - Coeff);
+  return *this;
+}
+
+LinearForm LinearForm::operator+(const LinearForm &O) const {
+  LinearForm R = *this;
+  R += O;
+  return R;
+}
+
+LinearForm LinearForm::operator-(const LinearForm &O) const {
+  LinearForm R = *this;
+  R -= O;
+  return R;
+}
+
+LinearForm LinearForm::scaled(int64_t S) const {
+  LinearForm R;
+  if (S == 0)
+    return R;
+  R.Constant = Constant * S;
+  for (auto &[Var, Coeff] : Coeffs)
+    R.Coeffs[Var] = Coeff * S;
+  return R;
+}
+
+LinearForm LinearForm::substituted(unsigned VarId,
+                                   const LinearForm &Replacement) const {
+  int64_t C = coeff(VarId);
+  if (C == 0)
+    return *this;
+  LinearForm R = *this;
+  R.Coeffs.erase(VarId);
+  R += Replacement.scaled(C);
+  return R;
+}
+
+int64_t LinearForm::coeffGcd() const {
+  int64_t G = 0;
+  for (auto &[Var, Coeff] : Coeffs)
+    G = gcd64(G, Coeff);
+  return G;
+}
+
+bool LinearForm::operator<(const LinearForm &O) const {
+  if (Constant != O.Constant)
+    return Constant < O.Constant;
+  return Coeffs < O.Coeffs;
+}
+
+std::string LinearForm::str() const {
+  std::string Out;
+  for (auto &[Var, Coeff] : Coeffs) {
+    if (!Out.empty())
+      Out += " + ";
+    Out += std::to_string(Coeff) + "*v#" + std::to_string(Var);
+  }
+  if (Out.empty() || Constant != 0) {
+    if (!Out.empty())
+      Out += " + ";
+    Out += std::to_string(Constant);
+  }
+  return Out;
+}
+
+std::optional<LinearForm> exo::smt::linearFromTerm(const TermRef &T) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    return LinearForm(T->intValue());
+  case TermKind::Var:
+    return LinearForm::variable(T->var().Id);
+  case TermKind::Add: {
+    LinearForm Sum;
+    for (auto &Op : T->operands()) {
+      auto F = linearFromTerm(Op);
+      if (!F)
+        return std::nullopt;
+      Sum += *F;
+    }
+    return Sum;
+  }
+  case TermKind::Mul: {
+    auto F = linearFromTerm(T->operand(0));
+    if (!F)
+      return std::nullopt;
+    return F->scaled(T->scalar());
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+TermRef exo::smt::linearToTerm(const LinearForm &F) {
+  std::vector<TermRef> Ops;
+  for (auto &[Var, Coeff] : F.coeffs())
+    Ops.push_back(mul(Coeff, mkVar(TermVar{Var, "v", Sort::Int})));
+  Ops.push_back(intConst(F.constant()));
+  return add(std::move(Ops));
+}

@@ -1,0 +1,99 @@
+//===- smt/Linear.h - Canonical linear integer forms -----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LinearForm: the canonical representation Σ cᵢ·xᵢ + c used inside the
+/// quantifier elimination engine and by the unification solver. Variables
+/// are solver variable Ids; coefficients are exact 64-bit integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SMT_LINEAR_H
+#define EXO_SMT_LINEAR_H
+
+#include "smt/Term.h"
+
+#include <map>
+#include <optional>
+
+namespace exo {
+namespace smt {
+
+/// A linear combination of integer variables plus a constant.
+/// The coefficient map never stores zero entries.
+class LinearForm {
+public:
+  LinearForm() = default;
+  explicit LinearForm(int64_t Constant) : Constant(Constant) {}
+
+  static LinearForm variable(unsigned VarId, int64_t Coeff = 1) {
+    LinearForm F;
+    if (Coeff != 0)
+      F.Coeffs[VarId] = Coeff;
+    return F;
+  }
+
+  int64_t constant() const { return Constant; }
+  void setConstant(int64_t C) { Constant = C; }
+
+  /// Coefficient of a variable (0 if absent).
+  int64_t coeff(unsigned VarId) const {
+    auto It = Coeffs.find(VarId);
+    return It == Coeffs.end() ? 0 : It->second;
+  }
+
+  void setCoeff(unsigned VarId, int64_t C) {
+    if (C == 0)
+      Coeffs.erase(VarId);
+    else
+      Coeffs[VarId] = C;
+  }
+
+  const std::map<unsigned, int64_t> &coeffs() const { return Coeffs; }
+
+  bool isConstant() const { return Coeffs.empty(); }
+  bool mentions(unsigned VarId) const { return Coeffs.count(VarId) != 0; }
+
+  LinearForm &operator+=(const LinearForm &O);
+  LinearForm &operator-=(const LinearForm &O);
+  LinearForm operator+(const LinearForm &O) const;
+  LinearForm operator-(const LinearForm &O) const;
+  LinearForm scaled(int64_t S) const;
+  LinearForm negated() const { return scaled(-1); }
+
+  /// Removes variable \p VarId and adds Coeff * Replacement instead.
+  LinearForm substituted(unsigned VarId, const LinearForm &Replacement) const;
+
+  /// gcd of the variable coefficients (0 when constant).
+  int64_t coeffGcd() const;
+
+  bool operator==(const LinearForm &O) const {
+    return Constant == O.Constant && Coeffs == O.Coeffs;
+  }
+
+  /// Total ordering for canonicalization / dedup.
+  bool operator<(const LinearForm &O) const;
+
+  /// Debug rendering, e.g. "2*x#3 + -1*y#5 + 7".
+  std::string str() const;
+
+private:
+  std::map<unsigned, int64_t> Coeffs;
+  int64_t Constant = 0;
+};
+
+/// Extracts a LinearForm from an integer term, if it is linear (no Div,
+/// Mod, or Ite nodes). Returns nullopt otherwise.
+std::optional<LinearForm> linearFromTerm(const TermRef &T);
+
+/// Renders a LinearForm back into a term (variables must carry names via
+/// the supplied lookup, or get synthetic names).
+TermRef linearToTerm(const LinearForm &F);
+
+} // namespace smt
+} // namespace exo
+
+#endif // EXO_SMT_LINEAR_H

@@ -1,0 +1,51 @@
+//===- smt/Prenex.h - Prenex normal form conversion ------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts a Term into prenex normal form: a quantifier prefix over a
+/// quantifier-free QForm body. Along the way it
+///   - pushes negations (NNF) and expands Implies / boolean Ite,
+///   - freshly renames every bound variable (so hoisting cannot capture),
+///   - splits atoms containing integer-sorted Ite into guarded cases,
+///   - lowers quasi-affine Div/Mod terms into fresh existentials with
+///     functional defining constraints (an equivalence, valid under any
+///     polarity, because the quotient is uniquely determined),
+///   - maps Bool-sorted variables onto 0/1-constrained Int variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SMT_PRENEX_H
+#define EXO_SMT_PRENEX_H
+
+#include "smt/QForm.h"
+#include "smt/Term.h"
+
+namespace exo {
+namespace smt {
+
+/// One entry of a quantifier prefix (outermost first).
+struct QuantEntry {
+  enum class Q { Forall, Exists };
+  Q Quant;
+  unsigned VarId;
+};
+
+/// The result of prenexing: Prefix (outermost first) and a QF body.
+/// The body's free variables are exactly the input term's free variables
+/// plus the prefix variables.
+struct PrenexResult {
+  std::vector<QuantEntry> Prefix;
+  QFormRef Body;
+};
+
+/// Prenexes \p F. On budget exhaustion the body is garbage; the caller
+/// must check \p B.exceeded().
+PrenexResult prenex(const TermRef &F, Budget &B);
+
+} // namespace smt
+} // namespace exo
+
+#endif // EXO_SMT_PRENEX_H

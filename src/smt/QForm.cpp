@@ -1,0 +1,297 @@
+//===- smt/QForm.cpp -------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/QForm.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+
+using namespace exo;
+using namespace exo::smt;
+
+bool QLit::operator<(const QLit &O) const {
+  if (LitKind != O.LitKind)
+    return LitKind < O.LitKind;
+  if (Divisor != O.Divisor)
+    return Divisor < O.Divisor;
+  return Form < O.Form;
+}
+
+std::string QLit::str() const {
+  switch (LitKind) {
+  case Kind::LE:
+    return Form.str() + " <= 0";
+  case Kind::EQ:
+    return Form.str() + " == 0";
+  case Kind::DVD:
+    return std::to_string(Divisor) + " | " + Form.str();
+  case Kind::NDVD:
+    return "!(" + std::to_string(Divisor) + " | " + Form.str() + ")";
+  }
+  return "?";
+}
+
+bool QForm::mentions(unsigned VarId) const {
+  switch (TheKind) {
+  case Kind::True:
+  case Kind::False:
+    return false;
+  case Kind::Lit:
+    return Literal.Form.mentions(VarId);
+  case Kind::And:
+  case Kind::Or:
+    for (auto &C : Children)
+      if (C->mentions(VarId))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+std::string QForm::str() const {
+  switch (TheKind) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::Lit:
+    return Literal.str();
+  case Kind::And:
+  case Kind::Or: {
+    std::string Out = TheKind == Kind::And ? "(and" : "(or";
+    for (auto &C : Children) {
+      Out += ' ';
+      Out += C->str();
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+  return "?";
+}
+
+QFormRef exo::smt::qTrue() {
+  static QFormRef T =
+      std::make_shared<QForm>(QForm::Kind::True, QLit{}, std::vector<QFormRef>{});
+  return T;
+}
+
+QFormRef exo::smt::qFalse() {
+  static QFormRef F =
+      std::make_shared<QForm>(QForm::Kind::False, QLit{}, std::vector<QFormRef>{});
+  return F;
+}
+
+QFormRef exo::smt::qLit(QLit::Kind K, LinearForm F, int64_t Divisor,
+                        Budget &B) {
+  if (!B.charge())
+    return qFalse();
+
+  // Constant evaluation.
+  if (F.isConstant()) {
+    int64_t C = F.constant();
+    switch (K) {
+    case QLit::Kind::LE:
+      return C <= 0 ? qTrue() : qFalse();
+    case QLit::Kind::EQ:
+      return C == 0 ? qTrue() : qFalse();
+    case QLit::Kind::DVD:
+      return floorMod(C, Divisor) == 0 ? qTrue() : qFalse();
+    case QLit::Kind::NDVD:
+      return floorMod(C, Divisor) != 0 ? qTrue() : qFalse();
+    }
+  }
+
+  // Normalize by the gcd of the variable coefficients.
+  int64_t G = F.coeffGcd();
+  assert(G > 0 && "non-constant form with zero gcd");
+  switch (K) {
+  case QLit::Kind::LE:
+    if (G != 1) {
+      // g*t + c <= 0  <=>  t <= floor(-c / g)  <=>  t - floor(-c/g) <= 0.
+      LinearForm Out;
+      for (auto &[Var, Coeff] : F.coeffs())
+        Out.setCoeff(Var, Coeff / G);
+      Out.setConstant(-floorDiv(-F.constant(), G));
+      F = Out;
+    }
+    break;
+  case QLit::Kind::EQ:
+    if (G != 1) {
+      if (floorMod(F.constant(), G) != 0)
+        return qFalse();
+      LinearForm Out;
+      for (auto &[Var, Coeff] : F.coeffs())
+        Out.setCoeff(Var, Coeff / G);
+      Out.setConstant(F.constant() / G);
+      F = Out;
+    }
+    break;
+  case QLit::Kind::DVD:
+  case QLit::Kind::NDVD: {
+    assert(Divisor > 0 && "divisibility needs a positive modulus");
+    if (Divisor == 1)
+      return K == QLit::Kind::DVD ? qTrue() : qFalse();
+    // Reduce coefficients and constant modulo the divisor.
+    LinearForm Out;
+    for (auto &[Var, Coeff] : F.coeffs())
+      Out.setCoeff(Var, floorMod(Coeff, Divisor));
+    Out.setConstant(floorMod(F.constant(), Divisor));
+    F = Out;
+    if (F.isConstant()) {
+      bool Holds = F.constant() == 0;
+      if (K == QLit::Kind::NDVD)
+        Holds = !Holds;
+      return Holds ? qTrue() : qFalse();
+    }
+    break;
+  }
+  }
+
+  QLit L{K, Divisor, std::move(F)};
+  return std::make_shared<QForm>(QForm::Kind::Lit, std::move(L),
+                                 std::vector<QFormRef>{});
+}
+
+QFormRef exo::smt::qLe(LinearForm F, Budget &B) {
+  return qLit(QLit::Kind::LE, std::move(F), 0, B);
+}
+
+QFormRef exo::smt::qEq(LinearForm F, Budget &B) {
+  return qLit(QLit::Kind::EQ, std::move(F), 0, B);
+}
+
+QFormRef exo::smt::qNe(LinearForm F, Budget &B) {
+  // F != 0  <=>  F + 1 <= 0  or  -F + 1 <= 0.
+  LinearForm Lo = F;
+  Lo.setConstant(Lo.constant() + 1);
+  LinearForm Hi = F.negated();
+  Hi.setConstant(Hi.constant() + 1);
+  return qOr({qLe(std::move(Lo), B), qLe(std::move(Hi), B)}, B);
+}
+
+QFormRef exo::smt::qDvd(int64_t D, LinearForm F, Budget &B) {
+  return qLit(QLit::Kind::DVD, std::move(F), D, B);
+}
+
+QFormRef exo::smt::qNdvd(int64_t D, LinearForm F, Budget &B) {
+  return qLit(QLit::Kind::NDVD, std::move(F), D, B);
+}
+
+static QFormRef makeNary(QForm::Kind K, std::vector<QFormRef> Children,
+                         Budget &B) {
+  bool IsAnd = K == QForm::Kind::And;
+  std::vector<QFormRef> Flat;
+  for (auto &C : Children) {
+    if ((IsAnd && C->isFalse()) || (!IsAnd && C->isTrue()))
+      return IsAnd ? qFalse() : qTrue();
+    if ((IsAnd && C->isTrue()) || (!IsAnd && C->isFalse()))
+      continue;
+    if (C->kind() == K) {
+      for (auto &Inner : C->children())
+        Flat.push_back(Inner);
+    } else {
+      Flat.push_back(C);
+    }
+  }
+  // Deduplicate identical literal children (cheap but effective).
+  std::vector<QFormRef> Dedup;
+  for (auto &C : Flat) {
+    bool Duplicate = false;
+    if (C->kind() == QForm::Kind::Lit) {
+      for (auto &D : Dedup)
+        if (D->kind() == QForm::Kind::Lit && D->lit() == C->lit()) {
+          Duplicate = true;
+          break;
+        }
+    }
+    if (!Duplicate)
+      Dedup.push_back(C);
+  }
+  if (Dedup.empty())
+    return IsAnd ? qTrue() : qFalse();
+  if (Dedup.size() == 1)
+    return Dedup[0];
+  if (!B.charge(Dedup.size()))
+    return IsAnd ? qFalse() : qTrue();
+  return std::make_shared<QForm>(K, QLit{}, std::move(Dedup));
+}
+
+QFormRef exo::smt::qAnd(std::vector<QFormRef> Children, Budget &B) {
+  return makeNary(QForm::Kind::And, std::move(Children), B);
+}
+
+QFormRef exo::smt::qOr(std::vector<QFormRef> Children, Budget &B) {
+  return makeNary(QForm::Kind::Or, std::move(Children), B);
+}
+
+QFormRef exo::smt::qNot(const QFormRef &F, Budget &B) {
+  switch (F->kind()) {
+  case QForm::Kind::True:
+    return qFalse();
+  case QForm::Kind::False:
+    return qTrue();
+  case QForm::Kind::Lit: {
+    const QLit &L = F->lit();
+    switch (L.LitKind) {
+    case QLit::Kind::LE: {
+      // !(F <= 0)  <=>  -F + 1 <= 0.
+      LinearForm G = L.Form.negated();
+      G.setConstant(G.constant() + 1);
+      return qLe(std::move(G), B);
+    }
+    case QLit::Kind::EQ:
+      return qNe(L.Form, B);
+    case QLit::Kind::DVD:
+      return qNdvd(L.Divisor, L.Form, B);
+    case QLit::Kind::NDVD:
+      return qDvd(L.Divisor, L.Form, B);
+    }
+    return qFalse();
+  }
+  case QForm::Kind::And:
+  case QForm::Kind::Or: {
+    std::vector<QFormRef> Negated;
+    Negated.reserve(F->children().size());
+    for (auto &C : F->children())
+      Negated.push_back(qNot(C, B));
+    return F->kind() == QForm::Kind::And ? qOr(std::move(Negated), B)
+                                         : qAnd(std::move(Negated), B);
+  }
+  }
+  return qFalse();
+}
+
+QFormRef exo::smt::qSubst(const QFormRef &F, unsigned VarId,
+                          const LinearForm &Repl, Budget &B) {
+  switch (F->kind()) {
+  case QForm::Kind::True:
+  case QForm::Kind::False:
+    return F;
+  case QForm::Kind::Lit: {
+    if (!F->lit().Form.mentions(VarId))
+      return F;
+    return qLit(F->lit().LitKind, F->lit().Form.substituted(VarId, Repl),
+                F->lit().Divisor, B);
+  }
+  case QForm::Kind::And:
+  case QForm::Kind::Or: {
+    std::vector<QFormRef> Out;
+    Out.reserve(F->children().size());
+    bool Changed = false;
+    for (auto &C : F->children()) {
+      Out.push_back(qSubst(C, VarId, Repl, B));
+      Changed |= Out.back() != C;
+    }
+    if (!Changed)
+      return F;
+    return F->kind() == QForm::Kind::And ? qAnd(std::move(Out), B)
+                                         : qOr(std::move(Out), B);
+  }
+  }
+  return F;
+}

@@ -1,0 +1,130 @@
+//===- smt/QForm.h - Quantifier-free formula layer -------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quantifier-free formula representation used by Cooper's quantifier
+/// elimination: positive boolean combinations (And / Or) of linear-integer
+/// literals. Negation is pre-pushed into the literals, so the structure is
+/// already in negation normal form.
+///
+/// Literal shapes:
+///   LE   F <= 0
+///   EQ   F == 0
+///   DVD  D | F        (D > 1)
+///   NDVD !(D | F)     (D > 1)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SMT_QFORM_H
+#define EXO_SMT_QFORM_H
+
+#include "smt/Linear.h"
+
+#include <memory>
+
+namespace exo {
+namespace smt {
+
+/// Shared counters and limits for one solver query. All formula-building
+/// routines charge against it; once exhausted they produce garbage that the
+/// caller must discard after checking exceeded().
+class Budget {
+public:
+  explicit Budget(uint64_t MaxLiterals) : Remaining(MaxLiterals) {}
+
+  /// Charges \p N literals; returns false once the budget is gone.
+  bool charge(uint64_t N = 1) {
+    if (Remaining < N) {
+      Remaining = 0;
+      return false;
+    }
+    Remaining -= N;
+    return true;
+  }
+
+  bool exceeded() const { return Remaining == 0; }
+
+private:
+  uint64_t Remaining;
+};
+
+/// A literal over linear integer forms.
+struct QLit {
+  enum class Kind { LE, EQ, DVD, NDVD };
+
+  Kind LitKind;
+  int64_t Divisor = 0; ///< for DVD / NDVD
+  LinearForm Form;
+
+  bool operator==(const QLit &O) const {
+    return LitKind == O.LitKind && Divisor == O.Divisor && Form == O.Form;
+  }
+  bool operator<(const QLit &O) const;
+
+  std::string str() const;
+};
+
+class QForm;
+using QFormRef = std::shared_ptr<const QForm>;
+
+/// An NNF formula tree: True, False, a literal, or an And/Or of children.
+class QForm {
+public:
+  enum class Kind { True, False, Lit, And, Or };
+
+  Kind kind() const { return TheKind; }
+  const QLit &lit() const {
+    assert(TheKind == Kind::Lit && "not a literal");
+    return Literal;
+  }
+  const std::vector<QFormRef> &children() const { return Children; }
+
+  bool isTrue() const { return TheKind == Kind::True; }
+  bool isFalse() const { return TheKind == Kind::False; }
+
+  /// True if any literal in the formula mentions variable \p VarId.
+  bool mentions(unsigned VarId) const;
+
+  std::string str() const;
+
+  QForm(Kind K, QLit L, std::vector<QFormRef> C)
+      : TheKind(K), Literal(std::move(L)), Children(std::move(C)) {}
+
+private:
+  Kind TheKind;
+  QLit Literal;
+  std::vector<QFormRef> Children;
+};
+
+QFormRef qTrue();
+QFormRef qFalse();
+
+/// Builds a literal, evaluating it if the form is constant, and
+/// normalizing by the gcd of the coefficients.
+QFormRef qLit(QLit::Kind K, LinearForm F, int64_t Divisor, Budget &B);
+
+/// Convenience literal builders (all normalize/evaluate).
+QFormRef qLe(LinearForm F, Budget &B);  ///< F <= 0
+QFormRef qEq(LinearForm F, Budget &B);  ///< F == 0
+QFormRef qNe(LinearForm F, Budget &B);  ///< F != 0  (expands to an Or)
+QFormRef qDvd(int64_t D, LinearForm F, Budget &B);
+QFormRef qNdvd(int64_t D, LinearForm F, Budget &B);
+
+/// And/Or with flattening, constant absorption, and duplicate removal.
+QFormRef qAnd(std::vector<QFormRef> Children, Budget &B);
+QFormRef qOr(std::vector<QFormRef> Children, Budget &B);
+
+/// Negates an NNF formula (dualizes connectives, negates literals).
+QFormRef qNot(const QFormRef &F, Budget &B);
+
+/// Substitutes variable \p VarId by a linear form in every literal.
+QFormRef qSubst(const QFormRef &F, unsigned VarId, const LinearForm &Repl,
+                Budget &B);
+
+} // namespace smt
+} // namespace exo
+
+#endif // EXO_SMT_QFORM_H

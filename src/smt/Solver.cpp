@@ -1,0 +1,73 @@
+//===- smt/Solver.cpp ------------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "smt/Cooper.h"
+#include "smt/Prenex.h"
+
+using namespace exo;
+using namespace exo::smt;
+
+namespace {
+uint64_t &defaultBudgetStorage() {
+  static uint64_t Budget = 2'000'000;
+  return Budget;
+}
+} // namespace
+
+uint64_t exo::smt::defaultMaxLiterals() { return defaultBudgetStorage(); }
+
+void exo::smt::setDefaultMaxLiterals(uint64_t Budget) {
+  defaultBudgetStorage() = Budget == 0 ? 1 : Budget;
+}
+
+/// Closes the free variables of \p F with the given quantifier; boolean
+/// variables are restricted to {0, 1}.
+static TermRef closeFreeVars(TermRef F, bool Universally) {
+  std::vector<TermVar> Free;
+  collectFreeVars(F, Free);
+  for (auto It = Free.rbegin(); It != Free.rend(); ++It) {
+    TermVar V = *It;
+    if (V.VarSort == Sort::Bool) {
+      // Reinterpret the variable as an integer (the prenexer maps bool
+      // vars onto int vars with the same Id) and bound it to {0, 1}.
+      TermVar IntV{V.Id, V.Name, Sort::Int};
+      TermRef X = mkVar(IntV);
+      TermRef Range = mkAnd(le(intConst(0), X), le(X, intConst(1)));
+      F = Universally ? forall(IntV, implies(Range, F))
+                      : exists(IntV, mkAnd(Range, F));
+    } else {
+      F = Universally ? forall(V, F) : exists(V, F);
+    }
+  }
+  return F;
+}
+
+SolverResult Solver::decide(TermRef Closed) {
+  ++TheStats.NumQueries;
+  Budget B(Opts.MaxLiterals);
+  PrenexResult P = prenex(Closed, B);
+  Decision D = B.exceeded() ? Decision::Unknown : decideClosed(P, B);
+  switch (D) {
+  case Decision::True:
+    return SolverResult::Yes;
+  case Decision::False:
+    return SolverResult::No;
+  case Decision::Unknown:
+    ++TheStats.NumUnknown;
+    return SolverResult::Unknown;
+  }
+  return SolverResult::Unknown;
+}
+
+SolverResult Solver::checkValid(const TermRef &F) {
+  return decide(closeFreeVars(F, /*Universally=*/true));
+}
+
+SolverResult Solver::checkSat(const TermRef &F) {
+  return decide(closeFreeVars(F, /*Universally=*/false));
+}

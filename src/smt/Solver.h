@@ -1,0 +1,69 @@
+//===- smt/Solver.h - Validity / satisfiability interface ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver facade used by the effect analysis, the bounds checker, and
+/// the unification engine. Queries are quantified LIA formulas; answers are
+/// three-valued so every client can fail safe on Unknown (the paper's
+/// approach: an imprecise analysis may only reject, never admit, a rewrite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SMT_SOLVER_H
+#define EXO_SMT_SOLVER_H
+
+#include "smt/Term.h"
+
+#include <cstdint>
+
+namespace exo {
+namespace smt {
+
+enum class SolverResult { Yes, No, Unknown };
+
+/// Process-wide default literal budget (overridable for ablations).
+uint64_t defaultMaxLiterals();
+void setDefaultMaxLiterals(uint64_t Budget);
+
+/// Tuning knobs. MaxLiterals bounds the total number of literals the
+/// elimination pipeline may create for a single query.
+struct SolverOptions {
+  uint64_t MaxLiterals = defaultMaxLiterals();
+};
+
+/// Decision procedure for quantified linear integer arithmetic.
+///
+/// Free integer variables are implicitly universally quantified by
+/// checkValid and existentially by checkSat. Free *boolean* variables are
+/// closed the same way over the range {0, 1}.
+class Solver {
+public:
+  explicit Solver(SolverOptions Opts = SolverOptions()) : Opts(Opts) {}
+
+  /// Is \p F true under every assignment of its free variables?
+  SolverResult checkValid(const TermRef &F);
+
+  /// Is \p F true under some assignment of its free variables?
+  SolverResult checkSat(const TermRef &F);
+
+  /// Query statistics, for the ablation benchmarks.
+  struct Stats {
+    uint64_t NumQueries = 0;
+    uint64_t NumUnknown = 0;
+  };
+  const Stats &stats() const { return TheStats; }
+
+private:
+  SolverResult decide(TermRef Closed);
+
+  SolverOptions Opts;
+  Stats TheStats;
+};
+
+} // namespace smt
+} // namespace exo
+
+#endif // EXO_SMT_SOLVER_H

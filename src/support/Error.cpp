@@ -1,0 +1,49 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace exo;
+
+void exo::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "exocc fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+const char *exo::errorKindName(Error::Kind K) {
+  switch (K) {
+  case Error::Kind::None:
+    return "none";
+  case Error::Kind::Parse:
+    return "parse error";
+  case Error::Kind::Type:
+    return "type error";
+  case Error::Kind::Bounds:
+    return "bounds error";
+  case Error::Kind::Precondition:
+    return "precondition error";
+  case Error::Kind::Pattern:
+    return "pattern error";
+  case Error::Kind::Scheduling:
+    return "scheduling error";
+  case Error::Kind::Safety:
+    return "safety error";
+  case Error::Kind::Unification:
+    return "unification error";
+  case Error::Kind::Backend:
+    return "backend error";
+  case Error::Kind::Internal:
+    return "internal error";
+  }
+  return "unknown error";
+}
+
+std::string Error::str() const {
+  return std::string(errorKindName(TheKind)) + ": " + Msg;
+}

@@ -1,0 +1,104 @@
+//===- support/Error.h - Lightweight error handling -----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error and Expected<T>: LLVM-flavoured recoverable-error plumbing without
+/// exceptions. Scheduling operators and front-end checks return
+/// Expected<...>; invariant violations use assert/fatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_ERROR_H
+#define EXO_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace exo {
+
+/// Aborts the process with a message. For invariant violations that must be
+/// caught even in release builds.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// A recoverable error: a category tag plus a human-readable message.
+class Error {
+public:
+  enum class Kind {
+    None,        ///< success sentinel (only inside Expected)
+    Parse,       ///< surface-syntax parse failure
+    Type,        ///< front-end type/control check failure
+    Bounds,      ///< static bounds check failure
+    Precondition,///< assertion/precondition check failure
+    Pattern,     ///< scheduling cursor pattern did not match
+    Scheduling,  ///< rewrite is structurally inapplicable
+    Safety,      ///< effect analysis could not prove the rewrite safe
+    Unification, ///< replace() unification failure
+    Backend,     ///< codegen-time (memory/precision) check failure
+    Internal,    ///< should-not-happen, but recoverable in tooling
+  };
+
+  Error(Kind K, std::string Msg) : TheKind(K), Msg(std::move(Msg)) {}
+
+  Kind kind() const { return TheKind; }
+  const std::string &message() const { return Msg; }
+
+  /// Renders "<kind>: <message>".
+  std::string str() const;
+
+private:
+  Kind TheKind;
+  std::string Msg;
+};
+
+/// Returns the printable name of an error kind.
+const char *errorKindName(Error::Kind K);
+
+/// Either a value or an Error. The value is accessible only after checking.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Error Err) : Storage(std::move(Err)) {}
+
+  /// True on success.
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  T &operator*() {
+    assert(*this && "dereferencing errored Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereferencing errored Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Error &error() const {
+    assert(!*this && "taking error of successful Expected");
+    return std::get<Error>(Storage);
+  }
+
+  /// Moves the value out, aborting on error (use when failure is a bug).
+  T take(const char *What = "Expected") {
+    if (!*this)
+      fatalError(std::string(What) + " failed: " + error().str());
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+/// Convenience factory.
+inline Error makeError(Error::Kind K, std::string Msg) {
+  return Error(K, std::move(Msg));
+}
+
+} // namespace exo
+
+#endif // EXO_SUPPORT_ERROR_H

@@ -1,0 +1,78 @@
+//===- support/MathExtras.h - Integer arithmetic helpers ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact 64-bit integer helpers used by the LIA solver and the analyses.
+/// Division and modulo follow the floor convention (the semantics of the
+/// Exo language's quasi-affine `/` and `%`), not C's truncation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_MATHEXTRAS_H
+#define EXO_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+
+namespace exo {
+
+/// Greatest common divisor; gcd(0,0) == 0, result is non-negative.
+inline int64_t gcd64(int64_t A, int64_t B) {
+  A = A < 0 ? -A : A;
+  B = B < 0 ? -B : B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Least common multiple (assumes no overflow).
+inline int64_t lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  return (A / gcd64(A, B)) * B;
+}
+
+/// Floor division: floorDiv(-1, 2) == -1.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Floor modulo: result has the sign of B; floorMod(-1, 2) == 1.
+inline int64_t floorMod(int64_t A, int64_t B) {
+  assert(B != 0 && "modulo by zero");
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    R += B;
+  return R;
+}
+
+/// Ceiling division.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  return -floorDiv(-A, B);
+}
+
+/// The "symmetric modulo" used by the Omega test: result in
+/// (-|B|/2, |B|/2]. Written mod-hat in Pugh's paper.
+inline int64_t symMod(int64_t A, int64_t B) {
+  assert(B > 0 && "symMod needs positive modulus");
+  int64_t R = floorMod(A, B);
+  if (2 * R > B)
+    R -= B;
+  return R;
+}
+
+} // namespace exo
+
+#endif // EXO_SUPPORT_MATHEXTRAS_H

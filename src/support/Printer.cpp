@@ -1,0 +1,60 @@
+//===- support/Printer.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Printer.h"
+
+#include <cassert>
+
+using namespace exo;
+
+void Printer::beginLineIfNeeded() {
+  if (!AtLineStart)
+    return;
+  Buffer.append(Depth * IndentWidth, ' ');
+  AtLineStart = false;
+}
+
+void Printer::line(const std::string &Text) {
+  beginLineIfNeeded();
+  Buffer += Text;
+  endLine();
+}
+
+void Printer::blank() {
+  assert(AtLineStart && "blank() in the middle of a line");
+  Buffer += '\n';
+}
+
+Printer &Printer::operator<<(const std::string &Text) {
+  beginLineIfNeeded();
+  Buffer += Text;
+  return *this;
+}
+
+Printer &Printer::operator<<(const char *Text) {
+  beginLineIfNeeded();
+  Buffer += Text;
+  return *this;
+}
+
+Printer &Printer::operator<<(long long Value) {
+  return *this << std::to_string(Value);
+}
+
+Printer &Printer::operator<<(int Value) {
+  return *this << std::to_string(Value);
+}
+
+void Printer::endLine() {
+  beginLineIfNeeded();
+  Buffer += '\n';
+  AtLineStart = true;
+}
+
+void Printer::dedent() {
+  assert(Depth > 0 && "dedent below zero");
+  --Depth;
+}

@@ -1,0 +1,68 @@
+//===- support/Printer.h - Indented text emission -------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small indentation-aware string builder used by the IR pretty printer
+/// and the C code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_PRINTER_H
+#define EXO_SUPPORT_PRINTER_H
+
+#include <string>
+
+namespace exo {
+
+/// Accumulates lines of text with managed indentation.
+class Printer {
+public:
+  explicit Printer(unsigned IndentWidth = 2) : IndentWidth(IndentWidth) {}
+
+  /// Emits one full line at the current indentation.
+  void line(const std::string &Text);
+
+  /// Emits a blank line.
+  void blank();
+
+  /// Appends text to the current (unterminated) line.
+  Printer &operator<<(const std::string &Text);
+  Printer &operator<<(const char *Text);
+  Printer &operator<<(long long Value);
+  Printer &operator<<(int Value);
+
+  /// Terminates the current line.
+  void endLine();
+
+  void indent() { ++Depth; }
+  void dedent();
+
+  /// RAII indentation scope.
+  class Scope {
+  public:
+    explicit Scope(Printer &P) : P(P) { P.indent(); }
+    ~Scope() { P.dedent(); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Printer &P;
+  };
+
+  const std::string &str() const { return Buffer; }
+
+private:
+  void beginLineIfNeeded();
+
+  std::string Buffer;
+  unsigned IndentWidth;
+  unsigned Depth = 0;
+  bool AtLineStart = true;
+};
+
+} // namespace exo
+
+#endif // EXO_SUPPORT_PRINTER_H

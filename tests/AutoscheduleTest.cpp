@@ -1,0 +1,75 @@
+//===- tests/AutoscheduleTest.cpp - §9 autoscheduler tests -----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Autoschedule.h"
+
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+TEST(AutoscheduleTest, PicksThePaper6x64OnFriendlySizes) {
+  auto R = apps::autoscheduleSgemm(192, 192, 64);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  // 192 is divisible by 6 and 64; the register model prefers tall-R,
+  // register-filling shapes: 6x64 (24+4+1 = 29 regs) beats 8x64 (37,
+  // spills) and 12x16 scores lower on reuse-per-vector... the model
+  // must at least land on a no-spill shape with maximal R.
+  EXPECT_GT(R->RowTile, 4);
+  EXPECT_LE(R->RowTile * (R->ColTile / 16) + R->ColTile / 16 + 1, 30);
+  EXPECT_GT(R->CandidatesTried, 4u);
+}
+
+TEST(AutoscheduleTest, RespectsDivisibility) {
+  // M = 10 only divides by 2, 5, 10.
+  auto R = apps::autoscheduleSgemm(10, 64, 16);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_EQ(10 % R->RowTile, 0);
+  EXPECT_EQ(64 % R->ColTile, 0);
+}
+
+TEST(AutoscheduleTest, AutoscheduledKernelIsCorrect) {
+  const int64_t M = 12, N = 64, K = 16;
+  auto R = apps::autoscheduleSgemm(M, N, K);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  std::vector<double> A(M * K), B(K * N);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = (I % 5) * 0.5 - 1.0;
+  for (size_t I = 0; I < B.size(); ++I)
+    B[I] = (I % 3) * 0.25;
+  auto Run = [&](const ProcRef &P) {
+    std::vector<double> C(M * N, 0.0), AC = A, BC = B;
+    interp::Interp In;
+    In.run(P, {interp::ArgValue::buffer(
+                   interp::BufferView::dense(AC.data(), {M, K})),
+               interp::ArgValue::buffer(
+                   interp::BufferView::dense(BC.data(), {K, N})),
+               interp::ArgValue::buffer(
+                   interp::BufferView::dense(C.data(), {M, N}))})
+        .take("interp");
+    return C;
+  };
+  EXPECT_EQ(Run(R->Kernels.Algorithm), Run(R->Kernels.ExoSgemm));
+}
+
+TEST(AutoscheduleTest, FailsCleanlyWhenNoTileDivides) {
+  // 13 is prime and above the search bound, so only the trivial row tile
+  // of 1 divides it — the autoscheduler reports failure instead of
+  // emitting a degenerate schedule.
+  auto R = apps::autoscheduleSgemm(13, 64, 16);
+  EXPECT_FALSE(bool(R));
+  // A prime within the search bound is fine (R = 7 fits the registers).
+  auto R2 = apps::autoscheduleSgemm(7, 64, 16);
+  ASSERT_TRUE(bool(R2)) << R2.error().str();
+  EXPECT_EQ(R2->RowTile, 7);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/GemminiTest.cpp - Gemmini library & app tests -----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/GemminiMatmul.h"
+#include "hwlibs/gemmini/GemminiLib.h"
+
+#include "backend/CodeGen.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace exo;
+using namespace exo::ir;
+using exo::hw::gemmini::gemminiLib;
+
+namespace {
+
+TEST(GemminiLibTest, LibraryParsesAndRegisters) {
+  const auto &HW = gemminiLib();
+  ASSERT_TRUE(HW.LdData);
+  ASSERT_TRUE(HW.Matmul16);
+  EXPECT_TRUE(HW.LdData->isInstr());
+  EXPECT_EQ(HW.Matmul16->args().size(), 6u);
+  EXPECT_EQ(HW.CfgLd1->fields().size(), 1u);
+}
+
+TEST(GemminiAppTest, SchedulePipelineSucceeds) {
+  auto K = apps::buildGemminiMatmul(32, 32, 32);
+  ASSERT_TRUE(bool(K)) << K.error().str();
+  std::string Old = printProc(K->OldLib);
+  std::string Exo = printProc(K->ExoLib);
+  // Old-lib: configuration instructions inside the tile loops.
+  size_t OldCfg = Old.find("gemmini_config_ld1");
+  ASSERT_NE(OldCfg, std::string::npos) << Old;
+  EXPECT_GT(Old.rfind("for", OldCfg), 0u);
+  // Exo-lib: all three configs before the first loop.
+  size_t FirstLoop = Exo.find("for ");
+  EXPECT_LT(Exo.find("gemmini_config_ld1"), FirstLoop) << Exo;
+  EXPECT_LT(Exo.find("gemmini_config_ld2"), FirstLoop) << Exo;
+  EXPECT_LT(Exo.find("gemmini_config_st"), FirstLoop) << Exo;
+  // Exactly one of each.
+  EXPECT_EQ(Exo.find("gemmini_config_ld1", Exo.find("gemmini_config_ld1") + 1),
+            std::string::npos);
+  EXPECT_GT(K->ExoLibSteps, K->OldLibSteps);
+}
+
+TEST(GemminiAppTest, ScheduledKernelsMatchReference) {
+  auto K = apps::buildGemminiMatmul(32, 48, 32);
+  ASSERT_TRUE(bool(K)) << K.error().str();
+  const int64_t N = 32, M = 48, KK = 32;
+  std::mt19937 Rng(3);
+  std::uniform_real_distribution<double> D(-1, 1);
+  std::vector<double> A(N * KK), B(KK * M);
+  for (auto &V : A)
+    V = D(Rng);
+  for (auto &V : B)
+    V = D(Rng);
+
+  auto runProc = [&](const ProcRef &P) {
+    std::vector<double> C(N * M, 0.0);
+    std::vector<double> ACopy = A, BCopy = B;
+    interp::Interp I;
+    auto R = I.run(
+        P, {interp::ArgValue::buffer(
+                interp::BufferView::dense(ACopy.data(), {N, KK})),
+            interp::ArgValue::buffer(
+                interp::BufferView::dense(BCopy.data(), {KK, M})),
+            interp::ArgValue::buffer(
+                interp::BufferView::dense(C.data(), {N, M}))});
+    if (!R)
+      fatalError("interp failed: " + R.error().str());
+    return C;
+  };
+
+  std::vector<double> Ref = runProc(K->Algorithm);
+  std::vector<double> Old = runProc(K->OldLib);
+  std::vector<double> Exo = runProc(K->ExoLib);
+  for (size_t I = 0; I < Ref.size(); ++I) {
+    ASSERT_NEAR(Ref[I], Old[I], 1e-9) << "old-lib diverges at " << I;
+    ASSERT_NEAR(Ref[I], Exo[I], 1e-9) << "exo-lib diverges at " << I;
+  }
+}
+
+TEST(GemminiAppTest, GeneratesC) {
+  auto K = apps::buildGemminiMatmul(32, 32, 32);
+  ASSERT_TRUE(bool(K)) << K.error().str();
+  auto C = backend::generateC({K->OldLib, K->ExoLib});
+  ASSERT_TRUE(bool(C)) << C.error().str();
+  EXPECT_NE(C->find("#include \"gemmini_sim.h\""), std::string::npos);
+  EXPECT_NE(C->find("gemmini_matmul("), std::string::npos) << *C;
+  EXPECT_NE(C->find("gemmini_mvin("), std::string::npos) << *C;
+  EXPECT_NE(C->find("gemmini_config_ld("), std::string::npos) << *C;
+}
+
+} // namespace

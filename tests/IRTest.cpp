@@ -1,0 +1,191 @@
+//===- tests/IRTest.cpp - LoopIR core unit tests ---------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/FreeVars.h"
+#include "ir/Printer.h"
+#include "ir/StructuralEq.h"
+#include "ir/Subst.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+/// Builds the paper's running example:
+///   def gemm(A: R[n,n], B: R[n,n], C: R[n,n]):
+///     for i in seq(0, n):
+///       for j in seq(0, n):
+///         for k in seq(0, n):
+///           C[i,j] += A[i,k] * B[k,j]
+ProcRef buildGemm(int64_t N = 0) {
+  ProcBuilder B("gemm");
+  ExprRef Dim;
+  Sym NSym;
+  if (N == 0) {
+    NSym = B.sizeArg("n");
+    Dim = B.rd(NSym);
+  } else {
+    Dim = litInt(N, ScalarKind::Size);
+  }
+  Sym A = B.tensorArg("A", ScalarKind::R, {Dim, Dim});
+  Sym Bm = B.tensorArg("B", ScalarKind::R, {Dim, Dim});
+  Sym C = B.tensorArg("C", ScalarKind::R, {Dim, Dim});
+  Sym I = B.beginFor("i", litInt(0), Dim);
+  Sym J = B.beginFor("j", litInt(0), Dim);
+  Sym K = B.beginFor("k", litInt(0), Dim);
+  B.reduce(C, {B.rd(I), B.rd(J)},
+           eMul(B.rd(A, {B.rd(I), B.rd(K)}), B.rd(Bm, {B.rd(K), B.rd(J)})));
+  B.endFor();
+  B.endFor();
+  B.endFor();
+  return B.result();
+}
+
+TEST(IRTest, BuildAndPrintGemm) {
+  ProcRef P = buildGemm();
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("def gemm("), std::string::npos) << S;
+  EXPECT_NE(S.find("for i in seq(0, n):"), std::string::npos) << S;
+  EXPECT_NE(S.find("C[i, j] += A[i, k] * B[k, j]"), std::string::npos) << S;
+}
+
+TEST(IRTest, StructuralEqualityOfSelf) {
+  ProcRef P = buildGemm();
+  EXPECT_TRUE(structurallyEqual(P->body(), P->body()));
+  // Two independently built gemms differ in symbols...
+  ProcRef Q = buildGemm();
+  EXPECT_FALSE(structurallyEqual(P->body(), Q->body()));
+  // ...but are alpha-equivalent given the argument correspondence.
+  std::unordered_map<Sym, Sym> Map;
+  for (size_t I = 0; I < P->args().size(); ++I)
+    Map[P->args()[I].Name] = Q->args()[I].Name;
+  EXPECT_TRUE(alphaEquivalent(P->body(), Q->body(), Map));
+}
+
+TEST(IRTest, FreeVarsOfGemmBody) {
+  ProcRef P = buildGemm();
+  std::set<Sym> Free = freeVars(P->body());
+  // Free vars are exactly the four arguments (n, A, B, C); the loop
+  // iterators are bound.
+  EXPECT_EQ(Free.size(), 4u);
+  for (auto &A : P->args())
+    EXPECT_TRUE(Free.count(A.Name)) << A.Name.uniqueName();
+}
+
+TEST(IRTest, BinOpPrecedencePrinting) {
+  ProcBuilder B("t");
+  Sym X = B.controlArg("x", ScalarKind::Int);
+  ExprRef E = eMul(eAdd(B.rd(X), litInt(1)), litInt(2));
+  EXPECT_EQ(printExpr(E), "(x + 1) * 2");
+  ExprRef F = eAdd(eMul(B.rd(X), litInt(2)), litInt(1));
+  EXPECT_EQ(printExpr(F), "x * 2 + 1");
+}
+
+TEST(IRTest, SubstScalar) {
+  ProcBuilder B("t");
+  Sym X = B.controlArg("x", ScalarKind::Int);
+  Sym Y = B.controlArg("y", ScalarKind::Int);
+  ExprRef E = eAdd(B.rd(X), B.rd(Y));
+  SymSubst Map;
+  Map[X] = litInt(7);
+  ExprRef R = substExpr(E, Map);
+  EXPECT_EQ(printExpr(R), "7 + y");
+}
+
+TEST(IRTest, SubstBufferRename) {
+  ProcBuilder B("t");
+  Sym A = B.tensorArg("a", ScalarKind::R, {litInt(8)});
+  Sym I = B.beginFor("i", litInt(0), litInt(8));
+  B.assign(A, {B.rd(I)}, litData(0.0));
+  B.endFor();
+  ProcRef P = B.result();
+
+  Sym Fresh = Sym::fresh("b");
+  SymSubst Map;
+  Map[A] = Expr::read(Fresh, {}, P->args()[0].Ty);
+  Block NewBody = substBlock(P->body(), Map);
+  std::set<Sym> Free = freeVars(NewBody);
+  EXPECT_TRUE(Free.count(Fresh));
+  EXPECT_FALSE(Free.count(A));
+}
+
+TEST(IRTest, SubstThroughWindow) {
+  // Accessing dst[i, j] where dst := base[4:8, 2] must become
+  // base[4 + i, 2] — wait, the window keeps one interval and one point, so
+  // dst is rank 1: dst[i] -> base[4 + i, 2].
+  ProcBuilder B("t");
+  Sym Base = B.tensorArg("base", ScalarKind::R, {litInt(8), litInt(8)});
+  Sym DstParam = Sym::fresh("dst");
+  ExprRef W = B.win(Base, {iv(litInt(4), litInt(8)), pt(litInt(2))});
+  SymSubst Map;
+  Map[DstParam] = W;
+  Sym I = Sym::fresh("i");
+  ExprRef Use = Expr::read(DstParam, {Expr::read(I, {}, Type(ScalarKind::Index))},
+                           Type(ScalarKind::R));
+  ExprRef R = substExpr(Use, Map);
+  EXPECT_EQ(printExpr(R), "base[4 + i, 2]");
+}
+
+TEST(IRTest, WindowOfWindowComposition) {
+  std::vector<WinCoord> Inner = {iv(litInt(4), litInt(8)), pt(litInt(2))};
+  std::vector<WinCoord> Outer = {iv(litInt(1), litInt(3))};
+  std::vector<WinCoord> Composed = composeWindowCoords(Inner, Outer);
+  ASSERT_EQ(Composed.size(), 2u);
+  EXPECT_TRUE(Composed[0].IsInterval);
+  EXPECT_EQ(printExpr(Composed[0].Lo), "4 + 1");
+  EXPECT_EQ(printExpr(Composed[0].Hi), "4 + 3");
+  EXPECT_FALSE(Composed[1].IsInterval);
+  EXPECT_EQ(printExpr(Composed[1].Lo), "2");
+}
+
+TEST(IRTest, RefreshBindersMintsFreshSyms) {
+  ProcRef P = buildGemm();
+  Block Refreshed = refreshBinders(P->body());
+  // Same shape, alpha-equivalent, but the loop iterators are new symbols.
+  EXPECT_TRUE(alphaEquivalent(P->body(), Refreshed, {}));
+  std::set<Sym> Old = boundVars(P->body());
+  std::set<Sym> New = boundVars(Refreshed);
+  for (Sym S : New)
+    EXPECT_FALSE(Old.count(S)) << "iterator not refreshed";
+  // Free variables (the arguments) are untouched.
+  EXPECT_EQ(freeVars(P->body()), freeVars(Refreshed));
+}
+
+TEST(IRTest, IfElseBuilder) {
+  ProcBuilder B("t");
+  Sym X = B.controlArg("x", ScalarKind::Int);
+  Sym A = B.tensorArg("a", ScalarKind::R, {litInt(4)});
+  B.beginIf(eLt(B.rd(X), litInt(2)));
+  B.assign(A, {litInt(0)}, litData(1.0));
+  B.beginElse();
+  B.assign(A, {litInt(1)}, litData(2.0));
+  B.endIf();
+  ProcRef P = B.result();
+  std::string S = printProc(P);
+  EXPECT_NE(S.find("if x < 2:"), std::string::npos) << S;
+  EXPECT_NE(S.find("else:"), std::string::npos) << S;
+}
+
+TEST(IRTest, TypePrinting) {
+  Type T = Type::tensor(ScalarKind::F32, {litInt(16), litInt(16)});
+  EXPECT_EQ(T.str(), "f32[16, 16]");
+  EXPECT_EQ(Type(ScalarKind::Size).str(), "size");
+  EXPECT_EQ(T.asWindow().str(), "[f32[16, 16]]");
+}
+
+TEST(IRTest, SymUniqueness) {
+  Sym A = Sym::fresh("x");
+  Sym B = Sym::fresh("x");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A.name(), "x");
+  EXPECT_EQ(B.name(), "x");
+  EXPECT_NE(A.uniqueName(), B.uniqueName());
+}
+
+} // namespace

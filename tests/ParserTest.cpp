@@ -1,0 +1,250 @@
+//===- tests/ParserTest.cpp - Lexer/Parser unit tests ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include "ir/FreeVars.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace exo::frontend;
+using namespace exo::ir;
+
+namespace {
+
+const char *GemmSrc = R"(
+@proc
+def gemm(n: size, A: R[n, n], B: R[n, n], C: R[n, n]):
+    assert n > 0
+    for i in seq(0, n):
+        for j in seq(0, n):
+            for k in seq(0, n):
+                C[i, j] += A[i, k] * B[k, j]
+)";
+
+TEST(LexerTest, BasicTokens) {
+  auto Toks = tokenize("for i in seq(0, 8):\n    x = 1\n");
+  ASSERT_TRUE(bool(Toks));
+  std::vector<TokKind> Kinds;
+  for (auto &T : *Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expected = {
+      TokKind::KwFor,  TokKind::Name,    TokKind::KwIn,    TokKind::KwSeq,
+      TokKind::LParen, TokKind::IntLit,  TokKind::Comma,   TokKind::IntLit,
+      TokKind::RParen, TokKind::Colon,   TokKind::Newline, TokKind::Indent,
+      TokKind::Name,   TokKind::Assign,  TokKind::IntLit,  TokKind::Newline,
+      TokKind::Dedent, TokKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, IndentDedentNesting) {
+  auto Toks = tokenize("a\n  b\n    c\n  d\ne\n");
+  ASSERT_TRUE(bool(Toks));
+  int Depth = 0, MaxDepth = 0;
+  for (auto &T : *Toks) {
+    if (T.Kind == TokKind::Indent)
+      ++Depth;
+    if (T.Kind == TokKind::Dedent)
+      --Depth;
+    MaxDepth = std::max(MaxDepth, Depth);
+  }
+  EXPECT_EQ(Depth, 0) << "indents must balance";
+  EXPECT_EQ(MaxDepth, 2);
+}
+
+TEST(LexerTest, CommentsAndBlankLinesSkipped) {
+  auto Toks = tokenize("# header\n\na = 1  # trailing\n\n# tail\n");
+  ASSERT_TRUE(bool(Toks));
+  ASSERT_GE(Toks->size(), 4u);
+  EXPECT_EQ((*Toks)[0].Kind, TokKind::Name);
+  EXPECT_EQ((*Toks)[3].Kind, TokKind::Newline);
+}
+
+TEST(LexerTest, RejectsTabs) {
+  auto Toks = tokenize("a\n\tb\n");
+  EXPECT_FALSE(bool(Toks));
+}
+
+TEST(LexerTest, ImplicitLineJoiningInBrackets) {
+  auto Toks = tokenize("f(a,\n  b)\n");
+  ASSERT_TRUE(bool(Toks));
+  for (size_t I = 0; I + 1 < Toks->size(); ++I)
+    EXPECT_NE((*Toks)[I].Kind, TokKind::Indent)
+        << "no indent inside brackets";
+}
+
+TEST(ParserTest, ParsesGemm) {
+  auto P = parseProc(GemmSrc);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ((*P)->name(), "gemm");
+  EXPECT_EQ((*P)->args().size(), 4u);
+  EXPECT_EQ((*P)->preds().size(), 1u);
+  std::string Printed = printProc(*P);
+  EXPECT_NE(Printed.find("C[i, j] += A[i, k] * B[k, j]"), std::string::npos)
+      << Printed;
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  auto P = parseProc(GemmSrc);
+  ASSERT_TRUE(bool(P));
+  std::string Printed = printProc(*P);
+  auto Q = parseProc(Printed);
+  ASSERT_TRUE(bool(Q)) << "reparse failed: " << Q.error().str() << "\n"
+                       << Printed;
+  EXPECT_EQ(printProc(*Q), Printed);
+}
+
+TEST(ParserTest, WindowExpressionsAndAliases) {
+  const char *Src = R"(
+@proc
+def f(n: size, x: R[n, n]):
+    y = x[0:n, 2]
+    for i in seq(0, n):
+        y[i] = 0.0
+)";
+  auto P = parseProc(Src);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  const Block &B = (*P)->body();
+  ASSERT_EQ(B.size(), 2u);
+  EXPECT_EQ(B[0]->kind(), StmtKind::WindowStmt);
+  EXPECT_EQ(B[0]->rhs()->kind(), ExprKind::WindowExpr);
+  EXPECT_EQ(B[0]->rhs()->type().rank(), 1u) << "point access drops a dim";
+}
+
+TEST(ParserTest, AllocWithMemoryAnnotation) {
+  const char *Src = R"(
+@proc
+def f(x: R[8]):
+    tmp : R[8] @ SCRATCH
+    for i in seq(0, 8):
+        tmp[i] = x[i]
+)";
+  auto P = parseProc(Src);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  EXPECT_EQ((*P)->body()[0]->kind(), StmtKind::Alloc);
+  EXPECT_EQ((*P)->body()[0]->memName(), "SCRATCH");
+}
+
+TEST(ParserTest, ConfigDeclReadWrite) {
+  ParseEnv Env;
+  const char *Src = R"(
+@config
+class ConfigLoad:
+    src_stride : stride
+
+@proc
+def set_stride(x: R[8, 8]):
+    ConfigLoad.src_stride = stride(x, 0)
+)";
+  auto M = parseModule(Src, Env);
+  ASSERT_TRUE(bool(M)) << M.error().str();
+  ASSERT_EQ(M->Configs.size(), 1u);
+  ASSERT_EQ(M->Procs.size(), 1u);
+  const Block &B = M->Procs[0]->body();
+  ASSERT_EQ(B.size(), 1u);
+  EXPECT_EQ(B[0]->kind(), StmtKind::WriteConfig);
+  EXPECT_EQ(B[0]->rhs()->kind(), ExprKind::StrideExpr);
+}
+
+TEST(ParserTest, CallsResolveThroughEnv) {
+  ParseEnv Env;
+  const char *Lib = R"(
+@proc
+def zero(n: size, x: R[n]):
+    for i in seq(0, n):
+        x[i] = 0.0
+)";
+  auto L = parseModule(Lib, Env);
+  ASSERT_TRUE(bool(L)) << L.error().str();
+  const char *App = R"(
+@proc
+def caller(m: size, y: R[m, 4]):
+    for j in seq(0, 4):
+        zero(m, y[0:m, j])
+)";
+  auto A = parseProc(App, Env);
+  ASSERT_TRUE(bool(A)) << A.error().str();
+  const StmtRef &Loop = (*A)->body()[0];
+  ASSERT_EQ(Loop->kind(), StmtKind::For);
+  ASSERT_EQ(Loop->body()[0]->kind(), StmtKind::Call);
+  EXPECT_EQ(Loop->body()[0]->proc()->name(), "zero");
+}
+
+TEST(ParserTest, InstrAnnotation) {
+  const char *Src = R"x(
+@instr("hw_ld({n}, {dst}.data, {src}.data)")
+def hw_load(n: size, dst: [R][n] @ SCRATCH, src: [R][n] @ DRAM):
+    for i in seq(0, n):
+        dst[i] = src[i]
+)x";
+  auto P = parseProc(Src);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  ASSERT_TRUE((*P)->isInstr());
+  EXPECT_EQ((*P)->instr().CTemplate, "hw_ld({n}, {dst}.data, {src}.data)");
+  EXPECT_TRUE((*P)->args()[1].Ty.isWindow());
+}
+
+TEST(ParserTest, IntLiteralCoercionToData) {
+  const char *Src = R"(
+@proc
+def f(x: R[4]):
+    for i in seq(0, 4):
+        x[i] = 0
+)";
+  auto P = parseProc(Src);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  const StmtRef &Assign = (*P)->body()[0]->body()[0];
+  EXPECT_TRUE(Assign->rhs()->type().isData())
+      << "int literal must coerce to data on data assignment";
+}
+
+TEST(ParserTest, BuiltInCalls) {
+  const char *Src = R"(
+@proc
+def f(x: R[4], y: R[4]):
+    for i in seq(0, 4):
+        y[i] = max(x[i], 0.0)
+)";
+  auto P = parseProc(Src);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  const StmtRef &Assign = (*P)->body()[0]->body()[0];
+  EXPECT_EQ(Assign->rhs()->kind(), ExprKind::BuiltIn);
+  EXPECT_EQ(Assign->rhs()->builtin(), "max");
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(bool(parseProc("@proc\ndef f(:\n")));
+  EXPECT_FALSE(bool(parseProc("@proc\ndef f(x: R[4]):\n    y[0] = 1.0\n")))
+      << "unknown variable must fail";
+  EXPECT_FALSE(bool(parseProc("def f():\n    pass\n")))
+      << "missing decorator must fail";
+  EXPECT_FALSE(
+      bool(parseProc("@proc\ndef f(x: wat[4]):\n    pass\n")))
+      << "unknown type must fail";
+}
+
+TEST(ParserTest, PassAndIfElse) {
+  const char *Src = R"(
+@proc
+def f(n: size, x: R[n]):
+    for i in seq(0, n):
+        if i < 4:
+            x[i] = 1.0
+        else:
+            pass
+)";
+  auto P = parseProc(Src);
+  ASSERT_TRUE(bool(P)) << P.error().str();
+  const StmtRef &If = (*P)->body()[0]->body()[0];
+  ASSERT_EQ(If->kind(), StmtKind::If);
+  ASSERT_EQ(If->orelse().size(), 1u);
+  EXPECT_EQ(If->orelse()[0]->kind(), StmtKind::Pass);
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+//===- tests/SgemmTest.cpp - x86 SGEMM app tests ---------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Sgemm.h"
+
+#include "backend/CodeGen.h"
+#include "hwlibs/avx512/Avx512Lib.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+TEST(Avx512LibTest, LibraryParses) {
+  const auto &HW = hw::avx512::avx512Lib();
+  ASSERT_TRUE(HW.FmaddBcastPs);
+  EXPECT_TRUE(HW.FmaddBcastPs->isInstr());
+  ASSERT_TRUE(HW.MaskzLoaduPs);
+  EXPECT_EQ(HW.MaskzLoaduPs->preds().size(), 1u);
+}
+
+TEST(SgemmAppTest, SchedulePipelineSucceeds) {
+  auto K = apps::buildSgemm(12, 128, 32);
+  ASSERT_TRUE(bool(K)) << K.error().str();
+  std::string S = printProc(K->ExoSgemm);
+  EXPECT_NE(S.find("mm512_fmadd_bcast_ps("), std::string::npos) << S;
+  EXPECT_NE(S.find("mm512_loadu_ps("), std::string::npos) << S;
+  EXPECT_NE(S.find("mm512_zero_ps("), std::string::npos) << S;
+  EXPECT_NE(S.find("mm512_accum_ps("), std::string::npos) << S;
+  // The register-block loops are unrolled away: no jv/ii loops remain.
+  EXPECT_EQ(S.find("for jv"), std::string::npos) << S;
+  EXPECT_EQ(S.find("for ii"), std::string::npos) << S;
+}
+
+TEST(SgemmAppTest, ScheduledKernelMatchesReference) {
+  const int64_t M = 12, N = 64, K = 24;
+  auto Kr = apps::buildSgemm(M, N, K);
+  ASSERT_TRUE(bool(Kr)) << Kr.error().str();
+
+  std::mt19937 Rng(11);
+  std::uniform_real_distribution<double> D(-1, 1);
+  std::vector<double> A(M * K), B(K * N);
+  for (auto &V : A)
+    V = D(Rng);
+  for (auto &V : B)
+    V = D(Rng);
+  auto runProc = [&](const ProcRef &P) {
+    std::vector<double> C(M * N, 0.0), AC = A, BC = B;
+    interp::Interp I;
+    auto R = I.run(P, {interp::ArgValue::buffer(
+                           interp::BufferView::dense(AC.data(), {M, K})),
+                       interp::ArgValue::buffer(
+                           interp::BufferView::dense(BC.data(), {K, N})),
+                       interp::ArgValue::buffer(
+                           interp::BufferView::dense(C.data(), {M, N}))});
+    if (!R)
+      fatalError("interp failed: " + R.error().str());
+    return C;
+  };
+  std::vector<double> Ref = runProc(Kr->Algorithm);
+  std::vector<double> Exo = runProc(Kr->ExoSgemm);
+  for (size_t I = 0; I < Ref.size(); ++I)
+    ASSERT_NEAR(Ref[I], Exo[I], 1e-9) << "at " << I;
+}
+
+TEST(SgemmAppTest, GeneratesVectorC) {
+  auto K = apps::buildSgemm(6, 64, 16);
+  ASSERT_TRUE(bool(K)) << K.error().str();
+  auto C = backend::generateC(K->ExoSgemm);
+  ASSERT_TRUE(bool(C)) << C.error().str();
+  EXPECT_NE(C->find("#include \"avx512_sim.h\""), std::string::npos);
+  EXPECT_NE(C->find("exo_mm512_fmadd_bcast_ps("), std::string::npos) << *C;
+  EXPECT_NE(C->find("aligned(64)"), std::string::npos) << *C;
+}
+
+} // namespace

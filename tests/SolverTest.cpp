@@ -1,0 +1,197 @@
+//===- tests/SolverTest.cpp - SMT-lite solver unit tests -------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "smt/Cooper.h"
+#include "smt/Linear.h"
+#include "smt/Prenex.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace exo::smt;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  Solver S;
+  TermVar X = freshVar("x", Sort::Int);
+  TermVar Y = freshVar("y", Sort::Int);
+  TermVar Z = freshVar("z", Sort::Int);
+  TermRef Vx = mkVar(X);
+  TermRef Vy = mkVar(Y);
+  TermRef Vz = mkVar(Z);
+};
+
+TEST_F(SolverTest, GroundArithmeticFolds) {
+  EXPECT_EQ(add(intConst(2), intConst(3))->intValue(), 5);
+  EXPECT_EQ(mul(4, intConst(-2))->intValue(), -8);
+  EXPECT_EQ(div(intConst(-1), 2)->intValue(), -1) << "floor division";
+  EXPECT_EQ(mod(intConst(-1), 2)->intValue(), 1) << "floor modulo";
+  EXPECT_TRUE(le(intConst(1), intConst(1))->boolValue());
+  EXPECT_FALSE(lt(intConst(1), intConst(1))->boolValue());
+}
+
+TEST_F(SolverTest, GroundValidity) {
+  EXPECT_EQ(S.checkValid(mkTrue()), SolverResult::Yes);
+  EXPECT_EQ(S.checkValid(mkFalse()), SolverResult::No);
+  EXPECT_EQ(S.checkValid(eq(intConst(2), intConst(2))), SolverResult::Yes);
+}
+
+TEST_F(SolverTest, ReflexiveAndSimpleFacts) {
+  // x == x is valid.
+  EXPECT_EQ(S.checkValid(eq(Vx, Vx)), SolverResult::Yes);
+  // x <= x + 1 is valid.
+  EXPECT_EQ(S.checkValid(le(Vx, add(Vx, intConst(1)))), SolverResult::Yes);
+  // x < x is invalid.
+  EXPECT_EQ(S.checkValid(lt(Vx, Vx)), SolverResult::No);
+  // x == 0 is not valid (free var universally closed).
+  EXPECT_EQ(S.checkValid(eq(Vx, intConst(0))), SolverResult::No);
+  // but satisfiable.
+  EXPECT_EQ(S.checkSat(eq(Vx, intConst(0))), SolverResult::Yes);
+}
+
+TEST_F(SolverTest, TransitivityOfLe) {
+  TermRef F = implies(mkAnd(le(Vx, Vy), le(Vy, Vz)), le(Vx, Vz));
+  EXPECT_EQ(S.checkValid(F), SolverResult::Yes);
+}
+
+TEST_F(SolverTest, QuantifiedSimple) {
+  // forall x. exists y. y > x.
+  TermRef F = forall(X, exists(Y, gt(Vy, Vx)));
+  EXPECT_EQ(S.checkValid(F), SolverResult::Yes);
+  // exists y. forall x. y > x  -- false over integers.
+  TermRef G = exists(Y, forall(X, gt(Vy, Vx)));
+  EXPECT_EQ(S.checkValid(G), SolverResult::No);
+}
+
+TEST_F(SolverTest, EvenOddDichotomy) {
+  // forall x. (2 | x) or (2 | x + 1).
+  TermRef F = forall(
+      X, mkOr(eq(mod(Vx, 2), intConst(0)), eq(mod(add(Vx, intConst(1)), 2),
+                                              intConst(0))));
+  EXPECT_EQ(S.checkValid(F), SolverResult::Yes);
+  // forall x. (2 | x) -- false.
+  TermRef G = forall(X, eq(mod(Vx, 2), intConst(0)));
+  EXPECT_EQ(S.checkValid(G), SolverResult::No);
+}
+
+TEST_F(SolverTest, DivisionFloorSemantics) {
+  // forall x. x - (x / 3) * 3 == x mod 3.
+  TermRef F = forall(
+      X, eq(sub(Vx, mul(3, div(Vx, 3))), mod(Vx, 3)));
+  EXPECT_EQ(S.checkValid(F), SolverResult::Yes);
+  // forall x. 0 <= x mod 3 < 3.
+  TermRef G = forall(X, mkAnd(le(intConst(0), mod(Vx, 3)),
+                              lt(mod(Vx, 3), intConst(3))));
+  EXPECT_EQ(S.checkValid(G), SolverResult::Yes);
+}
+
+TEST_F(SolverTest, SplitLoopIndexIdentity) {
+  // The split() scheduling identity: if 0 <= i < 128 then
+  // 16 * (i / 16) + (i mod 16) == i.
+  TermRef InRange = mkAnd(le(intConst(0), Vx), lt(Vx, intConst(128)));
+  TermRef Identity =
+      eq(add(mul(16, div(Vx, 16)), mod(Vx, 16)), Vx);
+  EXPECT_EQ(S.checkValid(implies(InRange, Identity)), SolverResult::Yes);
+}
+
+TEST_F(SolverTest, TileDisjointness) {
+  // Two distinct 16-wide tiles never overlap:
+  // io != io' => 16*io + ii != 16*io' + ii'  given 0 <= ii, ii' < 16.
+  TermVar Io = freshVar("io", Sort::Int), Io2 = freshVar("io2", Sort::Int);
+  TermVar Ii = freshVar("ii", Sort::Int), Ii2 = freshVar("ii2", Sort::Int);
+  TermRef Bounds =
+      mkAnd({le(intConst(0), mkVar(Ii)), lt(mkVar(Ii), intConst(16)),
+             le(intConst(0), mkVar(Ii2)), lt(mkVar(Ii2), intConst(16)),
+             ne(mkVar(Io), mkVar(Io2))});
+  TermRef Distinct = ne(add(mul(16, mkVar(Io)), mkVar(Ii)),
+                        add(mul(16, mkVar(Io2)), mkVar(Ii2)));
+  EXPECT_EQ(S.checkValid(implies(Bounds, Distinct)), SolverResult::Yes);
+}
+
+TEST_F(SolverTest, IteLowering) {
+  // forall x. ite(x > 0, x, -x) >= 0.
+  TermRef Abs = ite(gt(Vx, intConst(0)), Vx, neg(Vx));
+  EXPECT_EQ(S.checkValid(forall(X, ge(Abs, intConst(0)))),
+            SolverResult::Yes);
+  // forall x. ite(x > 0, x, -x) > 0 is false (x = 0).
+  EXPECT_EQ(S.checkValid(forall(X, gt(Abs, intConst(0)))),
+            SolverResult::No);
+}
+
+TEST_F(SolverTest, BooleanVariables) {
+  TermVar B1 = freshVar("b1", Sort::Bool);
+  TermVar B2 = freshVar("b2", Sort::Bool);
+  TermRef Vb1 = mkVar(B1), Vb2 = mkVar(B2);
+  // b or not b.
+  EXPECT_EQ(S.checkValid(mkOr(Vb1, mkNot(Vb1))), SolverResult::Yes);
+  // b1 -> (b2 -> b1).
+  EXPECT_EQ(S.checkValid(implies(Vb1, implies(Vb2, Vb1))),
+            SolverResult::Yes);
+  // b1 -> b2 is not valid.
+  EXPECT_EQ(S.checkValid(implies(Vb1, Vb2)), SolverResult::No);
+}
+
+TEST_F(SolverTest, UnsatConjunction) {
+  TermRef F = mkAnd(lt(Vx, intConst(0)), gt(Vx, intConst(0)));
+  EXPECT_EQ(S.checkSat(F), SolverResult::No);
+}
+
+TEST_F(SolverTest, LinearDiophantine) {
+  // exists x, y. 3x + 5y == 1 (gcd(3,5)=1 so solvable).
+  TermRef F = eq(add(mul(3, Vx), mul(5, Vy)), intConst(1));
+  EXPECT_EQ(S.checkSat(F), SolverResult::Yes);
+  // exists x, y. 2x + 4y == 1 (even = odd, unsolvable).
+  TermRef G = eq(add(mul(2, Vx), mul(4, Vy)), intConst(1));
+  EXPECT_EQ(S.checkSat(G), SolverResult::No);
+}
+
+TEST_F(SolverTest, BudgetYieldsUnknown) {
+  Solver Tiny(SolverOptions{/*MaxLiterals=*/4});
+  // A formula whose elimination needs more than 4 literals.
+  TermRef F = forall(
+      X, implies(mkAnd(le(intConst(0), Vx), lt(Vx, intConst(100))),
+                 eq(add(mul(16, div(Vx, 16)), mod(Vx, 16)), Vx)));
+  EXPECT_EQ(Tiny.checkValid(F), SolverResult::Unknown);
+  EXPECT_EQ(Tiny.stats().NumUnknown, 1u);
+}
+
+TEST_F(SolverTest, LinearFormExtraction) {
+  auto L = linearFromTerm(add(mul(2, Vx), sub(Vy, intConst(3))));
+  ASSERT_TRUE(L.has_value());
+  EXPECT_EQ(L->coeff(X.Id), 2);
+  EXPECT_EQ(L->coeff(Y.Id), 1);
+  EXPECT_EQ(L->constant(), -3);
+  // Division is not linear.
+  EXPECT_FALSE(linearFromTerm(div(Vx, 2)).has_value());
+}
+
+TEST_F(SolverTest, SubstVar) {
+  TermRef F = le(add(Vx, Vy), intConst(10));
+  TermRef G = substVar(F, X, intConst(4));
+  EXPECT_EQ(S.checkValid(iff(G, le(Vy, intConst(6)))), SolverResult::Yes);
+}
+
+// Property-style sweep: the split identity holds for many tile widths.
+class SplitIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitIdentityTest, HoldsForAllTileWidths) {
+  int W = GetParam();
+  Solver S;
+  TermVar X = freshVar("x", Sort::Int);
+  TermRef Vx = mkVar(X);
+  TermRef F = forall(
+      X, eq(add(mul(W, div(Vx, W)), mod(Vx, W)), Vx));
+  EXPECT_EQ(S.checkValid(F), SolverResult::Yes) << "width " << W;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SplitIdentityTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 16, 32));
+
+} // namespace

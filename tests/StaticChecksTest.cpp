@@ -1,0 +1,236 @@
+//===- tests/StaticChecksTest.cpp - Front-end check tests ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/StaticChecks.h"
+#include "frontend/TypeCheck.h"
+
+#include "frontend/Parser.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace exo::frontend;
+using namespace exo::ir;
+
+namespace {
+
+ProcRef mustParse(const std::string &Src, ParseEnv *Env = nullptr) {
+  ParseEnv Local;
+  auto P = parseProc(Src, Env ? *Env : Local);
+  if (!P)
+    fatalError("test parse failed: " + P.error().str());
+  return *P;
+}
+
+TEST(TypeCheckTest, AcceptsWellTypedGemm) {
+  ProcRef P = mustParse(R"(
+@proc
+def gemm(n: size, A: R[n, n], B: R[n, n], C: R[n, n]):
+    for i in seq(0, n):
+        for j in seq(0, n):
+            for k in seq(0, n):
+                C[i, j] += A[i, k] * B[k, j]
+)");
+  auto R = typeCheck(P);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+}
+
+TEST(TypeCheckTest, RejectsNonQuasiAffine) {
+  // i * j with two variables breaks the quasi-affine restriction.
+  ProcBuilder B("bad");
+  Sym N = B.sizeArg("n");
+  Sym X = B.tensorArg("x", ScalarKind::R, {eMul(B.rd(N), B.rd(N))});
+  Sym I = B.beginFor("i", litInt(0), B.rd(N));
+  Sym J = B.beginFor("j", litInt(0), B.rd(N));
+  B.assign(X, {eMul(B.rd(I), B.rd(J))}, litData(0.0));
+  B.endFor();
+  B.endFor();
+  ProcRef P = B.result();
+  auto R = typeCheck(P);
+  ASSERT_FALSE(bool(R));
+  EXPECT_EQ(R.error().kind(), Error::Kind::Type);
+}
+
+TEST(TypeCheckTest, RejectsDataInControlPosition) {
+  ProcBuilder B("bad2");
+  Sym X = B.tensorArg("x", ScalarKind::R, {litInt(8)});
+  // Loop bound is a data scalar read — illegal.
+  Sym S = B.allocScalar("s", ScalarKind::R);
+  Sym I = B.beginFor("i", litInt(0), B.rd(S));
+  B.assign(X, {B.rd(I)}, litData(0.0));
+  B.endFor();
+  ProcRef P = B.result();
+  auto R = typeCheck(P);
+  ASSERT_FALSE(bool(R));
+}
+
+TEST(BoundsCheckTest, AcceptsInBoundsGemm) {
+  ProcRef P = mustParse(R"(
+@proc
+def gemm(n: size, A: R[n, n], C: R[n, n]):
+    for i in seq(0, n):
+        for j in seq(0, n):
+            C[i, j] = A[i, j] * 2.0
+)");
+  auto R = boundsCheck(P);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+}
+
+TEST(BoundsCheckTest, RejectsOffByOne) {
+  ProcRef P = mustParse(R"(
+@proc
+def f(n: size, x: R[n]):
+    for i in seq(0, n):
+        x[i + 1] = 0.0
+)");
+  auto R = boundsCheck(P);
+  ASSERT_FALSE(bool(R));
+  EXPECT_EQ(R.error().kind(), Error::Kind::Bounds);
+}
+
+TEST(BoundsCheckTest, PreconditionsEnableProofs) {
+  // x[m] is only safe because of the assert.
+  ProcRef Bad = mustParse(R"(
+@proc
+def f(m: size, x: R[100]):
+    x[m] = 1.0
+)");
+  EXPECT_FALSE(bool(boundsCheck(Bad)));
+  ProcRef Good = mustParse(R"(
+@proc
+def g(m: size, x: R[100]):
+    assert m < 100
+    x[m] = 1.0
+)");
+  auto R = boundsCheck(Good);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+}
+
+TEST(BoundsCheckTest, GuardsEnableProofs) {
+  ProcRef P = mustParse(R"(
+@proc
+def f(n: size, x: R[n]):
+    for i in seq(0, n + 4):
+        if i < n:
+            x[i] = 0.0
+)");
+  auto R = boundsCheck(P);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+}
+
+TEST(BoundsCheckTest, TiledAccessWithGuardProves) {
+  // The split-with-guard pattern: the guard keeps the access in bounds.
+  ProcRef P = mustParse(R"(
+@proc
+def f(n: size, x: R[n]):
+    for io in seq(0, (n + 15) / 16):
+        for ii in seq(0, 16):
+            if 16 * io + ii < n:
+                x[16 * io + ii] = 0.0
+)");
+  auto R = boundsCheck(P);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+}
+
+TEST(BoundsCheckTest, WindowBoundsChecked) {
+  ProcRef Bad = mustParse(R"(
+@proc
+def f(x: R[8, 8]):
+    y = x[0:9, 2]
+    y[0] = 1.0
+)");
+  EXPECT_FALSE(bool(boundsCheck(Bad)));
+  ProcRef Good = mustParse(R"(
+@proc
+def g(x: R[8, 8]):
+    y = x[0:8, 2]
+    for i in seq(0, 8):
+        y[i] = 1.0
+)");
+  auto R = boundsCheck(Good);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+}
+
+TEST(AssertCheckTest, CallPreconditionsVerified) {
+  ParseEnv Env;
+  auto Lib = parseModule(R"(
+@proc
+def small(n: size, v: [R][n]):
+    assert n <= 16
+    for i in seq(0, n):
+        v[i] = 0.0
+)",
+                         Env);
+  ASSERT_TRUE(bool(Lib));
+  ProcRef Good = mustParse(R"(
+@proc
+def f(x: R[8]):
+    small(8, x[0:8])
+)",
+                           &Env);
+  auto R = assertCheck(Good);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+
+  ProcRef Bad = mustParse(R"(
+@proc
+def g(x: R[32]):
+    small(32, x[0:32])
+)",
+                          &Env);
+  auto R2 = assertCheck(Bad);
+  ASSERT_FALSE(bool(R2));
+  EXPECT_EQ(R2.error().kind(), Error::Kind::Precondition);
+}
+
+TEST(AssertCheckTest, ConfigPreconditionDischargedByDataflow) {
+  ParseEnv Env;
+  auto M = parseModule(R"(
+@config
+class CfgS:
+    st : stride
+)",
+                       Env);
+  ASSERT_TRUE(bool(M));
+  auto Lib = parseModule(R"(
+@proc
+def needs_cfg(n: size, v: [R][n]):
+    assert CfgS.st == 7
+    for i in seq(0, n):
+        v[i] = 0.0
+)",
+                         Env);
+  ASSERT_TRUE(bool(Lib)) << Lib.error().str();
+  ProcRef Good = mustParse(R"(
+@proc
+def f(x: R[8]):
+    CfgS.st = 7
+    needs_cfg(8, x[0:8])
+)",
+                           &Env);
+  auto R = assertCheck(Good);
+  EXPECT_TRUE(bool(R)) << R.error().str();
+
+  ProcRef Bad = mustParse(R"(
+@proc
+def g(x: R[8]):
+    CfgS.st = 6
+    needs_cfg(8, x[0:8])
+)",
+                          &Env);
+  EXPECT_FALSE(bool(assertCheck(Bad)));
+
+  ProcRef Unset = mustParse(R"(
+@proc
+def h(x: R[8]):
+    needs_cfg(8, x[0:8])
+)",
+                            &Env);
+  EXPECT_FALSE(bool(assertCheck(Unset)))
+      << "unknown configuration state must fail safe";
+}
+
+} // namespace

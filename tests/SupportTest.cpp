@@ -1,0 +1,115 @@
+//===- tests/SupportTest.cpp - Support library unit tests ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/MathExtras.h"
+#include "support/Printer.h"
+#include "support/StringExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+
+namespace {
+
+TEST(MathExtrasTest, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 7), 0);
+}
+
+TEST(MathExtrasTest, FloorSemantics) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorMod(7, 2), 1);
+  EXPECT_EQ(floorMod(-7, 2), 1);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  // The division identity a == b * floorDiv(a,b) + floorMod(a,b).
+  for (int64_t A = -9; A <= 9; ++A)
+    for (int64_t B : {1, 2, 3, 5})
+      EXPECT_EQ(A, B * floorDiv(A, B) + floorMod(A, B))
+          << A << " / " << B;
+}
+
+TEST(MathExtrasTest, SymmetricMod) {
+  // Pugh's mod-hat: result in (-b/2, b/2].
+  for (int64_t A = -20; A <= 20; ++A)
+    for (int64_t B : {2, 3, 5, 7}) {
+      int64_t R = symMod(A, B);
+      EXPECT_GT(2 * R, -B) << A << " mod^ " << B;
+      EXPECT_LE(2 * R, B) << A << " mod^ " << B;
+      EXPECT_EQ(floorMod(A - R, B), 0) << A << " mod^ " << B;
+    }
+}
+
+TEST(StringExtrasTest, SplitJoinTrim) {
+  EXPECT_EQ(splitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(joinStrings({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(joinStrings({}, ","), "");
+  EXPECT_EQ(trimString("  hi \n"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_TRUE(startsWith("forall", "for"));
+  EXPECT_FALSE(startsWith("fo", "for"));
+}
+
+TEST(StringExtrasTest, ReplaceAllAndCountLines) {
+  EXPECT_EQ(replaceAll("a{x}b{x}", "{x}", "Y"), "aYbY");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(countLines(""), 0u);
+  EXPECT_EQ(countLines("one"), 1u);
+  EXPECT_EQ(countLines("one\ntwo\n"), 2u);
+  EXPECT_EQ(countLines("one\ntwo"), 2u);
+}
+
+TEST(PrinterTest, IndentationScopes) {
+  Printer P;
+  P.line("a");
+  {
+    Printer::Scope S1(P);
+    P.line("b");
+    {
+      Printer::Scope S2(P);
+      P.line("c");
+    }
+    P.line("d");
+  }
+  P.line("e");
+  EXPECT_EQ(P.str(), "a\n  b\n    c\n  d\ne\n");
+}
+
+TEST(PrinterTest, StreamingAndPartialLines) {
+  Printer P;
+  P << "x = " << 42;
+  P.endLine();
+  P.blank();
+  P.line("done");
+  EXPECT_EQ(P.str(), "x = 42\n\ndone\n");
+}
+
+TEST(ErrorTest, ExpectedRoundTrip) {
+  Expected<int> Ok(7);
+  ASSERT_TRUE(bool(Ok));
+  EXPECT_EQ(*Ok, 7);
+  Expected<int> Bad(makeError(Error::Kind::Pattern, "nope"));
+  ASSERT_FALSE(bool(Bad));
+  EXPECT_EQ(Bad.error().kind(), Error::Kind::Pattern);
+  EXPECT_EQ(Bad.error().str(), "pattern error: nope");
+}
+
+TEST(ErrorTest, KindNamesAreStable) {
+  EXPECT_STREQ(errorKindName(Error::Kind::Safety), "safety error");
+  EXPECT_STREQ(errorKindName(Error::Kind::Unification),
+               "unification error");
+  EXPECT_STREQ(errorKindName(Error::Kind::Bounds), "bounds error");
+}
+
+} // namespace
