@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_config_hoist.dir/ablation_config_hoist.cpp.o"
+  "CMakeFiles/ablation_config_hoist.dir/ablation_config_hoist.cpp.o.d"
+  "ablation_config_hoist"
+  "ablation_config_hoist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_config_hoist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

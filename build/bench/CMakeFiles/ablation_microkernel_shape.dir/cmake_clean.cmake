@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_microkernel_shape.dir/ablation_microkernel_shape.cpp.o"
+  "CMakeFiles/ablation_microkernel_shape.dir/ablation_microkernel_shape.cpp.o.d"
+  "ablation_microkernel_shape"
+  "ablation_microkernel_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_microkernel_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

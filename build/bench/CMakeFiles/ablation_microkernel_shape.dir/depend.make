@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_microkernel_shape.
+# This may be replaced when dependencies are built.

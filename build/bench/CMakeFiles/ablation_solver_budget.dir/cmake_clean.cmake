@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_solver_budget.dir/ablation_solver_budget.cpp.o"
+  "CMakeFiles/ablation_solver_budget.dir/ablation_solver_budget.cpp.o.d"
+  "ablation_solver_budget"
+  "ablation_solver_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solver_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_bench_harness.dir/BenchHarness.cpp.o"
+  "CMakeFiles/exo_bench_harness.dir/BenchHarness.cpp.o.d"
+  "libexo_bench_harness.a"
+  "libexo_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexo_bench_harness.a"
+)

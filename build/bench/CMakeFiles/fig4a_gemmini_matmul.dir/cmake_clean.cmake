@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_gemmini_matmul.dir/fig4a_gemmini_matmul.cpp.o"
+  "CMakeFiles/fig4a_gemmini_matmul.dir/fig4a_gemmini_matmul.cpp.o.d"
+  "fig4a_gemmini_matmul"
+  "fig4a_gemmini_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_gemmini_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_gemmini_conv.dir/fig4b_gemmini_conv.cpp.o"
+  "CMakeFiles/fig4b_gemmini_conv.dir/fig4b_gemmini_conv.cpp.o.d"
+  "fig4b_gemmini_conv"
+  "fig4b_gemmini_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_gemmini_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_sgemm_square.dir/fig5a_sgemm_square.cpp.o"
+  "CMakeFiles/fig5a_sgemm_square.dir/fig5a_sgemm_square.cpp.o.d"
+  "fig5a_sgemm_square"
+  "fig5a_sgemm_square.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_sgemm_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5a_sgemm_square.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_sgemm_square.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_sgemm_aspect.dir/fig5b_sgemm_aspect.cpp.o"
+  "CMakeFiles/fig5b_sgemm_aspect.dir/fig5b_sgemm_aspect.cpp.o.d"
+  "fig5b_sgemm_aspect"
+  "fig5b_sgemm_aspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_sgemm_aspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

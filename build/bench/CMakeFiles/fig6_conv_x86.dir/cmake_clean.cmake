@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_conv_x86.dir/fig6_conv_x86.cpp.o"
+  "CMakeFiles/fig6_conv_x86.dir/fig6_conv_x86.cpp.o.d"
+  "fig6_conv_x86"
+  "fig6_conv_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_conv_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

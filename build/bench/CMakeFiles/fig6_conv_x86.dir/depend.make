@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_conv_x86.
+# This may be replaced when dependencies are built.

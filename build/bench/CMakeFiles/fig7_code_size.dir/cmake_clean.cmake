@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_code_size.dir/fig7_code_size.cpp.o"
+  "CMakeFiles/fig7_code_size.dir/fig7_code_size.cpp.o.d"
+  "fig7_code_size"
+  "fig7_code_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_code_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

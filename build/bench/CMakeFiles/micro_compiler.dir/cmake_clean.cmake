@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compiler.dir/micro_compiler.cpp.o"
+  "CMakeFiles/micro_compiler.dir/micro_compiler.cpp.o.d"
+  "micro_compiler"
+  "micro_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

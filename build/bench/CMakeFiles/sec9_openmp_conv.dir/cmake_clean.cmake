@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9_openmp_conv.dir/sec9_openmp_conv.cpp.o"
+  "CMakeFiles/sec9_openmp_conv.dir/sec9_openmp_conv.cpp.o.d"
+  "sec9_openmp_conv"
+  "sec9_openmp_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_openmp_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

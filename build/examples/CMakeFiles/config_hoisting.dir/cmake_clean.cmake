@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_hoisting.dir/config_hoisting.cpp.o"
+  "CMakeFiles/config_hoisting.dir/config_hoisting.cpp.o.d"
+  "config_hoisting"
+  "config_hoisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_hoisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gemmini_matmul.cpp" "examples/CMakeFiles/gemmini_matmul.dir/gemmini_matmul.cpp.o" "gcc" "examples/CMakeFiles/gemmini_matmul.dir/gemmini_matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_hwlibs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmini_matmul.dir/gemmini_matmul.cpp.o"
+  "CMakeFiles/gemmini_matmul.dir/gemmini_matmul.cpp.o.d"
+  "gemmini_matmul"
+  "gemmini_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmini_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gemmini_matmul.
+# This may be replaced when dependencies are built.

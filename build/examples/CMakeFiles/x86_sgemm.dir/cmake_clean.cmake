@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x86_sgemm.dir/x86_sgemm.cpp.o"
+  "CMakeFiles/x86_sgemm.dir/x86_sgemm.cpp.o.d"
+  "x86_sgemm"
+  "x86_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x86_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

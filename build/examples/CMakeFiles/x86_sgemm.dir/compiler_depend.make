@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x86_sgemm.
+# This may be replaced when dependencies are built.

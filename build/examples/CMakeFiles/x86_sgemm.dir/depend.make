@@ -1,0 +1,2 @@
+# Empty dependencies file for x86_sgemm.
+# This may be replaced when dependencies are built.

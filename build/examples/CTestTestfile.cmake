@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;7;exo_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_config_hoisting "/root/repo/build/examples/config_hoisting")
+set_tests_properties(example_config_hoisting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;8;exo_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gemmini_matmul "/root/repo/build/examples/gemmini_matmul")
+set_tests_properties(example_gemmini_matmul PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;9;exo_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_x86_sgemm "/root/repo/build/examples/x86_sgemm")
+set_tests_properties(example_x86_sgemm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;4;add_test;/root/repo/examples/CMakeLists.txt;10;exo_add_example;/root/repo/examples/CMakeLists.txt;0;")

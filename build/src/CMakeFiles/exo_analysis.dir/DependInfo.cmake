@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Checks.cpp" "src/CMakeFiles/exo_analysis.dir/analysis/Checks.cpp.o" "gcc" "src/CMakeFiles/exo_analysis.dir/analysis/Checks.cpp.o.d"
+  "/root/repo/src/analysis/Context.cpp" "src/CMakeFiles/exo_analysis.dir/analysis/Context.cpp.o" "gcc" "src/CMakeFiles/exo_analysis.dir/analysis/Context.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "src/CMakeFiles/exo_analysis.dir/analysis/Dataflow.cpp.o" "gcc" "src/CMakeFiles/exo_analysis.dir/analysis/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/EffExpr.cpp" "src/CMakeFiles/exo_analysis.dir/analysis/EffExpr.cpp.o" "gcc" "src/CMakeFiles/exo_analysis.dir/analysis/EffExpr.cpp.o.d"
+  "/root/repo/src/analysis/Effects.cpp" "src/CMakeFiles/exo_analysis.dir/analysis/Effects.cpp.o" "gcc" "src/CMakeFiles/exo_analysis.dir/analysis/Effects.cpp.o.d"
+  "/root/repo/src/analysis/LocSet.cpp" "src/CMakeFiles/exo_analysis.dir/analysis/LocSet.cpp.o" "gcc" "src/CMakeFiles/exo_analysis.dir/analysis/LocSet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_analysis.dir/analysis/Checks.cpp.o"
+  "CMakeFiles/exo_analysis.dir/analysis/Checks.cpp.o.d"
+  "CMakeFiles/exo_analysis.dir/analysis/Context.cpp.o"
+  "CMakeFiles/exo_analysis.dir/analysis/Context.cpp.o.d"
+  "CMakeFiles/exo_analysis.dir/analysis/Dataflow.cpp.o"
+  "CMakeFiles/exo_analysis.dir/analysis/Dataflow.cpp.o.d"
+  "CMakeFiles/exo_analysis.dir/analysis/EffExpr.cpp.o"
+  "CMakeFiles/exo_analysis.dir/analysis/EffExpr.cpp.o.d"
+  "CMakeFiles/exo_analysis.dir/analysis/Effects.cpp.o"
+  "CMakeFiles/exo_analysis.dir/analysis/Effects.cpp.o.d"
+  "CMakeFiles/exo_analysis.dir/analysis/LocSet.cpp.o"
+  "CMakeFiles/exo_analysis.dir/analysis/LocSet.cpp.o.d"
+  "libexo_analysis.a"
+  "libexo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

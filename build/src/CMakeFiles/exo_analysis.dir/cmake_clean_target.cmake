@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexo_analysis.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_apps.dir/apps/Autoschedule.cpp.o"
+  "CMakeFiles/exo_apps.dir/apps/Autoschedule.cpp.o.d"
+  "CMakeFiles/exo_apps.dir/apps/Conv.cpp.o"
+  "CMakeFiles/exo_apps.dir/apps/Conv.cpp.o.d"
+  "CMakeFiles/exo_apps.dir/apps/GemminiMatmul.cpp.o"
+  "CMakeFiles/exo_apps.dir/apps/GemminiMatmul.cpp.o.d"
+  "CMakeFiles/exo_apps.dir/apps/Sgemm.cpp.o"
+  "CMakeFiles/exo_apps.dir/apps/Sgemm.cpp.o.d"
+  "libexo_apps.a"
+  "libexo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/CodeGen.cpp" "src/CMakeFiles/exo_backend.dir/backend/CodeGen.cpp.o" "gcc" "src/CMakeFiles/exo_backend.dir/backend/CodeGen.cpp.o.d"
+  "/root/repo/src/backend/Memory.cpp" "src/CMakeFiles/exo_backend.dir/backend/Memory.cpp.o" "gcc" "src/CMakeFiles/exo_backend.dir/backend/Memory.cpp.o.d"
+  "/root/repo/src/backend/MemoryCheck.cpp" "src/CMakeFiles/exo_backend.dir/backend/MemoryCheck.cpp.o" "gcc" "src/CMakeFiles/exo_backend.dir/backend/MemoryCheck.cpp.o.d"
+  "/root/repo/src/backend/PrecisionCheck.cpp" "src/CMakeFiles/exo_backend.dir/backend/PrecisionCheck.cpp.o" "gcc" "src/CMakeFiles/exo_backend.dir/backend/PrecisionCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

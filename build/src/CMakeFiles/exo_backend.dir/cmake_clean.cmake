@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_backend.dir/backend/CodeGen.cpp.o"
+  "CMakeFiles/exo_backend.dir/backend/CodeGen.cpp.o.d"
+  "CMakeFiles/exo_backend.dir/backend/Memory.cpp.o"
+  "CMakeFiles/exo_backend.dir/backend/Memory.cpp.o.d"
+  "CMakeFiles/exo_backend.dir/backend/MemoryCheck.cpp.o"
+  "CMakeFiles/exo_backend.dir/backend/MemoryCheck.cpp.o.d"
+  "CMakeFiles/exo_backend.dir/backend/PrecisionCheck.cpp.o"
+  "CMakeFiles/exo_backend.dir/backend/PrecisionCheck.cpp.o.d"
+  "libexo_backend.a"
+  "libexo_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/exo_frontend.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/exo_frontend.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/exo_frontend.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/exo_frontend.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/StaticChecks.cpp" "src/CMakeFiles/exo_frontend.dir/frontend/StaticChecks.cpp.o" "gcc" "src/CMakeFiles/exo_frontend.dir/frontend/StaticChecks.cpp.o.d"
+  "/root/repo/src/frontend/TypeCheck.cpp" "src/CMakeFiles/exo_frontend.dir/frontend/TypeCheck.cpp.o" "gcc" "src/CMakeFiles/exo_frontend.dir/frontend/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

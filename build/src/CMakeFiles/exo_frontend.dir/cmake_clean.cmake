@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_frontend.dir/frontend/Lexer.cpp.o"
+  "CMakeFiles/exo_frontend.dir/frontend/Lexer.cpp.o.d"
+  "CMakeFiles/exo_frontend.dir/frontend/Parser.cpp.o"
+  "CMakeFiles/exo_frontend.dir/frontend/Parser.cpp.o.d"
+  "CMakeFiles/exo_frontend.dir/frontend/StaticChecks.cpp.o"
+  "CMakeFiles/exo_frontend.dir/frontend/StaticChecks.cpp.o.d"
+  "CMakeFiles/exo_frontend.dir/frontend/TypeCheck.cpp.o"
+  "CMakeFiles/exo_frontend.dir/frontend/TypeCheck.cpp.o.d"
+  "libexo_frontend.a"
+  "libexo_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

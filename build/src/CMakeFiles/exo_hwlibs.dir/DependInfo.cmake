@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwlibs/gemmini/runtime/gemmini_sim.c" "src/CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/runtime/gemmini_sim.c.o" "gcc" "src/CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/runtime/gemmini_sim.c.o.d"
+  "/root/repo/src/hwlibs/avx512/Avx512Lib.cpp" "src/CMakeFiles/exo_hwlibs.dir/hwlibs/avx512/Avx512Lib.cpp.o" "gcc" "src/CMakeFiles/exo_hwlibs.dir/hwlibs/avx512/Avx512Lib.cpp.o.d"
+  "/root/repo/src/hwlibs/gemmini/GemminiLib.cpp" "src/CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/GemminiLib.cpp.o" "gcc" "src/CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/GemminiLib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

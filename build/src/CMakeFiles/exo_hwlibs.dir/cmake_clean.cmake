@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_hwlibs.dir/hwlibs/avx512/Avx512Lib.cpp.o"
+  "CMakeFiles/exo_hwlibs.dir/hwlibs/avx512/Avx512Lib.cpp.o.d"
+  "CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/GemminiLib.cpp.o"
+  "CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/GemminiLib.cpp.o.d"
+  "CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/runtime/gemmini_sim.c.o"
+  "CMakeFiles/exo_hwlibs.dir/hwlibs/gemmini/runtime/gemmini_sim.c.o.d"
+  "libexo_hwlibs.a"
+  "libexo_hwlibs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/exo_hwlibs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_interp.dir/interp/Interp.cpp.o"
+  "CMakeFiles/exo_interp.dir/interp/Interp.cpp.o.d"
+  "libexo_interp.a"
+  "libexo_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/exo_ir.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/CMakeFiles/exo_ir.dir/ir/Expr.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Expr.cpp.o.d"
+  "/root/repo/src/ir/FreeVars.cpp" "src/CMakeFiles/exo_ir.dir/ir/FreeVars.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/FreeVars.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/exo_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Proc.cpp" "src/CMakeFiles/exo_ir.dir/ir/Proc.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Proc.cpp.o.d"
+  "/root/repo/src/ir/Stmt.cpp" "src/CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o.d"
+  "/root/repo/src/ir/StructuralEq.cpp" "src/CMakeFiles/exo_ir.dir/ir/StructuralEq.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/StructuralEq.cpp.o.d"
+  "/root/repo/src/ir/Subst.cpp" "src/CMakeFiles/exo_ir.dir/ir/Subst.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Subst.cpp.o.d"
+  "/root/repo/src/ir/Sym.cpp" "src/CMakeFiles/exo_ir.dir/ir/Sym.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Sym.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/exo_ir.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/exo_ir.dir/ir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_ir.dir/ir/Builder.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Builder.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Expr.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Expr.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/FreeVars.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/FreeVars.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Proc.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Proc.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Stmt.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/StructuralEq.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/StructuralEq.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Subst.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Subst.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Sym.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Sym.cpp.o.d"
+  "CMakeFiles/exo_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/exo_ir.dir/ir/Type.cpp.o.d"
+  "libexo_ir.a"
+  "libexo_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/ConfigOps.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/ConfigOps.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/ConfigOps.cpp.o.d"
+  "/root/repo/src/scheduling/LoopOps.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/LoopOps.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/LoopOps.cpp.o.d"
+  "/root/repo/src/scheduling/MemOps.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/MemOps.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/MemOps.cpp.o.d"
+  "/root/repo/src/scheduling/Pattern.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/Pattern.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/Pattern.cpp.o.d"
+  "/root/repo/src/scheduling/ProcOps.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/ProcOps.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/ProcOps.cpp.o.d"
+  "/root/repo/src/scheduling/Provenance.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/Provenance.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/Provenance.cpp.o.d"
+  "/root/repo/src/scheduling/StmtOps.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/StmtOps.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/StmtOps.cpp.o.d"
+  "/root/repo/src/scheduling/Unify.cpp" "src/CMakeFiles/exo_scheduling.dir/scheduling/Unify.cpp.o" "gcc" "src/CMakeFiles/exo_scheduling.dir/scheduling/Unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

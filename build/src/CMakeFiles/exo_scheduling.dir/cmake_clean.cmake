@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_scheduling.dir/scheduling/ConfigOps.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/ConfigOps.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/LoopOps.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/LoopOps.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/MemOps.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/MemOps.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/Pattern.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/Pattern.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/ProcOps.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/ProcOps.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/Provenance.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/Provenance.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/StmtOps.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/StmtOps.cpp.o.d"
+  "CMakeFiles/exo_scheduling.dir/scheduling/Unify.cpp.o"
+  "CMakeFiles/exo_scheduling.dir/scheduling/Unify.cpp.o.d"
+  "libexo_scheduling.a"
+  "libexo_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

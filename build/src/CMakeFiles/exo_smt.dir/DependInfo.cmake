@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Cooper.cpp" "src/CMakeFiles/exo_smt.dir/smt/Cooper.cpp.o" "gcc" "src/CMakeFiles/exo_smt.dir/smt/Cooper.cpp.o.d"
+  "/root/repo/src/smt/Linear.cpp" "src/CMakeFiles/exo_smt.dir/smt/Linear.cpp.o" "gcc" "src/CMakeFiles/exo_smt.dir/smt/Linear.cpp.o.d"
+  "/root/repo/src/smt/Prenex.cpp" "src/CMakeFiles/exo_smt.dir/smt/Prenex.cpp.o" "gcc" "src/CMakeFiles/exo_smt.dir/smt/Prenex.cpp.o.d"
+  "/root/repo/src/smt/QForm.cpp" "src/CMakeFiles/exo_smt.dir/smt/QForm.cpp.o" "gcc" "src/CMakeFiles/exo_smt.dir/smt/QForm.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/CMakeFiles/exo_smt.dir/smt/Solver.cpp.o" "gcc" "src/CMakeFiles/exo_smt.dir/smt/Solver.cpp.o.d"
+  "/root/repo/src/smt/Term.cpp" "src/CMakeFiles/exo_smt.dir/smt/Term.cpp.o" "gcc" "src/CMakeFiles/exo_smt.dir/smt/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_smt.dir/smt/Cooper.cpp.o"
+  "CMakeFiles/exo_smt.dir/smt/Cooper.cpp.o.d"
+  "CMakeFiles/exo_smt.dir/smt/Linear.cpp.o"
+  "CMakeFiles/exo_smt.dir/smt/Linear.cpp.o.d"
+  "CMakeFiles/exo_smt.dir/smt/Prenex.cpp.o"
+  "CMakeFiles/exo_smt.dir/smt/Prenex.cpp.o.d"
+  "CMakeFiles/exo_smt.dir/smt/QForm.cpp.o"
+  "CMakeFiles/exo_smt.dir/smt/QForm.cpp.o.d"
+  "CMakeFiles/exo_smt.dir/smt/Solver.cpp.o"
+  "CMakeFiles/exo_smt.dir/smt/Solver.cpp.o.d"
+  "CMakeFiles/exo_smt.dir/smt/Term.cpp.o"
+  "CMakeFiles/exo_smt.dir/smt/Term.cpp.o.d"
+  "libexo_smt.a"
+  "libexo_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

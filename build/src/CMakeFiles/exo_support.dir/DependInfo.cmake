@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Error.cpp" "src/CMakeFiles/exo_support.dir/support/Error.cpp.o" "gcc" "src/CMakeFiles/exo_support.dir/support/Error.cpp.o.d"
+  "/root/repo/src/support/Printer.cpp" "src/CMakeFiles/exo_support.dir/support/Printer.cpp.o" "gcc" "src/CMakeFiles/exo_support.dir/support/Printer.cpp.o.d"
+  "/root/repo/src/support/StringExtras.cpp" "src/CMakeFiles/exo_support.dir/support/StringExtras.cpp.o" "gcc" "src/CMakeFiles/exo_support.dir/support/StringExtras.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

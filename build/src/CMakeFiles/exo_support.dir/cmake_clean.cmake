@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exo_support.dir/support/Error.cpp.o"
+  "CMakeFiles/exo_support.dir/support/Error.cpp.o.d"
+  "CMakeFiles/exo_support.dir/support/Printer.cpp.o"
+  "CMakeFiles/exo_support.dir/support/Printer.cpp.o.d"
+  "CMakeFiles/exo_support.dir/support/StringExtras.cpp.o"
+  "CMakeFiles/exo_support.dir/support/StringExtras.cpp.o.d"
+  "libexo_support.a"
+  "libexo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AutoscheduleTest.cpp" "tests/CMakeFiles/exo_tests.dir/AutoscheduleTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/AutoscheduleTest.cpp.o.d"
+  "/root/repo/tests/CodeGenTest.cpp" "tests/CMakeFiles/exo_tests.dir/CodeGenTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/CodeGenTest.cpp.o.d"
+  "/root/repo/tests/ConvTest.cpp" "tests/CMakeFiles/exo_tests.dir/ConvTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/ConvTest.cpp.o.d"
+  "/root/repo/tests/EffectsTest.cpp" "tests/CMakeFiles/exo_tests.dir/EffectsTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/EffectsTest.cpp.o.d"
+  "/root/repo/tests/EscapeHatchTest.cpp" "tests/CMakeFiles/exo_tests.dir/EscapeHatchTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/EscapeHatchTest.cpp.o.d"
+  "/root/repo/tests/GemminiTest.cpp" "tests/CMakeFiles/exo_tests.dir/GemminiTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/GemminiTest.cpp.o.d"
+  "/root/repo/tests/IRTest.cpp" "tests/CMakeFiles/exo_tests.dir/IRTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/IRTest.cpp.o.d"
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/exo_tests.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/IntegrationTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/exo_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/exo_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PatternTest.cpp" "tests/CMakeFiles/exo_tests.dir/PatternTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/PatternTest.cpp.o.d"
+  "/root/repo/tests/SchedulingOpsTest.cpp" "tests/CMakeFiles/exo_tests.dir/SchedulingOpsTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/SchedulingOpsTest.cpp.o.d"
+  "/root/repo/tests/SchedulingTest.cpp" "tests/CMakeFiles/exo_tests.dir/SchedulingTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/SchedulingTest.cpp.o.d"
+  "/root/repo/tests/SgemmTest.cpp" "tests/CMakeFiles/exo_tests.dir/SgemmTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/SgemmTest.cpp.o.d"
+  "/root/repo/tests/SolverPropertyTest.cpp" "tests/CMakeFiles/exo_tests.dir/SolverPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/SolverPropertyTest.cpp.o.d"
+  "/root/repo/tests/SolverTest.cpp" "tests/CMakeFiles/exo_tests.dir/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/SolverTest.cpp.o.d"
+  "/root/repo/tests/StaticChecksTest.cpp" "tests/CMakeFiles/exo_tests.dir/StaticChecksTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/StaticChecksTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/exo_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/exo_tests.dir/SupportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exo_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_hwlibs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
