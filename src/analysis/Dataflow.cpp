@@ -6,6 +6,7 @@
 
 #include "analysis/Dataflow.h"
 
+#include "analysis/EffectCache.h"
 #include "ir/Subst.h"
 
 using namespace exo;
@@ -71,6 +72,11 @@ Block exo::analysis::substitutedCalleeBody(const StmtRef &CallStmt) {
 
 void exo::analysis::flowStmt(AnalysisCtx &Ctx, FlowState &State,
                              const StmtRef &S) {
+  // State-invariant subtrees (no WriteConfig/WindowStmt/Call anywhere
+  // inside) are identities on the flow state; the memoized predicate makes
+  // this a constant-time skip of the If/For recursion below.
+  if (isStateInvariant(S))
+    return;
   switch (S->kind()) {
   case StmtKind::Assign:
   case StmtKind::Reduce:

@@ -73,9 +73,12 @@ TriBool triEq(const EffInt &A, const EffInt &B);
 /// default to "the variable itself".
 using EffEnv = std::map<ir::Sym, EffInt>;
 
-/// Shared state for one analysis session: the solver, the Sym → solver-var
-/// mapping, and uninterpreted-value caches. One AnalysisCtx spans one
-/// scheduling operation's worth of queries.
+/// Shared state for one analysis session. One AnalysisCtx spans one
+/// scheduling operation's worth of queries; the Sym → solver-var mapping
+/// and the uninterpreted stride values live in a process-wide registry so
+/// that every context agrees on them — a requirement for the effect cache
+/// (summaries extracted under one context stay meaningful under another)
+/// and harmless otherwise since ir::Sym ids are globally unique.
 class AnalysisCtx {
 public:
   AnalysisCtx() = default;
@@ -89,8 +92,7 @@ public:
 
   /// Reverse lookup for stride values: (buffer, dim) of a solver variable
   /// created by strideValue, if any.
-  std::optional<std::pair<ir::Sym, unsigned>>
-  strideFor(unsigned VarId) const;
+  std::optional<std::pair<ir::Sym, unsigned>> strideFor(unsigned VarId) const;
 
   /// A stable uninterpreted value for stride(buffer, dim).
   smt::TermRef strideValue(ir::Sym Buffer, unsigned Dim);
@@ -116,10 +118,6 @@ public:
 
 private:
   smt::Solver TheSolver;
-  std::unordered_map<ir::Sym, smt::TermVar> Vars;
-  std::unordered_map<unsigned, ir::Sym> VarSyms;
-  std::map<std::pair<ir::Sym, unsigned>, smt::TermRef> Strides;
-  std::unordered_map<unsigned, std::pair<ir::Sym, unsigned>> StrideSyms;
 };
 
 } // namespace analysis

@@ -1,0 +1,314 @@
+//===- analysis/EffectCache.cpp --------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EffectCache.h"
+
+#include "ir/FreeVars.h"
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace exo;
+using namespace exo::analysis;
+using namespace exo::ir;
+
+namespace {
+
+/// One memo line: the effect-environment slice the summary was extracted
+/// under (aligned with the record's FreeSyms; nullopt = symbol absent from
+/// the environment, i.e. "the variable itself") and the summary.
+struct CacheLine {
+  std::vector<std::optional<std::pair<smt::TermRef, smt::TermRef>>> Env;
+  EffectSets Eff;
+};
+
+/// Everything the cache knows about one statement node. Pin keeps the node
+/// alive so its address cannot be reused while it keys the table.
+struct StmtRecord {
+  StmtRef Pin;
+  int Invariant = -1; // -1 not yet computed, else 0/1
+  bool HaveFreeSyms = false;
+  std::vector<Sym> FreeSyms; // sorted: freeVars(S) ∪ configFields(S)
+  bool HaveLoopVar = false;
+  smt::TermVar LoopVar{0, "", smt::Sort::Int};
+  std::vector<CacheLine> Lines;
+};
+
+struct EffectCache {
+  std::mutex M;
+  std::unordered_map<const Stmt *, StmtRecord> Table;
+  // Ids of loop variables minted by stableLoopVar; they are stable (not
+  // per-extraction), so the leak check must not reject them. Never flushed:
+  // each entry is one unsigned per distinct For node ever analyzed.
+  std::unordered_set<unsigned> LoopVarIds;
+  EffectCacheStats Stats;
+  bool Enabled = true;
+
+  static constexpr size_t MaxEntries = 1u << 13;
+  static constexpr size_t MaxLinesPerStmt = 8;
+
+  static EffectCache &get() {
+    static EffectCache C;
+    return C;
+  }
+};
+
+/// State-invariance walk; only If/For have statement children, and the
+/// three state-touching kinds poison the whole subtree.
+bool computeStateInvariant(const StmtRef &S) {
+  switch (S->kind()) {
+  case StmtKind::WriteConfig:
+  case StmtKind::WindowStmt:
+  case StmtKind::Call:
+    return false;
+  case StmtKind::If:
+    for (auto &C : S->body())
+      if (!computeStateInvariant(C))
+        return false;
+    for (auto &C : S->orelse())
+      if (!computeStateInvariant(C))
+        return false;
+    return true;
+  case StmtKind::For:
+    for (auto &C : S->body())
+      if (!computeStateInvariant(C))
+        return false;
+    return true;
+  default:
+    return true;
+  }
+}
+
+/// Record accessors; caller holds the cache mutex.
+StmtRecord &recordFor(EffectCache &C, const StmtRef &S) {
+  StmtRecord &R = C.Table[S.get()];
+  if (!R.Pin)
+    R.Pin = S;
+  return R;
+}
+
+bool invariantLocked(EffectCache &C, const StmtRef &S) {
+  StmtRecord &R = recordFor(C, S);
+  if (R.Invariant < 0)
+    R.Invariant = computeStateInvariant(S) ? 1 : 0;
+  return R.Invariant == 1;
+}
+
+const std::vector<Sym> &freeSymsLocked(EffectCache &C, const StmtRef &S) {
+  StmtRecord &R = recordFor(C, S);
+  if (!R.HaveFreeSyms) {
+    std::set<Sym> Syms = freeVars(S);
+    std::set<Sym> Cfg = configFields(S);
+    Syms.insert(Cfg.begin(), Cfg.end());
+    R.FreeSyms.assign(Syms.begin(), Syms.end());
+    R.HaveFreeSyms = true;
+  }
+  return R.FreeSyms;
+}
+
+using Fingerprint =
+    std::vector<std::optional<std::pair<smt::TermRef, smt::TermRef>>>;
+
+Fingerprint fingerprintOf(const std::vector<Sym> &FreeSyms,
+                          const FlowState &State) {
+  Fingerprint FP;
+  FP.reserve(FreeSyms.size());
+  for (auto &Sy : FreeSyms) {
+    auto It = State.Env.find(Sy);
+    if (It == State.Env.end())
+      FP.emplace_back(std::nullopt);
+    else
+      FP.emplace_back(std::make_pair(It->second.Val, It->second.Def));
+  }
+  return FP;
+}
+
+bool fingerprintsEqual(const Fingerprint &A, const Fingerprint &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (A[I].has_value() != B[I].has_value())
+      return false;
+    if (A[I] &&
+        (!A[I]->first->equals(*B[I]->first) ||
+         !A[I]->second->equals(*B[I]->second)))
+      return false;
+  }
+  return true;
+}
+
+/// Collects every solver-variable id occurring in a summary, skipping ids
+/// bound by enclosing BigUnions (those are the summary's own binders).
+void collectTermIds(const smt::TermRef &T,
+                    const std::unordered_set<unsigned> &Bound,
+                    std::unordered_set<unsigned> &Out) {
+  for (unsigned Id : T->freeVarIds())
+    if (!Bound.count(Id))
+      Out.insert(Id);
+}
+
+void collectLocIds(const LocSetRef &L, std::unordered_set<unsigned> &Bound,
+                   std::unordered_set<unsigned> &Out) {
+  collectTermIds(L->cond().Must, Bound, Out);
+  collectTermIds(L->cond().May, Bound, Out);
+  for (auto &C : L->coords()) {
+    collectTermIds(C.Val, Bound, Out);
+    collectTermIds(C.Def, Bound, Out);
+  }
+  if (L->kind() == LocSet::Kind::BigUnion) {
+    bool Inserted = Bound.insert(L->boundVar().Id).second;
+    for (auto &P : L->parts())
+      collectLocIds(P, Bound, Out);
+    if (Inserted)
+      Bound.erase(L->boundVar().Id);
+    return;
+  }
+  for (auto &P : L->parts())
+    collectLocIds(P, Bound, Out);
+}
+
+void collectSummaryIds(const EffectSets &Eff,
+                       std::unordered_set<unsigned> &Out) {
+  std::unordered_set<unsigned> Bound;
+  for (const LocSetRef *Set :
+       {&Eff.RdG, &Eff.WrG, &Eff.RdH, &Eff.WrH, &Eff.RpH, &Eff.Al})
+    collectLocIds(*Set, Bound, Out);
+}
+
+} // namespace
+
+bool exo::analysis::isStateInvariant(const StmtRef &S) {
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  return invariantLocked(C, S);
+}
+
+smt::TermVar exo::analysis::stableLoopVar(const StmtRef &ForStmt) {
+  assert(ForStmt->kind() == StmtKind::For && "not a For statement");
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  StmtRecord &R = recordFor(C, ForStmt);
+  if (!R.HaveLoopVar) {
+    R.LoopVar = smt::freshVar(ForStmt->name().name(), smt::Sort::Int);
+    R.HaveLoopVar = true;
+    C.LoopVarIds.insert(R.LoopVar.Id);
+  }
+  return R.LoopVar;
+}
+
+bool exo::analysis::effectCacheLookup(const StmtRef &S, const FlowState &State,
+                                      EffectSets &Out) {
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  if (!C.Enabled)
+    return false;
+  auto It = C.Table.find(S.get());
+  if (It == C.Table.end() || It->second.Lines.empty()) {
+    ++C.Stats.Misses;
+    return false;
+  }
+  StmtRecord &R = It->second;
+  for (auto &Sy : R.FreeSyms)
+    if (State.Aliases.count(Sy)) {
+      ++C.Stats.Misses;
+      return false;
+    }
+  Fingerprint FP = fingerprintOf(R.FreeSyms, State);
+  for (auto &Line : R.Lines)
+    if (fingerprintsEqual(Line.Env, FP)) {
+      ++C.Stats.Hits;
+      Out = Line.Eff;
+      return true;
+    }
+  ++C.Stats.Misses;
+  return false;
+}
+
+void exo::analysis::effectCacheInsert(AnalysisCtx &Ctx, const StmtRef &S,
+                                      const FlowState &State,
+                                      unsigned FreshMark,
+                                      const EffectSets &Eff) {
+  EffectCache &C = EffectCache::get();
+  std::unique_lock<std::mutex> Lock(C.M);
+  if (!C.Enabled)
+    return;
+  if (!invariantLocked(C, S)) {
+    ++C.Stats.Uncacheable;
+    return;
+  }
+  // Copy: the table may be flushed below, which would invalidate a
+  // reference into the record.
+  std::vector<Sym> FreeSyms = freeSymsLocked(C, S);
+  for (auto &Sy : FreeSyms)
+    if (State.Aliases.count(Sy)) {
+      ++C.Stats.Uncacheable;
+      return;
+    }
+
+  // Reject summaries that leak variables minted during this extraction.
+  // Stable variables (global Sym registry, stride values, pinned loop vars)
+  // are exempt even when first minted inside the bracket — re-extraction
+  // reproduces them exactly.
+  std::unordered_set<unsigned> Ids;
+  collectSummaryIds(Eff, Ids);
+  for (unsigned Id : Ids) {
+    if (Id < FreshMark || C.LoopVarIds.count(Id))
+      continue;
+    // symFor/strideFor take the (distinct) registry mutex; safe to call
+    // while holding ours — the registry never calls back into the cache.
+    if (Ctx.symFor(Id) || Ctx.strideFor(Id))
+      continue;
+    ++C.Stats.Uncacheable;
+    return;
+  }
+
+  if (C.Table.size() >= EffectCache::MaxEntries) {
+    C.Table.clear();
+    ++C.Stats.Evictions;
+  }
+  StmtRecord &R = recordFor(C, S);
+  R.Invariant = 1;
+  if (!R.HaveFreeSyms) {
+    // recordFor may have re-created R after the flush above.
+    R.FreeSyms = std::move(FreeSyms);
+    R.HaveFreeSyms = true;
+  }
+  Fingerprint FP = fingerprintOf(R.FreeSyms, State);
+  for (auto &Line : R.Lines)
+    if (fingerprintsEqual(Line.Env, FP))
+      return; // already stored
+  if (R.Lines.size() >= EffectCache::MaxLinesPerStmt)
+    R.Lines.clear();
+  R.Lines.push_back(CacheLine{std::move(FP), Eff});
+}
+
+bool exo::analysis::effectCacheEnabled() {
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  return C.Enabled;
+}
+
+void exo::analysis::setEffectCacheEnabled(bool Enabled) {
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Enabled = Enabled;
+}
+
+EffectCacheStats exo::analysis::effectCacheStats() {
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  EffectCacheStats S = C.Stats;
+  S.Size = C.Table.size();
+  return S;
+}
+
+void exo::analysis::clearEffectCache() {
+  EffectCache &C = EffectCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Table.clear();
+}

@@ -1,0 +1,79 @@
+//===- analysis/EffectCache.h - Effect extraction memoization --*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization of per-statement effect summaries across scheduling
+/// operators. A statement is cached only when its summary is a pure
+/// function of observable inputs:
+///
+///   - its subtree is *state-invariant* (no WriteConfig, WindowStmt, or
+///     Call anywhere inside), so extraction neither reads hidden state via
+///     the callee table nor mutates the FlowState;
+///   - none of its free symbols is window-aliased in the current state
+///     (aliases change how locations resolve);
+///   - the extracted summary mentions no solver variable minted *during*
+///     the extraction other than the stable per-symbol/per-loop variables —
+///     a summary leaking per-extraction unknowns must not be shared, or
+///     independent extractions (e.g. the two body copies of removeLoop's
+///     idempotence check) would become spuriously correlated.
+///
+/// The fingerprint of a lookup is the statement's identity (hash-consed
+/// sub-IR: the pinned Stmt node address) plus, for each free symbol and
+/// config field of the statement, the effect-environment entry it sees.
+/// Rewrites produce new Stmt nodes, so structural change invalidates by
+/// construction; unchanged subtrees keep their node and keep their cache
+/// line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_ANALYSIS_EFFECTCACHE_H
+#define EXO_ANALYSIS_EFFECTCACHE_H
+
+#include "analysis/Effects.h"
+
+namespace exo {
+namespace analysis {
+
+/// Counters for the process-wide effect cache.
+struct EffectCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Uncacheable = 0; ///< extractions that could not be stored
+  uint64_t Evictions = 0;   ///< whole-table flushes on overflow
+  size_t Size = 0;          ///< statements currently cached
+};
+
+/// True iff extracting \p S can neither read nor write dataflow state: no
+/// WriteConfig, WindowStmt, or Call occurs in its subtree. Memoized per
+/// statement node; also used by flowStmt as an identity fast path.
+bool isStateInvariant(const ir::StmtRef &S);
+
+/// The pinned loop-iteration solver variable for a For statement. Stable
+/// across extractions of the same node (a deliberate alpha choice that
+/// keeps summaries reproducible); distinct nodes get distinct variables.
+smt::TermVar stableLoopVar(const ir::StmtRef &ForStmt);
+
+/// Looks up a summary for \p S under \p State; returns true on a hit.
+bool effectCacheLookup(const ir::StmtRef &S, const FlowState &State,
+                       EffectSets &Out);
+
+/// Stores \p Eff for \p S under \p State. \p FreshMark must be the
+/// freshVarMark() taken immediately before the extraction; it is how leaks
+/// of per-extraction variables are detected and rejected.
+void effectCacheInsert(AnalysisCtx &Ctx, const ir::StmtRef &S,
+                       const FlowState &State, unsigned FreshMark,
+                       const EffectSets &Eff);
+
+bool effectCacheEnabled();
+void setEffectCacheEnabled(bool Enabled);
+
+EffectCacheStats effectCacheStats();
+void clearEffectCache();
+
+} // namespace analysis
+} // namespace exo
+
+#endif // EXO_ANALYSIS_EFFECTCACHE_H

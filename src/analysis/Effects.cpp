@@ -6,6 +6,8 @@
 
 #include "analysis/Effects.h"
 
+#include "analysis/EffectCache.h"
+
 using namespace exo;
 using namespace exo::analysis;
 using namespace exo::ir;
@@ -101,7 +103,9 @@ EffectSets exo::analysis::extractExprReads(AnalysisCtx &Ctx,
   return Out;
 }
 
-EffectSets exo::analysis::extractStmt(AnalysisCtx &Ctx, FlowState &State,
+/// The uncached extraction (the original Def 5.4/5.5 recursion). The public
+/// extractStmt wraps this with the effect cache.
+static EffectSets extractStmtUncached(AnalysisCtx &Ctx, FlowState &State,
                                       const StmtRef &S) {
   switch (S->kind()) {
   case StmtKind::Pass:
@@ -174,7 +178,10 @@ EffectSets exo::analysis::extractStmt(AnalysisCtx &Ctx, FlowState &State,
     FlowState BodyState = State;
     havocKeys(Ctx, BodyState.Env, Changed);
 
-    smt::TermVar X = smt::freshVar(S->name().name(), smt::Sort::Int);
+    // Pinned per-statement iteration variable (an alpha choice): the same
+    // For node always quantifies over the same variable, which is what
+    // makes its cached summaries reproducible.
+    smt::TermVar X = stableLoopVar(S);
     BodyState.Env[S->name()] = EffInt::known(smt::mkVar(X));
     EffectSets BodyEff = extractBlock(Ctx, BodyState, S->body());
     TriBool InBounds =
@@ -192,6 +199,17 @@ EffectSets exo::analysis::extractStmt(AnalysisCtx &Ctx, FlowState &State,
   }
   }
   return EffectSets();
+}
+
+EffectSets exo::analysis::extractStmt(AnalysisCtx &Ctx, FlowState &State,
+                                      const StmtRef &S) {
+  EffectSets Out;
+  if (effectCacheLookup(S, State, Out))
+    return Out; // cache hits are state-invariant by construction
+  unsigned Mark = smt::freshVarMark();
+  Out = extractStmtUncached(Ctx, State, S);
+  effectCacheInsert(Ctx, S, State, Mark, Out);
+  return Out;
 }
 
 EffectSets exo::analysis::extractBlock(AnalysisCtx &Ctx, FlowState &State,

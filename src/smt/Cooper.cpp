@@ -254,7 +254,10 @@ QFormRef exo::smt::eliminateExists(unsigned VarId, const QFormRef &F,
   // Normalize all coefficients of VarId to +-1 via y = Delta * x.
   int64_t Delta = coefficientLcm(Phi, VarId);
   if (Delta == 0 || B.exceeded()) {
-    B.charge(UINT64_MAX); // force Unknown
+    if (Delta == 0)
+      B.markStructural(); // coefficient LCM overflow — not tractable LIA
+    else
+      B.charge(UINT64_MAX); // literal budget already gone
     return qFalse();
   }
   unsigned Y = VarId;
@@ -270,7 +273,7 @@ QFormRef exo::smt::eliminateExists(unsigned VarId, const QFormRef &F,
   BoundInfo Info;
   collectBounds(Phi, Y, Info);
   if (Info.Overflow) {
-    B.charge(UINT64_MAX);
+    B.markStructural();
     return qFalse();
   }
   bool Flipped = Info.Upper.size() < Info.Lower.size();
@@ -280,7 +283,7 @@ QFormRef exo::smt::eliminateExists(unsigned VarId, const QFormRef &F,
     collectBounds(Phi, Y, FlippedInfo);
     Info = std::move(FlippedInfo);
     if (Info.Overflow) {
-      B.charge(UINT64_MAX);
+      B.markStructural();
       return qFalse();
     }
   }

@@ -39,8 +39,11 @@ unsigned PrenexConverter::renamed(unsigned Id) const {
   return It == Renaming.end() ? Id : It->second;
 }
 
-/// Finds the first integer-sorted Ite node inside \p T, or null.
+/// Finds the first integer-sorted Ite node inside \p T, or null. The cached
+/// hasIntIte() flag prunes Ite-free subtrees without traversal.
 static TermRef findIntIte(const TermRef &T) {
+  if (!T->hasIntIte())
+    return nullptr;
   if (T->kind() == TermKind::Ite && T->sort() == Sort::Int)
     return T;
   for (auto &Op : T->operands())

@@ -45,10 +45,23 @@ public:
     return true;
   }
 
+  /// Marks the budget as exhausted because of a *structural* cap (a
+  /// coefficient LCM or elimination bound-set overflow — genuine
+  /// non-quasi-affine fallout), as opposed to running out of the literal
+  /// budget. Solver::Stats reports the two separately.
+  void markStructural() {
+    Remaining = 0;
+    Structural = true;
+  }
+
   bool exceeded() const { return Remaining == 0; }
+
+  /// True iff the exhaustion was caused by markStructural().
+  bool structuralOverflow() const { return Structural; }
 
 private:
   uint64_t Remaining;
+  bool Structural = false;
 };
 
 /// A literal over linear integer forms.

@@ -1,0 +1,222 @@
+//===- smt/QueryCache.cpp --------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/QueryCache.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+using namespace exo;
+using namespace exo::smt;
+
+//===----------------------------------------------------------------------===//
+// Canonical serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Serializer state. Bound variables map to the *level* (depth) of their
+/// binder, so the rendering of a subterm depends only on the binders above
+/// it — which is what lets us sort the children of commutative operators
+/// independently. Shadowing is handled with a per-id level stack.
+struct KeySerializer {
+  // Keys past this size cost more to build and compare than the solve they
+  // would save; abandon them.
+  static constexpr size_t MaxKeyBytes = 4u << 20;
+
+  std::unordered_map<unsigned, std::vector<unsigned>> Levels;
+  unsigned Depth = 0;
+  bool Overflow = false;
+
+  std::string render(const TermRef &T) {
+    std::string Out;
+    switch (T->kind()) {
+    case TermKind::IntConst:
+      Out = "i" + std::to_string(T->intValue());
+      break;
+    case TermKind::BoolConst:
+      Out = T->boolValue() ? "t" : "f";
+      break;
+    case TermKind::Var: {
+      auto It = Levels.find(T->var().Id);
+      if (It != Levels.end() && !It->second.empty())
+        Out = "b" + std::to_string(It->second.back());
+      else
+        Out = "v" + std::to_string(T->var().Id); // free var (open query)
+      break;
+    }
+    case TermKind::Mul:
+    case TermKind::Div:
+    case TermKind::Mod: {
+      const char *Tag = T->kind() == TermKind::Mul   ? "*"
+                        : T->kind() == TermKind::Div ? "/"
+                                                     : "%";
+      Out = "(" + std::string(Tag) + std::to_string(T->scalar()) + " " +
+            render(T->operand(0)) + ")";
+      break;
+    }
+    case TermKind::Add:
+    case TermKind::And:
+    case TermKind::Or:
+    case TermKind::Eq: {
+      // Commutative: sort the children's renderings.
+      const char *Tag = T->kind() == TermKind::Add ? "+"
+                        : T->kind() == TermKind::And
+                            ? "&"
+                            : T->kind() == TermKind::Or ? "|" : "=";
+      std::vector<std::string> Parts;
+      Parts.reserve(T->numOperands());
+      for (auto &Op : T->operands())
+        Parts.push_back(render(Op));
+      std::sort(Parts.begin(), Parts.end());
+      Out = "(" + std::string(Tag);
+      for (auto &P : Parts) {
+        Out += ' ';
+        Out += P;
+      }
+      Out += ')';
+      break;
+    }
+    case TermKind::Le:
+    case TermKind::Lt:
+    case TermKind::Not:
+    case TermKind::Implies:
+    case TermKind::Ite: {
+      const char *Tag = T->kind() == TermKind::Le    ? "<="
+                        : T->kind() == TermKind::Lt  ? "<"
+                        : T->kind() == TermKind::Not ? "!"
+                        : T->kind() == TermKind::Implies
+                            ? ">"
+                            : T->sort() == Sort::Int ? "?i" : "?b";
+      Out = "(" + std::string(Tag);
+      for (auto &Op : T->operands()) {
+        Out += ' ';
+        Out += render(Op);
+      }
+      Out += ')';
+      break;
+    }
+    case TermKind::Forall:
+    case TermKind::Exists: {
+      unsigned Id = T->var().Id;
+      Levels[Id].push_back(Depth);
+      ++Depth;
+      std::string Body = render(T->operand(0));
+      --Depth;
+      auto It = Levels.find(Id);
+      It->second.pop_back();
+      if (It->second.empty())
+        Levels.erase(It);
+      Out = std::string(T->kind() == TermKind::Forall ? "(A " : "(E ") + Body +
+            ")";
+      break;
+    }
+    }
+    if (Out.size() > MaxKeyBytes)
+      Overflow = true;
+    return Overflow ? std::string() : Out;
+  }
+};
+
+} // namespace
+
+std::string exo::smt::canonicalQueryKey(const TermRef &Closed) {
+  KeySerializer S;
+  std::string Key = S.render(Closed);
+  return S.Overflow ? std::string() : Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Process-wide memo table
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct QueryCache {
+  std::mutex M;
+  std::unordered_map<std::string, SolverResult> Table;
+  QueryCacheStats Stats;
+  bool Enabled = true;
+
+  // Flush-on-cap keeps the policy trivial and the worst case bounded; a
+  // flush only forgets verdicts, never changes one.
+  static constexpr size_t MaxEntries = 1u << 16;
+  static constexpr size_t MaxBytes = 64u << 20;
+  size_t KeyBytes = 0;
+
+  static QueryCache &get() {
+    static QueryCache C;
+    return C;
+  }
+};
+
+} // namespace
+
+bool exo::smt::queryCacheEnabled() {
+  QueryCache &C = QueryCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  return C.Enabled;
+}
+
+void exo::smt::setQueryCacheEnabled(bool Enabled) {
+  QueryCache &C = QueryCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Enabled = Enabled;
+}
+
+bool exo::smt::queryCacheLookup(const std::string &Key, SolverResult &Out) {
+  if (Key.empty()) {
+    QueryCache &C = QueryCache::get();
+    std::lock_guard<std::mutex> Lock(C.M);
+    ++C.Stats.Uncacheable;
+    return false;
+  }
+  QueryCache &C = QueryCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  auto It = C.Table.find(Key);
+  if (It == C.Table.end()) {
+    ++C.Stats.Misses;
+    return false;
+  }
+  ++C.Stats.Hits;
+  Out = It->second;
+  return true;
+}
+
+void exo::smt::queryCacheInsert(const std::string &Key, SolverResult R) {
+  assert(R != SolverResult::Unknown && "Unknown must never be cached");
+  if (Key.empty() || R == SolverResult::Unknown)
+    return;
+  QueryCache &C = QueryCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  if (C.Table.size() >= QueryCache::MaxEntries ||
+      C.KeyBytes + Key.size() > QueryCache::MaxBytes) {
+    C.Table.clear();
+    C.KeyBytes = 0;
+    ++C.Stats.Evictions;
+  }
+  auto [It, Inserted] = C.Table.emplace(Key, R);
+  if (Inserted) {
+    C.KeyBytes += Key.size();
+    ++C.Stats.Insertions;
+  }
+}
+
+QueryCacheStats exo::smt::solverQueryCacheStats() {
+  QueryCache &C = QueryCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  QueryCacheStats S = C.Stats;
+  S.Size = C.Table.size();
+  return S;
+}
+
+void exo::smt::clearSolverQueryCache() {
+  QueryCache &C = QueryCache::get();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Table.clear();
+  C.KeyBytes = 0;
+}

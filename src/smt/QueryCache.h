@@ -1,0 +1,67 @@
+//===- smt/QueryCache.h - Memoized solver query cache ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide memo table for closed solver queries. Keys are canonical
+/// serializations — bound variables are alpha-renamed to De Bruijn *levels*
+/// (binder depth, so sibling subterms canonicalize independently) and the
+/// children of commutative operators (And, Or, Add, Eq) are sorted — so the
+/// same proof obligation re-posed by a scheduling operator with freshly
+/// minted variables still hits. Two terms with equal keys are logically
+/// equivalent, hence share a verdict; a hit returns exactly what the cold
+/// decision procedure returned.
+///
+/// Only Yes/No verdicts are stored. Unknown is NEVER cached: it depends on
+/// the literal budget, so raising the budget must re-run the query. Yes/No
+/// are budget-independent (the budget can only cause Unknown), so the key
+/// does not include the budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SMT_QUERYCACHE_H
+#define EXO_SMT_QUERYCACHE_H
+
+#include "smt/Solver.h"
+
+#include <string>
+
+namespace exo {
+namespace smt {
+
+/// Counters for the process-wide query cache.
+struct QueryCacheStats {
+  uint64_t Hits = 0;        ///< lookups that returned a stored verdict
+  uint64_t Misses = 0;      ///< lookups that found nothing
+  uint64_t Insertions = 0;  ///< verdicts stored
+  uint64_t Evictions = 0;   ///< whole-table flushes on overflow
+  uint64_t Uncacheable = 0; ///< keys abandoned at the serialization size cap
+  size_t Size = 0;          ///< entries currently stored
+};
+
+/// Canonical key of a closed query (see file comment for the rules).
+/// Returns the empty string when serialization exceeds the size cap;
+/// callers must treat that query as uncacheable.
+std::string canonicalQueryKey(const TermRef &Closed);
+
+/// Global enable switch (defaults to on); mirrors setDefaultMaxLiterals so
+/// ablation benches can toggle it process-wide.
+bool queryCacheEnabled();
+void setQueryCacheEnabled(bool Enabled);
+
+/// Looks up \p Key; on a hit stores the verdict in \p Out and returns true.
+bool queryCacheLookup(const std::string &Key, SolverResult &Out);
+
+/// Stores a Yes/No verdict. Calls with Unknown are ignored (and assert in
+/// debug builds); empty keys are ignored.
+void queryCacheInsert(const std::string &Key, SolverResult R);
+
+QueryCacheStats solverQueryCacheStats();
+void clearSolverQueryCache();
+
+} // namespace smt
+} // namespace exo
+
+#endif // EXO_SMT_QUERYCACHE_H

@@ -8,6 +8,9 @@
 
 #include "smt/Cooper.h"
 #include "smt/Prenex.h"
+#include "smt/QueryCache.h"
+
+#include <mutex>
 
 using namespace exo;
 using namespace exo::smt;
@@ -17,7 +20,29 @@ uint64_t &defaultBudgetStorage() {
   static uint64_t Budget = 2'000'000;
   return Budget;
 }
+
+struct GlobalStats {
+  std::mutex M;
+  Solver::Stats S;
+
+  static GlobalStats &get() {
+    static GlobalStats G;
+    return G;
+  }
+};
 } // namespace
+
+Solver::Stats exo::smt::solverGlobalStats() {
+  GlobalStats &G = GlobalStats::get();
+  std::lock_guard<std::mutex> Lock(G.M);
+  return G.S;
+}
+
+void exo::smt::resetSolverGlobalStats() {
+  GlobalStats &G = GlobalStats::get();
+  std::lock_guard<std::mutex> Lock(G.M);
+  G.S = Solver::Stats();
+}
 
 uint64_t exo::smt::defaultMaxLiterals() { return defaultBudgetStorage(); }
 
@@ -49,17 +74,53 @@ static TermRef closeFreeVars(TermRef F, bool Universally) {
 
 SolverResult Solver::decide(TermRef Closed) {
   ++TheStats.NumQueries;
+  auto Bump = [](auto Field) {
+    GlobalStats &G = GlobalStats::get();
+    std::lock_guard<std::mutex> Lock(G.M);
+    ++(G.S.*Field);
+  };
+  Bump(&Stats::NumQueries);
+
+  // Consult the process-wide memo table first. A hit returns exactly what
+  // the cold decision procedure returned for an alpha-equivalent query;
+  // Unknown verdicts are never stored, so budget changes always re-solve.
+  bool UseCache = Opts.UseQueryCache && queryCacheEnabled();
+  std::string Key;
+  if (UseCache) {
+    Key = canonicalQueryKey(Closed);
+    SolverResult Cached;
+    if (queryCacheLookup(Key, Cached)) {
+      ++TheStats.CacheHits;
+      Bump(&Stats::CacheHits);
+      return Cached;
+    }
+    ++TheStats.CacheMisses;
+    Bump(&Stats::CacheMisses);
+  }
+
   Budget B(Opts.MaxLiterals);
   PrenexResult P = prenex(Closed, B);
   Decision D = B.exceeded() ? Decision::Unknown : decideClosed(P, B);
   switch (D) {
   case Decision::True:
-    return SolverResult::Yes;
-  case Decision::False:
-    return SolverResult::No;
+  case Decision::False: {
+    SolverResult R =
+        D == Decision::True ? SolverResult::Yes : SolverResult::No;
+    if (UseCache && !Key.empty())
+      queryCacheInsert(Key, R);
+    return R;
+  }
   case Decision::Unknown:
-    ++TheStats.NumUnknown;
-    return SolverResult::Unknown;
+    break;
+  }
+  ++TheStats.NumUnknown;
+  Bump(&Stats::NumUnknown);
+  if (B.structuralOverflow()) {
+    ++TheStats.NumUnknownStructural;
+    Bump(&Stats::NumUnknownStructural);
+  } else {
+    ++TheStats.NumUnknownBudget;
+    Bump(&Stats::NumUnknownBudget);
   }
   return SolverResult::Unknown;
 }

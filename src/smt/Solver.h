@@ -29,9 +29,12 @@ uint64_t defaultMaxLiterals();
 void setDefaultMaxLiterals(uint64_t Budget);
 
 /// Tuning knobs. MaxLiterals bounds the total number of literals the
-/// elimination pipeline may create for a single query.
+/// elimination pipeline may create for a single query. UseQueryCache lets a
+/// single solver opt out of the process-wide memo table (see QueryCache.h);
+/// the table also has a global enable switch.
 struct SolverOptions {
   uint64_t MaxLiterals = defaultMaxLiterals();
+  bool UseQueryCache = true;
 };
 
 /// Decision procedure for quantified linear integer arithmetic.
@@ -49,10 +52,19 @@ public:
   /// Is \p F true under some assignment of its free variables?
   SolverResult checkSat(const TermRef &F);
 
-  /// Query statistics, for the ablation benchmarks.
+  /// Query statistics, for the ablation benchmarks. NumUnknown is the sum
+  /// of its two breakdown counters: NumUnknownBudget (ran out of the
+  /// literal budget — retrying with a larger budget may succeed) and
+  /// NumUnknownStructural (Cooper's structural caps fired: coefficient LCM
+  /// or bound-set overflow — genuine non-quasi-affine fallout that no
+  /// budget will fix). Cache counters track the process-wide query cache.
   struct Stats {
     uint64_t NumQueries = 0;
     uint64_t NumUnknown = 0;
+    uint64_t NumUnknownBudget = 0;
+    uint64_t NumUnknownStructural = 0;
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
   };
   const Stats &stats() const { return TheStats; }
 
@@ -62,6 +74,11 @@ private:
   SolverOptions Opts;
   Stats TheStats;
 };
+
+/// Process-wide aggregate of every Solver instance's Stats. Benchmarks use
+/// this to observe solvers created deep inside the scheduling pipeline.
+Solver::Stats solverGlobalStats();
+void resetSolverGlobalStats();
 
 } // namespace smt
 } // namespace exo

@@ -10,19 +10,179 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace exo;
 using namespace exo::smt;
 
-TermVar exo::smt::freshVar(const std::string &Name, Sort S) {
+static std::atomic<unsigned> &freshVarCounter() {
   static std::atomic<unsigned> NextId{1};
-  return TermVar{NextId.fetch_add(1), Name, S};
+  return NextId;
+}
+
+TermVar exo::smt::freshVar(const std::string &Name, Sort S) {
+  return TermVar{freshVarCounter().fetch_add(1), Name, S};
+}
+
+unsigned exo::smt::freshVarMark() { return freshVarCounter().load(); }
+
+//===----------------------------------------------------------------------===//
+// Hash-consing interner
+//===----------------------------------------------------------------------===//
+
+static size_t hashMix(size_t Seed, size_t V) {
+  // boost::hash_combine mixing.
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+static size_t structuralHash(TermKind K, Sort S, int64_t V, unsigned VarId,
+                             const std::vector<TermRef> &Ops) {
+  size_t H = hashMix(static_cast<size_t>(K) * 31 + static_cast<size_t>(S),
+                     static_cast<size_t>(static_cast<uint64_t>(V)));
+  H = hashMix(H, VarId);
+  for (auto &Op : Ops)
+    H = hashMix(H, Op->hash());
+  return H;
+}
+
+Term::Term(TermKind K, Sort S, int64_t V, TermVar Var, std::vector<TermRef> Ops)
+    : Kind(K), TheSort(S), Value(V), Variable(std::move(Var)),
+      Operands(std::move(Ops)) {
+  Hash = structuralHash(Kind, TheSort, Value,
+                        Kind == TermKind::Var || Kind == TermKind::Forall ||
+                                Kind == TermKind::Exists
+                            ? Variable.Id
+                            : 0,
+                        Operands);
+  IntIte = Kind == TermKind::Ite && TheSort == Sort::Int;
+  if (Kind == TermKind::Var) {
+    FreeIds.push_back(Variable.Id);
+  } else if (Operands.size() == 1) {
+    FreeIds = Operands[0]->freeVarIds();
+    IntIte |= Operands[0]->hasIntIte();
+  } else {
+    for (auto &Op : Operands) {
+      IntIte |= Op->hasIntIte();
+      FreeIds.insert(FreeIds.end(), Op->freeVarIds().begin(),
+                     Op->freeVarIds().end());
+    }
+    std::sort(FreeIds.begin(), FreeIds.end());
+    FreeIds.erase(std::unique(FreeIds.begin(), FreeIds.end()), FreeIds.end());
+  }
+  if (Kind == TermKind::Forall || Kind == TermKind::Exists) {
+    auto It = std::lower_bound(FreeIds.begin(), FreeIds.end(), Variable.Id);
+    if (It != FreeIds.end() && *It == Variable.Id) {
+      // Copy-on-write: the unary case above aliased the child's vector.
+      std::vector<unsigned> Own(FreeIds);
+      Own.erase(Own.begin() + (It - FreeIds.begin()));
+      FreeIds = std::move(Own);
+    }
+  }
+}
+
+namespace {
+
+/// The process-wide interner: a bucket map from structural hash to the nodes
+/// carrying that hash. Candidate matching is *shallow* — payload fields plus
+/// pointer-equality of operands — which suffices because children are
+/// themselves interned. After a flush, children of newly built terms may no
+/// longer be pointer-unique with older live terms, so some sharing is lost;
+/// Term::equals keeps a deep fallback for exactly that case.
+struct TermInterner {
+  std::mutex M;
+  std::unordered_map<size_t, std::vector<TermRef>> Buckets;
+  size_t LiveNodes = 0;
+  TermInternerStats Stats;
+
+  // Flush-on-cap: past this many retained nodes the whole table is cleared
+  // (counted in Stats.Flushes). Live terms keep their own refs.
+  static constexpr size_t MaxLiveNodes = 1u << 18;
+
+  static TermInterner &get() {
+    static TermInterner I;
+    return I;
+  }
+};
+
+} // namespace
+
+static bool shallowMatches(const Term &T, TermKind K, Sort S, int64_t V,
+                           const TermVar &Var,
+                           const std::vector<TermRef> &Ops) {
+  if (T.kind() != K || T.sort() != S || T.numOperands() != Ops.size())
+    return false;
+  bool HasVar =
+      K == TermKind::Var || K == TermKind::Forall || K == TermKind::Exists;
+  switch (K) {
+  case TermKind::IntConst:
+  case TermKind::BoolConst:
+  case TermKind::Mul:
+  case TermKind::Div:
+  case TermKind::Mod:
+    if (T.kind() == TermKind::IntConst ? T.intValue() != V
+        : T.kind() == TermKind::BoolConst
+            ? T.boolValue() != (V != 0)
+            : T.scalar() != V)
+      return false;
+    break;
+  default:
+    break;
+  }
+  if (HasVar && T.var().Id != Var.Id)
+    return false;
+  for (size_t I = 0; I < Ops.size(); ++I)
+    if (T.operand(I).get() != Ops[I].get())
+      return false;
+  return true;
 }
 
 static TermRef makeNode(TermKind K, Sort S, int64_t V, TermVar Var,
                         std::vector<TermRef> Ops) {
-  return std::make_shared<Term>(K, S, V, std::move(Var), std::move(Ops));
+  bool HasVar =
+      K == TermKind::Var || K == TermKind::Forall || K == TermKind::Exists;
+  size_t H = structuralHash(K, S, V, HasVar ? Var.Id : 0, Ops);
+  TermInterner &I = TermInterner::get();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto &Bucket = I.Buckets[H];
+  for (auto &Cand : Bucket)
+    if (shallowMatches(*Cand, K, S, V, Var, Ops)) {
+      ++I.Stats.Hits;
+      return Cand;
+    }
+  ++I.Stats.Misses;
+  if (I.LiveNodes >= TermInterner::MaxLiveNodes) {
+    I.Buckets.clear();
+    I.LiveNodes = 0;
+    ++I.Stats.Flushes;
+    // NB: `Bucket` is dangling after clear(); re-insert below via the map.
+    TermRef Node =
+        std::make_shared<Term>(K, S, V, std::move(Var), std::move(Ops));
+    I.Buckets[H].push_back(Node);
+    ++I.LiveNodes;
+    return Node;
+  }
+  TermRef Node =
+      std::make_shared<Term>(K, S, V, std::move(Var), std::move(Ops));
+  Bucket.push_back(Node);
+  ++I.LiveNodes;
+  return Node;
+}
+
+TermInternerStats exo::smt::termInternerStats() {
+  TermInterner &I = TermInterner::get();
+  std::lock_guard<std::mutex> Lock(I.M);
+  TermInternerStats S = I.Stats;
+  S.Live = I.LiveNodes;
+  return S;
+}
+
+void exo::smt::clearTermInterner() {
+  TermInterner &I = TermInterner::get();
+  std::lock_guard<std::mutex> Lock(I.M);
+  I.Buckets.clear();
+  I.LiveNodes = 0;
 }
 
 static const TermVar NoVar{0, "", Sort::Int};
@@ -275,6 +435,8 @@ TermRef exo::smt::exists(const std::vector<TermVar> &Vs, TermRef Body) {
 bool Term::equals(const Term &O) const {
   if (this == &O)
     return true;
+  if (Hash != O.Hash)
+    return false;
   if (Kind != O.Kind || TheSort != O.TheSort || Value != O.Value ||
       Variable.Id != O.Variable.Id || Operands.size() != O.Operands.size())
     return false;
@@ -288,6 +450,18 @@ static void collectFreeVarsImpl(const TermRef &T,
                                 std::unordered_set<unsigned> &Bound,
                                 std::unordered_set<unsigned> &Seen,
                                 std::vector<TermVar> &Out) {
+  // Prune subtrees whose (cached) free-variable ids are all already
+  // accounted for — the common case once terms are widely shared.
+  {
+    bool AllKnown = true;
+    for (unsigned Id : T->freeVarIds())
+      if (!Seen.count(Id) && !Bound.count(Id)) {
+        AllKnown = false;
+        break;
+      }
+    if (AllKnown)
+      return;
+  }
   switch (T->kind()) {
   case TermKind::Var:
     if (!Bound.count(T->var().Id) && Seen.insert(T->var().Id).second)
@@ -316,6 +490,8 @@ void exo::smt::collectFreeVars(const TermRef &T, std::vector<TermVar> &Out) {
 
 TermRef exo::smt::substVar(const TermRef &T, const TermVar &V,
                            TermRef Replacement) {
+  if (!T->hasFreeVar(V.Id))
+    return T;
   switch (T->kind()) {
   case TermKind::IntConst:
   case TermKind::BoolConst:

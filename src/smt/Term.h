@@ -15,6 +15,14 @@
 /// normalization (constant folding); full simplification lives in
 /// Rewrite.cpp.
 ///
+/// All nodes are *hash-consed* through a process-wide interner: structurally
+/// identical subterms share one allocation, the structural hash and the free
+/// variable set are computed once at construction, and equality of interned
+/// nodes degenerates to a pointer comparison. The interner may be flushed
+/// when it grows past its cap (losing sharing, never correctness — equals()
+/// falls back to a deep compare), so pointer inequality does NOT imply
+/// structural inequality. See the "Performance" section of DESIGN.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXO_SMT_TERM_H
@@ -22,6 +30,8 @@
 
 #include "support/Error.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -71,6 +81,13 @@ struct TermVar {
 /// Allocates a globally fresh variable.
 TermVar freshVar(const std::string &Name, Sort S);
 
+/// Fence for fresh-variable allocation: every variable minted by freshVar()
+/// after this call has an Id >= the returned mark. Callers bracket a
+/// computation with two marks to detect whether a result mentions variables
+/// created inside the bracket (the effect cache uses this to reject
+/// summaries that would leak per-extraction unknowns).
+unsigned freshVarMark();
+
 /// One node in the term tree.
 class Term {
 public:
@@ -115,15 +132,34 @@ public:
 
   /// Structural equality (bound variables compared by Id, so alpha-variant
   /// terms are *not* equal; fresh-renaming keeps Ids apart by construction).
+  /// Interned nodes compare by pointer; the deep fallback only runs for
+  /// nodes that straddle an interner flush.
   bool equals(const Term &O) const;
+
+  /// Structural hash, computed once at construction from the (already
+  /// hashed) children. Unequal hashes imply structural inequality.
+  size_t hash() const { return Hash; }
+
+  /// Sorted, deduplicated ids of this term's free variables, cached at
+  /// construction.
+  const std::vector<unsigned> &freeVarIds() const { return FreeIds; }
+
+  /// O(log n) free-variable membership test.
+  bool hasFreeVar(unsigned Id) const {
+    return std::binary_search(FreeIds.begin(), FreeIds.end(), Id);
+  }
+
+  /// Whether any subterm is an int-sorted if-then-else; lets the prenex
+  /// converter skip its lowering scan entirely.
+  bool hasIntIte() const { return IntIte; }
 
   /// Renders an SMT-LIB-flavoured s-expression, for debugging and tests.
   std::string str() const;
 
-  // Internal constructor; use the factory functions below.
-  Term(TermKind K, Sort S, int64_t V, TermVar Var, std::vector<TermRef> Ops)
-      : Kind(K), TheSort(S), Value(V), Variable(std::move(Var)),
-        Operands(std::move(Ops)) {}
+  // Internal constructor; use the factory functions below (they route all
+  // construction through the interner). Computes the cached hash, free-var
+  // set, and int-ite flag from the children's caches.
+  Term(TermKind K, Sort S, int64_t V, TermVar Var, std::vector<TermRef> Ops);
 
 private:
   TermKind Kind;
@@ -131,7 +167,26 @@ private:
   int64_t Value;      // literal / scalar payload
   TermVar Variable;   // variable payload
   std::vector<TermRef> Operands;
+  size_t Hash;                  // structural hash (cached)
+  std::vector<unsigned> FreeIds; // sorted free-variable ids (cached)
+  bool IntIte;                  // subtree contains an int-sorted Ite
 };
+
+/// Counters for the process-wide term interner.
+struct TermInternerStats {
+  uint64_t Hits = 0;    ///< constructions that reused an existing node
+  uint64_t Misses = 0;  ///< constructions that allocated a new node
+  uint64_t Flushes = 0; ///< times the table was cleared on overflow
+  size_t Live = 0;      ///< nodes currently retained by the table
+};
+
+/// Snapshot of the interner counters.
+TermInternerStats termInternerStats();
+
+/// Drops every node retained by the interner table. Live TermRefs stay
+/// valid (they hold their own shared_ptr refs); only future sharing is
+/// lost. Mostly for benchmarks and tests.
+void clearTermInterner();
 
 //===----------------------------------------------------------------------===//
 // Factory functions. All perform constant folding where trivially possible.

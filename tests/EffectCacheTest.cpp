@@ -1,0 +1,211 @@
+//===- tests/EffectCacheTest.cpp - Effect memoization tests ----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the effect-extraction memo table (analysis/EffectCache.h):
+/// warm extractions must be semantically identical to from-scratch
+/// recomputations, summaries must follow rewrites (a scheduling operator
+/// produces new statement nodes, so a transformed proc can never pick up
+/// a stale summary), and the cache must stay out of the way for
+/// statements whose summaries it cannot soundly share.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EffectCache.h"
+
+#include "frontend/Parser.h"
+#include "scheduling/Schedule.h"
+#include "smt/QueryCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace exo;
+using namespace exo::analysis;
+using namespace exo::ir;
+using namespace exo::scheduling;
+
+namespace {
+
+const char *GemmSrc = R"(
+@proc
+def gemm(A: R[32, 32], B: R[32, 32], C: R[32, 32]):
+    for i in seq(0, 32):
+        for j in seq(0, 32):
+            for k in seq(0, 32):
+                C[i, j] += A[i, k] * B[k, j]
+)";
+
+ProcRef parse(const char *Src) {
+  auto P = frontend::parseProc(Src);
+  if (!P)
+    fatalError("test parse failed: " + P.error().str());
+  return *P;
+}
+
+/// Concrete probe points for a base of the given rank: boundary values,
+/// interior values, and out-of-range values, mixed per axis so the probes
+/// are not all on the diagonal. Rank 0 (config fields) gets one empty
+/// probe.
+std::vector<std::vector<int64_t>> probePoints(unsigned Rank) {
+  static const int64_t Vals[] = {-1, 0, 3, 17, 31, 32};
+  if (Rank == 0)
+    return {{}};
+  std::vector<std::vector<int64_t>> Out;
+  for (unsigned S = 0; S < 8; ++S) {
+    std::vector<int64_t> Pt;
+    for (unsigned I = 0; I < Rank; ++I)
+      Pt.push_back(Vals[(S + 2 * I + S * I) % 6]);
+    Out.push_back(Pt);
+  }
+  return Out;
+}
+
+/// Semantic equality of two location sets: membership (both the M and the
+/// D bound) coincides for every base at every probe point. This is the
+/// right notion here because warm and cold summaries may differ
+/// structurally (e.g. alpha-renamed loop variables) while denoting the
+/// same sets. Probing at *concrete* points keeps each membership query
+/// closed — a fully symbolic iff of two nested existential towers prenexes
+/// into a ∀∃ alternation that exceeds the in-tree Cooper budget, whereas
+/// closed queries are always decided.
+bool setsEqual(AnalysisCtx &Ctx, const LocSetRef &A, const LocSetRef &B) {
+  std::map<Sym, unsigned> Bases;
+  A->collectBases(Bases);
+  B->collectBases(Bases);
+  for (auto &[Base, Rank] : Bases) {
+    for (const std::vector<int64_t> &Coords : probePoints(Rank)) {
+      std::vector<smt::TermRef> Pt;
+      for (int64_t C : Coords)
+        Pt.push_back(smt::intConst(C));
+      TriBool MA = A->member(Base, Pt);
+      TriBool MB = B->member(Base, Pt);
+      if (Ctx.solver().checkValid(smt::iff(MA.May, MB.May)) !=
+          smt::SolverResult::Yes)
+        return false;
+      if (Ctx.solver().checkValid(smt::iff(MA.Must, MB.Must)) !=
+          smt::SolverResult::Yes)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool effectsEqual(AnalysisCtx &Ctx, const EffectSets &A, const EffectSets &B) {
+  return setsEqual(Ctx, A.RdG, B.RdG) && setsEqual(Ctx, A.WrG, B.WrG) &&
+         setsEqual(Ctx, A.RdH, B.RdH) && setsEqual(Ctx, A.WrH, B.WrH) &&
+         setsEqual(Ctx, A.RpH, B.RpH) && setsEqual(Ctx, A.Al, B.Al);
+}
+
+EffectSets extractProc(const ProcRef &P) {
+  AnalysisCtx Ctx;
+  FlowState State;
+  return extractBlock(Ctx, State, P->body());
+}
+
+TEST(EffectCacheTest, WarmExtractionMatchesCold) {
+  clearEffectCache();
+  ProcRef P = parse(GemmSrc);
+
+  EffectCacheStats Before = effectCacheStats();
+  EffectSets ColdEff = extractProc(P);
+  EffectSets WarmEff = extractProc(P);
+  EffectCacheStats After = effectCacheStats();
+
+  EXPECT_GT(After.Hits, Before.Hits) << "second extraction should hit";
+
+  AnalysisCtx Ctx;
+  EXPECT_TRUE(effectsEqual(Ctx, WarmEff, ColdEff));
+}
+
+TEST(EffectCacheTest, RewritesInvalidateByConstruction) {
+  // Prime the cache on the original proc, transform it, and check that the
+  // warm extraction of the transformed proc equals a fully-cold
+  // recomputation — i.e. no stale summary of the original shape leaks into
+  // the rewritten one.
+  clearEffectCache();
+  ProcRef P = parse(GemmSrc);
+  (void)extractProc(P); // prime with the original proc's summaries
+
+  ProcRef Q = *splitLoop(P, "for i in _: _", 8, "io", "ii",
+                         SplitTail::Perfect);
+  Q = *reorderLoops(Q, "for j in _: _");
+
+  EffectSets WarmEff = extractProc(Q);
+
+  clearEffectCache();
+  smt::clearSolverQueryCache();
+  EffectSets FreshEff = extractProc(Q);
+
+  AnalysisCtx Ctx;
+  EXPECT_TRUE(effectsEqual(Ctx, WarmEff, FreshEff));
+
+  // And the transformed effects must equal the original's: split+reorder
+  // only rearranges the iteration space.
+  EXPECT_TRUE(effectsEqual(Ctx, FreshEff, extractProc(P)));
+}
+
+TEST(EffectCacheTest, DisabledCacheStillCorrect) {
+  clearEffectCache();
+  ProcRef P = parse(GemmSrc);
+  EffectSets OnEff = extractProc(P);
+
+  setEffectCacheEnabled(false);
+  clearEffectCache();
+  EffectCacheStats Before = effectCacheStats();
+  EffectSets OffEff = extractProc(P);
+  EffectCacheStats After = effectCacheStats();
+  setEffectCacheEnabled(true);
+
+  EXPECT_EQ(After.Hits, Before.Hits);
+  AnalysisCtx Ctx;
+  EXPECT_TRUE(effectsEqual(Ctx, OnEff, OffEff));
+}
+
+/// A proc with a config write in front of a data write (the config class
+/// is registered through the shared ParseEnv).
+ProcRef parseConfigSetter() {
+  frontend::ParseEnv Env;
+  auto M = frontend::parseModule(R"(
+@config
+class CacheCfg:
+    s : stride
+)",
+                                 Env);
+  if (!M)
+    fatalError("test config parse failed: " + M.error().str());
+  auto P = frontend::parseProc(R"(
+@proc
+def setter(x: R[8, 8], y: R[8]):
+    CacheCfg.s = stride(x, 0)
+    y[0] = 1.0
+)",
+                               Env);
+  if (!P)
+    fatalError("test parse failed: " + P.error().str());
+  return *P;
+}
+
+TEST(EffectCacheTest, ConfigWritesAreUncacheable) {
+  // A subtree containing a WriteConfig mutates the flow state; it must
+  // never be served from the cache (its record stays line-less).
+  clearEffectCache();
+  ProcRef P = parseConfigSetter();
+  EffectCacheStats Before = effectCacheStats();
+  (void)extractProc(P);
+  (void)extractProc(P);
+  EffectCacheStats After = effectCacheStats();
+  EXPECT_GT(After.Uncacheable, Before.Uncacheable);
+}
+
+TEST(EffectCacheTest, StateInvariancePredicate) {
+  ProcRef P = parse(GemmSrc);
+  EXPECT_TRUE(isStateInvariant(P->body()[0]));
+  ProcRef W = parseConfigSetter();
+  EXPECT_FALSE(isStateInvariant(W->body()[0]));
+  EXPECT_TRUE(isStateInvariant(W->body()[1]));
+}
+
+} // namespace

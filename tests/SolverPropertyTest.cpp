@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "smt/QueryCache.h"
 #include "smt/Solver.h"
 
 #include "support/MathExtras.h"
@@ -219,5 +220,67 @@ TEST_P(QuantifiedRandomTest, AlternatingQuantifiersAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantifiedRandomTest,
                          ::testing::Range(1u, 21u));
+
+class CacheDifferentialTest : public ::testing::TestWithParam<unsigned> {};
+
+/// The query-cache soundness property: a warm-cache solve returns
+/// bit-identical results to a cold cache-disabled solver; alpha-renamed
+/// variants of the same formula hit the cache; Unknown is never cached.
+TEST_P(CacheDifferentialTest, WarmEqualsColdAndAlphaVariantsHit) {
+  auto makeQueries = [](const std::vector<TermVar> &Vars, unsigned Seed) {
+    FormulaGen Gen(Seed, Vars);
+    TermRef Body = Gen.randFormula(3);
+    std::vector<TermRef> BoundParts;
+    for (const TermVar &V : Vars) {
+      BoundParts.push_back(le(intConst(Lo), mkVar(V)));
+      BoundParts.push_back(le(mkVar(V), intConst(Hi)));
+    }
+    TermRef Bounds = mkAnd(BoundParts);
+    return std::make_pair(implies(Bounds, Body), mkAnd(Bounds, Body));
+  };
+
+  unsigned Seed = GetParam() * 104729;
+  std::vector<TermVar> Vars = {freshVar("x", Sort::Int),
+                               freshVar("y", Sort::Int)};
+  auto [ValidQ, SatQ] = makeQueries(Vars, Seed);
+
+  clearSolverQueryCache();
+
+  // Reference: a solver with the cache disabled.
+  SolverOptions NoCache;
+  NoCache.UseQueryCache = false;
+  Solver Cold(NoCache);
+  auto ColdValid = Cold.checkValid(ValidQ);
+  auto ColdSat = Cold.checkSat(SatQ);
+
+  // First cached solve must agree with the cache-disabled solver (and
+  // populates the table for Yes/No verdicts).
+  Solver Prime;
+  EXPECT_EQ(Prime.checkValid(ValidQ), ColdValid);
+  EXPECT_EQ(Prime.checkSat(SatQ), ColdSat);
+
+  // Warm solve: bit-identical verdicts; hits exactly for Yes/No, never
+  // for Unknown (which must not have been cached).
+  Solver Warm;
+  EXPECT_EQ(Warm.checkValid(ValidQ), ColdValid);
+  EXPECT_EQ(Warm.checkSat(SatQ), ColdSat);
+  uint64_t WantHits = (ColdValid != SolverResult::Unknown ? 1u : 0u) +
+                      (ColdSat != SolverResult::Unknown ? 1u : 0u);
+  EXPECT_EQ(Warm.stats().CacheHits, WantHits);
+
+  // Alpha-renamed variant: the same formula built over a disjoint fresh
+  // variable set must canonicalize to the same key, hit the cache, and
+  // return the same verdicts.
+  std::vector<TermVar> Vars2 = {freshVar("p", Sort::Int),
+                                freshVar("q", Sort::Int)};
+  auto [ValidQ2, SatQ2] = makeQueries(Vars2, Seed);
+  Solver Alpha;
+  EXPECT_EQ(Alpha.checkValid(ValidQ2), ColdValid);
+  EXPECT_EQ(Alpha.checkSat(SatQ2), ColdSat);
+  EXPECT_EQ(Alpha.stats().CacheHits, WantHits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheDifferentialTest,
+                         ::testing::Range(1u, 26u));
 
 } // namespace
