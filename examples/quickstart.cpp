@@ -44,15 +44,16 @@ def gemm(A: f32[64, 64], B: f32[64, 64], C: f32[64, 64]):
   std::printf("=== the algorithm ===\n%s\n", printProc(Gemm).c_str());
 
   // 2. Scheduling: each operator is an independent, safety-checked
-  //    rewrite; a failed rewrite returns an error instead of wrong code.
-  ProcRef Tiled = splitLoop(Gemm, "for i in _: _", 8, "io", "ii",
-                            SplitTail::Perfect)
-                      .take("split i");
-  Tiled = splitLoop(Tiled, "for j in _: _", 8, "jo", "ji",
-                    SplitTail::Perfect)
-              .take("split j");
-  Tiled = reorderLoops(Tiled, "for ii in _: _").take("reorder");
-  Tiled = simplify(Tiled).take("simplify");
+  //    rewrite chained through the fluent facade; the first failed
+  //    rewrite stops the chain and reports an error instead of wrong
+  //    code. (The same operators exist as free functions — splitLoop,
+  //    reorderLoops, ... — when you need to branch between steps.)
+  ProcRef Tiled = Schedule(Gemm)
+                      .split("i", 8, "io", "ii", SplitTail::Perfect)
+                      .split("j", 8, "jo", "ji", SplitTail::Perfect)
+                      .reorder("ii")
+                      .simplify()
+                      .take("tiling schedule");
   std::printf("=== after split/split/reorder ===\n%s\n",
               printProc(Tiled).c_str());
 

@@ -49,3 +49,23 @@ bool exo::analysis::provedUnderPremise(AnalysisCtx &Ctx,
   return Ctx.solver().checkValid(implies(Premise.May, Cond)) ==
          SolverResult::Yes;
 }
+
+ScheduleErrorInfo::Verdict
+exo::analysis::dischargeUnderPremise(AnalysisCtx &Ctx, const TriBool &Premise,
+                                     const TermRef &Cond) {
+  Solver &S = Ctx.solver();
+  // The solver only says Unknown; its per-instance stats carry the
+  // budget/structural breakdown. Delta them around the query.
+  uint64_t BudgetBefore = S.stats().NumUnknownBudget;
+  switch (S.checkValid(implies(Premise.May, Cond))) {
+  case SolverResult::Yes:
+    return ScheduleErrorInfo::Verdict::Yes;
+  case SolverResult::No:
+    return ScheduleErrorInfo::Verdict::No;
+  case SolverResult::Unknown:
+    break;
+  }
+  return S.stats().NumUnknownBudget > BudgetBefore
+             ? ScheduleErrorInfo::Verdict::UnknownBudget
+             : ScheduleErrorInfo::Verdict::UnknownStructural;
+}

@@ -26,6 +26,7 @@
 #define EXO_ANALYSIS_CHECKS_H
 
 #include "analysis/Effects.h"
+#include "support/Error.h"
 
 namespace exo {
 namespace analysis {
@@ -42,6 +43,15 @@ smt::TermRef shadowsCond(const EffectSets &A, const EffectSets &B);
 /// definite Yes (Unknown fails safe).
 bool provedUnderPremise(AnalysisCtx &Ctx, const TriBool &Premise,
                         const smt::TermRef &Cond);
+
+/// Like provedUnderPremise, but reports *what* the solver concluded so
+/// scheduling operators can attach it to their error payload: No means the
+/// condition was refuted, UnknownBudget that a larger literal budget might
+/// still prove it, UnknownStructural that the formula is outside the
+/// decidable fragment. Only Yes admits the rewrite.
+ScheduleErrorInfo::Verdict
+dischargeUnderPremise(AnalysisCtx &Ctx, const TriBool &Premise,
+                      const smt::TermRef &Cond);
 
 } // namespace analysis
 } // namespace exo

@@ -8,6 +8,7 @@
 
 #include "ir/FreeVars.h"
 
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -39,18 +40,38 @@ struct StmtRecord {
   std::vector<CacheLine> Lines;
 };
 
-struct EffectCache {
+/// The cache is sharded by statement-node address: concurrent compile
+/// sessions analyze disjoint procedures, so their statement nodes land in
+/// different shards and extraction proceeds without lock contention. The
+/// loop-variable id set is the one cross-shard structure (an insert in any
+/// shard must recognize stable loop variables of *enclosing* loops, which
+/// may live in other shards); it gets its own lock, always acquired after
+/// a shard lock — a fixed order, so no deadlock.
+struct CacheShard {
   std::mutex M;
   std::unordered_map<const Stmt *, StmtRecord> Table;
+  EffectCacheStats Stats;
+};
+
+struct EffectCache {
+  static constexpr size_t NumShards = 8; // power of two
+  CacheShard Shards[NumShards];
+
   // Ids of loop variables minted by stableLoopVar; they are stable (not
   // per-extraction), so the leak check must not reject them. Never flushed:
   // each entry is one unsigned per distinct For node ever analyzed.
+  std::mutex LoopVarM;
   std::unordered_set<unsigned> LoopVarIds;
-  EffectCacheStats Stats;
-  bool Enabled = true;
 
-  static constexpr size_t MaxEntries = 1u << 13;
+  std::atomic<bool> Enabled{true};
+
+  static constexpr size_t MaxEntriesPerShard = (1u << 13) / NumShards;
   static constexpr size_t MaxLinesPerStmt = 8;
+
+  CacheShard &shardFor(const Stmt *S) {
+    size_t H = std::hash<const void *>()(S);
+    return Shards[(H >> 4) & (NumShards - 1)];
+  }
 
   static EffectCache &get() {
     static EffectCache C;
@@ -84,22 +105,22 @@ bool computeStateInvariant(const StmtRef &S) {
   }
 }
 
-/// Record accessors; caller holds the cache mutex.
-StmtRecord &recordFor(EffectCache &C, const StmtRef &S) {
+/// Record accessors; caller holds the shard mutex.
+StmtRecord &recordFor(CacheShard &C, const StmtRef &S) {
   StmtRecord &R = C.Table[S.get()];
   if (!R.Pin)
     R.Pin = S;
   return R;
 }
 
-bool invariantLocked(EffectCache &C, const StmtRef &S) {
+bool invariantLocked(CacheShard &C, const StmtRef &S) {
   StmtRecord &R = recordFor(C, S);
   if (R.Invariant < 0)
     R.Invariant = computeStateInvariant(S) ? 1 : 0;
   return R.Invariant == 1;
 }
 
-const std::vector<Sym> &freeSymsLocked(EffectCache &C, const StmtRef &S) {
+const std::vector<Sym> &freeSymsLocked(CacheShard &C, const StmtRef &S) {
   StmtRecord &R = recordFor(C, S);
   if (!R.HaveFreeSyms) {
     std::set<Sym> Syms = freeVars(S);
@@ -183,30 +204,33 @@ void collectSummaryIds(const EffectSets &Eff,
 } // namespace
 
 bool exo::analysis::isStateInvariant(const StmtRef &S) {
-  EffectCache &C = EffectCache::get();
+  CacheShard &C = EffectCache::get().shardFor(S.get());
   std::lock_guard<std::mutex> Lock(C.M);
   return invariantLocked(C, S);
 }
 
 smt::TermVar exo::analysis::stableLoopVar(const StmtRef &ForStmt) {
   assert(ForStmt->kind() == StmtKind::For && "not a For statement");
-  EffectCache &C = EffectCache::get();
+  EffectCache &E = EffectCache::get();
+  CacheShard &C = E.shardFor(ForStmt.get());
   std::lock_guard<std::mutex> Lock(C.M);
   StmtRecord &R = recordFor(C, ForStmt);
   if (!R.HaveLoopVar) {
     R.LoopVar = smt::freshVar(ForStmt->name().name(), smt::Sort::Int);
     R.HaveLoopVar = true;
-    C.LoopVarIds.insert(R.LoopVar.Id);
+    std::lock_guard<std::mutex> LvLock(E.LoopVarM); // shard -> loop-var order
+    E.LoopVarIds.insert(R.LoopVar.Id);
   }
   return R.LoopVar;
 }
 
 bool exo::analysis::effectCacheLookup(const StmtRef &S, const FlowState &State,
                                       EffectSets &Out) {
-  EffectCache &C = EffectCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  if (!C.Enabled)
+  EffectCache &E = EffectCache::get();
+  if (!E.Enabled.load(std::memory_order_relaxed))
     return false;
+  CacheShard &C = E.shardFor(S.get());
+  std::lock_guard<std::mutex> Lock(C.M);
   auto It = C.Table.find(S.get());
   if (It == C.Table.end() || It->second.Lines.empty()) {
     ++C.Stats.Misses;
@@ -233,10 +257,11 @@ void exo::analysis::effectCacheInsert(AnalysisCtx &Ctx, const StmtRef &S,
                                       const FlowState &State,
                                       unsigned FreshMark,
                                       const EffectSets &Eff) {
-  EffectCache &C = EffectCache::get();
-  std::unique_lock<std::mutex> Lock(C.M);
-  if (!C.Enabled)
+  EffectCache &E = EffectCache::get();
+  if (!E.Enabled.load(std::memory_order_relaxed))
     return;
+  CacheShard &C = E.shardFor(S.get());
+  std::unique_lock<std::mutex> Lock(C.M);
   if (!invariantLocked(C, S)) {
     ++C.Stats.Uncacheable;
     return;
@@ -257,8 +282,14 @@ void exo::analysis::effectCacheInsert(AnalysisCtx &Ctx, const StmtRef &S,
   std::unordered_set<unsigned> Ids;
   collectSummaryIds(Eff, Ids);
   for (unsigned Id : Ids) {
-    if (Id < FreshMark || C.LoopVarIds.count(Id))
+    if (Id < FreshMark)
       continue;
+    {
+      // shard -> loop-var lock order, same as stableLoopVar.
+      std::lock_guard<std::mutex> LvLock(E.LoopVarM);
+      if (E.LoopVarIds.count(Id))
+        continue;
+    }
     // symFor/strideFor take the (distinct) registry mutex; safe to call
     // while holding ours — the registry never calls back into the cache.
     if (Ctx.symFor(Id) || Ctx.strideFor(Id))
@@ -267,7 +298,7 @@ void exo::analysis::effectCacheInsert(AnalysisCtx &Ctx, const StmtRef &S,
     return;
   }
 
-  if (C.Table.size() >= EffectCache::MaxEntries) {
+  if (C.Table.size() >= EffectCache::MaxEntriesPerShard) {
     C.Table.clear();
     ++C.Stats.Evictions;
   }
@@ -288,27 +319,31 @@ void exo::analysis::effectCacheInsert(AnalysisCtx &Ctx, const StmtRef &S,
 }
 
 bool exo::analysis::effectCacheEnabled() {
-  EffectCache &C = EffectCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  return C.Enabled;
+  return EffectCache::get().Enabled.load(std::memory_order_relaxed);
 }
 
 void exo::analysis::setEffectCacheEnabled(bool Enabled) {
-  EffectCache &C = EffectCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  C.Enabled = Enabled;
+  EffectCache::get().Enabled.store(Enabled, std::memory_order_relaxed);
 }
 
 EffectCacheStats exo::analysis::effectCacheStats() {
-  EffectCache &C = EffectCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  EffectCacheStats S = C.Stats;
-  S.Size = C.Table.size();
-  return S;
+  EffectCache &E = EffectCache::get();
+  EffectCacheStats Sum;
+  for (CacheShard &C : E.Shards) {
+    std::lock_guard<std::mutex> Lock(C.M);
+    Sum.Hits += C.Stats.Hits;
+    Sum.Misses += C.Stats.Misses;
+    Sum.Uncacheable += C.Stats.Uncacheable;
+    Sum.Evictions += C.Stats.Evictions;
+    Sum.Size += C.Table.size();
+  }
+  return Sum;
 }
 
 void exo::analysis::clearEffectCache() {
-  EffectCache &C = EffectCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  C.Table.clear();
+  EffectCache &E = EffectCache::get();
+  for (CacheShard &C : E.Shards) {
+    std::lock_guard<std::mutex> Lock(C.M);
+    C.Table.clear();
+  }
 }

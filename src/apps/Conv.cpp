@@ -48,15 +48,6 @@ std::string convSource(const ConvShape &C, bool WithRelu) {
   return Src;
 }
 
-#define APPLY(Expr)                                                          \
-  do {                                                                       \
-    auto R_ = (Expr);                                                        \
-    if (!R_)                                                                 \
-      return R_.error();                                                     \
-    Cur = *R_;                                                               \
-    ++Steps;                                                                 \
-  } while (0)
-
 } // namespace
 
 Expected<ConvKernels> exo::apps::buildConvX86(const ConvShape &Shape) {
@@ -73,36 +64,32 @@ Expected<ConvKernels> exo::apps::buildConvX86(const ConvShape &Shape) {
   Out.Algorithm = *Alg;
   Out.AlgStmts = 13;
 
-  ProcRef Cur = *Alg;
-  unsigned Steps = 0;
-
+  Schedule Sch(*Alg);
   // Keep the output-channel row in vector registers across the 3x3xIC
   // accumulation.
-  APPLY(stageMem(Cur, "for kh in _: _", 1,
-                 "y[n, oh, ow, 0 : " + S(Shape.OC) + "]", "acc", "AVX512"));
-  // Vector shape for the accumulation, zero-init, and copy-out loops.
-  APPLY(splitLoop(Cur, "for oc in _: _", 16, "ov", "ol",
-                  SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for i0 in _: _ #0", 16, "zv", "zl",
-                  SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for i0 in _: _ #0", 16, "sv", "sl",
-                  SplitTail::Perfect));
-  APPLY(simplify(Cur));
-  // Instruction selection.
-  APPLY(replaceWith(Cur, "for zl in _: _", 1, HW.ZeroPs));
-  APPLY(replaceWith(Cur, "for ol in _: _", 1, HW.FmaddBcastPs));
-  APPLY(replaceWith(Cur, "for sl in _: _", 1, HW.AccumPs));
-  // Fused-ReLU pass: vectorize in place.
-  APPLY(splitLoop(Cur, "for oc2 in _: _", 16, "rv", "rl",
-                  SplitTail::Perfect));
-  APPLY(simplify(Cur));
-  APPLY(replaceWith(Cur, "for rl in _: _", 1, HW.ReluPs));
-  // Unroll the vector loops of the inner kernel.
-  APPLY(unrollLoop(Cur, "for ov in _: _"));
-  APPLY(simplify(Cur));
-
-  Out.Scheduled = renameProc(Cur, "exo_conv_x86");
-  Out.ScheduleSteps = Steps;
+  Sch.stage("for kh in _: _", 1, "y[n, oh, ow, 0 : " + S(Shape.OC) + "]",
+            "acc", "AVX512")
+      // Vector shape for the accumulation, zero-init, and copy-out loops.
+      .split("oc", 16, "ov", "ol", SplitTail::Perfect)
+      .split("i0 #0", 16, "zv", "zl", SplitTail::Perfect)
+      .split("i0 #0", 16, "sv", "sl", SplitTail::Perfect)
+      .simplify()
+      // Instruction selection.
+      .replaceWith("for zl in _: _", 1, HW.ZeroPs)
+      .replaceWith("for ol in _: _", 1, HW.FmaddBcastPs)
+      .replaceWith("for sl in _: _", 1, HW.AccumPs)
+      // Fused-ReLU pass: vectorize in place.
+      .split("oc2", 16, "rv", "rl", SplitTail::Perfect)
+      .simplify()
+      .replaceWith("for rl in _: _", 1, HW.ReluPs)
+      // Unroll the vector loops of the inner kernel.
+      .unroll("ov")
+      .simplify()
+      .rename("exo_conv_x86");
+  if (!Sch)
+    return Sch.error();
+  Out.ScheduleSteps = Sch.steps();
+  Out.Scheduled = Sch.take("conv x86 schedule");
   return Out;
 }
 
@@ -125,82 +112,76 @@ Expected<ConvKernels> exo::apps::buildConvGemmini(const ConvShape &Shape,
   Out.Algorithm = *Alg;
   Out.AlgStmts = 9;
 
-  ProcRef Cur = *Alg;
-  unsigned Steps = 0;
   std::string TW = S(RowTile);
 
+  Schedule Sch(*Alg);
   // Tile output rows (pixels along ow) and both channel dimensions.
-  APPLY(splitLoop(Cur, "for ow in _: _", RowTile, "owo", "owi",
-                  SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for oc in _: _", 16, "oco", "oci",
-                  SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for ic in _: _", 16, "ico", "ici",
-                  SplitTail::Perfect));
-  // Order after the splits: n, oh, owo, owi, kh, kw, ico, ici, oco, oci.
-  // Target: n, oh, owo, kh, kw, ico, oco, owi, oci, ici — the kernel
-  // window and input-channel loops enclose the output channels, so the
-  // staged input patch is reused across every oco tile (the data reuse
-  // the paper's conv schedule exploits).
-  APPLY(reorderLoops(Cur, "for ici in _: _")); // ici <-> oco
-  APPLY(reorderLoops(Cur, "for ici in _: _")); // ici <-> oci
-  APPLY(reorderLoops(Cur, "for owi in _: _")); // owi <-> kh
-  APPLY(reorderLoops(Cur, "for owi in _: _")); // owi <-> kw
-  APPLY(reorderLoops(Cur, "for owi in _: _")); // owi <-> ico
-  APPLY(reorderLoops(Cur, "for owi in _: _")); // owi <-> oco
-  APPLY(simplify(Cur));
-
-  // Stage the full-width output row strip (RowTile x OC) in the
-  // accumulator across the kernel window.
-  APPLY(stageMem(Cur, "for kh in _: _", 1,
-                 "y[n, oh, " + TW + " * owo : " + TW + " * owo + " + TW +
-                     ", 0 : " + S(Shape.OC) + "]",
-                 "res", "GEMM_ACC"));
-  // Stage the input patch once per (kh, kw, ic-tile) — outside the oco
-  // loop — and the weight tile per oco tile.
-  APPLY(stageMem(Cur, "for oco in _: _", 1,
-                 "x[n, oh + kh, " + TW + " * owo + kw : " + TW +
-                     " * owo + kw + " + TW + ", 16 * ico : 16 * ico + 16]",
-                 "xp", "GEMM_SCRATCH"));
-  APPLY(stageMem(Cur, "for owi in _: _", 1,
-                 "w[kh, kw, 16 * ico : 16 * ico + 16, "
-                 "16 * oco : 16 * oco + 16]",
-                 "wt", "GEMM_SCRATCH"));
-
-  // Shape the accumulator zero-init into 16-wide strips: split its
-  // column loop and bring the strip loop outermost.
-  APPLY(splitLoop(Cur, "for i1 in _: _ #0", 16, "zv", "zl",
-                  SplitTail::Perfect));
-  APPLY(reorderLoops(Cur, "for i0 in _: _ #0"));
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.ZeroAcc));
-
-  // Loads: channel 1 for the input patch, channel 2 for the weights.
-  APPLY(configWriteAt(Cur, "for i0 in _: _ #0", HW.CfgLd1, "src_stride",
-                      "stride(x, 2)"));
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.LdData));
-  APPLY(configWriteAt(Cur, "for i0 in _: _ #0", HW.CfgLd2, "src_stride",
-                      "stride(w, 2)"));
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.LdData2));
-  APPLY(replaceWith(Cur, "for owi in _: _", 1, HW.Matmul16));
-
-  // Copy-out in 16-wide strips through the store unit.
-  APPLY(splitLoop(Cur, "for i1 in _: _ #0", 16, "sv", "sl",
-                  SplitTail::Perfect));
-  APPLY(reorderLoops(Cur, "for i0 in _: _ #0"));
-  APPLY(configWriteAt(Cur, "for i0 in _: _ #0", HW.CfgSt, "dst_stride",
-                      "stride(y, 2)"));
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.StAcc));
-  APPLY(replaceWith(Cur, "ConfigLd1.src_stride = _", 1, HW.ConfigLd1));
-  APPLY(replaceWith(Cur, "ConfigLd2.src_stride = _", 1, HW.ConfigLd2));
-  APPLY(replaceWith(Cur, "ConfigSt.dst_stride = _", 1, HW.ConfigSt));
-
-  Out.OldLib = renameProc(Cur, "gemmini_conv_old");
+  Sch.split("ow", RowTile, "owo", "owi", SplitTail::Perfect)
+      .split("oc", 16, "oco", "oci", SplitTail::Perfect)
+      .split("ic", 16, "ico", "ici", SplitTail::Perfect)
+      // Order after the splits: n, oh, owo, owi, kh, kw, ico, ici, oco,
+      // oci. Target: n, oh, owo, kh, kw, ico, oco, owi, oci, ici — the
+      // kernel window and input-channel loops enclose the output channels,
+      // so the staged input patch is reused across every oco tile (the
+      // data reuse the paper's conv schedule exploits).
+      .reorder("ici") // ici <-> oco
+      .reorder("ici") // ici <-> oci
+      .reorder("owi") // owi <-> kh
+      .reorder("owi") // owi <-> kw
+      .reorder("owi") // owi <-> ico
+      .reorder("owi") // owi <-> oco
+      .simplify()
+      // Stage the full-width output row strip (RowTile x OC) in the
+      // accumulator across the kernel window.
+      .stage("for kh in _: _", 1,
+             "y[n, oh, " + TW + " * owo : " + TW + " * owo + " + TW +
+                 ", 0 : " + S(Shape.OC) + "]",
+             "res", "GEMM_ACC")
+      // Stage the input patch once per (kh, kw, ic-tile) — outside the
+      // oco loop — and the weight tile per oco tile.
+      .stage("for oco in _: _", 1,
+             "x[n, oh + kh, " + TW + " * owo + kw : " + TW +
+                 " * owo + kw + " + TW + ", 16 * ico : 16 * ico + 16]",
+             "xp", "GEMM_SCRATCH")
+      .stage("for owi in _: _", 1,
+             "w[kh, kw, 16 * ico : 16 * ico + 16, "
+             "16 * oco : 16 * oco + 16]",
+             "wt", "GEMM_SCRATCH")
+      // Shape the accumulator zero-init into 16-wide strips: split its
+      // column loop and bring the strip loop outermost.
+      .split("i1 #0", 16, "zv", "zl", SplitTail::Perfect)
+      .reorder("i0 #0")
+      .replaceWith("for i0 in _: _ #0", 1, HW.ZeroAcc)
+      // Loads: channel 1 for the input patch, channel 2 for the weights.
+      .configWriteAt("for i0 in _: _ #0", HW.CfgLd1, "src_stride",
+                     "stride(x, 2)")
+      .replaceWith("for i0 in _: _ #0", 1, HW.LdData)
+      .configWriteAt("for i0 in _: _ #0", HW.CfgLd2, "src_stride",
+                     "stride(w, 2)")
+      .replaceWith("for i0 in _: _ #0", 1, HW.LdData2)
+      .replaceWith("for owi in _: _", 1, HW.Matmul16)
+      // Copy-out in 16-wide strips through the store unit.
+      .split("i1 #0", 16, "sv", "sl", SplitTail::Perfect)
+      .reorder("i0 #0")
+      .configWriteAt("for i0 in _: _ #0", HW.CfgSt, "dst_stride",
+                     "stride(y, 2)")
+      .replaceWith("for i0 in _: _ #0", 1, HW.StAcc)
+      .replaceWith("ConfigLd1.src_stride = _", 1, HW.ConfigLd1)
+      .replaceWith("ConfigLd2.src_stride = _", 1, HW.ConfigLd2)
+      .replaceWith("ConfigSt.dst_stride = _", 1, HW.ConfigSt);
+  if (!Sch)
+    return Sch.error();
+  Out.OldLib = renameProc(Sch.proc().take("conv gemmini schedule"),
+                          "gemmini_conv_old");
 
   // Hoist all configuration to the top (the Exo schedule).
-  APPLY(hoistStmtToTop(Cur, "gemmini_config_ld1(_)"));
-  APPLY(hoistStmtToTop(Cur, "gemmini_config_ld2(_)"));
-  APPLY(hoistStmtToTop(Cur, "gemmini_config_st(_)"));
-
-  Out.Scheduled = renameProc(Cur, "gemmini_conv_exo");
-  Out.ScheduleSteps = Steps;
+  Sch.hoistToTop("gemmini_config_ld1(_)")
+      .hoistToTop("gemmini_config_ld2(_)")
+      .hoistToTop("gemmini_config_st(_)")
+      .rename("gemmini_conv_exo");
+  if (!Sch)
+    return Sch.error();
+  Out.ScheduleSteps = Sch.steps();
+  Out.Scheduled = Sch.take("conv gemmini schedule");
   return Out;
 }

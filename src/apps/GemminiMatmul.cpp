@@ -29,16 +29,6 @@ std::string algorithmSource(int64_t N, int64_t M, int64_t K) {
          "                C[i, j] += A[i, k] * B[k, j]\n";
 }
 
-/// Applies one scheduling step, counting directives.
-#define APPLY(Expr)                                                          \
-  do {                                                                       \
-    auto R_ = (Expr);                                                        \
-    if (!R_)                                                                 \
-      return R_.error();                                                     \
-    Cur = *R_;                                                               \
-    ++Steps;                                                                 \
-  } while (0)
-
 } // namespace
 
 Expected<GemminiMatmulKernels>
@@ -57,70 +47,70 @@ exo::apps::buildGemminiMatmul(int64_t N, int64_t M, int64_t K) {
   Out.Algorithm = *Alg;
   Out.AlgStmts = 5; // signature + 3 loops + 1 reduction
 
-  ProcRef Cur = *Alg;
-  unsigned Steps = 0;
-
+  Schedule Sch(*Alg);
   // --- Tile all three loops by the 16x16 systolic array size. ---
-  APPLY(splitLoop(Cur, "for i in _: _", 16, "io", "ii", SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for j in _: _", 16, "jo", "ji", SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for k in _: _", 16, "ko", "ki", SplitTail::Perfect));
-  // Loop order io ii jo ji ko ki -> io jo ko ii ji ki.
-  APPLY(reorderLoops(Cur, "for ii in _: _")); // io jo ii ji ko ki
-  APPLY(reorderLoops(Cur, "for ji in _: _")); // io jo ii ko ji ki
-  APPLY(reorderLoops(Cur, "for ii in _: _")); // io jo ko ii ji ki
-  APPLY(simplify(Cur));
-
-  // --- Stage the A row panel once per io strip (reused across all jo
-  //     tiles — the data reuse that makes the kernel compute-bound). ---
-  APPLY(stageMem(Cur, "for jo in _: _", 1,
-                 "A[16 * io : 16 * io + 16, 0 : " + std::to_string(K) + "]",
-                 "a_panel", "GEMM_SCRATCH"));
-  // Shape the panel copy into 16-wide mvin chunks: split the column loop
-  // and bring it outermost.
-  APPLY(splitLoop(Cur, "for i1 in _: _", 16, "lv", "ll",
-                  SplitTail::Perfect));
-  APPLY(reorderLoops(Cur, "for i0 in _: _"));
-  APPLY(configWriteAt(Cur, "for lv in _: _", HW.CfgLd1, "src_stride",
-                      "stride(A, 0)"));
-  APPLY(replaceWith(Cur, "for i0 in _: _", 1, HW.LdData));
-
-  // --- Stage the output tile in the accumulator across the ko loop. ---
-  APPLY(stageMem(Cur, "for ko in _: _", 1,
-                 "C[16 * io : 16 * io + 16, 16 * jo : 16 * jo + 16]", "res",
-                 "GEMM_ACC"));
-  // --- Stage the B tile into the scratchpad. ---
-  APPLY(stageMem(Cur, "for ii in _: _", 1,
-                 "B[16 * ko : 16 * ko + 16, 16 * jo : 16 * jo + 16]",
-                 "b_tile", "GEMM_SCRATCH"));
-
-  // --- Instruction selection (replace + unification, §3.4). ---
-  // The accumulator zero-init is the first remaining copy loop.
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.ZeroAcc));
-  APPLY(configWriteAt(Cur, "for i0 in _: _ #0", HW.CfgLd2, "src_stride",
-                      "stride(B, 0)"));
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.LdData2));
-  // The compute loop nest becomes one systolic-array instruction.
-  APPLY(replaceWith(Cur, "for ii in _: _", 1, HW.Matmul16));
-  // The copy-out accumulates into C through the store unit.
-  APPLY(configWriteAt(Cur, "for i0 in _: _ #0", HW.CfgSt, "dst_stride",
-                      "stride(C, 0)"));
-  APPLY(replaceWith(Cur, "for i0 in _: _ #0", 1, HW.StAcc));
-  // Turn the raw configuration writes into configuration instructions.
-  APPLY(replaceWith(Cur, "ConfigLd1.src_stride = _", 1, HW.ConfigLd1));
-  APPLY(replaceWith(Cur, "ConfigLd2.src_stride = _", 1, HW.ConfigLd2));
-  APPLY(replaceWith(Cur, "ConfigSt.dst_stride = _", 1, HW.ConfigSt));
+  Sch.split("i", 16, "io", "ii", SplitTail::Perfect)
+      .split("j", 16, "jo", "ji", SplitTail::Perfect)
+      .split("k", 16, "ko", "ki", SplitTail::Perfect)
+      // Loop order io ii jo ji ko ki -> io jo ko ii ji ki.
+      .reorder("ii") // io jo ii ji ko ki
+      .reorder("ji") // io jo ii ko ji ki
+      .reorder("ii") // io jo ko ii ji ki
+      .simplify()
+      // --- Stage the A row panel once per io strip (reused across all jo
+      //     tiles — the data reuse that makes the kernel compute-bound). --
+      .stage("for jo in _: _", 1,
+             "A[16 * io : 16 * io + 16, 0 : " + std::to_string(K) + "]",
+             "a_panel", "GEMM_SCRATCH")
+      // Shape the panel copy into 16-wide mvin chunks: split the column
+      // loop and bring it outermost.
+      .split("i1", 16, "lv", "ll", SplitTail::Perfect)
+      .reorder("i0")
+      .configWriteAt("for lv in _: _", HW.CfgLd1, "src_stride",
+                     "stride(A, 0)")
+      .replaceWith("for i0 in _: _", 1, HW.LdData)
+      // --- Stage the output tile in the accumulator across the ko loop. --
+      .stage("for ko in _: _", 1,
+             "C[16 * io : 16 * io + 16, 16 * jo : 16 * jo + 16]", "res",
+             "GEMM_ACC")
+      // --- Stage the B tile into the scratchpad. ---
+      .stage("for ii in _: _", 1,
+             "B[16 * ko : 16 * ko + 16, 16 * jo : 16 * jo + 16]", "b_tile",
+             "GEMM_SCRATCH")
+      // --- Instruction selection (replace + unification, §3.4). ---
+      // The accumulator zero-init is the first remaining copy loop.
+      .replaceWith("for i0 in _: _ #0", 1, HW.ZeroAcc)
+      .configWriteAt("for i0 in _: _ #0", HW.CfgLd2, "src_stride",
+                     "stride(B, 0)")
+      .replaceWith("for i0 in _: _ #0", 1, HW.LdData2)
+      // The compute loop nest becomes one systolic-array instruction.
+      .replaceWith("for ii in _: _", 1, HW.Matmul16)
+      // The copy-out accumulates into C through the store unit.
+      .configWriteAt("for i0 in _: _ #0", HW.CfgSt, "dst_stride",
+                     "stride(C, 0)")
+      .replaceWith("for i0 in _: _ #0", 1, HW.StAcc)
+      // Turn the raw configuration writes into configuration instructions.
+      .replaceWith("ConfigLd1.src_stride = _", 1, HW.ConfigLd1)
+      .replaceWith("ConfigLd2.src_stride = _", 1, HW.ConfigLd2)
+      .replaceWith("ConfigSt.dst_stride = _", 1, HW.ConfigSt);
+  if (!Sch)
+    return Sch.error();
 
   // This is the Old-lib shape: every tile re-runs its configuration
   // instruction, flushing the accelerator pipeline (§2.4).
-  Out.OldLib = renameProc(Cur, "gemmini_matmul_old");
-  Out.OldLibSteps = Steps + 1;
+  Out.OldLib = renameProc(Sch.proc().take("gemmini matmul schedule"),
+                          "gemmini_matmul_old");
+  Out.OldLibSteps = Sch.steps() + 1;
 
   // --- The Exo schedule: hoist all three configuration instructions to
   // the top of the kernel (reorder/fission/remove, all safety-checked). ---
-  APPLY(hoistStmtToTop(Cur, "gemmini_config_ld1(_)"));
-  APPLY(hoistStmtToTop(Cur, "gemmini_config_ld2(_)"));
-  APPLY(hoistStmtToTop(Cur, "gemmini_config_st(_)"));
-  Out.ExoLib = renameProc(Cur, "gemmini_matmul_exo");
-  Out.ExoLibSteps = Steps + 1;
+  Sch.hoistToTop("gemmini_config_ld1(_)")
+      .hoistToTop("gemmini_config_ld2(_)")
+      .hoistToTop("gemmini_config_st(_)");
+  if (!Sch)
+    return Sch.error();
+  Out.ExoLibSteps = Sch.steps() + 1;
+  Out.ExoLib = renameProc(Sch.take("gemmini matmul schedule"),
+                          "gemmini_matmul_exo");
   return Out;
 }

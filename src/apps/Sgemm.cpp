@@ -29,15 +29,6 @@ std::string algorithmSource(int64_t M, int64_t N, int64_t K) {
          "                C[i, j] += A[i, k] * B[k, j]\n";
 }
 
-#define APPLY(Expr)                                                          \
-  do {                                                                       \
-    auto R_ = (Expr);                                                        \
-    if (!R_)                                                                 \
-      return R_.error();                                                     \
-    Cur = *R_;                                                               \
-    ++Steps;                                                                 \
-  } while (0)
-
 } // namespace
 
 Expected<SgemmKernels> exo::apps::buildSgemm(int64_t M, int64_t N, int64_t K,
@@ -59,62 +50,51 @@ Expected<SgemmKernels> exo::apps::buildSgemm(int64_t M, int64_t N, int64_t K,
   Out.Algorithm = *Alg;
   Out.AlgStmts = 5;
 
-  ProcRef Cur = *Alg;
-  unsigned Steps = 0;
-
-  // --- Register blocking: RowTile x ColTile of C per micro-kernel. ---
-  APPLY(splitLoop(Cur, "for i in _: _", RowTile, "io", "ii",
-                  SplitTail::Perfect));
-  APPLY(splitLoop(Cur, "for j in _: _", ColTile, "jo", "ji",
-                  SplitTail::Perfect));
-  APPLY(reorderLoops(Cur, "for ii in _: _")); // io jo ii ji k
-  APPLY(reorderLoops(Cur, "for ji in _: _")); // io jo ii k ji
-  APPLY(reorderLoops(Cur, "for ii in _: _")); // io jo k ii ji
-  APPLY(simplify(Cur));
-
   std::string RT = std::to_string(RowTile), CT = std::to_string(ColTile);
-  // --- Keep the C tile in vector registers across the K loop. ---
-  APPLY(stageMem(Cur, "for k in _: _", 1,
-                 "C[" + RT + " * io : " + RT + " * io + " + RT + ", " + CT +
-                     " * jo : " + CT + " * jo + " + CT + "]",
-                 "acc", "AVX512"));
-
-  // --- Stage the current B row slice in registers. ---
-  APPLY(stageMem(Cur, "for ii in _: _", 1,
-                 "B[k, " + CT + " * jo : " + CT + " * jo + " + CT + "]",
-                 "bvec", "AVX512"));
-
-  // --- Vector shape: split lane loops by 16. ---
-  // acc zero-init (i0, i1): split the 64-wide inner loop.
-  APPLY(splitLoop(Cur, "for i1 in _: _ #0", 16, "zv", "zl",
-                  SplitTail::Perfect));
-  // bvec copy-in (single i0 loop of 64).
-  APPLY(splitLoop(Cur, "for i0 in _: _ #1", 16, "lv", "ll",
-                  SplitTail::Perfect));
-  // compute lanes.
-  APPLY(splitLoop(Cur, "for ji in _: _", 16, "jv", "jl",
-                  SplitTail::Perfect));
-  // copy-out (i0, i1): the last i1 loop.
-  APPLY(splitLoop(Cur, "for i1 in _: _ #0", 16, "sv", "sl",
-                  SplitTail::Perfect));
-  APPLY(simplify(Cur));
-
-  // --- Instruction selection. ---
-  APPLY(replaceWith(Cur, "for zl in _: _", 1, HW.ZeroPs));
-  APPLY(replaceWith(Cur, "for ll in _: _", 1, HW.LoaduPs));
-  APPLY(replaceWith(Cur, "for jl in _: _", 1, HW.FmaddBcastPs));
-  APPLY(replaceWith(Cur, "for sl in _: _", 1, HW.AccumPs));
-
-  // --- Unroll the register-resident loops so the C compiler keeps the
-  //     tile in zmm registers. ---
-  APPLY(unrollLoop(Cur, "for jv in _: _"));
-  APPLY(unrollLoop(Cur, "for ii in _: _"));
-  APPLY(unrollLoop(Cur, "for lv in _: _"));
-  APPLY(unrollLoop(Cur, "for zv in _: _"));
-  APPLY(unrollLoop(Cur, "for sv in _: _"));
-  APPLY(simplify(Cur));
-
-  Out.ExoSgemm = renameProc(Cur, "exo_sgemm");
-  Out.ScheduleSteps = Steps;
+  Schedule S(*Alg);
+  // --- Register blocking: RowTile x ColTile of C per micro-kernel. ---
+  S.split("i", RowTile, "io", "ii", SplitTail::Perfect)
+      .split("j", ColTile, "jo", "ji", SplitTail::Perfect)
+      .reorder("ii") // io jo ii ji k
+      .reorder("ji") // io jo ii k ji
+      .reorder("ii") // io jo k ii ji
+      .simplify()
+      // --- Keep the C tile in vector registers across the K loop. ---
+      .stage("for k in _: _", 1,
+             "C[" + RT + " * io : " + RT + " * io + " + RT + ", " + CT +
+                 " * jo : " + CT + " * jo + " + CT + "]",
+             "acc", "AVX512")
+      // --- Stage the current B row slice in registers. ---
+      .stage("for ii in _: _", 1,
+             "B[k, " + CT + " * jo : " + CT + " * jo + " + CT + "]", "bvec",
+             "AVX512")
+      // --- Vector shape: split lane loops by 16. ---
+      // acc zero-init (i0, i1): split the 64-wide inner loop.
+      .split("i1 #0", 16, "zv", "zl", SplitTail::Perfect)
+      // bvec copy-in (single i0 loop of 64).
+      .split("i0 #1", 16, "lv", "ll", SplitTail::Perfect)
+      // compute lanes.
+      .split("ji", 16, "jv", "jl", SplitTail::Perfect)
+      // copy-out (i0, i1): the last i1 loop.
+      .split("i1 #0", 16, "sv", "sl", SplitTail::Perfect)
+      .simplify()
+      // --- Instruction selection. ---
+      .replaceWith("for zl in _: _", 1, HW.ZeroPs)
+      .replaceWith("for ll in _: _", 1, HW.LoaduPs)
+      .replaceWith("for jl in _: _", 1, HW.FmaddBcastPs)
+      .replaceWith("for sl in _: _", 1, HW.AccumPs)
+      // --- Unroll the register-resident loops so the C compiler keeps the
+      //     tile in zmm registers. ---
+      .unroll("jv")
+      .unroll("ii")
+      .unroll("lv")
+      .unroll("zv")
+      .unroll("sv")
+      .simplify()
+      .rename("exo_sgemm");
+  if (!S)
+    return S.error();
+  Out.ScheduleSteps = S.steps();
+  Out.ExoSgemm = S.take("sgemm schedule");
   return Out;
 }

@@ -41,11 +41,13 @@ MemoryRegistry &MemoryRegistry::instance() {
   return R;
 }
 
-void MemoryRegistry::add(MemoryRef M) {
-  Memories[M->name()] = std::move(M);
+void MemoryRegistry::add(MemoryRef Mem) {
+  std::lock_guard<std::mutex> Lock(M);
+  Memories[Mem->name()] = std::move(Mem);
 }
 
 MemoryRef MemoryRegistry::find(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(M);
   auto It = Memories.find(Name);
   return It == Memories.end() ? nullptr : It->second;
 }

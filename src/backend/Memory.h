@@ -22,6 +22,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,9 @@ private:
 using MemoryRef = std::shared_ptr<const Memory>;
 
 /// Process-wide registry of memory definitions; "DRAM" is pre-registered.
+/// Thread-safe: hardware libraries register memories lazily from whichever
+/// compile session touches them first, while codegen on other sessions
+/// looks memories up concurrently.
 class MemoryRegistry {
 public:
   static MemoryRegistry &instance();
@@ -80,6 +84,7 @@ public:
 
 private:
   MemoryRegistry();
+  mutable std::mutex M;
   std::map<std::string, MemoryRef> Memories;
 };
 

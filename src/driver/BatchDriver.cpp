@@ -1,0 +1,60 @@
+//===- driver/BatchDriver.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include "analysis/EffectCache.h"
+#include "smt/QueryCache.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
+using namespace exo;
+using namespace exo::driver;
+
+BatchResult BatchDriver::run(const std::vector<CompileJob> &Jobs) const {
+  BatchResult Out;
+  Out.Threads = Threads == 0 ? 1 : Threads;
+  Out.Jobs.resize(Jobs.size());
+
+  smt::Solver::Stats Solver0 = smt::solverGlobalStats();
+  smt::TermInternerStats Term0 = smt::termInternerStats();
+  smt::QueryCacheStats Query0 = smt::solverQueryCacheStats();
+  analysis::EffectCacheStats Eff0 = analysis::effectCacheStats();
+
+  auto Start = std::chrono::steady_clock::now();
+  {
+    CompileSession Session(SOpts);
+    // 0 workers = run submissions inline on this thread: the serial
+    // baseline takes the exact same code path as the parallel one.
+    support::ThreadPool Pool(Threads <= 1 ? 0 : Threads);
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      const CompileJob *Job = &Jobs[I];
+      JobResult *Slot = &Out.Jobs[I];
+      Pool.submit([&Session, Job, Slot] { *Slot = Session.run(*Job); });
+    }
+    Pool.waitIdle();
+  }
+  Out.WallMillis = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  for (const JobResult &R : Out.Jobs)
+    Out.AllOk = Out.AllOk && R.Ok;
+
+  smt::Solver::Stats Solver1 = smt::solverGlobalStats();
+  smt::TermInternerStats Term1 = smt::termInternerStats();
+  smt::QueryCacheStats Query1 = smt::solverQueryCacheStats();
+  analysis::EffectCacheStats Eff1 = analysis::effectCacheStats();
+  Out.Cache.SolverQueries = Solver1.NumQueries - Solver0.NumQueries;
+  Out.Cache.QueryCacheHits = Query1.Hits - Query0.Hits;
+  Out.Cache.QueryCacheMisses = Query1.Misses - Query0.Misses;
+  Out.Cache.TermHits = Term1.Hits - Term0.Hits;
+  Out.Cache.TermMisses = Term1.Misses - Term0.Misses;
+  Out.Cache.EffectHits = Eff1.Hits - Eff0.Hits;
+  Out.Cache.EffectMisses = Eff1.Misses - Eff0.Misses;
+  return Out;
+}

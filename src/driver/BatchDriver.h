@@ -1,0 +1,63 @@
+//===- driver/BatchDriver.h - Parallel batch compilation -------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans a list of CompileJobs across a work-stealing thread pool, one
+/// CompileSession invocation per job, and collects per-job results plus
+/// batch-wide cache-statistics deltas. Job failures are recorded, not
+/// fatal. Because every shared cache returns exactly what a cold
+/// computation would and codegen naming is procedure-local, the produced
+/// C is bit-identical regardless of thread count or interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_DRIVER_BATCHDRIVER_H
+#define EXO_DRIVER_BATCHDRIVER_H
+
+#include "driver/CompileSession.h"
+
+namespace exo {
+namespace driver {
+
+/// Cache/solver activity over one batch (after-minus-before deltas of the
+/// process-wide counters; meaningful when no other threads compile
+/// concurrently with the batch).
+struct BatchCacheStats {
+  uint64_t SolverQueries = 0;
+  uint64_t QueryCacheHits = 0;
+  uint64_t QueryCacheMisses = 0;
+  uint64_t TermHits = 0;
+  uint64_t TermMisses = 0;
+  uint64_t EffectHits = 0;
+  uint64_t EffectMisses = 0;
+};
+
+struct BatchResult {
+  std::vector<JobResult> Jobs; ///< in input order
+  double WallMillis = 0;
+  unsigned Threads = 1;
+  bool AllOk = true;
+  BatchCacheStats Cache;
+};
+
+/// Runs batches with a fixed worker count. Threads <= 1 runs inline on
+/// the calling thread (the serial baseline), with identical results.
+class BatchDriver {
+public:
+  explicit BatchDriver(unsigned Threads, SessionOptions SOpts = {})
+      : Threads(Threads), SOpts(SOpts) {}
+
+  BatchResult run(const std::vector<CompileJob> &Jobs) const;
+
+private:
+  unsigned Threads;
+  SessionOptions SOpts;
+};
+
+} // namespace driver
+} // namespace exo
+
+#endif // EXO_DRIVER_BATCHDRIVER_H

@@ -1,0 +1,216 @@
+//===- driver/BatchMain.cpp - exocc-batch CLI ------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the standard kernel suite concurrently:
+///
+///   exocc-batch                       # all kernels, hardware threads
+///   exocc-batch --threads 4           # fixed worker count
+///   exocc-batch --serial-check        # also run serially; require the
+///                                     # generated C to be bit-identical
+///   exocc-batch --json out.json       # machine-readable results
+///   exocc-batch --list                # print job names and exit
+///   exocc-batch fig5a_sgemm_square    # only the named jobs
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+#include "driver/KernelSuite.h"
+#include "support/ThreadPool.h"
+
+#include "analysis/EffectCache.h"
+#include "smt/QueryCache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace exo;
+using namespace exo::driver;
+
+namespace {
+
+void clearAllCaches() {
+  smt::clearTermInterner();
+  smt::clearSolverQueryCache();
+  analysis::clearEffectCache();
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void writeJson(const std::string &Path, const BatchResult &R) {
+  std::ofstream Out(Path);
+  Out << "{\n  \"threads\": " << R.Threads
+      << ",\n  \"wall_ms\": " << R.WallMillis
+      << ",\n  \"all_ok\": " << (R.AllOk ? "true" : "false")
+      << ",\n  \"cache\": {\"solver_queries\": " << R.Cache.SolverQueries
+      << ", \"query_cache_hits\": " << R.Cache.QueryCacheHits
+      << ", \"query_cache_misses\": " << R.Cache.QueryCacheMisses
+      << ", \"term_hits\": " << R.Cache.TermHits
+      << ", \"effect_hits\": " << R.Cache.EffectHits << "},\n  \"jobs\": [";
+  bool First = true;
+  for (const JobResult &J : R.Jobs) {
+    Out << (First ? "\n" : ",\n") << "    {\"name\": \"" << jsonEscape(J.Name)
+        << "\", \"ok\": " << (J.Ok ? "true" : "false")
+        << ", \"wall_ms\": " << J.WallMillis << ", \"output_bytes\": "
+        << J.Output.size();
+    if (!J.Ok) {
+      Out << ", \"error_kind\": \"" << jsonEscape(J.ErrorKind)
+          << "\", \"error\": \"" << jsonEscape(J.ErrorMessage) << "\"";
+      if (!J.ErrorOp.empty())
+        Out << ", \"op\": \"" << jsonEscape(J.ErrorOp) << "\"";
+      if (!J.ErrorPattern.empty())
+        Out << ", \"pattern\": \"" << jsonEscape(J.ErrorPattern) << "\"";
+      if (!J.ErrorVerdict.empty())
+        Out << ", \"verdict\": \"" << jsonEscape(J.ErrorVerdict) << "\"";
+    }
+    Out << "}";
+    First = false;
+  }
+  Out << "\n  ]\n}\n";
+}
+
+void printResult(const BatchResult &R) {
+  for (const JobResult &J : R.Jobs) {
+    if (J.Ok)
+      std::printf("  ok   %-22s %8.1f ms  %6zu bytes of C\n", J.Name.c_str(),
+                  J.WallMillis, J.Output.size());
+    else {
+      std::printf("  FAIL %-22s %8.1f ms  %s: %s\n", J.Name.c_str(),
+                  J.WallMillis, J.ErrorKind.c_str(), J.ErrorMessage.c_str());
+      if (!J.ErrorOp.empty())
+        std::printf("       op=%s pattern='%s'%s%s\n", J.ErrorOp.c_str(),
+                    J.ErrorPattern.c_str(),
+                    J.ErrorVerdict.empty() ? "" : " solver=",
+                    J.ErrorVerdict.c_str());
+    }
+  }
+  std::printf("batch: %zu jobs on %u thread%s in %.1f ms (solver queries: "
+              "%llu, query-cache hits: %llu)\n",
+              R.Jobs.size(), R.Threads, R.Threads == 1 ? "" : "s",
+              R.WallMillis, (unsigned long long)R.Cache.SolverQueries,
+              (unsigned long long)R.Cache.QueryCacheHits);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Threads = support::ThreadPool::hardwareThreads();
+  bool SerialCheck = false, List = false;
+  std::string JsonPath;
+  std::vector<std::string> Filters;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--threads" && I + 1 < Argc)
+      Threads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (A == "--serial-check")
+      SerialCheck = true;
+    else if (A == "--json" && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (A == "--list")
+      List = true;
+    else if (A == "--help" || A == "-h") {
+      std::printf("usage: exocc-batch [--threads N] [--serial-check] "
+                  "[--json PATH] [--list] [job-name...]\n");
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return 2;
+    } else
+      Filters.push_back(A);
+  }
+  if (Threads == 0)
+    Threads = 1;
+
+  std::vector<CompileJob> Jobs = standardKernelSuite();
+  if (List) {
+    for (const CompileJob &J : Jobs)
+      std::printf("%s\n", J.Name.c_str());
+    return 0;
+  }
+  if (!Filters.empty()) {
+    std::vector<CompileJob> Kept;
+    for (CompileJob &J : Jobs)
+      for (const std::string &F : Filters)
+        if (J.Name.find(F) != std::string::npos) {
+          Kept.push_back(std::move(J));
+          break;
+        }
+    if (Kept.empty()) {
+      std::fprintf(stderr, "no jobs match the given filters\n");
+      return 2;
+    }
+    Jobs = std::move(Kept);
+  }
+
+  BatchResult Serial;
+  if (SerialCheck) {
+    clearAllCaches();
+    Serial = BatchDriver(1).run(Jobs);
+    std::printf("== serial baseline ==\n");
+    printResult(Serial);
+  }
+
+  clearAllCaches();
+  BatchResult Parallel = BatchDriver(Threads).run(Jobs);
+  if (SerialCheck)
+    std::printf("== %u threads ==\n", Threads);
+  printResult(Parallel);
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Parallel);
+
+  if (SerialCheck) {
+    for (size_t I = 0; I < Jobs.size(); ++I) {
+      const JobResult &A = Serial.Jobs[I], &B = Parallel.Jobs[I];
+      if (A.Ok != B.Ok || A.Output != B.Output ||
+          A.ErrorMessage != B.ErrorMessage) {
+        std::fprintf(stderr,
+                     "serial-check FAILED: job '%s' differs between 1 and "
+                     "%u threads\n",
+                     A.Name.c_str(), Threads);
+        return 1;
+      }
+    }
+    std::printf("serial-check: all %zu outputs bit-identical (1 vs %u "
+                "threads), speedup %.2fx\n",
+                Jobs.size(), Threads,
+                Parallel.WallMillis > 0 ? Serial.WallMillis /
+                                              Parallel.WallMillis
+                                        : 0.0);
+  }
+
+  return Parallel.AllOk ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+//===- driver/CompileSession.cpp -------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileSession.h"
+
+#include "backend/CodeGen.h"
+
+#include <chrono>
+
+using namespace exo;
+using namespace exo::driver;
+
+static void recordError(JobResult &R, const Error &E) {
+  R.Ok = false;
+  R.ErrorKind = errorKindName(E.kind());
+  R.ErrorMessage = E.message();
+  if (const ScheduleErrorInfo *Info = E.scheduleInfo()) {
+    R.ErrorOp = Info->Op;
+    R.ErrorPattern = Info->Pattern;
+    R.ErrorLoc = Info->Loc;
+    if (Info->SolverVerdict != ScheduleErrorInfo::Verdict::None)
+      R.ErrorVerdict = scheduleVerdictName(Info->SolverVerdict);
+  }
+}
+
+JobResult CompileSession::run(const CompileJob &Job) const {
+  JobResult R;
+  R.Name = Job.Name;
+  auto Start = std::chrono::steady_clock::now();
+
+  {
+    // Pin this session's solver settings for the current thread; solvers
+    // constructed anywhere below (effect analysis, bounds checks,
+    // unification) pick them up without global state changes.
+    smt::ScopedSolverDefaults Defaults(Opts.MaxLiterals, Opts.UseQueryCache);
+
+    Expected<std::vector<ir::ProcRef>> Procs = Job.Build();
+    if (!Procs) {
+      recordError(R, Procs.error());
+    } else {
+      Expected<std::string> C = backend::generateC(*Procs);
+      if (!C)
+        recordError(R, C.error());
+      else {
+        R.Ok = true;
+        R.Output = std::move(*C);
+      }
+    }
+  }
+
+  R.WallMillis = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  return R;
+}

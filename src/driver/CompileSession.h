@@ -1,0 +1,83 @@
+//===- driver/CompileSession.h - One thread-safe compile job ---*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CompileSession runs one CompileJob — build the scheduled procedures
+/// (parse + schedule), then generate C — and reports a structured
+/// JobResult instead of throwing or aborting. Sessions are safe to run
+/// concurrently on different threads: the process-wide caches they share
+/// (term interner, query cache, effect cache, Sym table, registries) are
+/// individually synchronized, and per-session solver options are installed
+/// thread-locally for the duration of the job. See DESIGN.md, "Threading
+/// model".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_DRIVER_COMPILESESSION_H
+#define EXO_DRIVER_COMPILESESSION_H
+
+#include "ir/Proc.h"
+#include "smt/Solver.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace exo {
+namespace driver {
+
+/// Per-session tuning, applied thread-locally while the job runs so that
+/// concurrent sessions can use different settings.
+struct SessionOptions {
+  uint64_t MaxLiterals = smt::defaultMaxLiterals();
+  bool UseQueryCache = true;
+};
+
+/// One unit of batch work: a name plus a builder producing the procedures
+/// to emit. The builder runs parsing and scheduling; it must be
+/// self-contained (capture shapes by value) because it may run on any
+/// worker thread.
+struct CompileJob {
+  std::string Name;
+  std::function<Expected<std::vector<ir::ProcRef>>()> Build;
+};
+
+/// Outcome of one job. Errors are captured — including the structured
+/// scheduling payload when present — so one failing kernel never aborts
+/// the batch.
+struct JobResult {
+  std::string Name;
+  bool Ok = false;
+  std::string Output; ///< generated C on success
+  double WallMillis = 0;
+
+  // On failure: the rendered error plus the structured payload fields.
+  std::string ErrorKind;
+  std::string ErrorMessage;
+  std::string ErrorOp;      ///< scheduling operator, when known
+  std::string ErrorPattern; ///< cursor pattern text, when known
+  std::string ErrorLoc;     ///< matched location, when known
+  std::string ErrorVerdict; ///< solver verdict, when a solver was involved
+};
+
+/// Runs jobs one at a time under the given options. Stateless apart from
+/// the options; a single session object may be used from many threads.
+class CompileSession {
+public:
+  explicit CompileSession(SessionOptions Opts = {}) : Opts(Opts) {}
+
+  /// Builds and compiles one job, timing it and capturing any error.
+  JobResult run(const CompileJob &Job) const;
+
+private:
+  SessionOptions Opts;
+};
+
+} // namespace driver
+} // namespace exo
+
+#endif // EXO_DRIVER_COMPILESESSION_H

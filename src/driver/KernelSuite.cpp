@@ -1,0 +1,66 @@
+//===- driver/KernelSuite.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/KernelSuite.h"
+
+#include "apps/Autoschedule.h"
+#include "apps/Conv.h"
+#include "apps/GemminiMatmul.h"
+#include "apps/Sgemm.h"
+
+using namespace exo;
+using namespace exo::driver;
+using namespace exo::ir;
+
+std::vector<CompileJob> exo::driver::standardKernelSuite() {
+  std::vector<CompileJob> Jobs;
+
+  Jobs.push_back({"fig4a_gemmini_matmul", []() -> Expected<std::vector<ProcRef>> {
+                    auto K = apps::buildGemminiMatmul(128, 128, 128);
+                    if (!K)
+                      return K.error();
+                    return std::vector<ProcRef>{K->OldLib, K->ExoLib};
+                  }});
+
+  Jobs.push_back({"fig4b_gemmini_conv", []() -> Expected<std::vector<ProcRef>> {
+                    apps::ConvShape Shape{1, 16, 16, 16, 16};
+                    auto K = apps::buildConvGemmini(Shape, /*RowTile=*/14);
+                    if (!K)
+                      return K.error();
+                    return std::vector<ProcRef>{K->OldLib, K->Scheduled};
+                  }});
+
+  Jobs.push_back({"fig5a_sgemm_square", []() -> Expected<std::vector<ProcRef>> {
+                    auto K = apps::buildSgemm(48, 128, 64);
+                    if (!K)
+                      return K.error();
+                    return std::vector<ProcRef>{K->ExoSgemm};
+                  }});
+
+  Jobs.push_back({"fig5b_sgemm_aspect", []() -> Expected<std::vector<ProcRef>> {
+                    auto K = apps::buildSgemm(24, 192, 64);
+                    if (!K)
+                      return K.error();
+                    return std::vector<ProcRef>{K->ExoSgemm};
+                  }});
+
+  Jobs.push_back({"fig6_conv_x86", []() -> Expected<std::vector<ProcRef>> {
+                    apps::ConvShape Shape{1, 8, 8, 16, 32};
+                    auto K = apps::buildConvX86(Shape);
+                    if (!K)
+                      return K.error();
+                    return std::vector<ProcRef>{K->Scheduled};
+                  }});
+
+  Jobs.push_back({"sgemm_autoschedule", []() -> Expected<std::vector<ProcRef>> {
+                    auto R = apps::autoscheduleSgemm(48, 128, 64);
+                    if (!R)
+                      return R.error();
+                    return std::vector<ProcRef>{R->Kernels.ExoSgemm};
+                  }});
+
+  return Jobs;
+}

@@ -1,0 +1,31 @@
+//===- driver/KernelSuite.h - The standard batch kernel suite --*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark kernels packaged as CompileJobs for exocc-batch
+/// and the parallel-compile benchmark: the Gemmini matmul (fig. 4a), the
+/// Gemmini conv (fig. 4b), the AVX-512 sgemm at square and skewed aspect
+/// ratios (figs. 5a/5b), the AVX-512 conv (fig. 6), and the
+/// autoscheduled sgemm (§9). Shapes are kept modest so a full batch
+/// compiles in seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_DRIVER_KERNELSUITE_H
+#define EXO_DRIVER_KERNELSUITE_H
+
+#include "driver/CompileSession.h"
+
+namespace exo {
+namespace driver {
+
+/// All standard kernels, one job per bench figure.
+std::vector<CompileJob> standardKernelSuite();
+
+} // namespace driver
+} // namespace exo
+
+#endif // EXO_DRIVER_KERNELSUITE_H

@@ -6,8 +6,8 @@
 
 #include "ir/Sym.h"
 
+#include <deque>
 #include <mutex>
-#include <vector>
 
 using namespace exo;
 using namespace exo::ir;
@@ -15,9 +15,15 @@ using namespace exo::ir;
 namespace {
 
 /// The global name table. Index 0 is the invalid Sym.
+///
+/// A deque, not a vector: name() hands out references that outlive the
+/// lock, and deque growth never relocates existing elements — with a
+/// vector, a concurrent fresh() could reallocate the table and leave every
+/// outstanding reference dangling. Entries are never erased, so a
+/// reference, once returned, is valid for the life of the process.
 struct SymTable {
   std::mutex Lock;
-  std::vector<std::string> Names{""};
+  std::deque<std::string> Names{""};
 };
 
 SymTable &table() {

@@ -81,11 +81,12 @@ Expected<ProcRef> exo::scheduling::splitLoop(const ProcRef &P,
     smt::TermRef Divides =
         smt::mkAnd(HiV.Def, smt::eq(smt::mod(HiV.Val, Factor),
                                     smt::intConst(0)));
-    if (!provedUnderPremise(Ctx, Info.PathCond, Divides))
-      return makeError(Error::Kind::Safety,
-                       "split(perfect): cannot prove " +
-                           std::to_string(Factor) + " divides " +
-                           printExpr(Hi));
+    if (auto E = checkProved(Ctx, Info.PathCond, Divides, "split", LoopPat,
+                             "for " + Loop->name().name() + " in _: _",
+                             "split(perfect): cannot prove " +
+                                 std::to_string(Factor) + " divides " +
+                                 printExpr(Hi)))
+      return *E;
     ExprRef OuterHi = simplifyExpr(eDiv(Hi, litInt(Factor)));
     StmtRef InnerLoop =
         Stmt::forStmt(Inner, litInt(0), litInt(Factor), NewInnerBody);
@@ -165,9 +166,12 @@ Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
   // Flipped pairs: x1 < x2 but y2 < y1.
   Premise = triAnd(Premise, TriBool::certain(smt::mkAnd(
                                 smt::lt(X1, X2), smt::lt(Y2, Y1))));
-  if (!provedUnderPremise(Ctx, Premise, commutesCond(A1, A2)))
-    return makeError(Error::Kind::Safety,
-                     "reorder: loop iterations do not commute");
+  if (auto E = checkProved(Ctx, Premise, commutesCond(A1, A2), "reorder",
+                           LoopPat,
+                           "for " + OuterLoop->name().name() + " in _: for " +
+                               InnerLoop->name().name() + " in _: _",
+                           "reorder: loop iterations do not commute"))
+    return *E;
 
   // The inner loop's bounds are re-evaluated per outer iteration; they
   // must commute with the body (relevant when bounds read configuration
@@ -175,9 +179,11 @@ Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
   EffectSets BoundReads =
       seqEffects(extractExprReads(Ctx, Info.Pre, InnerLoop->lo()),
                  extractExprReads(Ctx, Info.Pre, InnerLoop->hi()));
-  if (!provedUnderPremise(Ctx, Info.PathCond, commutesCond(BoundReads, A1)))
-    return makeError(Error::Kind::Safety,
-                     "reorder: inner bounds conflict with the body");
+  if (auto E = checkProved(Ctx, Info.PathCond, commutesCond(BoundReads, A1),
+                           "reorder", LoopPat,
+                           "for " + InnerLoop->name().name() + " in _: _",
+                           "reorder: inner bounds conflict with the body"))
+    return *E;
 
   StmtRef NewInner = Stmt::forStmt(OuterLoop->name(), OuterLoop->lo(),
                                    OuterLoop->hi(), InnerLoop->body());
@@ -229,10 +235,12 @@ Expected<ProcRef> exo::scheduling::partitionLoop(const ProcRef &P,
   smt::TermRef Fits = smt::mkAnd(
       smt::mkAnd(LoV.Def, HiV.Def),
       smt::le(smt::add(LoV.Val, smt::intConst(Cut)), HiV.Val));
-  if (!provedUnderPremise(Ctx, Info.PathCond, Fits))
-    return makeError(Error::Kind::Safety,
-                     "partition_loop: cannot prove lo + " +
-                         std::to_string(Cut) + " <= hi");
+  if (auto E = checkProved(Ctx, Info.PathCond, Fits, "partition_loop",
+                           LoopPat,
+                           "for " + Loop->name().name() + " in _: _",
+                           "partition_loop: cannot prove lo + " +
+                               std::to_string(Cut) + " <= hi"))
+    return *E;
 
   ExprRef Mid = simplifyExpr(eAdd(Loop->lo(), litInt(Cut)));
   Sym I1 = Loop->name().copy(), I2 = Loop->name().copy();
@@ -263,18 +271,22 @@ Expected<ProcRef> exo::scheduling::removeLoop(const ProcRef &P,
   EffInt HiV = Ctx.liftControl(Loop->hi(), Info.Pre.Env);
   smt::TermRef NonEmpty = smt::mkAnd(smt::mkAnd(LoV.Def, HiV.Def),
                                      smt::lt(LoV.Val, HiV.Val));
-  if (!provedUnderPremise(Ctx, Info.PathCond, NonEmpty))
-    return makeError(Error::Kind::Safety,
-                     "remove_loop: cannot prove the loop runs at least once");
+  if (auto E = checkProved(
+          Ctx, Info.PathCond, NonEmpty, "remove_loop", LoopPat,
+          "for " + Loop->name().name() + " in _: _",
+          "remove_loop: cannot prove the loop runs at least once"))
+    return *E;
 
   // Idempotence: Shadows(a, a) for the body's effect (§5.8).
   FlowState S1 = Info.Pre;
   EffectSets A = extractBlock(Ctx, S1, Loop->body());
   FlowState S2 = Info.Pre;
   EffectSets A2 = extractBlock(Ctx, S2, Loop->body());
-  if (!provedUnderPremise(Ctx, Info.PathCond, shadowsCond(A, A2)))
-    return makeError(Error::Kind::Safety,
-                     "remove_loop: body is not provably idempotent");
+  if (auto E = checkProved(Ctx, Info.PathCond, shadowsCond(A, A2),
+                           "remove_loop", LoopPat,
+                           "for " + Loop->name().name() + " in _: _",
+                           "remove_loop: body is not provably idempotent"))
+    return *E;
 
   return deriveProc(P, replaceRange(P->body(), *C, Loop->body()));
 }
@@ -302,9 +314,11 @@ Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
   smt::TermRef SameBounds =
       smt::mkAnd({Lo1.Def, Lo2.Def, Hi1.Def, Hi2.Def,
                   smt::eq(Lo1.Val, Lo2.Val), smt::eq(Hi1.Val, Hi2.Val)});
-  if (!provedUnderPremise(Ctx, Info.PathCond, SameBounds))
-    return makeError(Error::Kind::Safety,
-                     "fuse_loop: loop bounds are not provably equal");
+  if (auto E = checkProved(Ctx, Info.PathCond, SameBounds, "fuse_loop",
+                           LoopPat,
+                           "for " + L1->name().name() + " in _: _",
+                           "fuse_loop: loop bounds are not provably equal"))
+    return *E;
 
   // Flipped pairs: s2 at iteration x2 now precedes s1 at x1 for x2 < x1.
   smt::TermRef X1 = smt::mkVar(smt::freshVar("x1", smt::Sort::Int));
@@ -322,9 +336,11 @@ Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
   Premise = triAnd(Premise,
                    loopBoundsPremise(Ctx, Info.Pre, L2->lo(), L2->hi(), X2));
   Premise = triAnd(Premise, TriBool::certain(smt::lt(X2, X1)));
-  if (!provedUnderPremise(Ctx, Premise, commutesCond(A1, A2)))
-    return makeError(Error::Kind::Safety,
-                     "fuse_loop: moved iterations do not commute");
+  if (auto E = checkProved(Ctx, Premise, commutesCond(A1, A2), "fuse_loop",
+                           LoopPat,
+                           "for " + L1->name().name() + " in _: _",
+                           "fuse_loop: moved iterations do not commute"))
+    return *E;
 
   SymSubst Map;
   Map[L2->name()] =

@@ -52,6 +52,20 @@ private:
       Err = makeError(Error::Kind::Safety, "stage_mem: " + Msg);
   }
 
+  /// A failed containment proof: record the solver's verdict so callers
+  /// can tell a refuted obligation from an exhausted budget.
+  void failProof(const std::string &Msg, const std::string &Loc,
+                 ScheduleErrorInfo::Verdict V) {
+    if (Err)
+      return;
+    ScheduleErrorInfo Info;
+    Info.Op = "stage_mem";
+    Info.Loc = Loc;
+    Info.SolverVerdict = V;
+    Err = makeScheduleError(Error::Kind::Safety, "stage_mem: " + Msg,
+                            std::move(Info));
+  }
+
   /// Maps original buffer indices to stage indices, checking containment.
   std::vector<ExprRef> mapIndices(const std::vector<ExprRef> &Idx) {
     if (Idx.size() != Coords.size()) {
@@ -66,17 +80,25 @@ private:
         EffInt HiV = Ctx.liftControl(Coords[D].Hi, State.Env);
         TriBool In = triAnd(triCmp(BinOpKind::Le, LoV, Coord),
                             triCmp(BinOpKind::Lt, Coord, HiV));
-        if (!provedUnderPremise(Ctx, Premise, In.Must))
-          fail("access " + printExpr(Idx[D]) +
-               " is not provably inside the staged window dimension " +
-               std::to_string(D));
+        ScheduleErrorInfo::Verdict V =
+            dischargeUnderPremise(Ctx, Premise, In.Must);
+        if (V != ScheduleErrorInfo::Verdict::Yes)
+          failProof("access " + printExpr(Idx[D]) +
+                        " is not provably inside the staged window "
+                        "dimension " +
+                        std::to_string(D),
+                    printExpr(Idx[D]), V);
         Out.push_back(simplifyExpr(eSub(Idx[D], Coords[D].Lo)));
       } else {
         TriBool EqPt = triEq(Coord, LoV);
-        if (!provedUnderPremise(Ctx, Premise, EqPt.Must))
-          fail("access " + printExpr(Idx[D]) +
-               " does not provably equal the staged point coordinate " +
-               printExpr(Coords[D].Lo));
+        ScheduleErrorInfo::Verdict V =
+            dischargeUnderPremise(Ctx, Premise, EqPt.Must);
+        if (V != ScheduleErrorInfo::Verdict::Yes)
+          failProof("access " + printExpr(Idx[D]) +
+                        " does not provably equal the staged point "
+                        "coordinate " +
+                        printExpr(Coords[D].Lo),
+                    printExpr(Idx[D]), V);
         // Point dimensions vanish from the stage.
       }
     }

@@ -16,6 +16,8 @@
 #include "analysis/Checks.h"
 #include "scheduling/Schedule.h"
 
+#include <optional>
+
 namespace exo {
 namespace scheduling {
 
@@ -32,6 +34,27 @@ ir::ExprRef simplifyExpr(const ir::ExprRef &E);
 Expected<StmtCursor> findOneOfKind(const ir::Proc &P,
                                    const std::string &Pattern,
                                    ir::StmtKind K, const char *What);
+
+/// Discharges a safety condition under the premise. On success returns
+/// nullopt; on failure, a Safety error whose structured payload records
+/// the operator, the pattern/location it was working on, and the solver's
+/// verdict (No vs. Unknown-budget vs. Unknown-structural).
+inline std::optional<Error>
+checkProved(analysis::AnalysisCtx &Ctx, const analysis::TriBool &Premise,
+            const smt::TermRef &Cond, const char *Op, std::string Pattern,
+            std::string Loc, std::string Msg) {
+  ScheduleErrorInfo::Verdict V =
+      analysis::dischargeUnderPremise(Ctx, Premise, Cond);
+  if (V == ScheduleErrorInfo::Verdict::Yes)
+    return std::nullopt;
+  ScheduleErrorInfo Info;
+  Info.Op = Op;
+  Info.Pattern = std::move(Pattern);
+  Info.Loc = std::move(Loc);
+  Info.SolverVerdict = V;
+  return makeScheduleError(Error::Kind::Safety, std::move(Msg),
+                           std::move(Info));
+}
 
 } // namespace scheduling
 } // namespace exo

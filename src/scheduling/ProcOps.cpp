@@ -31,14 +31,18 @@ Expected<StmtCursor> exo::scheduling::findOneOfKind(const Proc &P,
                                                     const std::string &Pattern,
                                                     StmtKind K,
                                                     const char *What) {
+  ScheduleErrorInfo Info;
+  Info.Pattern = Pattern;
   auto C = findStmts(P, Pattern);
   if (!C)
-    return C.error();
+    return C.error().scheduleInfo() ? C.error()
+                                    : C.error().withScheduleInfo(Info);
   auto Sel = selectedStmts(P, *C);
   if (Sel.size() != 1 || Sel[0]->kind() != K)
-    return makeError(Error::Kind::Pattern,
-                     std::string("pattern '") + Pattern +
-                         "' did not select " + What);
+    return makeScheduleError(Error::Kind::Pattern,
+                             std::string("pattern '") + Pattern +
+                                 "' did not select " + What,
+                             std::move(Info));
   return C;
 }
 

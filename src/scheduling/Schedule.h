@@ -196,6 +196,265 @@ Expected<ProcRef> simplify(const ProcRef &P);
 std::optional<std::set<ir::Sym>> equivalenceDelta(const ProcRef &A,
                                                   const ProcRef &B);
 
+//===----------------------------------------------------------------------===//
+// Fluent scheduling facade
+//===----------------------------------------------------------------------===//
+
+/// Cursor-style wrapper over the primitive operators above: carries the
+/// current procedure through a chain of rewrites and short-circuits on the
+/// first failure, so a whole schedule reads as one expression:
+///
+///   auto P = Schedule(Alg)
+///                .split("i", 16, "io", "ii", SplitTail::Perfect)
+///                .reorder("io")
+///                .unroll("ii")
+///                .proc();
+///
+/// Loop-taking chainers accept either a bare iterator name ("ii", or
+/// "ii #1" to pick the second match) which is expanded to the canonical
+/// "for ii in _: _" pattern, or a full pattern string which is passed
+/// through untouched. Statement chainers always take full patterns.
+///
+/// Failed chains record the primitive's error — including its structured
+/// ScheduleErrorInfo payload, with the operator name filled in — and every
+/// later chainer becomes a no-op. The primitives stay available as free
+/// functions; the facade adds no rewriting power of its own.
+class Schedule {
+public:
+  explicit Schedule(ProcRef P) : Cur(std::move(P)) {}
+  explicit Schedule(Expected<ProcRef> P) {
+    if (P)
+      Cur = *P;
+    else
+      Err = P.error();
+  }
+
+  /// Expands a bare loop-iterator name (optionally with a "#k" match
+  /// selector) into the canonical loop pattern; full patterns (anything
+  /// already containing "for"/" in ") pass through unchanged.
+  static std::string loopPattern(const std::string &Name) {
+    if (Name.rfind("for ", 0) == 0 || Name.find(" in ") != std::string::npos)
+      return Name;
+    std::string::size_type Hash = Name.find('#');
+    if (Hash == std::string::npos)
+      return "for " + Name + " in _: _";
+    std::string Base = Name.substr(0, Hash);
+    while (!Base.empty() && Base.back() == ' ')
+      Base.pop_back();
+    return "for " + Base + " in _: _ " + Name.substr(Hash);
+  }
+
+  //--- Loop transformations -----------------------------------------------
+  Schedule &split(const std::string &Loop, int64_t Factor,
+                  const std::string &OuterName, const std::string &InnerName,
+                  SplitTail Tail = SplitTail::Guard) {
+    return step("split", loopPattern(Loop), [&](const ProcRef &P) {
+      return splitLoop(P, loopPattern(Loop), Factor, OuterName, InnerName,
+                       Tail);
+    });
+  }
+  Schedule &reorder(const std::string &Loop) {
+    return step("reorder", loopPattern(Loop), [&](const ProcRef &P) {
+      return reorderLoops(P, loopPattern(Loop));
+    });
+  }
+  Schedule &unroll(const std::string &Loop) {
+    return step("unroll", loopPattern(Loop), [&](const ProcRef &P) {
+      return unrollLoop(P, loopPattern(Loop));
+    });
+  }
+  Schedule &partition(const std::string &Loop, int64_t Cut) {
+    return step("partition_loop", loopPattern(Loop), [&](const ProcRef &P) {
+      return partitionLoop(P, loopPattern(Loop), Cut);
+    });
+  }
+  Schedule &remove(const std::string &Loop) {
+    return step("remove_loop", loopPattern(Loop), [&](const ProcRef &P) {
+      return removeLoop(P, loopPattern(Loop));
+    });
+  }
+  Schedule &fuse(const std::string &Loop) {
+    return step("fuse_loop", loopPattern(Loop), [&](const ProcRef &P) {
+      return fuseLoops(P, loopPattern(Loop));
+    });
+  }
+  Schedule &liftIf(const std::string &IfPat) {
+    return step("lift_if", IfPat, [&](const ProcRef &P) {
+      return scheduling::liftIf(P, IfPat);
+    });
+  }
+
+  //--- Statement transformations ------------------------------------------
+  Schedule &reorderStmts(const std::string &FirstPat) {
+    return step("reorder_stmts", FirstPat, [&](const ProcRef &P) {
+      return scheduling::reorderStmts(P, FirstPat);
+    });
+  }
+  Schedule &moveUp(const std::string &StmtPat) {
+    return step("move_up", StmtPat, [&](const ProcRef &P) {
+      return moveStmtUp(P, StmtPat);
+    });
+  }
+  Schedule &hoistToTop(const std::string &StmtPat) {
+    return step("hoist_to_top", StmtPat, [&](const ProcRef &P) {
+      return hoistStmtToTop(P, StmtPat);
+    });
+  }
+  Schedule &fission(const std::string &StmtPat) {
+    return step("fission_after", StmtPat, [&](const ProcRef &P) {
+      return fissionAfter(P, StmtPat);
+    });
+  }
+  Schedule &liftAlloc(const std::string &AllocPat, unsigned Levels = 1) {
+    return step("lift_alloc", AllocPat, [&](const ProcRef &P) {
+      return scheduling::liftAlloc(P, AllocPat, Levels);
+    });
+  }
+  Schedule &bindExpr(const std::string &StmtPat, const std::string &ExprPat,
+                     const std::string &NewName) {
+    return step("bind_expr", StmtPat, [&](const ProcRef &P) {
+      return scheduling::bindExpr(P, StmtPat, ExprPat, NewName);
+    });
+  }
+  Schedule &guard(const std::string &StmtPat, const std::string &CondSrc) {
+    return step("add_guard", StmtPat, [&](const ProcRef &P) {
+      return addGuard(P, StmtPat, CondSrc);
+    });
+  }
+  Schedule &deletePass() {
+    return step("delete_pass", "", [&](const ProcRef &P) {
+      return scheduling::deletePass(P);
+    });
+  }
+
+  //--- Configuration state ------------------------------------------------
+  Schedule &configWriteAt(const std::string &StmtPat,
+                          const ir::ConfigRef &Cfg, const std::string &Field,
+                          const std::string &ValueSrc) {
+    return step("configwrite_at", StmtPat, [&](const ProcRef &P) {
+      return scheduling::configWriteAt(P, StmtPat, Cfg, Field, ValueSrc);
+    });
+  }
+  Schedule &configWriteRoot(const ir::ConfigRef &Cfg,
+                            const std::string &Field,
+                            const std::string &ValueSrc) {
+    return step("configwrite_root", "", [&](const ProcRef &P) {
+      return scheduling::configWriteRoot(P, Cfg, Field, ValueSrc);
+    });
+  }
+  Schedule &bindConfig(const std::string &StmtPat, const std::string &ExprPat,
+                       const ir::ConfigRef &Cfg, const std::string &Field) {
+    return step("bind_config", StmtPat, [&](const ProcRef &P) {
+      return scheduling::bindConfig(P, StmtPat, ExprPat, Cfg, Field);
+    });
+  }
+
+  //--- Memory & precision -------------------------------------------------
+  Schedule &stage(const std::string &StmtPat, unsigned Count,
+                  const std::string &WindowSrc, const std::string &NewName,
+                  const std::string &Mem = "DRAM") {
+    return step("stage_mem", StmtPat, [&](const ProcRef &P) {
+      return stageMem(P, StmtPat, Count, WindowSrc, NewName, Mem);
+    });
+  }
+  Schedule &setMemory(const std::string &Name, const std::string &Mem) {
+    return step("set_memory", Name, [&](const ProcRef &P) {
+      return scheduling::setMemory(P, Name, Mem);
+    });
+  }
+  Schedule &setPrecision(const std::string &Name, ir::ScalarKind Precision) {
+    return step("set_precision", Name, [&](const ProcRef &P) {
+      return scheduling::setPrecision(P, Name, Precision);
+    });
+  }
+
+  //--- Procedure-level ----------------------------------------------------
+  Schedule &inlineCall(const std::string &CallPat) {
+    return step("inline", CallPat, [&](const ProcRef &P) {
+      return scheduling::inlineCall(P, CallPat);
+    });
+  }
+  Schedule &callEqv(const std::string &CallPat, const ProcRef &NewCallee) {
+    return step("call_eqv", CallPat, [&](const ProcRef &P) {
+      return scheduling::callEqv(P, CallPat, NewCallee);
+    });
+  }
+  Schedule &replaceWith(const std::string &StmtPat, unsigned Count,
+                        const ProcRef &Target) {
+    return step("replace", StmtPat, [&](const ProcRef &P) {
+      return scheduling::replaceWith(P, StmtPat, Count, Target);
+    });
+  }
+  Schedule &rename(const std::string &NewName) {
+    if (Err)
+      return *this;
+    Cur = renameProc(Cur, NewName);
+    ++NumSteps;
+    return *this;
+  }
+  Schedule &simplify() {
+    return step("simplify", "", [&](const ProcRef &P) {
+      return scheduling::simplify(P);
+    });
+  }
+
+  /// Escape hatch: chains any ProcRef -> Expected<ProcRef> rewrite (a
+  /// composite, an out-of-tree operator) with the same short-circuiting.
+  template <typename Fn> Schedule &apply(Fn &&F, const char *Op = "apply") {
+    return step(Op, "", std::forward<Fn>(F));
+  }
+
+  //--- Observers ----------------------------------------------------------
+  bool ok() const { return !Err.has_value(); }
+  explicit operator bool() const { return ok(); }
+  /// Number of successful rewrite steps so far.
+  unsigned steps() const { return NumSteps; }
+  /// The first failure, if any.
+  const Error &error() const {
+    assert(Err && "error() on a successful Schedule");
+    return *Err;
+  }
+  /// Final procedure or the first error — the chain as an Expected.
+  Expected<ProcRef> proc() const {
+    if (Err)
+      return *Err;
+    return Cur;
+  }
+  /// Final procedure, aborting on failure (for known-good schedules).
+  ProcRef take(const char *What = "Schedule") {
+    if (Err)
+      fatalError(std::string(What) + " failed: " + Err->str());
+    return std::move(Cur);
+  }
+
+private:
+  template <typename Fn>
+  Schedule &step(const char *Op, const std::string &Pattern, Fn &&F) {
+    if (Err)
+      return *this;
+    Expected<ProcRef> R = F(Cur);
+    if (!R) {
+      // Fill in whatever context the primitive didn't record itself.
+      ScheduleErrorInfo Info =
+          R.error().scheduleInfo() ? *R.error().scheduleInfo()
+                                   : ScheduleErrorInfo();
+      if (Info.Op.empty())
+        Info.Op = Op;
+      if (Info.Pattern.empty())
+        Info.Pattern = Pattern;
+      Err = R.error().withScheduleInfo(std::move(Info));
+      return *this;
+    }
+    Cur = *R;
+    ++NumSteps;
+    return *this;
+  }
+
+  ProcRef Cur;
+  std::optional<Error> Err;
+  unsigned NumSteps = 0;
+};
+
 } // namespace scheduling
 } // namespace exo
 

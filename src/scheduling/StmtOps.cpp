@@ -41,9 +41,10 @@ Expected<ProcRef> exo::scheduling::reorderStmts(const ProcRef &P,
   FlowState State = Info.Pre;
   EffectSets A1 = extractStmt(Ctx, State, S1);
   EffectSets A2 = extractStmt(Ctx, State, S2);
-  if (!provedUnderPremise(Ctx, Info.PathCond, commutesCond(A1, A2)))
-    return makeError(Error::Kind::Safety,
-                     "reorder_stmts: statements do not commute");
+  if (auto E = checkProved(Ctx, Info.PathCond, commutesCond(A1, A2),
+                           "reorder_stmts", FirstPat, printStmt(S1),
+                           "reorder_stmts: statements do not commute"))
+    return *E;
 
   StmtCursor Two = *C;
   Two.End = C->Begin + 2;
@@ -66,9 +67,10 @@ Expected<ProcRef> swapAdjacent(const ProcRef &P, const StmtCursor &C) {
   FlowState State = Info.Pre;
   EffectSets A1 = extractStmt(Ctx, State, S1);
   EffectSets A2 = extractStmt(Ctx, State, S2);
-  if (!provedUnderPremise(Ctx, Info.PathCond, commutesCond(A1, A2)))
-    return makeError(Error::Kind::Safety,
-                     "reorder_stmts: statements do not commute");
+  if (auto E = checkProved(Ctx, Info.PathCond, commutesCond(A1, A2),
+                           "reorder_stmts", "", printStmt(S1),
+                           "reorder_stmts: statements do not commute"))
+    return *E;
   StmtCursor Two = C;
   Two.End = C.Begin + 2;
   return deriveProc(P, replaceRange(P->body(), Two, {S2, S1}));
@@ -200,10 +202,12 @@ Expected<ProcRef> exo::scheduling::fissionAfter(const ProcRef &P,
   TriBool Premise = triAnd(Info.PathCond,
                            triAnd(InBounds(X1), InBounds(X2)));
   Premise = triAnd(Premise, TriBool::certain(smt::lt(X2, X1)));
-  if (!provedUnderPremise(Ctx, Premise, commutesCond(A1, A2)))
-    return makeError(Error::Kind::Safety,
-                     "fission_after: split halves do not commute across "
-                     "iterations");
+  if (auto E = checkProved(Ctx, Premise, commutesCond(A1, A2),
+                           "fission_after", StmtPat,
+                           "for " + Loop->name().name() + " in _: _",
+                           "fission_after: split halves do not commute "
+                           "across iterations"))
+    return *E;
 
   Sym Iter2 = Loop->name().copy();
   SymSubst Map;
@@ -347,10 +351,11 @@ Expected<ProcRef> exo::scheduling::addGuard(const ProcRef &P,
   AnalysisCtx Ctx;
   ContextInfo Info = computeContext(Ctx, *P, *C);
   TriBool CondT = Ctx.liftBool(*Cond, Info.Pre.Env);
-  if (!provedUnderPremise(Ctx, Info.PathCond, CondT.Must))
-    return makeError(Error::Kind::Safety,
-                     "add_guard: condition '" + CondSrc +
-                         "' is not provably true here");
+  if (auto E = checkProved(Ctx, Info.PathCond, CondT.Must, "add_guard",
+                           StmtPat, CondSrc,
+                           "add_guard: condition '" + CondSrc +
+                               "' is not provably true here"))
+    return *E;
   return deriveProc(P, replaceRange(P->body(), *C,
                                     {Stmt::ifStmt(*Cond, {S})}));
 }

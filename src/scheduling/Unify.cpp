@@ -560,11 +560,19 @@ public:
     for (const ExprRef &Pred : Target.preds()) {
       ExprRef Inst = substExpr(Pred, buildFullSubst(ControlValues, Args));
       TriBool PredT = Ctx.liftBool(Inst, St.TgtState.Env);
-      if (!provedUnderPremise(Ctx, St.Premise, PredT.Must))
-        return makeError(Error::Kind::Unification,
-                         "cannot prove the target's precondition '" +
-                             printExpr(Pred) + "' at the call site (" +
-                             printExpr(Inst) + ")");
+      ScheduleErrorInfo::Verdict V =
+          dischargeUnderPremise(Ctx, St.Premise, PredT.Must);
+      if (V != ScheduleErrorInfo::Verdict::Yes) {
+        ScheduleErrorInfo EInfo;
+        EInfo.Op = "replace";
+        EInfo.Loc = printExpr(Inst);
+        EInfo.SolverVerdict = V;
+        return makeScheduleError(Error::Kind::Unification,
+                                 "cannot prove the target's precondition '" +
+                                     printExpr(Pred) + "' at the call site (" +
+                                     printExpr(Inst) + ")",
+                                 std::move(EInfo));
+      }
     }
     return Args;
   }

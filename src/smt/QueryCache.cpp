@@ -7,6 +7,7 @@
 #include "smt/QueryCache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 
@@ -136,17 +137,32 @@ std::string exo::smt::canonicalQueryKey(const TermRef &Closed) {
 
 namespace {
 
-struct QueryCache {
+/// The memo table is *striped*: entries distribute across independently
+/// locked shards by key hash, so concurrent compile sessions looking up
+/// disjoint obligations never contend. The table is read-mostly once warm
+/// (hits outnumber insertions by orders of magnitude on schedule replays),
+/// so per-stripe mutexes — not a global one — are what keep the parallel
+/// batch driver off a single lock. Flush-on-cap becomes per stripe; a
+/// flush only forgets verdicts, never changes one.
+struct CacheStripe {
   std::mutex M;
   std::unordered_map<std::string, SolverResult> Table;
   QueryCacheStats Stats;
-  bool Enabled = true;
-
-  // Flush-on-cap keeps the policy trivial and the worst case bounded; a
-  // flush only forgets verdicts, never changes one.
-  static constexpr size_t MaxEntries = 1u << 16;
-  static constexpr size_t MaxBytes = 64u << 20;
   size_t KeyBytes = 0;
+};
+
+struct QueryCache {
+  static constexpr size_t NumStripes = 16; // power of two
+  CacheStripe Stripes[NumStripes];
+  std::atomic<bool> Enabled{true};
+
+  static constexpr size_t MaxEntriesPerStripe = (1u << 16) / NumStripes;
+  static constexpr size_t MaxBytesPerStripe = (64u << 20) / NumStripes;
+
+  CacheStripe &stripeFor(const std::string &Key) {
+    size_t H = std::hash<std::string>()(Key);
+    return Stripes[(H >> 8) & (NumStripes - 1)];
+  }
 
   static QueryCache &get() {
     static QueryCache C;
@@ -157,32 +173,29 @@ struct QueryCache {
 } // namespace
 
 bool exo::smt::queryCacheEnabled() {
-  QueryCache &C = QueryCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  return C.Enabled;
+  return QueryCache::get().Enabled.load(std::memory_order_relaxed);
 }
 
 void exo::smt::setQueryCacheEnabled(bool Enabled) {
-  QueryCache &C = QueryCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  C.Enabled = Enabled;
+  QueryCache::get().Enabled.store(Enabled, std::memory_order_relaxed);
 }
 
 bool exo::smt::queryCacheLookup(const std::string &Key, SolverResult &Out) {
-  if (Key.empty()) {
-    QueryCache &C = QueryCache::get();
-    std::lock_guard<std::mutex> Lock(C.M);
-    ++C.Stats.Uncacheable;
-    return false;
-  }
   QueryCache &C = QueryCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  auto It = C.Table.find(Key);
-  if (It == C.Table.end()) {
-    ++C.Stats.Misses;
+  if (Key.empty()) {
+    CacheStripe &S = C.Stripes[0]; // arbitrary home for the counter
+    std::lock_guard<std::mutex> Lock(S.M);
+    ++S.Stats.Uncacheable;
     return false;
   }
-  ++C.Stats.Hits;
+  CacheStripe &S = C.stripeFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Table.find(Key);
+  if (It == S.Table.end()) {
+    ++S.Stats.Misses;
+    return false;
+  }
+  ++S.Stats.Hits;
   Out = It->second;
   return true;
 }
@@ -191,32 +204,41 @@ void exo::smt::queryCacheInsert(const std::string &Key, SolverResult R) {
   assert(R != SolverResult::Unknown && "Unknown must never be cached");
   if (Key.empty() || R == SolverResult::Unknown)
     return;
-  QueryCache &C = QueryCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  if (C.Table.size() >= QueryCache::MaxEntries ||
-      C.KeyBytes + Key.size() > QueryCache::MaxBytes) {
-    C.Table.clear();
-    C.KeyBytes = 0;
-    ++C.Stats.Evictions;
+  CacheStripe &S = QueryCache::get().stripeFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Table.size() >= QueryCache::MaxEntriesPerStripe ||
+      S.KeyBytes + Key.size() > QueryCache::MaxBytesPerStripe) {
+    S.Table.clear();
+    S.KeyBytes = 0;
+    ++S.Stats.Evictions;
   }
-  auto [It, Inserted] = C.Table.emplace(Key, R);
+  auto [It, Inserted] = S.Table.emplace(Key, R);
   if (Inserted) {
-    C.KeyBytes += Key.size();
-    ++C.Stats.Insertions;
+    S.KeyBytes += Key.size();
+    ++S.Stats.Insertions;
   }
 }
 
 QueryCacheStats exo::smt::solverQueryCacheStats() {
   QueryCache &C = QueryCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  QueryCacheStats S = C.Stats;
-  S.Size = C.Table.size();
-  return S;
+  QueryCacheStats Sum;
+  for (CacheStripe &S : C.Stripes) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Sum.Hits += S.Stats.Hits;
+    Sum.Misses += S.Stats.Misses;
+    Sum.Insertions += S.Stats.Insertions;
+    Sum.Evictions += S.Stats.Evictions;
+    Sum.Uncacheable += S.Stats.Uncacheable;
+    Sum.Size += S.Table.size();
+  }
+  return Sum;
 }
 
 void exo::smt::clearSolverQueryCache() {
   QueryCache &C = QueryCache::get();
-  std::lock_guard<std::mutex> Lock(C.M);
-  C.Table.clear();
-  C.KeyBytes = 0;
+  for (CacheStripe &S : C.Stripes) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Table.clear();
+    S.KeyBytes = 0;
+  }
 }

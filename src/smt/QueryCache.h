@@ -19,6 +19,10 @@
 /// are budget-independent (the budget can only cause Unknown), so the key
 /// does not include the budget.
 ///
+/// The table is striped (independently locked shards, selected by key
+/// hash) so concurrent compile sessions share verdicts without sharing a
+/// mutex; see the "Threading model" section of DESIGN.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXO_SMT_QUERYCACHE_H

@@ -10,20 +10,37 @@
 #include "smt/Prenex.h"
 #include "smt/QueryCache.h"
 
-#include <mutex>
+#include <atomic>
 
 using namespace exo;
 using namespace exo::smt;
 
 namespace {
-uint64_t &defaultBudgetStorage() {
-  static uint64_t Budget = 2'000'000;
+std::atomic<uint64_t> &defaultBudgetStorage() {
+  static std::atomic<uint64_t> Budget{2'000'000};
   return Budget;
 }
 
+/// Thread-scoped default overrides (see ScopedSolverDefaults).
+struct ThreadDefaults {
+  bool Active = false;
+  uint64_t Budget = 0;
+  bool UseCache = true;
+};
+thread_local ThreadDefaults TLDefaults;
+
+/// Process-wide aggregate as lock-free atomics: every solver on every
+/// session thread bumps these on the query hot path, so a mutex here would
+/// both serialize the batch driver and (worse) undercount if skipped.
+/// Snapshot reads are per-counter relaxed loads — counters are mutually
+/// consistent only at quiescence, which is when benchmarks read them.
 struct GlobalStats {
-  std::mutex M;
-  Solver::Stats S;
+  std::atomic<uint64_t> NumQueries{0};
+  std::atomic<uint64_t> NumUnknown{0};
+  std::atomic<uint64_t> NumUnknownBudget{0};
+  std::atomic<uint64_t> NumUnknownStructural{0};
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> CacheMisses{0};
 
   static GlobalStats &get() {
     static GlobalStats G;
@@ -34,20 +51,55 @@ struct GlobalStats {
 
 Solver::Stats exo::smt::solverGlobalStats() {
   GlobalStats &G = GlobalStats::get();
-  std::lock_guard<std::mutex> Lock(G.M);
-  return G.S;
+  Solver::Stats S;
+  S.NumQueries = G.NumQueries.load(std::memory_order_relaxed);
+  S.NumUnknown = G.NumUnknown.load(std::memory_order_relaxed);
+  S.NumUnknownBudget = G.NumUnknownBudget.load(std::memory_order_relaxed);
+  S.NumUnknownStructural =
+      G.NumUnknownStructural.load(std::memory_order_relaxed);
+  S.CacheHits = G.CacheHits.load(std::memory_order_relaxed);
+  S.CacheMisses = G.CacheMisses.load(std::memory_order_relaxed);
+  return S;
 }
 
 void exo::smt::resetSolverGlobalStats() {
   GlobalStats &G = GlobalStats::get();
-  std::lock_guard<std::mutex> Lock(G.M);
-  G.S = Solver::Stats();
+  G.NumQueries.store(0, std::memory_order_relaxed);
+  G.NumUnknown.store(0, std::memory_order_relaxed);
+  G.NumUnknownBudget.store(0, std::memory_order_relaxed);
+  G.NumUnknownStructural.store(0, std::memory_order_relaxed);
+  G.CacheHits.store(0, std::memory_order_relaxed);
+  G.CacheMisses.store(0, std::memory_order_relaxed);
 }
 
-uint64_t exo::smt::defaultMaxLiterals() { return defaultBudgetStorage(); }
+uint64_t exo::smt::defaultMaxLiterals() {
+  if (TLDefaults.Active)
+    return TLDefaults.Budget;
+  return defaultBudgetStorage().load(std::memory_order_relaxed);
+}
 
 void exo::smt::setDefaultMaxLiterals(uint64_t Budget) {
-  defaultBudgetStorage() = Budget == 0 ? 1 : Budget;
+  defaultBudgetStorage().store(Budget == 0 ? 1 : Budget,
+                               std::memory_order_relaxed);
+}
+
+bool exo::smt::defaultUseQueryCache() {
+  return TLDefaults.Active ? TLDefaults.UseCache : true;
+}
+
+ScopedSolverDefaults::ScopedSolverDefaults(uint64_t MaxLiterals,
+                                           bool UseQueryCache)
+    : PrevActive(TLDefaults.Active), PrevBudget(TLDefaults.Budget),
+      PrevUseCache(TLDefaults.UseCache) {
+  TLDefaults.Active = true;
+  TLDefaults.Budget = MaxLiterals == 0 ? 1 : MaxLiterals;
+  TLDefaults.UseCache = UseQueryCache;
+}
+
+ScopedSolverDefaults::~ScopedSolverDefaults() {
+  TLDefaults.Active = PrevActive;
+  TLDefaults.Budget = PrevBudget;
+  TLDefaults.UseCache = PrevUseCache;
 }
 
 /// Closes the free variables of \p F with the given quantifier; boolean
@@ -74,12 +126,11 @@ static TermRef closeFreeVars(TermRef F, bool Universally) {
 
 SolverResult Solver::decide(TermRef Closed) {
   ++TheStats.NumQueries;
-  auto Bump = [](auto Field) {
-    GlobalStats &G = GlobalStats::get();
-    std::lock_guard<std::mutex> Lock(G.M);
-    ++(G.S.*Field);
+  GlobalStats &G = GlobalStats::get();
+  auto Bump = [](std::atomic<uint64_t> &Counter) {
+    Counter.fetch_add(1, std::memory_order_relaxed);
   };
-  Bump(&Stats::NumQueries);
+  Bump(G.NumQueries);
 
   // Consult the process-wide memo table first. A hit returns exactly what
   // the cold decision procedure returned for an alpha-equivalent query;
@@ -91,11 +142,11 @@ SolverResult Solver::decide(TermRef Closed) {
     SolverResult Cached;
     if (queryCacheLookup(Key, Cached)) {
       ++TheStats.CacheHits;
-      Bump(&Stats::CacheHits);
+      Bump(G.CacheHits);
       return Cached;
     }
     ++TheStats.CacheMisses;
-    Bump(&Stats::CacheMisses);
+    Bump(G.CacheMisses);
   }
 
   Budget B(Opts.MaxLiterals);
@@ -114,13 +165,13 @@ SolverResult Solver::decide(TermRef Closed) {
     break;
   }
   ++TheStats.NumUnknown;
-  Bump(&Stats::NumUnknown);
+  Bump(G.NumUnknown);
   if (B.structuralOverflow()) {
     ++TheStats.NumUnknownStructural;
-    Bump(&Stats::NumUnknownStructural);
+    Bump(G.NumUnknownStructural);
   } else {
     ++TheStats.NumUnknownBudget;
-    Bump(&Stats::NumUnknownBudget);
+    Bump(G.NumUnknownBudget);
   }
   return SolverResult::Unknown;
 }

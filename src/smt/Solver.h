@@ -24,9 +24,33 @@ namespace smt {
 
 enum class SolverResult { Yes, No, Unknown };
 
-/// Process-wide default literal budget (overridable for ablations).
+/// Process-wide default literal budget (overridable for ablations). A
+/// thread-scoped override (ScopedSolverDefaults) takes precedence on the
+/// thread that installed it.
 uint64_t defaultMaxLiterals();
 void setDefaultMaxLiterals(uint64_t Budget);
+
+/// Default for SolverOptions::UseQueryCache; true unless a thread-scoped
+/// override says otherwise.
+bool defaultUseQueryCache();
+
+/// RAII override of the solver defaults for the current thread only.
+/// Compile sessions install one so solvers constructed anywhere in the
+/// scheduling pipeline pick up the session's budget, while sessions on
+/// other threads keep their own. Nests; the destructor restores the
+/// previous scope.
+class ScopedSolverDefaults {
+public:
+  ScopedSolverDefaults(uint64_t MaxLiterals, bool UseQueryCache);
+  ~ScopedSolverDefaults();
+  ScopedSolverDefaults(const ScopedSolverDefaults &) = delete;
+  ScopedSolverDefaults &operator=(const ScopedSolverDefaults &) = delete;
+
+private:
+  bool PrevActive;
+  uint64_t PrevBudget;
+  bool PrevUseCache;
+};
 
 /// Tuning knobs. MaxLiterals bounds the total number of literals the
 /// elimination pipeline may create for a single query. UseQueryCache lets a
@@ -34,7 +58,7 @@ void setDefaultMaxLiterals(uint64_t Budget);
 /// the table also has a global enable switch.
 struct SolverOptions {
   uint64_t MaxLiterals = defaultMaxLiterals();
-  bool UseQueryCache = true;
+  bool UseQueryCache = defaultUseQueryCache();
 };
 
 /// Decision procedure for quantified linear integer arithmetic.

@@ -90,15 +90,32 @@ namespace {
 /// themselves interned. After a flush, children of newly built terms may no
 /// longer be pointer-unique with older live terms, so some sharing is lost;
 /// Term::equals keeps a deep fallback for exactly that case.
-struct TermInterner {
+///
+/// The table is *sharded* by structural hash: concurrent compile sessions
+/// build terms constantly, and a single mutex here serializes the whole
+/// scheduling pipeline. Each shard has its own lock, bucket map, live-node
+/// count, and counters; flush-on-cap is per shard, so a flush in one shard
+/// does not disturb sharing in the others.
+struct InternerShard {
   std::mutex M;
   std::unordered_map<size_t, std::vector<TermRef>> Buckets;
   size_t LiveNodes = 0;
   TermInternerStats Stats;
+};
 
-  // Flush-on-cap: past this many retained nodes the whole table is cleared
-  // (counted in Stats.Flushes). Live terms keep their own refs.
-  static constexpr size_t MaxLiveNodes = 1u << 18;
+struct TermInterner {
+  static constexpr size_t NumShards = 16; // power of two; see shardFor
+  InternerShard Shards[NumShards];
+
+  // Flush-on-cap: past this many retained nodes *per shard* the shard is
+  // cleared (counted in Stats.Flushes). Live terms keep their own refs.
+  static constexpr size_t MaxLiveNodesPerShard = (1u << 18) / NumShards;
+
+  InternerShard &shardFor(size_t Hash) {
+    // The low bits pick the unordered_map bucket inside the shard; use a
+    // different slice for shard selection so the two don't correlate.
+    return Shards[(Hash >> 7) & (NumShards - 1)];
+  }
 
   static TermInterner &get() {
     static TermInterner I;
@@ -143,46 +160,53 @@ static TermRef makeNode(TermKind K, Sort S, int64_t V, TermVar Var,
   bool HasVar =
       K == TermKind::Var || K == TermKind::Forall || K == TermKind::Exists;
   size_t H = structuralHash(K, S, V, HasVar ? Var.Id : 0, Ops);
-  TermInterner &I = TermInterner::get();
-  std::lock_guard<std::mutex> Lock(I.M);
-  auto &Bucket = I.Buckets[H];
+  InternerShard &Sh = TermInterner::get().shardFor(H);
+  std::lock_guard<std::mutex> Lock(Sh.M);
+  auto &Bucket = Sh.Buckets[H];
   for (auto &Cand : Bucket)
     if (shallowMatches(*Cand, K, S, V, Var, Ops)) {
-      ++I.Stats.Hits;
+      ++Sh.Stats.Hits;
       return Cand;
     }
-  ++I.Stats.Misses;
-  if (I.LiveNodes >= TermInterner::MaxLiveNodes) {
-    I.Buckets.clear();
-    I.LiveNodes = 0;
-    ++I.Stats.Flushes;
+  ++Sh.Stats.Misses;
+  if (Sh.LiveNodes >= TermInterner::MaxLiveNodesPerShard) {
+    Sh.Buckets.clear();
+    Sh.LiveNodes = 0;
+    ++Sh.Stats.Flushes;
     // NB: `Bucket` is dangling after clear(); re-insert below via the map.
     TermRef Node =
         std::make_shared<Term>(K, S, V, std::move(Var), std::move(Ops));
-    I.Buckets[H].push_back(Node);
-    ++I.LiveNodes;
+    Sh.Buckets[H].push_back(Node);
+    ++Sh.LiveNodes;
     return Node;
   }
   TermRef Node =
       std::make_shared<Term>(K, S, V, std::move(Var), std::move(Ops));
   Bucket.push_back(Node);
-  ++I.LiveNodes;
+  ++Sh.LiveNodes;
   return Node;
 }
 
 TermInternerStats exo::smt::termInternerStats() {
   TermInterner &I = TermInterner::get();
-  std::lock_guard<std::mutex> Lock(I.M);
-  TermInternerStats S = I.Stats;
-  S.Live = I.LiveNodes;
-  return S;
+  TermInternerStats Sum;
+  for (InternerShard &Sh : I.Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Sum.Hits += Sh.Stats.Hits;
+    Sum.Misses += Sh.Stats.Misses;
+    Sum.Flushes += Sh.Stats.Flushes;
+    Sum.Live += Sh.LiveNodes;
+  }
+  return Sum;
 }
 
 void exo::smt::clearTermInterner() {
   TermInterner &I = TermInterner::get();
-  std::lock_guard<std::mutex> Lock(I.M);
-  I.Buckets.clear();
-  I.LiveNodes = 0;
+  for (InternerShard &Sh : I.Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Sh.Buckets.clear();
+    Sh.LiveNodes = 0;
+  }
 }
 
 static const TermVar NoVar{0, "", Sort::Int};

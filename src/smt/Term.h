@@ -18,10 +18,13 @@
 /// All nodes are *hash-consed* through a process-wide interner: structurally
 /// identical subterms share one allocation, the structural hash and the free
 /// variable set are computed once at construction, and equality of interned
-/// nodes degenerates to a pointer comparison. The interner may be flushed
+/// nodes degenerates to a pointer comparison. The interner is sharded by
+/// structural hash (each shard has its own lock) so concurrent compile
+/// sessions intern without serializing on one mutex. A shard may be flushed
 /// when it grows past its cap (losing sharing, never correctness — equals()
 /// falls back to a deep compare), so pointer inequality does NOT imply
-/// structural inequality. See the "Performance" section of DESIGN.md.
+/// structural inequality. See the "Performance" and "Threading model"
+/// sections of DESIGN.md.
 ///
 //===----------------------------------------------------------------------===//
 

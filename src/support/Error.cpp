@@ -44,6 +44,22 @@ const char *exo::errorKindName(Error::Kind K) {
   return "unknown error";
 }
 
+const char *exo::scheduleVerdictName(ScheduleErrorInfo::Verdict V) {
+  switch (V) {
+  case ScheduleErrorInfo::Verdict::None:
+    return "none";
+  case ScheduleErrorInfo::Verdict::Yes:
+    return "yes";
+  case ScheduleErrorInfo::Verdict::No:
+    return "no";
+  case ScheduleErrorInfo::Verdict::UnknownBudget:
+    return "unknown (budget exhausted)";
+  case ScheduleErrorInfo::Verdict::UnknownStructural:
+    return "unknown (outside decidable fragment)";
+  }
+  return "unknown";
+}
+
 std::string Error::str() const {
   return std::string(errorKindName(TheKind)) + ": " + Msg;
 }

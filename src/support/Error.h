@@ -15,6 +15,7 @@
 #define EXO_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
@@ -24,6 +25,32 @@ namespace exo {
 /// Aborts the process with a message. For invariant violations that must be
 /// caught even in release builds.
 [[noreturn]] void fatalError(const std::string &Msg);
+
+/// Structured payload attached to scheduling-operator failures so drivers
+/// and tools can react to *what* failed (which operator, which pattern,
+/// what the solver said) instead of parsing prose. The rendered message
+/// (Error::str()) is unchanged; this rides alongside it.
+struct ScheduleErrorInfo {
+  /// What the solver concluded about the safety condition, when a solver
+  /// was consulted at all.
+  enum class Verdict {
+    None,              ///< no solver query involved in this failure
+    Yes,               ///< condition proved (failure was elsewhere)
+    No,                ///< condition refuted: rewrite is genuinely unsafe
+    UnknownBudget,     ///< solver gave up on its work budget; raising
+                       ///< MaxLiterals may succeed
+    UnknownStructural, ///< formula outside the decidable fragment; no
+                       ///< budget will help
+  };
+
+  std::string Op;      ///< scheduling operator name, e.g. "splitLoop"
+  std::string Pattern; ///< cursor pattern text the operator was given
+  std::string Loc;     ///< description of the matched/considered location
+  Verdict SolverVerdict = Verdict::None;
+};
+
+/// Printable name of a solver verdict.
+const char *scheduleVerdictName(ScheduleErrorInfo::Verdict V);
 
 /// A recoverable error: a category tag plus a human-readable message.
 class Error {
@@ -43,16 +70,34 @@ public:
   };
 
   Error(Kind K, std::string Msg) : TheKind(K), Msg(std::move(Msg)) {}
+  Error(Kind K, std::string Msg, ScheduleErrorInfo Info)
+      : TheKind(K), Msg(std::move(Msg)),
+        Sched(std::make_shared<const ScheduleErrorInfo>(std::move(Info))) {}
 
   Kind kind() const { return TheKind; }
   const std::string &message() const { return Msg; }
 
-  /// Renders "<kind>: <message>".
+  /// Structured scheduling payload, or null for errors outside the
+  /// scheduling layer (and legacy call sites).
+  const ScheduleErrorInfo *scheduleInfo() const { return Sched.get(); }
+
+  /// Returns a copy of this error with the payload attached (keeps kind
+  /// and message). Used by wrappers that know the operator context.
+  Error withScheduleInfo(ScheduleErrorInfo Info) const {
+    Error E(TheKind, Msg);
+    E.Sched = std::make_shared<const ScheduleErrorInfo>(std::move(Info));
+    return E;
+  }
+
+  /// Renders "<kind>: <message>" — exactly the pre-payload format.
   std::string str() const;
 
 private:
   Kind TheKind;
   std::string Msg;
+  /// shared_ptr keeps Error cheaply copyable (Expected copies errors
+  /// through variant moves) and null for the common success-path size.
+  std::shared_ptr<const ScheduleErrorInfo> Sched;
 };
 
 /// Returns the printable name of an error kind.
@@ -97,6 +142,12 @@ private:
 /// Convenience factory.
 inline Error makeError(Error::Kind K, std::string Msg) {
   return Error(K, std::move(Msg));
+}
+
+/// Factory for scheduling-layer errors carrying the structured payload.
+inline Error makeScheduleError(Error::Kind K, std::string Msg,
+                               ScheduleErrorInfo Info) {
+  return Error(K, std::move(Msg), std::move(Info));
 }
 
 } // namespace exo

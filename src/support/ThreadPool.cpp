@@ -1,0 +1,123 @@
+//===- support/ThreadPool.cpp ----------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace exo;
+using namespace exo::support;
+
+namespace {
+/// Which worker of which pool the current thread is, for submit-from-worker
+/// and steal-victim selection. thread_local instead of a member so tasks
+/// need no handle back to the pool.
+thread_local const ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+} // namespace
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  waitIdle();
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Queues.empty()) {
+    Task(); // inline mode: deterministic, zero overhead
+    return;
+  }
+  unsigned Target;
+  {
+    std::lock_guard<std::mutex> Lock(StateM);
+    ++Outstanding;
+    Target = CurrentPool == this ? CurrentWorker : NextQueue++ % numThreads();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Target]->M);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkCv.notify_one();
+}
+
+bool ThreadPool::popOrSteal(unsigned Me, std::function<void()> &Out) {
+  // Own deque first, newest task (LIFO keeps the working set warm).
+  {
+    WorkerQueue &Q = *Queues[Me];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (!Q.Tasks.empty()) {
+      Out = std::move(Q.Tasks.back());
+      Q.Tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the *oldest* task from the first non-empty victim, scanning from
+  // the right neighbour so contention spreads instead of converging on
+  // worker 0.
+  for (unsigned D = 1; D < numThreads(); ++D) {
+    WorkerQueue &Q = *Queues[(Me + D) % numThreads()];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (!Q.Tasks.empty()) {
+      Out = std::move(Q.Tasks.front());
+      Q.Tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned Me) {
+  CurrentPool = this;
+  CurrentWorker = Me;
+  for (;;) {
+    std::function<void()> Task;
+    if (popOrSteal(Me, Task)) {
+      Task();
+      std::lock_guard<std::mutex> Lock(StateM);
+      if (--Outstanding == 0)
+        IdleCv.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(StateM);
+    if (Stopping)
+      return;
+    // Re-check under the lock: a task may have landed between the failed
+    // scan and acquiring StateM. Waking spuriously is harmless; sleeping
+    // through a submit is not.
+    WorkCv.wait_for(Lock, std::chrono::milliseconds(10));
+  }
+}
+
+void ThreadPool::waitIdle() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(StateM);
+  IdleCv.wait(Lock, [this] {
+    if (Outstanding == 0)
+      return true;
+    return false;
+  });
+}

@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - Work-stealing thread pool --------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the parallel batch driver. Each
+/// worker owns a deque: it pushes and pops its own work LIFO (cache-warm)
+/// and steals FIFO from victims when empty (oldest task first, the classic
+/// Chase-Lev discipline without the lock-free machinery — tasks here are
+/// whole-kernel compiles, so a mutex per deque is noise).
+///
+/// The pool with 0 threads degenerates to inline execution in submit(),
+/// which keeps single-threaded runs bit-for-bit deterministic and makes
+/// "1 thread" in benchmarks mean "no pool overhead at all".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_THREADPOOL_H
+#define EXO_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exo {
+namespace support {
+
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. 0 means inline execution (no threads).
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a task. Round-robins across worker deques; from inside a
+  /// worker, pushes onto that worker's own deque instead.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished. Safe to call
+  /// repeatedly; new work may be submitted afterwards.
+  void waitIdle();
+
+  /// Counts queues, not threads: Queues is complete before any worker
+  /// launches, whereas Workers still grows while early workers already
+  /// run (reading Workers.size() from a worker would race the
+  /// constructor's emplace_back).
+  unsigned numThreads() const { return static_cast<unsigned>(Queues.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads();
+
+private:
+  struct WorkerQueue {
+    std::mutex M;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Me);
+  bool popOrSteal(unsigned Me, std::function<void()> &Out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  std::mutex StateM;
+  std::condition_variable WorkCv;  ///< workers wait here for tasks
+  std::condition_variable IdleCv;  ///< waitIdle waits here
+  size_t Outstanding = 0;          ///< submitted but not yet finished
+  unsigned NextQueue = 0;          ///< round-robin cursor for submit
+  bool Stopping = false;
+};
+
+} // namespace support
+} // namespace exo
+
+#endif // EXO_SUPPORT_THREADPOOL_H

@@ -1,0 +1,161 @@
+//===- tests/BatchDriverTest.cpp - Batch compilation tests -----*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for CompileSession / BatchDriver: parallel batches must produce
+/// byte-identical output to serial ones, job failures must be recorded
+/// with their structured payload rather than aborting the batch, and
+/// per-session solver options must actually reach the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+#include "driver/KernelSuite.h"
+
+#include "frontend/Parser.h"
+#include "scheduling/Schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace exo;
+using namespace exo::driver;
+using namespace exo::ir;
+using namespace exo::scheduling;
+
+namespace {
+
+const char *GemmSrc = R"(
+@proc
+def gemm(A: R[64, 64], B: R[64, 64], C: R[64, 64]):
+    for i in seq(0, 64):
+        for j in seq(0, 64):
+            for k in seq(0, 64):
+                C[i, j] += A[i, k] * B[k, j]
+)";
+
+/// A cheap job: parse, tile, emit.
+CompileJob tiledGemmJob(std::string Name, int Factor) {
+  return {std::move(Name), [Factor]() -> Expected<std::vector<ProcRef>> {
+            auto P = frontend::parseProc(GemmSrc);
+            if (!P)
+              return P.error();
+            Schedule S(*P);
+            S.split("i", Factor, "io", "ii", SplitTail::Perfect)
+                .split("j", Factor, "jo", "ji", SplitTail::Perfect)
+                .reorder("ii")
+                .simplify();
+            auto Q = S.proc();
+            if (!Q)
+              return Q.error();
+            return std::vector<ProcRef>{*Q};
+          }};
+}
+
+/// A job that fails inside a scheduling operator (bad pattern).
+CompileJob failingJob() {
+  return {"bad_pattern", []() -> Expected<std::vector<ProcRef>> {
+            auto P = frontend::parseProc(GemmSrc);
+            if (!P)
+              return P.error();
+            auto Q = Schedule(*P).split("nosuchloop", 8, "o", "i").proc();
+            if (!Q)
+              return Q.error();
+            return std::vector<ProcRef>{*Q};
+          }};
+}
+
+TEST(BatchDriverTest, ParallelOutputBitIdenticalToSerial) {
+  std::vector<CompileJob> Jobs;
+  for (int F : {4, 8, 16, 32})
+    Jobs.push_back(tiledGemmJob("gemm_tile" + std::to_string(F), F));
+
+  BatchResult Serial = BatchDriver(1).run(Jobs);
+  BatchResult Par = BatchDriver(4).run(Jobs);
+
+  ASSERT_EQ(Serial.Jobs.size(), Jobs.size());
+  ASSERT_EQ(Par.Jobs.size(), Jobs.size());
+  EXPECT_TRUE(Serial.AllOk);
+  EXPECT_TRUE(Par.AllOk);
+  EXPECT_EQ(Par.Threads, 4u);
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(Par.Jobs[I].Name, Serial.Jobs[I].Name) << "order must hold";
+    EXPECT_EQ(Par.Jobs[I].Output, Serial.Jobs[I].Output)
+        << "job " << Serial.Jobs[I].Name;
+    EXPECT_FALSE(Serial.Jobs[I].Output.empty());
+  }
+}
+
+TEST(BatchDriverTest, FailureIsRecordedNotFatal) {
+  std::vector<CompileJob> Jobs;
+  Jobs.push_back(tiledGemmJob("ok_before", 8));
+  Jobs.push_back(failingJob());
+  Jobs.push_back(tiledGemmJob("ok_after", 16));
+
+  BatchResult R = BatchDriver(2).run(Jobs);
+  ASSERT_EQ(R.Jobs.size(), 3u);
+  EXPECT_FALSE(R.AllOk);
+  EXPECT_TRUE(R.Jobs[0].Ok);
+  EXPECT_TRUE(R.Jobs[2].Ok);
+
+  const JobResult &Bad = R.Jobs[1];
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_FALSE(Bad.ErrorKind.empty());
+  EXPECT_FALSE(Bad.ErrorMessage.empty());
+  // The facade stamps the structured payload: which operator, with which
+  // (expanded) pattern.
+  EXPECT_EQ(Bad.ErrorOp, "split");
+  EXPECT_EQ(Bad.ErrorPattern, "for nosuchloop in _: _");
+}
+
+TEST(BatchDriverTest, SessionBudgetReachesSolver) {
+  // With a one-literal budget the staging containment proof cannot
+  // complete; the job must fail with the budget-exhausted verdict in its
+  // payload.
+  std::vector<CompileJob> Jobs;
+  Jobs.push_back({"starved", []() -> Expected<std::vector<ProcRef>> {
+                    auto P = frontend::parseProc(GemmSrc);
+                    if (!P)
+                      return P.error();
+                    auto Q = Schedule(*P)
+                                 .split("i", 8, "io", "ii",
+                                        SplitTail::Perfect)
+                                 .stage("for j in _: _", 1,
+                                        "A[8 * io : 8 * io + 8, 0 : 64]",
+                                        "a_tile")
+                                 .proc();
+                    if (!Q)
+                      return Q.error();
+                    return std::vector<ProcRef>{*Q};
+                  }});
+
+  SessionOptions Starved;
+  Starved.MaxLiterals = 1;
+  Starved.UseQueryCache = false;
+  BatchResult R = BatchDriver(1, Starved).run(Jobs);
+  ASSERT_EQ(R.Jobs.size(), 1u);
+  EXPECT_FALSE(R.Jobs[0].Ok);
+  EXPECT_EQ(R.Jobs[0].ErrorVerdict,
+            scheduleVerdictName(ScheduleErrorInfo::Verdict::UnknownBudget));
+
+  // The same job under default options succeeds — the scoped defaults did
+  // not leak out of the starved session.
+  BatchResult Ok = BatchDriver(1).run(Jobs);
+  EXPECT_TRUE(Ok.AllOk) << Ok.Jobs[0].ErrorMessage;
+}
+
+TEST(BatchDriverTest, StandardSuiteIsWellFormed) {
+  std::vector<CompileJob> Jobs = standardKernelSuite();
+  EXPECT_GE(Jobs.size(), 6u);
+  std::set<std::string> Names;
+  for (const CompileJob &J : Jobs) {
+    EXPECT_TRUE(J.Build != nullptr);
+    EXPECT_TRUE(Names.insert(J.Name).second) << "duplicate " << J.Name;
+  }
+}
+
+} // namespace

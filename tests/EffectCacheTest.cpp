@@ -22,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace exo;
 using namespace exo::analysis;
 using namespace exo::ir;
@@ -198,6 +200,30 @@ TEST(EffectCacheTest, ConfigWritesAreUncacheable) {
   (void)extractProc(P);
   EffectCacheStats After = effectCacheStats();
   EXPECT_GT(After.Uncacheable, Before.Uncacheable);
+}
+
+TEST(EffectCacheTest, ParallelWarmExtractionsMatchCold) {
+  // N threads extract the same proc concurrently through the shared
+  // sharded cache; every thread's summary must be semantically identical
+  // to a from-scratch serial extraction.
+  clearEffectCache();
+  ProcRef P = parse(GemmSrc);
+  EffectSets ColdEff = extractProc(P);
+
+  constexpr unsigned NumThreads = 4;
+  std::vector<EffectSets> PerThread(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&PerThread, &P, T] {
+      for (unsigned R = 0; R < 8; ++R)
+        PerThread[T] = extractProc(P);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  AnalysisCtx Ctx;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    EXPECT_TRUE(effectsEqual(Ctx, PerThread[T], ColdEff)) << "thread " << T;
 }
 
 TEST(EffectCacheTest, StateInvariancePredicate) {

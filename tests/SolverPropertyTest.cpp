@@ -21,7 +21,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
+#include <thread>
 
 using namespace exo;
 using namespace exo::smt;
@@ -282,5 +284,47 @@ TEST_P(CacheDifferentialTest, WarmEqualsColdAndAlphaVariantsHit) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheDifferentialTest,
                          ::testing::Range(1u, 26u));
+
+/// The multithreaded face of the same property: many threads deciding the
+/// same formula pool through the shared striped cache must each get
+/// verdicts bit-identical to a serial cache-disabled reference.
+TEST(ParallelDifferentialTest, ThreadedVerdictsMatchSerial) {
+  constexpr unsigned NumFormulas = 24, NumThreads = 4;
+  std::vector<TermRef> Queries;
+  std::vector<SolverResult> Reference;
+  for (unsigned Seed = 1; Seed <= NumFormulas; ++Seed) {
+    std::vector<TermVar> Vars = {freshVar("x", Sort::Int),
+                                 freshVar("y", Sort::Int)};
+    FormulaGen Gen(Seed * 7919, Vars);
+    TermRef Body = Gen.randFormula(3);
+    std::vector<TermRef> BoundParts;
+    for (const TermVar &V : Vars) {
+      BoundParts.push_back(le(intConst(Lo), mkVar(V)));
+      BoundParts.push_back(le(mkVar(V), intConst(Hi)));
+    }
+    Queries.push_back(implies(mkAnd(BoundParts), Body));
+
+    SolverOptions NoCache;
+    NoCache.UseQueryCache = false;
+    Solver Cold(NoCache);
+    Reference.push_back(Cold.checkValid(Queries.back()));
+  }
+
+  clearSolverQueryCache();
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned Round = 0; Round < 4; ++Round)
+        for (unsigned I = 0; I < NumFormulas; ++I) {
+          Solver S;
+          if (S.checkValid(Queries[I]) != Reference[I])
+            Mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+}
 
 } // namespace
