@@ -84,6 +84,7 @@ std::string exo::bench::solverStatsJson() {
     << ", \"unknown\": " << S.NumUnknown
     << ", \"unknown_budget\": " << S.NumUnknownBudget
     << ", \"unknown_structural\": " << S.NumUnknownStructural
+    << ", \"unknown_timeout\": " << S.NumUnknownTimeout
     << ", \"cache_hits\": " << S.CacheHits
     << ", \"cache_misses\": " << S.CacheMisses << "},\n"
     << "  \"query_cache\": {\"hits\": " << Q.Hits

@@ -55,8 +55,9 @@ exo::analysis::dischargeUnderPremise(AnalysisCtx &Ctx, const TriBool &Premise,
                                      const TermRef &Cond) {
   Solver &S = Ctx.solver();
   // The solver only says Unknown; its per-instance stats carry the
-  // budget/structural breakdown. Delta them around the query.
+  // budget/structural/timeout breakdown. Delta them around the query.
   uint64_t BudgetBefore = S.stats().NumUnknownBudget;
+  uint64_t TimeoutBefore = S.stats().NumUnknownTimeout;
   switch (S.checkValid(implies(Premise.May, Cond))) {
   case SolverResult::Yes:
     return ScheduleErrorInfo::Verdict::Yes;
@@ -65,6 +66,8 @@ exo::analysis::dischargeUnderPremise(AnalysisCtx &Ctx, const TriBool &Premise,
   case SolverResult::Unknown:
     break;
   }
+  if (S.stats().NumUnknownTimeout > TimeoutBefore)
+    return ScheduleErrorInfo::Verdict::UnknownTimeout;
   return S.stats().NumUnknownBudget > BudgetBefore
              ? ScheduleErrorInfo::Verdict::UnknownBudget
              : ScheduleErrorInfo::Verdict::UnknownStructural;

@@ -50,6 +50,17 @@ std::string convSource(const ConvShape &C, bool WithRelu) {
 
 } // namespace
 
+Expected<ir::ProcRef> exo::apps::buildConvX86Algorithm(const ConvShape &Shape) {
+  frontend::ParseEnv Env = hw::avx512::avx512Lib().Env;
+  return frontend::parseProc(convSource(Shape, /*WithRelu=*/true), Env);
+}
+
+Expected<ir::ProcRef>
+exo::apps::buildConvGemminiAlgorithm(const ConvShape &Shape) {
+  frontend::ParseEnv Env = hw::gemmini::gemminiLib().Env;
+  return frontend::parseProc(convSource(Shape, /*WithRelu=*/false), Env);
+}
+
 Expected<ConvKernels> exo::apps::buildConvX86(const ConvShape &Shape) {
   if (Shape.OC % 16)
     return makeError(Error::Kind::Scheduling, "conv x86 needs OC % 16 == 0");

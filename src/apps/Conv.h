@@ -54,6 +54,12 @@ Expected<ConvKernels> buildConvX86(const ConvShape &S);
 /// OC and IC must be multiples of 16 and ow() of \p RowTile (<= 16).
 Expected<ConvKernels> buildConvGemmini(const ConvShape &S, int64_t RowTile);
 
+/// Parse-only variants of the two conv algorithms (with and without the
+/// fused ReLU pass) — the --fallback-reference degradation targets; they
+/// run no scheduling and no solver queries.
+Expected<ir::ProcRef> buildConvX86Algorithm(const ConvShape &S);
+Expected<ir::ProcRef> buildConvGemminiAlgorithm(const ConvShape &S);
+
 } // namespace apps
 } // namespace exo
 

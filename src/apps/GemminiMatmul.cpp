@@ -31,6 +31,15 @@ std::string algorithmSource(int64_t N, int64_t M, int64_t K) {
 
 } // namespace
 
+Expected<ir::ProcRef>
+exo::apps::buildGemminiMatmulAlgorithm(int64_t N, int64_t M, int64_t K) {
+  if (N <= 0 || M <= 0 || K <= 0)
+    return makeError(Error::Kind::Scheduling,
+                     "gemmini matmul needs positive N, M, K");
+  frontend::ParseEnv Env = gemminiLib().Env;
+  return frontend::parseProc(algorithmSource(N, M, K), Env);
+}
+
 Expected<GemminiMatmulKernels>
 exo::apps::buildGemminiMatmul(int64_t N, int64_t M, int64_t K) {
   if (N <= 0 || M <= 0 || K <= 0 || N % 16 || M % 16 || K % 16)

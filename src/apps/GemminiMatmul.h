@@ -42,6 +42,11 @@ struct GemminiMatmulKernels {
 Expected<GemminiMatmulKernels> buildGemminiMatmul(int64_t N, int64_t M,
                                                   int64_t K);
 
+/// Parses just the unscheduled algorithm (no scheduling, no solver
+/// queries) — the --fallback-reference degradation target.
+Expected<ir::ProcRef> buildGemminiMatmulAlgorithm(int64_t N, int64_t M,
+                                                  int64_t K);
+
 } // namespace apps
 } // namespace exo
 

@@ -31,6 +31,15 @@ std::string algorithmSource(int64_t M, int64_t N, int64_t K) {
 
 } // namespace
 
+Expected<ir::ProcRef> exo::apps::buildSgemmAlgorithm(int64_t M, int64_t N,
+                                                     int64_t K) {
+  if (M <= 0 || N <= 0 || K <= 0)
+    return makeError(Error::Kind::Scheduling,
+                     "sgemm needs positive M, N, K");
+  frontend::ParseEnv Env = avx512Lib().Env;
+  return frontend::parseProc(algorithmSource(M, N, K), Env);
+}
+
 Expected<SgemmKernels> exo::apps::buildSgemm(int64_t M, int64_t N, int64_t K,
                                              int64_t RowTile,
                                              int64_t ColTile) {

@@ -38,6 +38,12 @@ struct SgemmKernels {
 Expected<SgemmKernels> buildSgemm(int64_t M, int64_t N, int64_t K,
                                   int64_t RowTile = 6, int64_t ColTile = 64);
 
+/// Parses just the unscheduled three-loop algorithm — no scheduling, no
+/// solver queries. This is the degradation target for
+/// --fallback-reference: it must stay buildable even when the schedule
+/// (or the solver budget) fails.
+Expected<ir::ProcRef> buildSgemmAlgorithm(int64_t M, int64_t N, int64_t K);
+
 } // namespace apps
 } // namespace exo
 

@@ -12,6 +12,14 @@
 /// computation would and codegen naming is procedure-local, the produced
 /// C is bit-identical regardless of thread count or interleaving.
 ///
+/// When SessionOptions carries a deadline, a watchdog thread supervises
+/// the batch: any job still running past its deadline (plus a grace
+/// period) is marked overdue, and overdue jobs are reported failed with a
+/// deadline miss — without killing the pool. Cancellation itself is
+/// cooperative (the session's thread-local deadline makes solver loops
+/// unwind), so the watchdog is the safety net that keeps the *report*
+/// honest even for code paths that poll rarely.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXO_DRIVER_BATCHDRIVER_H
@@ -39,7 +47,11 @@ struct BatchResult {
   std::vector<JobResult> Jobs; ///< in input order
   double WallMillis = 0;
   unsigned Threads = 1;
-  bool AllOk = true;
+  bool AllOk = true;          ///< degraded jobs count as Ok
+  unsigned NumFailed = 0;     ///< jobs with Ok == false
+  unsigned NumDegraded = 0;   ///< jobs emitted from the reference fallback
+  unsigned NumDeadlineMiss = 0;
+  unsigned NumRetried = 0;    ///< jobs that needed at least one retry
   BatchCacheStats Cache;
 };
 

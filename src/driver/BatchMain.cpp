@@ -15,10 +15,28 @@
 ///   exocc-batch --list                # print job names and exit
 ///   exocc-batch fig5a_sgemm_square    # only the named jobs
 ///
+/// Failure-model controls (DESIGN.md, "Failure model"):
+///
+///   --deadline-ms N                   # per-job wall-clock deadline
+///   --max-retries N                   # re-run budget-Unknown failures
+///                                     # with escalated solver budgets
+///   --max-literals N                  # starting solver budget
+///   --fallback-reference              # emit unscheduled reference C when
+///                                     # a schedule fails (job counts as
+///                                     # success, tagged degraded)
+///   --inject SPEC --inject-seed N     # deterministic fault injection,
+///                                     # e.g. --inject solver-timeout*1
+///                                     # or budget-unknown@0.5
+///
+/// Exit status: 0 when every job succeeded (degraded counts as success
+/// only because --fallback-reference was requested), 1 when any job
+/// failed, 2 on usage errors.
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/BatchDriver.h"
 #include "driver/KernelSuite.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include "analysis/EffectCache.h"
@@ -69,11 +87,21 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+const char *jobStatus(const JobResult &J) {
+  if (!J.Ok)
+    return "failed";
+  return J.Degraded ? "degraded" : "ok";
+}
+
 void writeJson(const std::string &Path, const BatchResult &R) {
   std::ofstream Out(Path);
   Out << "{\n  \"threads\": " << R.Threads
       << ",\n  \"wall_ms\": " << R.WallMillis
       << ",\n  \"all_ok\": " << (R.AllOk ? "true" : "false")
+      << ",\n  \"failed\": " << R.NumFailed
+      << ",\n  \"degraded\": " << R.NumDegraded
+      << ",\n  \"deadline_misses\": " << R.NumDeadlineMiss
+      << ",\n  \"retried\": " << R.NumRetried
       << ",\n  \"cache\": {\"solver_queries\": " << R.Cache.SolverQueries
       << ", \"query_cache_hits\": " << R.Cache.QueryCacheHits
       << ", \"query_cache_misses\": " << R.Cache.QueryCacheMisses
@@ -82,10 +110,16 @@ void writeJson(const std::string &Path, const BatchResult &R) {
   bool First = true;
   for (const JobResult &J : R.Jobs) {
     Out << (First ? "\n" : ",\n") << "    {\"name\": \"" << jsonEscape(J.Name)
+        << "\", \"status\": \"" << jobStatus(J)
         << "\", \"ok\": " << (J.Ok ? "true" : "false")
-        << ", \"wall_ms\": " << J.WallMillis << ", \"output_bytes\": "
-        << J.Output.size();
-    if (!J.Ok) {
+        << ", \"wall_ms\": " << J.WallMillis
+        << ", \"retries\": " << J.Retries
+        << ", \"final_max_literals\": " << J.FinalMaxLiterals
+        << ", \"deadline_miss\": " << (J.DeadlineMiss ? "true" : "false")
+        << ", \"output_bytes\": " << J.Output.size();
+    // Degraded jobs carry the schedule's failure alongside the reference
+    // output, so report error detail for them too.
+    if (!J.Ok || J.Degraded) {
       Out << ", \"error_kind\": \"" << jsonEscape(J.ErrorKind)
           << "\", \"error\": \"" << jsonEscape(J.ErrorMessage) << "\"";
       if (!J.ErrorOp.empty())
@@ -103,12 +137,21 @@ void writeJson(const std::string &Path, const BatchResult &R) {
 
 void printResult(const BatchResult &R) {
   for (const JobResult &J : R.Jobs) {
-    if (J.Ok)
-      std::printf("  ok   %-22s %8.1f ms  %6zu bytes of C\n", J.Name.c_str(),
-                  J.WallMillis, J.Output.size());
-    else {
-      std::printf("  FAIL %-22s %8.1f ms  %s: %s\n", J.Name.c_str(),
-                  J.WallMillis, J.ErrorKind.c_str(), J.ErrorMessage.c_str());
+    if (J.Ok) {
+      std::printf("  %-4s %-22s %8.1f ms  %6zu bytes of C", jobStatus(J),
+                  J.Name.c_str(), J.WallMillis, J.Output.size());
+      if (J.Retries > 0)
+        std::printf("  (retries=%u)", J.Retries);
+      if (J.DeadlineMiss)
+        std::printf("  (deadline miss)");
+      std::printf("\n");
+      if (J.Degraded)
+        std::printf("       degraded: %s: %s\n", J.ErrorKind.c_str(),
+                    J.ErrorMessage.c_str());
+    } else {
+      std::printf("  FAIL %-22s %8.1f ms  %s: %s%s\n", J.Name.c_str(),
+                  J.WallMillis, J.ErrorKind.c_str(), J.ErrorMessage.c_str(),
+                  J.DeadlineMiss ? " (deadline miss)" : "");
       if (!J.ErrorOp.empty())
         std::printf("       op=%s pattern='%s'%s%s\n", J.ErrorOp.c_str(),
                     J.ErrorPattern.c_str(),
@@ -121,6 +164,11 @@ void printResult(const BatchResult &R) {
               R.Jobs.size(), R.Threads, R.Threads == 1 ? "" : "s",
               R.WallMillis, (unsigned long long)R.Cache.SolverQueries,
               (unsigned long long)R.Cache.QueryCacheHits);
+  if (R.NumFailed || R.NumDegraded || R.NumDeadlineMiss || R.NumRetried)
+    std::printf("       %u failed, %u degraded, %u deadline miss%s, "
+                "%u retried\n",
+                R.NumFailed, R.NumDegraded, R.NumDeadlineMiss,
+                R.NumDeadlineMiss == 1 ? "" : "es", R.NumRetried);
 }
 
 } // namespace
@@ -128,8 +176,10 @@ void printResult(const BatchResult &R) {
 int main(int Argc, char **Argv) {
   unsigned Threads = support::ThreadPool::hardwareThreads();
   bool SerialCheck = false, List = false;
-  std::string JsonPath;
+  std::string JsonPath, InjectSpec;
+  uint64_t InjectSeed = 0;
   std::vector<std::string> Filters;
+  SessionOptions SOpts;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -139,11 +189,29 @@ int main(int Argc, char **Argv) {
       SerialCheck = true;
     else if (A == "--json" && I + 1 < Argc)
       JsonPath = Argv[++I];
+    else if (A == "--deadline-ms" && I + 1 < Argc)
+      SOpts.DeadlineMillis = std::atoll(Argv[++I]);
+    else if (A == "--max-retries" && I + 1 < Argc)
+      SOpts.MaxRetries = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (A == "--max-literals" && I + 1 < Argc)
+      SOpts.MaxLiterals = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    else if (A == "--fallback-reference")
+      SOpts.FallbackReference = true;
+    else if (A == "--inject" && I + 1 < Argc)
+      InjectSpec = Argv[++I];
+    else if (A == "--inject-seed" && I + 1 < Argc)
+      InjectSeed = static_cast<uint64_t>(std::atoll(Argv[++I]));
     else if (A == "--list")
       List = true;
     else if (A == "--help" || A == "-h") {
-      std::printf("usage: exocc-batch [--threads N] [--serial-check] "
-                  "[--json PATH] [--list] [job-name...]\n");
+      std::printf(
+          "usage: exocc-batch [--threads N] [--serial-check] [--json PATH]\n"
+          "                   [--deadline-ms N] [--max-retries N]\n"
+          "                   [--max-literals N] [--fallback-reference]\n"
+          "                   [--inject SPEC] [--inject-seed N]\n"
+          "                   [--list] [job-name...]\n"
+          "inject SPEC: comma-separated kind[@prob][*count]; kinds:\n"
+          "  solver-timeout, budget-unknown, alloc-fail, runtime-trap\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
@@ -153,6 +221,15 @@ int main(int Argc, char **Argv) {
   }
   if (Threads == 0)
     Threads = 1;
+
+  if (!InjectSpec.empty()) {
+    auto C = support::FaultInjector::instance().configure(InjectSpec,
+                                                          InjectSeed);
+    if (!C) {
+      std::fprintf(stderr, "--inject: %s\n", C.error().message().c_str());
+      return 2;
+    }
+  }
 
   std::vector<CompileJob> Jobs = standardKernelSuite();
   if (List) {
@@ -178,13 +255,13 @@ int main(int Argc, char **Argv) {
   BatchResult Serial;
   if (SerialCheck) {
     clearAllCaches();
-    Serial = BatchDriver(1).run(Jobs);
+    Serial = BatchDriver(1, SOpts).run(Jobs);
     std::printf("== serial baseline ==\n");
     printResult(Serial);
   }
 
   clearAllCaches();
-  BatchResult Parallel = BatchDriver(Threads).run(Jobs);
+  BatchResult Parallel = BatchDriver(Threads, SOpts).run(Jobs);
   if (SerialCheck)
     std::printf("== %u threads ==\n", Threads);
   printResult(Parallel);
@@ -212,5 +289,8 @@ int main(int Argc, char **Argv) {
                                         : 0.0);
   }
 
+  // Nonzero exit when any job failed. A degraded job only exists under
+  // --fallback-reference, where emitting reference C is the requested
+  // success mode.
   return Parallel.AllOk ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "driver/CompileSession.h"
 
 #include "backend/CodeGen.h"
+#include "support/Deadline.h"
 
 #include <chrono>
 
@@ -17,6 +18,10 @@ static void recordError(JobResult &R, const Error &E) {
   R.Ok = false;
   R.ErrorKind = errorKindName(E.kind());
   R.ErrorMessage = E.message();
+  R.ErrorOp.clear();
+  R.ErrorPattern.clear();
+  R.ErrorLoc.clear();
+  R.ErrorVerdict.clear();
   if (const ScheduleErrorInfo *Info = E.scheduleInfo()) {
     R.ErrorOp = Info->Op;
     R.ErrorPattern = Info->Pattern;
@@ -26,29 +31,96 @@ static void recordError(JobResult &R, const Error &E) {
   }
 }
 
+/// Only a budget-Unknown is worth a retry: a bigger budget can flip it to
+/// Yes/No, whereas structural Unknowns and timeouts are final (the former
+/// by the paper's conservative-rejection rule, the latter because the
+/// deadline is already gone).
+static bool isRetryableError(const Error &E) {
+  const ScheduleErrorInfo *Info = E.scheduleInfo();
+  return Info &&
+         Info->SolverVerdict == ScheduleErrorInfo::Verdict::UnknownBudget;
+}
+
+/// One build-then-codegen attempt under the given solver budget. Returns
+/// true on success; on failure the error is recorded into \p R.
+static bool attemptJob(const CompileJob &Job, JobResult &R,
+                       uint64_t MaxLiterals, bool UseQueryCache,
+                       Error *OutError) {
+  smt::ScopedSolverDefaults Defaults(MaxLiterals, UseQueryCache);
+  Expected<std::vector<ir::ProcRef>> Procs = Job.Build();
+  if (!Procs) {
+    recordError(R, Procs.error());
+    if (OutError)
+      *OutError = Procs.error();
+    return false;
+  }
+  Expected<std::string> C = backend::generateC(*Procs);
+  if (!C) {
+    recordError(R, C.error());
+    if (OutError)
+      *OutError = C.error();
+    return false;
+  }
+  R.Ok = true;
+  R.Output = std::move(*C);
+  // A retried attempt may have recorded an earlier failure; the job
+  // succeeded, so only the retry counters keep that history.
+  R.ErrorKind.clear();
+  R.ErrorMessage.clear();
+  R.ErrorOp.clear();
+  R.ErrorPattern.clear();
+  R.ErrorLoc.clear();
+  R.ErrorVerdict.clear();
+  return true;
+}
+
 JobResult CompileSession::run(const CompileJob &Job) const {
   JobResult R;
   R.Name = Job.Name;
   auto Start = std::chrono::steady_clock::now();
 
   {
-    // Pin this session's solver settings for the current thread; solvers
-    // constructed anywhere below (effect analysis, bounds checks,
-    // unification) pick them up without global state changes.
-    smt::ScopedSolverDefaults Defaults(Opts.MaxLiterals, Opts.UseQueryCache);
+    // Pin this job's deadline for the current thread; solver hot loops
+    // poll it (see smt::Budget) so a wedged query returns
+    // Unknown{timeout} instead of hanging the worker.
+    support::Deadline D = Opts.DeadlineMillis > 0
+                              ? support::Deadline::afterMillis(
+                                    Opts.DeadlineMillis)
+                              : support::Deadline::never();
+    support::ScopedDeadline Scope(D);
 
-    Expected<std::vector<ir::ProcRef>> Procs = Job.Build();
-    if (!Procs) {
-      recordError(R, Procs.error());
-    } else {
-      Expected<std::string> C = backend::generateC(*Procs);
-      if (!C)
-        recordError(R, C.error());
-      else {
-        R.Ok = true;
-        R.Output = std::move(*C);
+    uint64_t Budget = Opts.MaxLiterals == 0 ? 1 : Opts.MaxLiterals;
+    uint64_t Factor = Opts.RetryBudgetFactor < 2 ? 2 : Opts.RetryBudgetFactor;
+    Error LastError(Error::Kind::None, "");
+    for (unsigned Attempt = 0;; ++Attempt) {
+      R.FinalMaxLiterals = Budget;
+      if (attemptJob(Job, R, Budget, Opts.UseQueryCache, &LastError))
+        break;
+      // Unknown verdicts are never cached, so a retried build re-solves
+      // the starved queries under the escalated budget.
+      if (Attempt >= Opts.MaxRetries || !isRetryableError(LastError) ||
+          D.expired())
+        break;
+      ++R.Retries;
+      Budget = Budget > UINT64_MAX / Factor ? UINT64_MAX : Budget * Factor;
+    }
+
+    if (!R.Ok && Opts.FallbackReference && Job.BuildReference) {
+      // Graceful degradation: correct-but-unscheduled C beats no C. The
+      // schedule's failure stays on the result for the batch report.
+      Expected<std::vector<ir::ProcRef>> Ref = Job.BuildReference();
+      if (Ref) {
+        Expected<std::string> C = backend::generateC(*Ref);
+        if (C) {
+          R.Ok = true;
+          R.Degraded = true;
+          R.Output = std::move(*C);
+        }
       }
     }
+
+    if (D.expired())
+      R.DeadlineMiss = true;
   }
 
   R.WallMillis = std::chrono::duration<double, std::milli>(

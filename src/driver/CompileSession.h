@@ -14,6 +14,20 @@
 /// thread-locally for the duration of the job. See DESIGN.md, "Threading
 /// model".
 ///
+/// On top of PR 2's thread-safety story this adds the failure model
+/// (DESIGN.md, "Failure model"):
+///
+///  - a per-job wall-clock deadline, installed as a thread-local
+///    support::ScopedDeadline so runaway solver queries cooperatively
+///    unwind with Unknown{timeout};
+///  - a retry policy: budget-Unknown failures (and only those — the
+///    paper's conservative rejection makes structural Unknowns final) are
+///    re-built with a geometrically escalated solver budget, until
+///    MaxRetries or the deadline runs out;
+///  - graceful degradation: with FallbackReference set, a job whose
+///    schedule fails still emits correct C from its unscheduled reference
+///    algorithm, tagged Degraded in the result.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXO_DRIVER_COMPILESESSION_H
@@ -35,15 +49,36 @@ namespace driver {
 struct SessionOptions {
   uint64_t MaxLiterals = smt::defaultMaxLiterals();
   bool UseQueryCache = true;
+
+  /// Wall-clock deadline per job in milliseconds; 0 means none. Enforced
+  /// cooperatively (solver hot loops poll it) and by the BatchDriver
+  /// watchdog.
+  int64_t DeadlineMillis = 0;
+
+  /// How many times a budget-Unknown failure is rebuilt with an escalated
+  /// budget. 0 (the default) preserves single-shot behavior.
+  unsigned MaxRetries = 0;
+
+  /// Geometric escalation factor applied to MaxLiterals on each retry.
+  uint64_t RetryBudgetFactor = 4;
+
+  /// When a job's scheduled build fails and the job carries a reference
+  /// builder, emit C from the (unscheduled, always-correct) reference and
+  /// mark the result Degraded instead of failing the job.
+  bool FallbackReference = false;
 };
 
 /// One unit of batch work: a name plus a builder producing the procedures
 /// to emit. The builder runs parsing and scheduling; it must be
 /// self-contained (capture shapes by value) because it may run on any
-/// worker thread.
+/// worker thread — and because the retry policy may invoke it several
+/// times under different solver budgets. BuildReference, when present,
+/// produces the unscheduled reference algorithm for --fallback-reference
+/// degradation; it must not depend on any scheduling proof.
 struct CompileJob {
   std::string Name;
   std::function<Expected<std::vector<ir::ProcRef>>()> Build;
+  std::function<Expected<std::vector<ir::ProcRef>>()> BuildReference;
 };
 
 /// Outcome of one job. Errors are captured — including the structured
@@ -55,7 +90,23 @@ struct JobResult {
   std::string Output; ///< generated C on success
   double WallMillis = 0;
 
-  // On failure: the rendered error plus the structured payload fields.
+  /// Retry bookkeeping: how many extra build attempts ran, and the solver
+  /// budget the final attempt used (== SessionOptions::MaxLiterals when
+  /// no retry escalated it).
+  unsigned Retries = 0;
+  uint64_t FinalMaxLiterals = 0;
+
+  /// The job's deadline had passed by the time it finished (stamped by
+  /// the session; the batch watchdog may also mark it).
+  bool DeadlineMiss = false;
+
+  /// Output came from the reference algorithm, not the schedule (only
+  /// under SessionOptions::FallbackReference). Ok is true; the Error*
+  /// fields still describe why the schedule failed.
+  bool Degraded = false;
+
+  // On failure (or degradation): the rendered error plus the structured
+  // payload fields.
   std::string ErrorKind;
   std::string ErrorMessage;
   std::string ErrorOp;      ///< scheduling operator, when known
@@ -71,6 +122,7 @@ public:
   explicit CompileSession(SessionOptions Opts = {}) : Opts(Opts) {}
 
   /// Builds and compiles one job, timing it and capturing any error.
+  /// Applies the deadline, retry, and fallback policies described above.
   JobResult run(const CompileJob &Job) const;
 
 private:

@@ -15,51 +15,101 @@ using namespace exo;
 using namespace exo::driver;
 using namespace exo::ir;
 
+// Every suite job carries a BuildReference producing the unscheduled
+// algorithm its kernel was derived from (the apps' parse-only entry
+// points, which run no scheduling and no solver queries), so
+// --fallback-reference can degrade to correct naive C no matter why the
+// scheduled build failed.
+
 std::vector<CompileJob> exo::driver::standardKernelSuite() {
   std::vector<CompileJob> Jobs;
 
-  Jobs.push_back({"fig4a_gemmini_matmul", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"fig4a_gemmini_matmul",
+                  []() -> Expected<std::vector<ProcRef>> {
                     auto K = apps::buildGemminiMatmul(128, 128, 128);
                     if (!K)
                       return K.error();
                     return std::vector<ProcRef>{K->OldLib, K->ExoLib};
+                  },
+                  []() -> Expected<std::vector<ProcRef>> {
+                    auto A = apps::buildGemminiMatmulAlgorithm(128, 128, 128);
+                    if (!A)
+                      return A.error();
+                    return std::vector<ProcRef>{*A};
                   }});
 
-  Jobs.push_back({"fig4b_gemmini_conv", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"fig4b_gemmini_conv",
+                  []() -> Expected<std::vector<ProcRef>> {
                     apps::ConvShape Shape{1, 16, 16, 16, 16};
                     auto K = apps::buildConvGemmini(Shape, /*RowTile=*/14);
                     if (!K)
                       return K.error();
                     return std::vector<ProcRef>{K->OldLib, K->Scheduled};
+                  },
+                  []() -> Expected<std::vector<ProcRef>> {
+                    apps::ConvShape Shape{1, 16, 16, 16, 16};
+                    auto A = apps::buildConvGemminiAlgorithm(Shape);
+                    if (!A)
+                      return A.error();
+                    return std::vector<ProcRef>{*A};
                   }});
 
-  Jobs.push_back({"fig5a_sgemm_square", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"fig5a_sgemm_square",
+                  []() -> Expected<std::vector<ProcRef>> {
                     auto K = apps::buildSgemm(48, 128, 64);
                     if (!K)
                       return K.error();
                     return std::vector<ProcRef>{K->ExoSgemm};
+                  },
+                  []() -> Expected<std::vector<ProcRef>> {
+                    auto A = apps::buildSgemmAlgorithm(48, 128, 64);
+                    if (!A)
+                      return A.error();
+                    return std::vector<ProcRef>{*A};
                   }});
 
-  Jobs.push_back({"fig5b_sgemm_aspect", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"fig5b_sgemm_aspect",
+                  []() -> Expected<std::vector<ProcRef>> {
                     auto K = apps::buildSgemm(24, 192, 64);
                     if (!K)
                       return K.error();
                     return std::vector<ProcRef>{K->ExoSgemm};
+                  },
+                  []() -> Expected<std::vector<ProcRef>> {
+                    auto A = apps::buildSgemmAlgorithm(24, 192, 64);
+                    if (!A)
+                      return A.error();
+                    return std::vector<ProcRef>{*A};
                   }});
 
-  Jobs.push_back({"fig6_conv_x86", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"fig6_conv_x86",
+                  []() -> Expected<std::vector<ProcRef>> {
                     apps::ConvShape Shape{1, 8, 8, 16, 32};
                     auto K = apps::buildConvX86(Shape);
                     if (!K)
                       return K.error();
                     return std::vector<ProcRef>{K->Scheduled};
+                  },
+                  []() -> Expected<std::vector<ProcRef>> {
+                    apps::ConvShape Shape{1, 8, 8, 16, 32};
+                    auto A = apps::buildConvX86Algorithm(Shape);
+                    if (!A)
+                      return A.error();
+                    return std::vector<ProcRef>{*A};
                   }});
 
-  Jobs.push_back({"sgemm_autoschedule", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"sgemm_autoschedule",
+                  []() -> Expected<std::vector<ProcRef>> {
                     auto R = apps::autoscheduleSgemm(48, 128, 64);
                     if (!R)
                       return R.error();
                     return std::vector<ProcRef>{R->Kernels.ExoSgemm};
+                  },
+                  []() -> Expected<std::vector<ProcRef>> {
+                    auto A = apps::buildSgemmAlgorithm(48, 128, 64);
+                    if (!A)
+                      return A.error();
+                    return std::vector<ProcRef>{*A};
                   }});
 
   return Jobs;

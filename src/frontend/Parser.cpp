@@ -114,6 +114,34 @@ private:
                           " (found " + tokKindName(cur().Kind) + ")");
   }
 
+  //===--------------------------------------------------------------------
+  // Recursion-depth guard
+  //===--------------------------------------------------------------------
+  //
+  // The parser is recursive-descent, so adversarial input (thousands of
+  // nested parens, unary minuses, or indented blocks) translates directly
+  // into C++ stack depth. Every self-recursive entry point takes a
+  // DepthScope and bails out with a parse error — not a stack overflow —
+  // past MaxDepth. The limit is far above anything a legitimate Exo
+  // program nests (deepest in-tree procedure is < 20).
+
+  static constexpr unsigned MaxDepth = 256;
+
+  struct DepthScope {
+    Parser &P;
+    explicit DepthScope(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthScope() { --P.Depth; }
+  };
+
+  /// True (and records the error) when the nesting budget is exhausted.
+  bool tooDeep() {
+    if (Depth <= MaxDepth)
+      return false;
+    fail("nesting too deep (recursion limit " + std::to_string(MaxDepth) +
+         ")");
+    return true;
+  }
+
   bool expect(TokKind K, const std::string &What) {
     if (!at(K)) {
       fail("expected " + What);
@@ -349,6 +377,9 @@ private:
   }
 
   Expected<StmtRef> parseStmt() {
+    DepthScope Guard(*this);
+    if (tooDeep())
+      return *Err;
     if (at(TokKind::KwPass)) {
       ++Pos;
       if (!eatNewline())
@@ -578,7 +609,12 @@ private:
     return E;
   }
 
-  Expected<ExprRef> parseExpr() { return parseOr(); }
+  Expected<ExprRef> parseExpr() {
+    DepthScope Guard(*this);
+    if (tooDeep())
+      return *Err;
+    return parseOr();
+  }
 
   Expected<ExprRef> parseOr() {
     auto L = parseAnd();
@@ -684,6 +720,9 @@ private:
   }
 
   Expected<ExprRef> parseUnary() {
+    DepthScope Guard(*this);
+    if (tooDeep())
+      return *Err;
     if (at(TokKind::Minus)) {
       ++Pos;
       auto E = parseUnary();
@@ -852,6 +891,7 @@ private:
 
   std::vector<Token> Toks;
   size_t Pos = 0;
+  unsigned Depth = 0; ///< live recursion depth; see DepthScope
   ParseEnv &Env;
   std::vector<std::map<std::string, Binding>> Scopes;
   std::optional<Error> Err;

@@ -15,7 +15,11 @@ using namespace exo::hw::gemmini;
 namespace {
 
 /// Scratchpad / accumulator: non-addressable; buffers are dense rows of
-/// 16 floats living (in the simulator) in host memory.
+/// 16 floats living (in the simulator) in host memory. Allocations
+/// register themselves with the simulator's region registry (and
+/// deregister on free), so every mvin/matmul/mvout the generated code
+/// issues is bounds-checked against live buffers — an out-of-range
+/// access raises a structured trap instead of corrupting host memory.
 class GemminiMemory : public backend::Memory {
 public:
   GemminiMemory(const std::string &Name)
@@ -23,6 +27,35 @@ public:
 
   std::string globalCode() const override {
     return "#include \"gemmini_sim.h\"";
+  }
+
+  std::string allocCode(const backend::AllocInfo &Info) const override {
+    return backend::Memory::allocCode(Info) + " " + trackFn() + "(" +
+           Info.Name + ", " + sizeExpr(Info) + ");";
+  }
+
+  std::string freeCode(const backend::AllocInfo &Info) const override {
+    std::string Untrack = untrackFn() + "(" + Info.Name + ");";
+    std::string Free = backend::Memory::freeCode(Info);
+    return Free.empty() ? Untrack : Untrack + " " + Free;
+  }
+
+private:
+  bool isAcc() const { return name() == "GEMM_ACC"; }
+  std::string trackFn() const {
+    return isAcc() ? "gemmini_acc_track" : "gemmini_spad_track";
+  }
+  std::string untrackFn() const {
+    return isAcc() ? "gemmini_acc_untrack" : "gemmini_spad_untrack";
+  }
+  static std::string sizeExpr(const backend::AllocInfo &Info) {
+    std::string Size;
+    for (const std::string &D : Info.DimExprs) {
+      if (!Size.empty())
+        Size += " * ";
+      Size += "(" + D + ")";
+    }
+    return Size.empty() ? "1" : Size;
   }
 };
 

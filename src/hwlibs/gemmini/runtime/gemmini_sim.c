@@ -10,9 +10,17 @@
  * from a shared dispatch queue with no per-instruction issue cost — the
  * dynamically scheduled CISC loops of the paper's "Hardware" bars.
  *
+ * Safety model: every data instruction validates operands before its
+ * loops run (see the trap machinery below). The checks are written so a
+ * well-formed Exo-generated program never pays more than a few compares
+ * per instruction.
+ *
  *===----------------------------------------------------------------------===*/
 
 #include "gemmini_sim.h"
+
+#include <stdio.h>
+#include <stdlib.h>
 
 static struct {
   int mode;
@@ -25,6 +33,162 @@ static struct {
   uint64_t n_config, n_mvin_rows, n_matmul;
 } S;
 
+/* --- trap machinery ------------------------------------------------- */
+
+static void default_trap(int code, const char *what) {
+  fprintf(stderr, "gemmini_sim: trap %d (%s): %s\n", code,
+          gemmini_trap_name(code), what);
+  abort();
+}
+
+static gemmini_trap_fn trap_handler = default_trap;
+static gemmini_fault_fn fault_fn = 0;
+static uint64_t n_traps = 0;
+static int last_trap = GEMMINI_TRAP_NONE;
+
+const char *gemmini_trap_name(int code) {
+  switch (code) {
+  case GEMMINI_TRAP_NONE:
+    return "none";
+  case GEMMINI_TRAP_NULL_PTR:
+    return "null-pointer";
+  case GEMMINI_TRAP_BAD_EXTENT:
+    return "bad-extent";
+  case GEMMINI_TRAP_BAD_STRIDE:
+    return "bad-stride";
+  case GEMMINI_TRAP_SPAD_OOB:
+    return "spad-oob";
+  case GEMMINI_TRAP_ACC_OOB:
+    return "acc-oob";
+  case GEMMINI_TRAP_INJECTED:
+    return "injected";
+  default:
+    return "unknown";
+  }
+}
+
+gemmini_trap_fn gemmini_set_trap_handler(gemmini_trap_fn fn) {
+  gemmini_trap_fn prev = trap_handler;
+  trap_handler = fn ? fn : default_trap;
+  return prev == default_trap ? 0 : prev;
+}
+
+void gemmini_set_fault_fn(gemmini_fault_fn fn) { fault_fn = fn; }
+
+uint64_t gemmini_trap_count(void) { return n_traps; }
+int gemmini_last_trap(void) { return last_trap; }
+void gemmini_clear_traps(void) {
+  n_traps = 0;
+  last_trap = GEMMINI_TRAP_NONE;
+}
+
+/* Records and dispatches a trap; returns 1 so callers can write
+ * `if (trap(...)) return;` — reaching the return means an installed
+ * handler chose to continue, and the instruction is skipped. */
+static int trap(int code, const char *what) {
+  n_traps++;
+  last_trap = code;
+  trap_handler(code, what);
+  return 1;
+}
+
+/* --- scratchpad / accumulator region registry ----------------------- */
+
+#define GEMMINI_MAX_REGIONS 128
+
+typedef struct {
+  const float *base;
+  int64_t len; /* floats */
+} Region;
+
+typedef struct {
+  Region regions[GEMMINI_MAX_REGIONS];
+  int count;
+  int disabled; /* set on registry overflow: skip checks, never false-trap */
+} RegionSet;
+
+static RegionSet spad_set, acc_set;
+
+static void region_track(RegionSet *set, const float *base, int64_t len) {
+  if (!base || len <= 0)
+    return;
+  if (set->count >= GEMMINI_MAX_REGIONS) {
+    set->disabled = 1;
+    return;
+  }
+  set->regions[set->count].base = base;
+  set->regions[set->count].len = len;
+  set->count++;
+}
+
+static void region_untrack(RegionSet *set, const float *base) {
+  for (int i = 0; i < set->count; ++i)
+    if (set->regions[i].base == base) {
+      set->regions[i] = set->regions[set->count - 1];
+      set->count--;
+      return;
+    }
+}
+
+/* A strided 2-D access [ptr, ptr + (rows-1)*stride + cols) must sit
+ * inside a single registered region. Checking is best-effort by design:
+ * with no regions registered (hand-written callers) or after overflow it
+ * always passes. */
+static int region_contains(const RegionSet *set, const float *ptr,
+                           int64_t stride, int64_t rows, int64_t cols) {
+  if (set->count == 0 || set->disabled)
+    return 1;
+  /* Compare as integers: the probed pointer may not point into the
+   * region object at all, where raw pointer ordering is undefined. */
+  uintptr_t lo = (uintptr_t)ptr;
+  uintptr_t hi = lo + (uintptr_t)((rows - 1) * stride + cols) * sizeof(float);
+  for (int i = 0; i < set->count; ++i) {
+    const Region *r = &set->regions[i];
+    uintptr_t base = (uintptr_t)r->base;
+    if (lo >= base && hi <= base + (uintptr_t)r->len * sizeof(float))
+      return 1;
+  }
+  return 0;
+}
+
+void gemmini_spad_track(const float *base, int64_t n_floats) {
+  region_track(&spad_set, base, n_floats);
+}
+void gemmini_spad_untrack(const float *base) {
+  region_untrack(&spad_set, base);
+}
+void gemmini_acc_track(const float *base, int64_t n_floats) {
+  region_track(&acc_set, base, n_floats);
+}
+void gemmini_acc_untrack(const float *base) { region_untrack(&acc_set, base); }
+
+/* Shared operand validation for one strided 2-D access. `set` is the
+ * scratchpad-side registry to check against, or NULL for DRAM pointers
+ * (host memory: only null-checked). Returns nonzero when the caller must
+ * skip the instruction. */
+static int check_access(const char *who, const void *ptr, int64_t stride,
+                        int64_t rows, int64_t cols, const RegionSet *set,
+                        int oob_code) {
+  if (!ptr)
+    return trap(GEMMINI_TRAP_NULL_PTR, who);
+  if (rows < 1 || rows > 16 || cols < 1 || cols > 16)
+    return trap(GEMMINI_TRAP_BAD_EXTENT, who);
+  if (stride < 0 || (rows > 1 && stride < cols))
+    return trap(GEMMINI_TRAP_BAD_STRIDE, who);
+  if (set &&
+      !region_contains(set, (const float *)ptr, stride, rows, cols))
+    return trap(oob_code, who);
+  return 0;
+}
+
+static int injected(const char *who) {
+  if (fault_fn && fault_fn())
+    return trap(GEMMINI_TRAP_INJECTED, who);
+  return 0;
+}
+
+/* --- timeline model -------------------------------------------------- */
+
 void gemmini_reset(int mode) {
   S.mode = mode;
   S.cpu_now = 0;
@@ -36,6 +200,8 @@ void gemmini_reset(int mode) {
   S.n_config = 0;
   S.n_mvin_rows = 0;
   S.n_matmul = 0;
+  /* Trap state, handlers, and tracked regions intentionally survive:
+   * benchmarks reset timing between kernels with buffers still live. */
 }
 
 uint64_t gemmini_cycles(void) {
@@ -92,8 +258,16 @@ void gemmini_config_st(int64_t dst_stride) {
   config_write();
 }
 
-static void do_mvin(const float *src, float *dst, int64_t dst_stride,
-                    int64_t rows, int64_t cols, int64_t src_stride) {
+static void do_mvin(const char *who, const float *src, float *dst,
+                    int64_t dst_stride, int64_t rows, int64_t cols,
+                    int64_t src_stride) {
+  if (injected(who))
+    return;
+  if (check_access(who, src, src_stride, rows, cols, /*set=*/0, 0))
+    return;
+  if (check_access(who, dst, dst_stride, rows, cols, &spad_set,
+                   GEMMINI_TRAP_SPAD_OOB))
+    return;
   for (int64_t r = 0; r < rows; ++r)
     for (int64_t c = 0; c < cols; ++c)
       dst[r * dst_stride + c] = src[r * src_stride + c];
@@ -103,16 +277,25 @@ static void do_mvin(const float *src, float *dst, int64_t dst_stride,
 
 void gemmini_mvin(const float *src, float *spad_dst, int64_t dst_stride,
                   int64_t rows, int64_t cols) {
-  do_mvin(src, spad_dst, dst_stride, rows, cols, S.ld_stride);
+  do_mvin("gemmini_mvin", src, spad_dst, dst_stride, rows, cols, S.ld_stride);
 }
 
 void gemmini_mvin2(const float *src, float *spad_dst, int64_t dst_stride,
                    int64_t rows, int64_t cols) {
-  do_mvin(src, spad_dst, dst_stride, rows, cols, S.ld2_stride);
+  do_mvin("gemmini_mvin2", src, spad_dst, dst_stride, rows, cols,
+          S.ld2_stride);
 }
 
 void gemmini_mvout_acc(float *dst, const float *acc_src, int64_t src_stride,
                        int64_t rows, int64_t cols) {
+  if (injected("gemmini_mvout_acc"))
+    return;
+  if (check_access("gemmini_mvout_acc", acc_src, src_stride, rows, cols,
+                   &acc_set, GEMMINI_TRAP_ACC_OOB))
+    return;
+  if (check_access("gemmini_mvout_acc", dst, S.st_stride, rows, cols,
+                   /*set=*/0, 0))
+    return;
   for (int64_t r = 0; r < rows; ++r)
     for (int64_t c = 0; c < cols; ++c)
       dst[r * S.st_stride + c] += acc_src[r * src_stride + c];
@@ -121,6 +304,14 @@ void gemmini_mvout_acc(float *dst, const float *acc_src, int64_t src_stride,
 
 void gemmini_mvout_relu(float *dst, const float *acc_src, int64_t src_stride,
                         int64_t rows, int64_t cols) {
+  if (injected("gemmini_mvout_relu"))
+    return;
+  if (check_access("gemmini_mvout_relu", acc_src, src_stride, rows, cols,
+                   &acc_set, GEMMINI_TRAP_ACC_OOB))
+    return;
+  if (check_access("gemmini_mvout_relu", dst, S.st_stride, rows, cols,
+                   /*set=*/0, 0))
+    return;
   for (int64_t r = 0; r < rows; ++r)
     for (int64_t c = 0; c < cols; ++c) {
       float v = acc_src[r * src_stride + c];
@@ -131,6 +322,11 @@ void gemmini_mvout_relu(float *dst, const float *acc_src, int64_t src_stride,
 
 void gemmini_zero_acc(float *acc, int64_t acc_stride, int64_t rows,
                       int64_t cols) {
+  if (injected("gemmini_zero_acc"))
+    return;
+  if (check_access("gemmini_zero_acc", acc, acc_stride, rows, cols, &acc_set,
+                   GEMMINI_TRAP_ACC_OOB))
+    return;
   for (int64_t r = 0; r < rows; ++r)
     for (int64_t c = 0; c < cols; ++c)
       acc[r * acc_stride + c] = 0.0f;
@@ -140,6 +336,17 @@ void gemmini_zero_acc(float *acc, int64_t acc_stride, int64_t rows,
 void gemmini_matmul(const float *a, int64_t a_stride, const float *b,
                     int64_t b_stride, float *acc, int64_t c_stride,
                     int64_t n, int64_t m, int64_t k) {
+  if (injected("gemmini_matmul"))
+    return;
+  if (check_access("gemmini_matmul(a)", a, a_stride, n, k, &spad_set,
+                   GEMMINI_TRAP_SPAD_OOB))
+    return;
+  if (check_access("gemmini_matmul(b)", b, b_stride, k, m, &spad_set,
+                   GEMMINI_TRAP_SPAD_OOB))
+    return;
+  if (check_access("gemmini_matmul(acc)", acc, c_stride, n, m, &acc_set,
+                   GEMMINI_TRAP_ACC_OOB))
+    return;
   for (int64_t i = 0; i < n; ++i)
     for (int64_t j = 0; j < m; ++j) {
       float sum = 0.0f;

@@ -22,6 +22,15 @@
  * memories are non-addressable), so only these instruction calls observe
  * that simplification.
  *
+ * Every instruction validates its operands before touching memory — null
+ * pointers, extents outside the 16x16 tile the ISA supports, strides
+ * narrower than a row, and (when regions are registered) scratchpad or
+ * accumulator accesses outside any live buffer. A violation raises a
+ * structured trap (a code plus a message) through a configurable handler
+ * instead of corrupting memory: the default handler prints and aborts,
+ * mirroring real hardware's bus error, while tests install a recording
+ * handler and the faulting instruction is skipped.
+ *
  *===----------------------------------------------------------------------===*/
 
 #ifndef EXO_GEMMINI_SIM_H
@@ -47,7 +56,57 @@ enum {
   GEMMINI_PRELOAD = 2,
 };
 
-/* Resets cycle counters and statistics; selects the execution mode. */
+/* --- structured trap codes --- */
+enum {
+  GEMMINI_TRAP_NONE = 0,
+  GEMMINI_TRAP_NULL_PTR = 1,   /* instruction operand pointer is NULL */
+  GEMMINI_TRAP_BAD_EXTENT = 2, /* rows/cols/n/m/k outside 1..16 */
+  GEMMINI_TRAP_BAD_STRIDE = 3, /* row stride negative or narrower than
+                                  the accessed row width */
+  GEMMINI_TRAP_SPAD_OOB = 4,   /* scratchpad access outside every
+                                  registered region */
+  GEMMINI_TRAP_ACC_OOB = 5,    /* accumulator access outside every
+                                  registered region */
+  GEMMINI_TRAP_INJECTED = 6,   /* raised by the fault-injection hook */
+};
+
+/* Human-readable name of a trap code ("null-pointer", "spad-oob", ...). */
+const char *gemmini_trap_name(int code);
+
+/* Trap handler: receives the code and a static description. The default
+ * prints to stderr and aborts. If an installed handler returns, the
+ * faulting instruction is skipped (no memory access, no cycles charged).
+ * Passing NULL restores the default. Returns the previous handler. */
+typedef void (*gemmini_trap_fn)(int code, const char *what);
+gemmini_trap_fn gemmini_set_trap_handler(gemmini_trap_fn fn);
+
+/* Trap bookkeeping (survives gemmini_reset; cleared explicitly). */
+uint64_t gemmini_trap_count(void);
+int gemmini_last_trap(void);
+void gemmini_clear_traps(void);
+
+/* --- scratchpad / accumulator region registry ---
+ * Generated code registers each live SCRATCH/ACC buffer (the Exo memory
+ * definitions emit these calls around allocations); instructions then
+ * bounds-check their scratchpad-side accesses against the registry.
+ * With no registered regions of a given kind, that kind's checks are
+ * skipped (hand-written callers keep working unchecked). If the fixed
+ * registry overflows, checking of that kind is disabled rather than
+ * raising false traps. */
+void gemmini_spad_track(const float *base, int64_t n_floats);
+void gemmini_spad_untrack(const float *base);
+void gemmini_acc_track(const float *base, int64_t n_floats);
+void gemmini_acc_untrack(const float *base);
+
+/* Fault-injection hook: called at the top of every data instruction;
+ * returning nonzero raises GEMMINI_TRAP_INJECTED. NULL (default) = off. */
+typedef int (*gemmini_fault_fn)(void);
+void gemmini_set_fault_fn(gemmini_fault_fn fn);
+
+/* Resets cycle counters and statistics; selects the execution mode.
+ * Trap state, the trap handler, the fault hook, and tracked regions are
+ * deliberately preserved (timing runs reset between kernels while the
+ * same buffers stay live). */
 void gemmini_reset(int mode);
 
 /* Total cycles consumed so far. */

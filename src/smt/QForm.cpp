@@ -6,12 +6,22 @@
 
 #include "smt/QForm.h"
 
+#include "support/Deadline.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
 
 using namespace exo;
 using namespace exo::smt;
+
+bool Budget::pollDeadline() {
+  if (TimedOut)
+    return true;
+  if (!support::threadDeadlineExpired())
+    return false;
+  markTimeout();
+  return true;
+}
 
 bool QLit::operator<(const QLit &O) const {
   if (LitKind != O.LitKind)

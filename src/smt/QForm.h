@@ -31,12 +31,20 @@ namespace smt {
 /// Shared counters and limits for one solver query. All formula-building
 /// routines charge against it; once exhausted they produce garbage that the
 /// caller must discard after checking exceeded().
+///
+/// The budget doubles as the solver's cooperative-cancellation point:
+/// every DeadlinePollPeriod charges it polls the thread-local deadline
+/// (support::ScopedDeadline) and, once that has passed, behaves as
+/// exhausted with the timeout flag set — so a runaway query unwinds with
+/// Unknown{timeout} instead of hanging its batch job.
 class Budget {
 public:
   explicit Budget(uint64_t MaxLiterals) : Remaining(MaxLiterals) {}
 
   /// Charges \p N literals; returns false once the budget is gone.
   bool charge(uint64_t N = 1) {
+    if ((++Ticks & (DeadlinePollPeriod - 1)) == 0 && pollDeadline())
+      return false;
     if (Remaining < N) {
       Remaining = 0;
       return false;
@@ -54,14 +62,32 @@ public:
     Structural = true;
   }
 
+  /// Marks the budget as exhausted because the thread deadline passed.
+  void markTimeout() {
+    Remaining = 0;
+    TimedOut = true;
+  }
+
   bool exceeded() const { return Remaining == 0; }
 
   /// True iff the exhaustion was caused by markStructural().
   bool structuralOverflow() const { return Structural; }
 
+  /// True iff the exhaustion was caused by the deadline.
+  bool timedOut() const { return TimedOut; }
+
 private:
+  /// Clock reads amortized to one per this many charges (power of two).
+  static constexpr uint64_t DeadlinePollPeriod = 2048;
+
+  /// Out-of-line slow path (QForm.cpp): reads the steady clock; returns
+  /// true when the deadline has passed (and marks the timeout).
+  bool pollDeadline();
+
   uint64_t Remaining;
+  uint64_t Ticks = 0;
   bool Structural = false;
+  bool TimedOut = false;
 };
 
 /// A literal over linear integer forms.

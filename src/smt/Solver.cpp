@@ -10,7 +10,12 @@
 #include "smt/Prenex.h"
 #include "smt/QueryCache.h"
 
+#include "support/Deadline.h"
+#include "support/FaultInjector.h"
+
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 using namespace exo;
 using namespace exo::smt;
@@ -39,6 +44,7 @@ struct GlobalStats {
   std::atomic<uint64_t> NumUnknown{0};
   std::atomic<uint64_t> NumUnknownBudget{0};
   std::atomic<uint64_t> NumUnknownStructural{0};
+  std::atomic<uint64_t> NumUnknownTimeout{0};
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> CacheMisses{0};
 
@@ -57,6 +63,7 @@ Solver::Stats exo::smt::solverGlobalStats() {
   S.NumUnknownBudget = G.NumUnknownBudget.load(std::memory_order_relaxed);
   S.NumUnknownStructural =
       G.NumUnknownStructural.load(std::memory_order_relaxed);
+  S.NumUnknownTimeout = G.NumUnknownTimeout.load(std::memory_order_relaxed);
   S.CacheHits = G.CacheHits.load(std::memory_order_relaxed);
   S.CacheMisses = G.CacheMisses.load(std::memory_order_relaxed);
   return S;
@@ -68,6 +75,7 @@ void exo::smt::resetSolverGlobalStats() {
   G.NumUnknown.store(0, std::memory_order_relaxed);
   G.NumUnknownBudget.store(0, std::memory_order_relaxed);
   G.NumUnknownStructural.store(0, std::memory_order_relaxed);
+  G.NumUnknownTimeout.store(0, std::memory_order_relaxed);
   G.CacheHits.store(0, std::memory_order_relaxed);
   G.CacheMisses.store(0, std::memory_order_relaxed);
 }
@@ -132,6 +140,40 @@ SolverResult Solver::decide(TermRef Closed) {
   };
   Bump(G.NumQueries);
 
+  // Fault-injection sites, ahead of the cache so an injected fault can
+  // never be masked by a hit. An injected timeout models a wedged query:
+  // it cooperatively burns the thread's deadline (bounded when there is
+  // none) before reporting Unknown{timeout}; an injected budget-Unknown
+  // returns immediately with the budget verdict so retry policies can be
+  // exercised deterministically.
+  support::FaultInjector &Inj = support::FaultInjector::instance();
+  if (Inj.enabled()) {
+    if (Inj.shouldFire(support::Fault::SolverTimeout)) {
+      auto SpinStart = std::chrono::steady_clock::now();
+      while (!support::threadDeadlineExpired()) {
+        // Without a deadline, stay "wedged" only briefly — injection must
+        // never turn into the very hang it exists to test for.
+        if (!support::currentThreadDeadline().isFinite() &&
+            std::chrono::steady_clock::now() - SpinStart >
+                std::chrono::milliseconds(25))
+          break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      ++TheStats.NumUnknown;
+      Bump(G.NumUnknown);
+      ++TheStats.NumUnknownTimeout;
+      Bump(G.NumUnknownTimeout);
+      return SolverResult::Unknown;
+    }
+    if (Inj.shouldFire(support::Fault::SolverBudgetUnknown)) {
+      ++TheStats.NumUnknown;
+      Bump(G.NumUnknown);
+      ++TheStats.NumUnknownBudget;
+      Bump(G.NumUnknownBudget);
+      return SolverResult::Unknown;
+    }
+  }
+
   // Consult the process-wide memo table first. A hit returns exactly what
   // the cold decision procedure returned for an alpha-equivalent query;
   // Unknown verdicts are never stored, so budget changes always re-solve.
@@ -166,7 +208,10 @@ SolverResult Solver::decide(TermRef Closed) {
   }
   ++TheStats.NumUnknown;
   Bump(G.NumUnknown);
-  if (B.structuralOverflow()) {
+  if (B.timedOut()) {
+    ++TheStats.NumUnknownTimeout;
+    Bump(G.NumUnknownTimeout);
+  } else if (B.structuralOverflow()) {
     ++TheStats.NumUnknownStructural;
     Bump(G.NumUnknownStructural);
   } else {

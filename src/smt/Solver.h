@@ -77,16 +77,20 @@ public:
   SolverResult checkSat(const TermRef &F);
 
   /// Query statistics, for the ablation benchmarks. NumUnknown is the sum
-  /// of its two breakdown counters: NumUnknownBudget (ran out of the
-  /// literal budget — retrying with a larger budget may succeed) and
+  /// of its three breakdown counters: NumUnknownBudget (ran out of the
+  /// literal budget — retrying with a larger budget may succeed),
   /// NumUnknownStructural (Cooper's structural caps fired: coefficient LCM
   /// or bound-set overflow — genuine non-quasi-affine fallout that no
-  /// budget will fix). Cache counters track the process-wide query cache.
+  /// budget will fix), and NumUnknownTimeout (the thread's deadline passed
+  /// mid-query; see support/Deadline.h — neither budget nor structure is
+  /// implicated, the query was cancelled). Cache counters track the
+  /// process-wide query cache.
   struct Stats {
     uint64_t NumQueries = 0;
     uint64_t NumUnknown = 0;
     uint64_t NumUnknownBudget = 0;
     uint64_t NumUnknownStructural = 0;
+    uint64_t NumUnknownTimeout = 0;
     uint64_t CacheHits = 0;
     uint64_t CacheMisses = 0;
   };

@@ -1,0 +1,31 @@
+//===- support/Deadline.cpp ------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+using namespace exo;
+using namespace exo::support;
+
+namespace {
+/// The thread's effective deadline. A plain thread_local value (not a
+/// stack of scopes): ScopedDeadline saves/restores it RAII-style, and the
+/// min-combine on install gives the "only tighten" nesting semantics.
+thread_local Deadline TLDeadline = Deadline::never();
+} // namespace
+
+ScopedDeadline::ScopedDeadline(Deadline D) : Prev(TLDeadline) {
+  TLDeadline = Deadline::earlier(Prev, D);
+}
+
+ScopedDeadline::~ScopedDeadline() { TLDeadline = Prev; }
+
+const Deadline &exo::support::currentThreadDeadline() { return TLDeadline; }
+
+bool exo::support::threadDeadlineExpired() { return TLDeadline.expired(); }
+
+int64_t exo::support::threadDeadlineRemainingMillis() {
+  return TLDeadline.remainingMillis();
+}

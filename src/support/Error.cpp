@@ -56,6 +56,8 @@ const char *exo::scheduleVerdictName(ScheduleErrorInfo::Verdict V) {
     return "unknown (budget exhausted)";
   case ScheduleErrorInfo::Verdict::UnknownStructural:
     return "unknown (outside decidable fragment)";
+  case ScheduleErrorInfo::Verdict::UnknownTimeout:
+    return "unknown (deadline expired)";
   }
   return "unknown";
 }

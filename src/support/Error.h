@@ -41,6 +41,8 @@ struct ScheduleErrorInfo {
                        ///< MaxLiterals may succeed
     UnknownStructural, ///< formula outside the decidable fragment; no
                        ///< budget will help
+    UnknownTimeout,    ///< the job's deadline expired mid-query; the
+                       ///< result says nothing about the condition
   };
 
   std::string Op;      ///< scheduling operator name, e.g. "splitLoop"

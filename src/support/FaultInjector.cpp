@@ -1,0 +1,150 @@
+//===- support/FaultInjector.cpp -------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <cstdlib>
+#include <optional>
+
+using namespace exo;
+using namespace exo::support;
+
+const char *exo::support::faultName(Fault F) {
+  switch (F) {
+  case Fault::SolverTimeout:
+    return "solver-timeout";
+  case Fault::SolverBudgetUnknown:
+    return "budget-unknown";
+  case Fault::AllocFail:
+    return "alloc-fail";
+  case Fault::RuntimeTrap:
+    return "runtime-trap";
+  }
+  return "?";
+}
+
+namespace {
+
+/// splitmix64: tiny, well-mixed, and stable across platforms — the fault
+/// sequence for a given seed must be reproducible in bug reports.
+uint64_t splitmix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+std::optional<Fault> faultByName(const std::string &Name) {
+  for (unsigned I = 0; I < NumFaultKinds; ++I)
+    if (Name == faultName(static_cast<Fault>(I)))
+      return static_cast<Fault>(I);
+  return std::nullopt;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector I;
+  return I;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (Plan &P : Plans)
+    P = Plan();
+  AnyActive.store(false, std::memory_order_relaxed);
+}
+
+Expected<bool> FaultInjector::configure(const std::string &Spec,
+                                        uint64_t Seed) {
+  Plan Parsed[NumFaultKinds];
+  bool Any = false;
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue;
+
+    std::string Name = Entry;
+    double Prob = 1.0;
+    uint64_t MaxFires = UINT64_MAX;
+    size_t Star = Name.find('*');
+    if (Star != std::string::npos) {
+      char *EndPtr = nullptr;
+      MaxFires = std::strtoull(Name.c_str() + Star + 1, &EndPtr, 10);
+      if (EndPtr == Name.c_str() + Star + 1 || *EndPtr != '\0')
+        return makeError(Error::Kind::Internal,
+                         "bad fault count in '" + Entry + "'");
+      Name = Name.substr(0, Star);
+    }
+    size_t At = Name.find('@');
+    if (At != std::string::npos) {
+      char *EndPtr = nullptr;
+      Prob = std::strtod(Name.c_str() + At + 1, &EndPtr);
+      // Written as a negated range so NaN (which compares false to
+      // everything) is rejected too.
+      if (EndPtr == Name.c_str() + At + 1 || *EndPtr != '\0' ||
+          !(Prob >= 0.0 && Prob <= 1.0))
+        return makeError(Error::Kind::Internal,
+                         "bad fault probability in '" + Entry + "'");
+      Name = Name.substr(0, At);
+    }
+    auto F = faultByName(Name);
+    if (!F)
+      return makeError(Error::Kind::Internal,
+                       "unknown fault kind '" + Name + "' (expected "
+                       "solver-timeout, budget-unknown, alloc-fail, or "
+                       "runtime-trap)");
+    Plan &P = Parsed[static_cast<unsigned>(*F)];
+    P.Active = true;
+    P.Probability = Prob;
+    P.MaxFires = MaxFires;
+    // Independent per-kind streams so adding one plan never perturbs the
+    // sequence of another.
+    P.Rng = Seed ^ (0x100000001b3ULL * (static_cast<unsigned>(*F) + 1));
+    Any = true;
+  }
+
+  std::lock_guard<std::mutex> Lock(M);
+  for (unsigned I = 0; I < NumFaultKinds; ++I)
+    Plans[I] = Parsed[I];
+  AnyActive.store(Any, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::shouldFire(Fault F) {
+  std::lock_guard<std::mutex> Lock(M);
+  Plan &P = Plans[static_cast<unsigned>(F)];
+  if (!P.Active)
+    return false;
+  ++P.Checks;
+  if (P.Fires >= P.MaxFires)
+    return false;
+  bool Fire = true;
+  if (P.Probability < 1.0) {
+    // 53-bit uniform in [0,1).
+    double U = (double)(splitmix64(P.Rng) >> 11) * 0x1.0p-53;
+    Fire = U < P.Probability;
+  }
+  if (Fire)
+    ++P.Fires;
+  return Fire;
+}
+
+uint64_t FaultInjector::fireCount(Fault F) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Plans[static_cast<unsigned>(F)].Fires;
+}
+
+uint64_t FaultInjector::checkCount(Fault F) const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Plans[static_cast<unsigned>(F)].Checks;
+}

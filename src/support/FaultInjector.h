@@ -1,0 +1,102 @@
+//===- support/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide, seed-driven fault-injection registry used to prove the
+/// resilience layer under fire (see DESIGN.md, "Failure model"). Sites in
+/// the solver, the backend, and the Gemmini runtime ask shouldFire(kind)
+/// at well-defined points; a fault plan decides deterministically from a
+/// seeded PRNG and per-kind counters, so the same spec + seed always
+/// yields the same fault sequence (per kind; cross-kind ordering follows
+/// the call order of the sites).
+///
+/// Spec grammar (comma-separated entries):
+///
+///   kind            fire on every check
+///   kind@P          fire with probability P in [0,1] per check
+///   kind*N          fire on at most the first N firing decisions
+///   kind@P*N        both
+///
+/// Kinds: solver-timeout, budget-unknown, alloc-fail, runtime-trap.
+/// Injection is off by default and costs one relaxed atomic load per site
+/// when disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_FAULTINJECTOR_H
+#define EXO_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace exo {
+namespace support {
+
+/// The injectable fault kinds.
+enum class Fault : unsigned {
+  SolverTimeout,      ///< a solver query behaves as wedged until deadline
+  SolverBudgetUnknown,///< a solver query reports Unknown{budget}
+  AllocFail,          ///< codegen fails a buffer allocation
+  RuntimeTrap,        ///< the accelerator runtime raises a trap
+};
+
+constexpr unsigned NumFaultKinds = 4;
+
+/// Printable spec name of a fault kind (e.g. "solver-timeout").
+const char *faultName(Fault F);
+
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Parses and installs a fault plan; replaces any previous plan and
+  /// resets all counters. An empty spec disables injection entirely.
+  /// Returns an Internal error on a malformed spec.
+  Expected<bool> configure(const std::string &Spec, uint64_t Seed);
+
+  /// Disables injection and clears counters.
+  void reset();
+
+  /// True when any fault plan is active. One relaxed atomic load; hot
+  /// sites gate on this before calling shouldFire.
+  bool enabled() const { return AnyActive.load(std::memory_order_relaxed); }
+
+  /// Decides whether the fault fires at this site invocation. Thread-safe
+  /// and deterministic per kind: the Nth check of a kind under a given
+  /// spec + seed always answers the same.
+  bool shouldFire(Fault F);
+
+  /// How many times the kind actually fired.
+  uint64_t fireCount(Fault F) const;
+
+  /// How many times the kind was checked at a site.
+  uint64_t checkCount(Fault F) const;
+
+private:
+  FaultInjector() = default;
+
+  struct Plan {
+    bool Active = false;
+    double Probability = 1.0;      ///< per-check firing probability
+    uint64_t MaxFires = UINT64_MAX;///< stop firing after this many
+    uint64_t Rng = 0;              ///< per-kind PRNG state
+    uint64_t Checks = 0;
+    uint64_t Fires = 0;
+  };
+
+  mutable std::mutex M;
+  Plan Plans[NumFaultKinds];
+  std::atomic<bool> AnyActive{false};
+};
+
+} // namespace support
+} // namespace exo
+
+#endif // EXO_SUPPORT_FAULTINJECTOR_H

@@ -40,7 +40,8 @@ def gemm(A: R[64, 64], B: R[64, 64], C: R[64, 64]):
 
 /// A cheap job: parse, tile, emit.
 CompileJob tiledGemmJob(std::string Name, int Factor) {
-  return {std::move(Name), [Factor]() -> Expected<std::vector<ProcRef>> {
+  return {std::move(Name),
+          [Factor]() -> Expected<std::vector<ProcRef>> {
             auto P = frontend::parseProc(GemmSrc);
             if (!P)
               return P.error();
@@ -53,12 +54,14 @@ CompileJob tiledGemmJob(std::string Name, int Factor) {
             if (!Q)
               return Q.error();
             return std::vector<ProcRef>{*Q};
-          }};
+          },
+          /*BuildReference=*/{}};
 }
 
 /// A job that fails inside a scheduling operator (bad pattern).
 CompileJob failingJob() {
-  return {"bad_pattern", []() -> Expected<std::vector<ProcRef>> {
+  return {"bad_pattern",
+          []() -> Expected<std::vector<ProcRef>> {
             auto P = frontend::parseProc(GemmSrc);
             if (!P)
               return P.error();
@@ -66,7 +69,8 @@ CompileJob failingJob() {
             if (!Q)
               return Q.error();
             return std::vector<ProcRef>{*Q};
-          }};
+          },
+          /*BuildReference=*/{}};
 }
 
 TEST(BatchDriverTest, ParallelOutputBitIdenticalToSerial) {
@@ -117,7 +121,8 @@ TEST(BatchDriverTest, SessionBudgetReachesSolver) {
   // complete; the job must fail with the budget-exhausted verdict in its
   // payload.
   std::vector<CompileJob> Jobs;
-  Jobs.push_back({"starved", []() -> Expected<std::vector<ProcRef>> {
+  Jobs.push_back({"starved",
+                  []() -> Expected<std::vector<ProcRef>> {
                     auto P = frontend::parseProc(GemmSrc);
                     if (!P)
                       return P.error();
@@ -131,7 +136,8 @@ TEST(BatchDriverTest, SessionBudgetReachesSolver) {
                     if (!Q)
                       return Q.error();
                     return std::vector<ProcRef>{*Q};
-                  }});
+                  },
+                  /*BuildReference=*/{}});
 
   SessionOptions Starved;
   Starved.MaxLiterals = 1;
@@ -154,6 +160,8 @@ TEST(BatchDriverTest, StandardSuiteIsWellFormed) {
   std::set<std::string> Names;
   for (const CompileJob &J : Jobs) {
     EXPECT_TRUE(J.Build != nullptr);
+    EXPECT_TRUE(J.BuildReference != nullptr)
+        << J.Name << " has no --fallback-reference target";
     EXPECT_TRUE(Names.insert(J.Name).second) << "duplicate " << J.Name;
   }
 }

@@ -247,4 +247,102 @@ def f(n: size, x: R[n]):
   EXPECT_EQ(If->orelse()[0]->kind(), StmtKind::Pass);
 }
 
+// --- malformed-input smoke tests ---------------------------------------
+//
+// The compiler's contract is that arbitrary bytes produce a parse Error,
+// never a crash: the recursive-descent parser carries a depth guard, so
+// adversarially nested input trips the limit instead of the C++ stack.
+
+TEST(ParserRobustnessTest, DeeplyNestedParensRejectedNotCrash) {
+  std::string Expr(5000, '(');
+  Expr += "1.0";
+  Expr += std::string(5000, ')');
+  std::string Src = "@proc\ndef f(x: R[4]):\n    x[0] = " + Expr + "\n";
+  auto P = parseProc(Src);
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.error().message().find("nesting too deep"), std::string::npos)
+      << P.error().str();
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedUnaryMinusRejectedNotCrash) {
+  std::string Src = "@proc\ndef f(x: R[4]):\n    x[0] = " +
+                    std::string(10000, '-') + "1.0\n";
+  auto P = parseProc(Src);
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.error().message().find("nesting too deep"), std::string::npos)
+      << P.error().str();
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedBlocksRejectedNotCrash) {
+  std::string Src = "@proc\ndef f(n: size, x: R[n]):\n";
+  std::string Indent = "    ";
+  for (int I = 0; I < 2000; ++I) {
+    Src += Indent + "for i" + std::to_string(I) + " in seq(0, n):\n";
+    Indent += "    ";
+  }
+  Src += Indent + "x[0] = 1.0\n";
+  auto P = parseProc(Src);
+  ASSERT_FALSE(bool(P));
+  EXPECT_NE(P.error().message().find("nesting too deep"), std::string::npos)
+      << P.error().str();
+}
+
+TEST(ParserRobustnessTest, ReasonableNestingStillParses) {
+  // The guard must not reject legitimate programs: 50 nested loops and a
+  // 50-deep paren expression are far inside the budget.
+  std::string Src = "@proc\ndef f(n: size, x: R[n]):\n";
+  std::string Indent = "    ";
+  for (int I = 0; I < 50; ++I) {
+    Src += Indent + "for i" + std::to_string(I) + " in seq(0, n):\n";
+    Indent += "    ";
+  }
+  Src += Indent + "x[0] = " + std::string(50, '(') + "1.0" +
+         std::string(50, ')') + "\n";
+  auto P = parseProc(Src);
+  EXPECT_TRUE(bool(P)) << P.error().str();
+}
+
+TEST(ParserRobustnessTest, TruncatedInputsRejectedNotCrash) {
+  const char *Cases[] = {
+      "@proc\ndef f(n: size):\n    for i in seq(0,",
+      "@proc\ndef f(n: size):\n    for i in seq(0, n):",
+      "@proc\ndef f(",
+      "@proc\ndef",
+      "@proc",
+      "@",
+      "@proc\ndef f(x: R[4]):\n    x[0] = 1.0 +",
+      "@proc\ndef f(x: R[4]):\n    if x[0]",
+  };
+  for (const char *Src : Cases)
+    EXPECT_FALSE(bool(parseProc(Src))) << "must reject: " << Src;
+}
+
+TEST(ParserRobustnessTest, BadIndentationRejectedNotCrash) {
+  const char *Cases[] = {
+      // body less indented than the for header's block
+      "@proc\ndef f(n: size, x: R[n]):\n    for i in seq(0, n):\nx[0] = 1.0\n",
+      // dedent to a level that never existed
+      "@proc\ndef f(n: size, x: R[n]):\n    for i in seq(0, n):\n"
+      "        x[0] = 1.0\n   x[0] = 2.0\n",
+      // indented first statement
+      "@proc\ndef f(x: R[4]):\n        x[0] = 1.0\n  x[1] = 2.0\n",
+  };
+  for (const char *Src : Cases)
+    EXPECT_FALSE(bool(parseProc(Src))) << "must reject: " << Src;
+}
+
+TEST(ParserRobustnessTest, GarbageBytesRejectedNotCrash) {
+  std::string Binary = "@proc\ndef f(x: R[4]):\n    x[0] = ";
+  for (int I = 1; I < 32; ++I)
+    Binary += static_cast<char>(I);
+  const std::string Cases[] = {
+      std::string("\x01\x02\x03\xff\xfe garbage \x7f"),
+      Binary,
+      std::string("@proc\ndef f(x: R[4]):\n    x[0] = 1.0 $ 2.0\n"),
+      std::string(4096, '\xee'),
+  };
+  for (const std::string &Src : Cases)
+    EXPECT_FALSE(bool(parseProc(Src))) << "must reject garbage input";
+}
+
 } // namespace
