@@ -86,7 +86,19 @@ std::string exo::bench::solverStatsJson() {
     << ", \"unknown_structural\": " << S.NumUnknownStructural
     << ", \"unknown_timeout\": " << S.NumUnknownTimeout
     << ", \"cache_hits\": " << S.CacheHits
-    << ", \"cache_misses\": " << S.CacheMisses << "},\n"
+    << ", \"cache_misses\": " << S.CacheMisses
+    << ", \"cooper_literals\": " << S.NumLiterals
+    << ", \"cooper_reorders\": " << S.CooperReorders
+    << ", \"cooper_early_exits\": " << S.CooperEarlyExits << "},\n"
+    << "  \"simplify\": {\"decided\": " << S.SimplifyDecided
+    << ", \"const_fold_hits\": " << S.SimplifyConstFoldHits
+    << ", \"const_fold_misses\": " << S.SimplifyConstFoldMisses
+    << ", \"eq_subst_hits\": " << S.SimplifyEqSubstHits
+    << ", \"eq_subst_misses\": " << S.SimplifyEqSubstMisses
+    << ", \"interval_hits\": " << S.SimplifyIntervalHits
+    << ", \"interval_misses\": " << S.SimplifyIntervalMisses
+    << ", \"fastpath_hits\": " << S.FastPathHits
+    << ", \"fastpath_misses\": " << S.FastPathMisses << "},\n"
     << "  \"query_cache\": {\"hits\": " << Q.Hits
     << ", \"misses\": " << Q.Misses << ", \"insertions\": " << Q.Insertions
     << ", \"evictions\": " << Q.Evictions

@@ -24,6 +24,7 @@
 #include "analysis/EffectCache.h"
 #include "apps/GemminiMatmul.h"
 #include "smt/QueryCache.h"
+#include "smt/Simplify.h"
 #include "smt/Solver.h"
 
 #include <chrono>
@@ -34,12 +35,25 @@ using namespace exo::bench;
 
 int main() {
   std::printf("Ablation: solver literal budget vs scheduling success "
-              "(Gemmini matmul 128^3 pipeline)\n\n");
+              "(Gemmini matmul 128^3 pipeline)\n");
+  const uint64_t Budgets[] = {100,     1000,    10'000,   50'000,
+                              200'000, 500'000, 2'000'000};
+  // Two sweeps: preprocessing pipeline off, then on. The success
+  // threshold shifts left with the pipeline enabled because most
+  // containment/disjointness obligations are decided before Cooper ever
+  // charges a literal (see EXPERIMENTS.md).
+  for (bool Pipeline : {false, true}) {
+  std::printf("\n--- preprocessing pipeline %s ---\n\n",
+              Pipeline ? "ON" : "OFF");
+  smt::SimplifyConfig Cfg;
+  if (!Pipeline) {
+    Cfg.ConstFold = Cfg.EqSubst = Cfg.IntervalProp = false;
+    Cfg.CheapVarOrder = Cfg.EffectFastPath = false;
+  }
+  smt::setSimplifyConfig(Cfg);
   printRow({"budget", "pipeline", "time (ms)", "unk(budget)", "unk(struct)",
             "cache hits", "first failing step"},
            {10, 9, 10, 11, 11, 10, 40});
-  const uint64_t Budgets[] = {100,     1000,    10'000,   50'000,
-                              200'000, 500'000, 2'000'000};
   for (uint64_t Budget : Budgets) {
     smt::setDefaultMaxLiterals(Budget);
     // Fresh caches per row: a verdict memoized under one budget must not
@@ -64,6 +78,8 @@ int main() {
               K ? "-" : K.error().message().substr(0, 40)},
              {10, 9, 10, 11, 11, 10, 40});
   }
+  }
+  smt::setSimplifyConfig(smt::SimplifyConfig());
   smt::setDefaultMaxLiterals(2'000'000);
   std::printf("\nSafety is preserved at every budget: an exhausted solver "
               "rejects the rewrite\ninstead of admitting it (§5: analyses "

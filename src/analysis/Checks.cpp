@@ -6,9 +6,128 @@
 
 #include "analysis/Checks.h"
 
+#include "smt/Simplify.h"
+
 using namespace exo;
 using namespace exo::analysis;
 using namespace exo::smt;
+
+namespace {
+
+/// One Single access reached by the fast-path walk: its coordinates, the
+/// interval bounds harvested from Filter conditions on the path, and the
+/// BigUnion binder ids the coordinates may mention.
+struct FlatAccess {
+  ir::Sym Base;
+  const std::vector<EffInt> *Coords;
+  IntervalEnv Bounds;
+  std::set<unsigned> Binders;
+};
+
+/// Flattens a location set into Single accesses, over-approximating
+/// Inter and Diff by their left operand (sound for disjointness: the
+/// flattened list covers every possibly-member location). Returns false
+/// when the shape is not analyzable.
+bool flattenForFastPath(const LocSetRef &S, IntervalEnv Bounds,
+                        std::set<unsigned> Binders,
+                        std::vector<FlatAccess> &Out) {
+  switch (S->kind()) {
+  case LocSet::Kind::Empty:
+    return true;
+  case LocSet::Kind::Single:
+    Out.push_back({S->base(), &S->coords(), std::move(Bounds),
+                   std::move(Binders)});
+    return true;
+  case LocSet::Kind::Union:
+    for (const LocSetRef &P : S->parts())
+      if (!flattenForFastPath(P, Bounds, Binders, Out))
+        return false;
+    return true;
+  case LocSet::Kind::Inter:
+  case LocSet::Kind::Diff:
+    // Members(Inter/Diff) ⊆ Members(left operand).
+    return flattenForFastPath(S->parts()[0], std::move(Bounds),
+                              std::move(Binders), Out);
+  case LocSet::Kind::BigUnion:
+    Binders.insert(S->boundVar().Id);
+    return flattenForFastPath(S->parts()[0], std::move(Bounds),
+                              std::move(Binders), Out);
+  case LocSet::Kind::Filter:
+    // Possible membership requires the condition to *possibly* hold, so
+    // bounds must come from the May side (Must would be unsound).
+    collectIntervalFacts(S->cond().May, Bounds);
+    return flattenForFastPath(S->parts()[0], std::move(Bounds),
+                              std::move(Binders), Out);
+  }
+  return false;
+}
+
+/// True when both env intervals jointly rule out any model (a variable
+/// constrained to an empty interval).
+bool envContradictory(const IntervalEnv &Env) {
+  for (const auto &[Var, IV] : Env) {
+    (void)Var;
+    if (IV.empty())
+      return true;
+  }
+  return false;
+}
+
+/// Can accesses PA and PB (same base) provably never alias? True when
+/// some dimension's coordinate difference has an interval excluding 0
+/// under the merged bounds, or the merged bounds are contradictory.
+bool pairSeparated(const FlatAccess &PA, const FlatAccess &PB) {
+  // Shared BigUnion binder ids would identify the two sides' binders
+  // and prove only the "diagonal" of the cross product — e.g. a(x)=x
+  // vs b(x)=x+1 overlap at a(1)=b(0) even though x != x+1 for every
+  // single x. Bail; the solver renames binders apart.
+  for (unsigned Id : PA.Binders)
+    if (PB.Binders.count(Id))
+      return false;
+  IntervalEnv Env = PA.Bounds;
+  for (const auto &[Var, IV] : PB.Bounds) {
+    ValueInterval &Slot = Env[Var];
+    if (IV.Lo && (!Slot.Lo || *Slot.Lo < *IV.Lo))
+      Slot.Lo = IV.Lo;
+    if (IV.Hi && (!Slot.Hi || *Slot.Hi > *IV.Hi))
+      Slot.Hi = IV.Hi;
+  }
+  if (envContradictory(Env))
+    return true; // the two filters cannot hold at once
+  if (PA.Coords->size() != PB.Coords->size())
+    return false;
+  for (size_t D = 0; D < PA.Coords->size(); ++D) {
+    const EffInt &CA = (*PA.Coords)[D], &CB = (*PB.Coords)[D];
+    if (!CA.isKnown() || !CB.isKnown())
+      continue;
+    auto La = linearFromTerm(CA.Val), Lb = linearFromTerm(CB.Val);
+    if (!La || !Lb)
+      continue;
+    ValueInterval IV = intervalOfLinear(*La - *Lb, Env);
+    if (IV.empty())
+      continue;
+    if ((IV.Lo && *IV.Lo >= 1) || (IV.Hi && *IV.Hi <= -1))
+      return true; // coordinates can never be equal in dimension D
+  }
+  return false;
+}
+
+} // namespace
+
+bool exo::analysis::disjointFastPath(const LocSetRef &A, const LocSetRef &B) {
+  std::vector<FlatAccess> AccA, AccB;
+  if (!flattenForFastPath(A, {}, {}, AccA) ||
+      !flattenForFastPath(B, {}, {}, AccB))
+    return false;
+  for (const FlatAccess &PA : AccA)
+    for (const FlatAccess &PB : AccB) {
+      if (!(PA.Base == PB.Base))
+        continue;
+      if (!pairSeparated(PA, PB))
+        return false;
+    }
+  return true;
+}
 
 TermRef exo::analysis::commutesCond(const EffectSets &A, const EffectSets &B) {
   TriBool C = triAnd(

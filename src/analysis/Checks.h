@@ -31,6 +31,15 @@
 namespace exo {
 namespace analysis {
 
+/// Interval-arithmetic disjointness pre-check (DESIGN.md, "Solver
+/// preprocessing"). Handles the dominant access-pair shape — affine
+/// indices with constant strides/offsets under BigUnion loop binders
+/// bounded by Filter conditions — and returns true only when every
+/// cross pair of accesses to a shared buffer is separated in some
+/// dimension by pure interval reasoning. A true return is a sound
+/// "definitely disjoint"; false means "use the solver", never "no".
+bool disjointFastPath(const LocSetRef &A, const LocSetRef &B);
+
 /// D(Commutes a1 a2) as a classical formula (Def 5.6).
 smt::TermRef commutesCond(const EffectSets &A, const EffectSets &B);
 

@@ -6,6 +6,10 @@
 
 #include "analysis/LocSet.h"
 
+#include "analysis/Checks.h"
+#include "smt/Simplify.h"
+#include "smt/Solver.h"
+
 using namespace exo;
 using namespace exo::analysis;
 using namespace exo::smt;
@@ -188,6 +192,26 @@ TriBool exo::analysis::disjoint(const LocSetRef &A, const LocSetRef &B) {
   std::map<ir::Sym, unsigned> BasesA, BasesB;
   A->collectBases(BasesA);
   B->collectBases(BasesB);
+  bool AnyShared = false;
+  for (auto &[Name, Rank] : BasesA) {
+    (void)Rank;
+    if (BasesB.count(Name)) {
+      AnyShared = true;
+      break;
+    }
+  }
+  if (!AnyShared)
+    return TriBool::yes();
+  // Syntactic pre-check: when interval arithmetic alone separates every
+  // cross pair of accesses, skip building the membership formulas
+  // entirely — the dominant case for tiled affine loop nests.
+  if (simplifyConfig().EffectFastPath) {
+    if (disjointFastPath(A, B)) {
+      noteEffectFastPath(true);
+      return TriBool::yes();
+    }
+    noteEffectFastPath(false);
+  }
   TriBool All = TriBool::yes();
   for (auto &[Name, Rank] : BasesA) {
     auto It = BasesB.find(Name);

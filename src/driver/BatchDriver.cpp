@@ -144,5 +144,9 @@ BatchResult BatchDriver::run(const std::vector<CompileJob> &Jobs) const {
   Out.Cache.TermMisses = Term1.Misses - Term0.Misses;
   Out.Cache.EffectHits = Eff1.Hits - Eff0.Hits;
   Out.Cache.EffectMisses = Eff1.Misses - Eff0.Misses;
+  Out.Cache.SimplifyDecided = Solver1.SimplifyDecided - Solver0.SimplifyDecided;
+  Out.Cache.FastPathHits = Solver1.FastPathHits - Solver0.FastPathHits;
+  Out.Cache.FastPathMisses = Solver1.FastPathMisses - Solver0.FastPathMisses;
+  Out.Cache.CooperLiterals = Solver1.NumLiterals - Solver0.NumLiterals;
   return Out;
 }

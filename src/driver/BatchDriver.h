@@ -41,6 +41,14 @@ struct BatchCacheStats {
   uint64_t TermMisses = 0;
   uint64_t EffectHits = 0;
   uint64_t EffectMisses = 0;
+  /// Preprocessing activity (DESIGN.md, "Solver preprocessing"):
+  /// queries decided before Cooper, disjointness checks answered by the
+  /// effect fast path (and ones that fell back), and the total Cooper
+  /// literal consumption over the batch.
+  uint64_t SimplifyDecided = 0;
+  uint64_t FastPathHits = 0;
+  uint64_t FastPathMisses = 0;
+  uint64_t CooperLiterals = 0;
 };
 
 struct BatchResult {

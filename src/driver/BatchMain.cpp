@@ -106,7 +106,12 @@ void writeJson(const std::string &Path, const BatchResult &R) {
       << ", \"query_cache_hits\": " << R.Cache.QueryCacheHits
       << ", \"query_cache_misses\": " << R.Cache.QueryCacheMisses
       << ", \"term_hits\": " << R.Cache.TermHits
-      << ", \"effect_hits\": " << R.Cache.EffectHits << "},\n  \"jobs\": [";
+      << ", \"effect_hits\": " << R.Cache.EffectHits
+      << ", \"simplify_decided\": " << R.Cache.SimplifyDecided
+      << ", \"fastpath_hits\": " << R.Cache.FastPathHits
+      << ", \"fastpath_misses\": " << R.Cache.FastPathMisses
+      << ", \"cooper_literals\": " << R.Cache.CooperLiterals
+      << "},\n  \"jobs\": [";
   bool First = true;
   for (const JobResult &J : R.Jobs) {
     Out << (First ? "\n" : ",\n") << "    {\"name\": \"" << jsonEscape(J.Name)
@@ -114,9 +119,14 @@ void writeJson(const std::string &Path, const BatchResult &R) {
         << "\", \"ok\": " << (J.Ok ? "true" : "false")
         << ", \"wall_ms\": " << J.WallMillis
         << ", \"retries\": " << J.Retries
+        << ", \"retry_probes\": " << J.RetryProbes
+        << ", \"retry_path\": \"" << jsonEscape(J.RetryPath) << "\""
         << ", \"final_max_literals\": " << J.FinalMaxLiterals
         << ", \"deadline_miss\": " << (J.DeadlineMiss ? "true" : "false")
-        << ", \"output_bytes\": " << J.Output.size();
+        << ", \"output_bytes\": " << J.Output.size()
+        << ", \"solver_queries\": " << J.SolverQueries
+        << ", \"simplify_decided\": " << J.SimplifyDecided
+        << ", \"fastpath_hits\": " << J.FastPathHits;
     // Degraded jobs carry the schedule's failure alongside the reference
     // output, so report error detail for them too.
     if (!J.Ok || J.Degraded) {
@@ -141,7 +151,8 @@ void printResult(const BatchResult &R) {
       std::printf("  %-4s %-22s %8.1f ms  %6zu bytes of C", jobStatus(J),
                   J.Name.c_str(), J.WallMillis, J.Output.size());
       if (J.Retries > 0)
-        std::printf("  (retries=%u)", J.Retries);
+        std::printf("  (retries=%u%s%s)", J.Retries,
+                    J.RetryPath.empty() ? "" : " via ", J.RetryPath.c_str());
       if (J.DeadlineMiss)
         std::printf("  (deadline miss)");
       std::printf("\n");
@@ -164,6 +175,12 @@ void printResult(const BatchResult &R) {
               R.Jobs.size(), R.Threads, R.Threads == 1 ? "" : "s",
               R.WallMillis, (unsigned long long)R.Cache.SolverQueries,
               (unsigned long long)R.Cache.QueryCacheHits);
+  std::printf("       preprocessing: %llu decided, fast path %llu hit / "
+              "%llu miss, %llu Cooper literals\n",
+              (unsigned long long)R.Cache.SimplifyDecided,
+              (unsigned long long)R.Cache.FastPathHits,
+              (unsigned long long)R.Cache.FastPathMisses,
+              (unsigned long long)R.Cache.CooperLiterals);
   if (R.NumFailed || R.NumDegraded || R.NumDeadlineMiss || R.NumRetried)
     std::printf("       %u failed, %u degraded, %u deadline miss%s, "
                 "%u retried\n",

@@ -92,18 +92,51 @@ JobResult CompileSession::run(const CompileJob &Job) const {
     uint64_t Budget = Opts.MaxLiterals == 0 ? 1 : Opts.MaxLiterals;
     uint64_t Factor = Opts.RetryBudgetFactor < 2 ? 2 : Opts.RetryBudgetFactor;
     Error LastError(Error::Kind::None, "");
-    for (unsigned Attempt = 0;; ++Attempt) {
+    smt::Solver::Stats Before = smt::solverThreadStats();
+    smt::clearLastBudgetUnknownQuery();
+    unsigned EscalationsLeft = Opts.MaxRetries;
+    for (;;) {
       R.FinalMaxLiterals = Budget;
       if (attemptJob(Job, R, Budget, Opts.UseQueryCache, &LastError))
         break;
-      // Unknown verdicts are never cached, so a retried build re-solves
-      // the starved queries under the escalated budget.
-      if (Attempt >= Opts.MaxRetries || !isRetryableError(LastError) ||
-          D.expired())
+      if (EscalationsLeft == 0 || !isRetryableError(LastError) || D.expired())
         break;
+      // Cheap retry: the solver remembered the query that came back
+      // budget-Unknown. Re-prove just that query under escalated budgets;
+      // only when its verdict actually changes is a full re-build worth
+      // the cost (Unknown verdicts are never cached, and a Yes/No probe
+      // result is, so the re-build gets the answer from the cache).
+      smt::TermRef Failed = smt::lastBudgetUnknownQuery();
+      bool VerdictChanged = false;
+      while (EscalationsLeft > 0 && !D.expired()) {
+        --EscalationsLeft;
+        Budget = Budget > UINT64_MAX / Factor ? UINT64_MAX : Budget * Factor;
+        if (!Failed) {
+          // Nothing recorded (the failure surfaced without a solver
+          // query on this thread): fall back to whole-job escalation.
+          R.RetryPath = "full";
+          VerdictChanged = true;
+          break;
+        }
+        ++R.RetryProbes;
+        smt::ScopedSolverDefaults Escalated(Budget, Opts.UseQueryCache);
+        smt::Solver Probe;
+        if (Probe.checkValid(Failed) != smt::SolverResult::Unknown) {
+          R.RetryPath = "probe";
+          VerdictChanged = true;
+          break;
+        }
+        R.RetryPath = "probe-exhausted";
+      }
+      if (!VerdictChanged)
+        break; // every probe stayed Unknown: a re-build would fail the same
       ++R.Retries;
-      Budget = Budget > UINT64_MAX / Factor ? UINT64_MAX : Budget * Factor;
+      smt::clearLastBudgetUnknownQuery();
     }
+    smt::Solver::Stats After = smt::solverThreadStats();
+    R.SolverQueries = After.NumQueries - Before.NumQueries;
+    R.SimplifyDecided = After.SimplifyDecided - Before.SimplifyDecided;
+    R.FastPathHits = After.FastPathHits - Before.FastPathHits;
 
     if (!R.Ok && Opts.FallbackReference && Job.BuildReference) {
       // Graceful degradation: correct-but-unscheduled C beats no C. The

@@ -96,6 +96,24 @@ struct JobResult {
   unsigned Retries = 0;
   uint64_t FinalMaxLiterals = 0;
 
+  /// How many single-query re-proof probes the retry policy ran before
+  /// (or instead of) full re-builds, and which escalation path the last
+  /// retry took: "probe" (the failed query was re-proved alone and its
+  /// verdict changed, so the job was re-built), "probe-exhausted" (probes
+  /// stayed budget-Unknown through every escalation — no re-build, the
+  /// result would not change), "full" (no failed query was recorded;
+  /// whole-job re-run). Empty when no retry happened.
+  unsigned RetryProbes = 0;
+  std::string RetryPath;
+
+  /// Per-job solver activity (exact deltas of the worker thread's
+  /// counters — a job runs entirely on one thread): total queries, how
+  /// many the preprocessing pipeline decided before Cooper, and how many
+  /// disjointness checks the effect fast path answered without a query.
+  uint64_t SolverQueries = 0;
+  uint64_t SimplifyDecided = 0;
+  uint64_t FastPathHits = 0;
+
   /// The job's deadline had passed by the time it finished (stamped by
   /// the session; the batch watchdog may also mark it).
   bool DeadlineMiss = false;

@@ -6,6 +6,7 @@
 
 #include "smt/Cooper.h"
 
+#include "smt/Simplify.h"
 #include "support/MathExtras.h"
 
 #include <set>
@@ -257,7 +258,7 @@ QFormRef exo::smt::eliminateExists(unsigned VarId, const QFormRef &F,
     if (Delta == 0)
       B.markStructural(); // coefficient LCM overflow — not tractable LIA
     else
-      B.charge(UINT64_MAX); // literal budget already gone
+      B.markExhausted(); // literal budget already gone
     return qFalse();
   }
   unsigned Y = VarId;
@@ -307,13 +308,49 @@ QFormRef exo::smt::eliminateExists(unsigned VarId, const QFormRef &F,
 
 Decision exo::smt::decideClosed(const PrenexResult &P, Budget &B) {
   QFormRef Body = P.Body;
-  for (auto It = P.Prefix.rbegin(); It != P.Prefix.rend(); ++It) {
+  bool CheapFirst = simplifyConfig().CheapVarOrder;
+  // Innermost-first elimination over the prefix. With the cheap-var
+  // ordering stage enabled, adjacent same-quantifier entries commute
+  // (exists x. exists y. F == exists y. exists x. F), so within each
+  // innermost same-quantifier block we may pick the variable with the
+  // smallest coefficient LCM — the one whose elimination multiplies the
+  // formula the least — and we stop as soon as the matrix is ground
+  // (the remaining quantifiers are then vacuous).
+  std::vector<QuantEntry> Prefix(P.Prefix.begin(), P.Prefix.end());
+  while (!Prefix.empty()) {
     if (B.exceeded())
       return Decision::Unknown;
-    if (It->Quant == QuantEntry::Q::Exists) {
-      Body = eliminateExists(It->VarId, Body, B);
+    if (CheapFirst && (Body->isTrue() || Body->isFalse())) {
+      B.noteEarlyExit();
+      break;
+    }
+    size_t End = Prefix.size();
+    size_t Pick = End - 1;
+    if (CheapFirst && End >= 2 &&
+        Prefix[End - 2].Quant == Prefix[End - 1].Quant) {
+      size_t Begin = End - 1;
+      while (Begin > 0 && Prefix[Begin - 1].Quant == Prefix[End - 1].Quant)
+        --Begin;
+      uint64_t Best = UINT64_MAX;
+      for (size_t I = End; I-- > Begin;) {
+        int64_t Lcm = coefficientLcm(Body, Prefix[I].VarId);
+        // An LCM of 0 signals overflow past MaxPeriod: treat as the most
+        // expensive choice so it is eliminated last.
+        uint64_t Cost = Lcm == 0 ? UINT64_MAX : (uint64_t)Lcm;
+        if (Cost < Best) {
+          Best = Cost;
+          Pick = I;
+        }
+      }
+      if (Pick != End - 1)
+        B.noteReorder();
+    }
+    QuantEntry E = Prefix[Pick];
+    Prefix.erase(Prefix.begin() + Pick);
+    if (E.Quant == QuantEntry::Q::Exists) {
+      Body = eliminateExists(E.VarId, Body, B);
     } else {
-      Body = qNot(eliminateExists(It->VarId, qNot(Body, B), B), B);
+      Body = qNot(eliminateExists(E.VarId, qNot(Body, B), B), B);
     }
   }
   if (B.exceeded())

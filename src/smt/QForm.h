@@ -50,8 +50,26 @@ public:
       return false;
     }
     Remaining -= N;
+    SpentLiterals += N;
     return true;
   }
+
+  /// Exhausts the budget without attributing the remainder to literal
+  /// consumption (used when an elimination step detects it cannot finish
+  /// and wants to abort wholesale). spent() stays at the literals that
+  /// were actually charged.
+  void markExhausted() { Remaining = 0; }
+
+  /// Literals successfully charged so far. Feeds the Cooper literal-
+  /// consumption counters in Solver::Stats and the bench tripwire.
+  uint64_t spent() const { return SpentLiterals; }
+
+  /// Bookkeeping hooks for the elimination-ordering stage (Cooper.cpp):
+  /// the solver folds these into its per-process stats after a query.
+  void noteReorder() { ++Reorders; }
+  void noteEarlyExit() { ++EarlyExits; }
+  uint64_t reorders() const { return Reorders; }
+  uint64_t earlyExits() const { return EarlyExits; }
 
   /// Marks the budget as exhausted because of a *structural* cap (a
   /// coefficient LCM or elimination bound-set overflow — genuine
@@ -86,6 +104,9 @@ private:
 
   uint64_t Remaining;
   uint64_t Ticks = 0;
+  uint64_t SpentLiterals = 0;
+  uint64_t Reorders = 0;
+  uint64_t EarlyExits = 0;
   bool Structural = false;
   bool TimedOut = false;
 };

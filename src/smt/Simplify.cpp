@@ -1,0 +1,744 @@
+//===- smt/Simplify.cpp - Query preprocessing pipeline ---------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Term-level stages of the solver preprocessing pipeline: constant
+/// folding with literal normalization, the one-point (equality
+/// substitution) rule, and interval propagation. See Simplify.h and
+/// DESIGN.md ("Solver preprocessing") for the stage contract; the Cooper
+/// ordering stage (4) lives in Cooper.cpp and only reads the config here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplify.h"
+
+#include "support/MathExtras.h"
+
+#include <atomic>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace exo;
+using namespace exo::smt;
+
+//===----------------------------------------------------------------------===//
+// Config toggles
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint8_t BitConstFold = 1 << 0;
+constexpr uint8_t BitEqSubst = 1 << 1;
+constexpr uint8_t BitIntervalProp = 1 << 2;
+constexpr uint8_t BitCheapVarOrder = 1 << 3;
+constexpr uint8_t BitEffectFastPath = 1 << 4;
+constexpr uint8_t BitAll = BitConstFold | BitEqSubst | BitIntervalProp |
+                           BitCheapVarOrder | BitEffectFastPath;
+
+std::atomic<uint8_t> &configBits() {
+  static std::atomic<uint8_t> Bits{BitAll};
+  return Bits;
+}
+
+} // namespace
+
+SimplifyConfig exo::smt::simplifyConfig() {
+  uint8_t B = configBits().load(std::memory_order_relaxed);
+  SimplifyConfig C;
+  C.ConstFold = B & BitConstFold;
+  C.EqSubst = B & BitEqSubst;
+  C.IntervalProp = B & BitIntervalProp;
+  C.CheapVarOrder = B & BitCheapVarOrder;
+  C.EffectFastPath = B & BitEffectFastPath;
+  return C;
+}
+
+void exo::smt::setSimplifyConfig(const SimplifyConfig &C) {
+  uint8_t B = 0;
+  if (C.ConstFold)
+    B |= BitConstFold;
+  if (C.EqSubst)
+    B |= BitEqSubst;
+  if (C.IntervalProp)
+    B |= BitIntervalProp;
+  if (C.CheapVarOrder)
+    B |= BitCheapVarOrder;
+  if (C.EffectFastPath)
+    B |= BitEffectFastPath;
+  configBits().store(B, std::memory_order_relaxed);
+}
+
+void exo::smt::setSimplifyEnabled(bool Enabled) {
+  configBits().store(Enabled ? BitAll : 0, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Interval arithmetic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Accumulator bound beyond which an endpoint widens to unbounded. Keeps
+/// the __int128 sums far from their own overflow while staying sound:
+/// widening an endpoint only loses precision, never adds models.
+constexpr __int128 SatLimit = (__int128)1 << 96;
+
+void tightenLo(ValueInterval &IV, int64_t Lo) {
+  if (!IV.Lo || *IV.Lo < Lo)
+    IV.Lo = Lo;
+}
+
+void tightenHi(ValueInterval &IV, int64_t Hi) {
+  if (!IV.Hi || *IV.Hi > Hi)
+    IV.Hi = Hi;
+}
+
+void mergeTighten(IntervalEnv &Into, const IntervalEnv &Facts) {
+  for (const auto &[Var, IV] : Facts) {
+    ValueInterval &Slot = Into[Var];
+    if (IV.Lo)
+      tightenLo(Slot, *IV.Lo);
+    if (IV.Hi)
+      tightenHi(Slot, *IV.Hi);
+  }
+}
+
+bool anyEmpty(const IntervalEnv &Env) {
+  for (const auto &[Var, IV] : Env) {
+    (void)Var;
+    if (IV.empty())
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+ValueInterval exo::smt::intervalOfLinear(const LinearForm &L,
+                                         const IntervalEnv &Env) {
+  bool LoOk = true, HiOk = true;
+  __int128 Lo = L.constant(), Hi = L.constant();
+  for (const auto &[Var, Coeff] : L.coeffs()) {
+    ValueInterval VI;
+    auto It = Env.find(Var);
+    if (It != Env.end())
+      VI = It->second;
+    if (VI.empty()) {
+      // Contradictory env: signal empty so callers skip deciding.
+      ValueInterval R;
+      R.Lo = 1;
+      R.Hi = 0;
+      return R;
+    }
+    // Coeff * [VI.Lo, VI.Hi]: a positive coefficient maps Lo->Lo, a
+    // negative one swaps the endpoints.
+    const std::optional<int64_t> &ToLo = Coeff > 0 ? VI.Lo : VI.Hi;
+    const std::optional<int64_t> &ToHi = Coeff > 0 ? VI.Hi : VI.Lo;
+    if (LoOk) {
+      if (!ToLo)
+        LoOk = false;
+      else
+        Lo += (__int128)Coeff * *ToLo;
+    }
+    if (HiOk) {
+      if (!ToHi)
+        HiOk = false;
+      else
+        Hi += (__int128)Coeff * *ToHi;
+    }
+    if (LoOk && (Lo > SatLimit || Lo < -SatLimit))
+      LoOk = false;
+    if (HiOk && (Hi > SatLimit || Hi < -SatLimit))
+      HiOk = false;
+  }
+  ValueInterval R;
+  if (LoOk && Lo >= INT64_MIN && Lo <= INT64_MAX)
+    R.Lo = (int64_t)Lo;
+  if (HiOk && Hi >= INT64_MIN && Hi <= INT64_MAX)
+    R.Hi = (int64_t)Hi;
+  return R;
+}
+
+namespace {
+
+/// Intersects the single-variable bound implied by the literal
+/// `A Kind B` (or its negation) into \p Env, if there is one.
+void factsFromAtom(TermKind Kind, const TermRef &A, const TermRef &B,
+                   bool Negated, IntervalEnv &Env) {
+  auto La = linearFromTerm(A), Lb = linearFromTerm(B);
+  if (!La || !Lb)
+    return;
+  LinearForm L = *La - *Lb;
+  bool IsEq = Kind == TermKind::Eq;
+  if (IsEq && Negated)
+    return; // x != e carries no interval fact
+  if (!IsEq) {
+    // Normalize to L <= 0.
+    //   A <= B        ->  L <= 0
+    //   A <  B        ->  L + 1 <= 0
+    //   !(A <= B)     ->  B < A  ->  -L + 1 <= 0
+    //   !(A <  B)     ->  B <= A ->  -L <= 0
+    if (Kind == TermKind::Lt && !Negated)
+      L.setConstant(L.constant() + 1);
+    else if (Kind == TermKind::Le && Negated) {
+      L = L.negated();
+      L.setConstant(L.constant() + 1);
+    } else if (Kind == TermKind::Lt && Negated)
+      L = L.negated();
+  }
+  if (L.coeffs().size() != 1)
+    return;
+  auto [Var, Coeff] = *L.coeffs().begin();
+  int64_t D = L.constant();
+  ValueInterval &Slot = Env[Var];
+  if (IsEq) {
+    // Coeff * v + D == 0
+    if (D % Coeff != 0)
+      return; // unsatisfiable literal; constant folding decides it
+    int64_t V = -D / Coeff;
+    tightenLo(Slot, V);
+    tightenHi(Slot, V);
+    return;
+  }
+  // Coeff * v <= -D
+  if (Coeff > 0)
+    tightenHi(Slot, floorDiv(-D, Coeff));
+  else
+    tightenLo(Slot, ceilDiv(-D, Coeff));
+}
+
+void collectNegatedFacts(const TermRef &F, IntervalEnv &Env);
+
+} // namespace
+
+void exo::smt::collectIntervalFacts(const TermRef &F, IntervalEnv &Env) {
+  switch (F->kind()) {
+  case TermKind::And:
+    for (const TermRef &Op : F->operands())
+      collectIntervalFacts(Op, Env);
+    return;
+  case TermKind::Not:
+    collectNegatedFacts(F->operand(0), Env);
+    return;
+  case TermKind::Eq:
+  case TermKind::Le:
+  case TermKind::Lt:
+    factsFromAtom(F->kind(), F->operand(0), F->operand(1), /*Negated=*/false,
+                  Env);
+    return;
+  default:
+    return;
+  }
+}
+
+namespace {
+
+/// Facts entailed by `not F`: Not(Or ...) distributes, Not(Implies A C)
+/// yields A and not C, literals dualize.
+void collectNegatedFacts(const TermRef &F, IntervalEnv &Env) {
+  switch (F->kind()) {
+  case TermKind::Or:
+    for (const TermRef &Op : F->operands())
+      collectNegatedFacts(Op, Env);
+    return;
+  case TermKind::Not:
+    collectIntervalFacts(F->operand(0), Env);
+    return;
+  case TermKind::Implies:
+    collectIntervalFacts(F->operand(0), Env);
+    collectNegatedFacts(F->operand(1), Env);
+    return;
+  case TermKind::Eq:
+  case TermKind::Le:
+  case TermKind::Lt:
+    factsFromAtom(F->kind(), F->operand(0), F->operand(1), /*Negated=*/true,
+                  Env);
+    return;
+  default:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stage 1: constant folding + literal normalization
+//===----------------------------------------------------------------------===//
+
+using Memo = std::unordered_map<const Term *, TermRef>;
+
+/// Rewrites a comparison atom into the canonical gcd-normalized
+/// `linear <= 0` / `linear == 0` shape so different spellings of one
+/// literal hash-cons to the same node. Ground atoms fold to a constant.
+TermRef canonAtom(TermKind Kind, const TermRef &A, const TermRef &B) {
+  auto Rebuild = [&]() -> TermRef {
+    switch (Kind) {
+    case TermKind::Eq:
+      return eq(A, B);
+    case TermKind::Le:
+      return le(A, B);
+    default:
+      return lt(A, B);
+    }
+  };
+  auto La = linearFromTerm(A), Lb = linearFromTerm(B);
+  if (!La || !Lb)
+    return Rebuild(); // Div/Mod/Ite operand: leave for Cooper
+  LinearForm L = *La - *Lb;
+  if (Kind == TermKind::Lt) // A < B  <=>  L + 1 <= 0
+    L.setConstant(L.constant() + 1);
+  if (L.isConstant()) {
+    int64_t C = L.constant();
+    return boolConst(Kind == TermKind::Eq ? C == 0 : C <= 0);
+  }
+  int64_t G = L.coeffGcd();
+  if (Kind == TermKind::Eq) {
+    if (L.constant() % G != 0)
+      return mkFalse(); // gcd test: no integer solution
+    L = [&] {
+      LinearForm Out;
+      for (const auto &[Var, Coeff] : L.coeffs())
+        Out.setCoeff(Var, Coeff / G);
+      Out.setConstant(L.constant() / G);
+      return Out;
+    }();
+    // Sign-normalize: lowest-id coefficient positive.
+    if (L.coeffs().begin()->second < 0)
+      L = L.negated();
+    return eq(linearToTerm(L), intConst(0));
+  }
+  // Le: g*(sum c'x) + d <= 0  <=>  sum c'x <= floor(-d / g)
+  //                           <=>  sum c'x - floor(-d / g) <= 0
+  LinearForm Out;
+  for (const auto &[Var, Coeff] : L.coeffs())
+    Out.setCoeff(Var, Coeff / G);
+  Out.setConstant(-floorDiv(-L.constant(), G));
+  return le(linearToTerm(Out), intConst(0));
+}
+
+TermRef foldRec(const TermRef &T, Memo &M) {
+  auto It = M.find(T.get());
+  if (It != M.end())
+    return It->second;
+  TermRef R;
+  switch (T->kind()) {
+  case TermKind::IntConst:
+  case TermKind::BoolConst:
+  case TermKind::Var:
+    R = T;
+    break;
+  case TermKind::Add: {
+    std::vector<TermRef> Ops;
+    Ops.reserve(T->numOperands());
+    for (const TermRef &Op : T->operands())
+      Ops.push_back(foldRec(Op, M));
+    R = add(std::move(Ops));
+    break;
+  }
+  case TermKind::Mul:
+    R = mul(T->scalar(), foldRec(T->operand(0), M));
+    break;
+  case TermKind::Div:
+    R = div(foldRec(T->operand(0), M), T->scalar());
+    break;
+  case TermKind::Mod:
+    R = mod(foldRec(T->operand(0), M), T->scalar());
+    break;
+  case TermKind::Eq:
+  case TermKind::Le:
+  case TermKind::Lt:
+    R = canonAtom(T->kind(), foldRec(T->operand(0), M),
+                  foldRec(T->operand(1), M));
+    break;
+  case TermKind::Not:
+    R = mkNot(foldRec(T->operand(0), M));
+    break;
+  case TermKind::And:
+  case TermKind::Or: {
+    // Fold children, flatten one level (the factories flatten nested
+    // And/Or only at construction), and dedup by interned pointer.
+    std::vector<TermRef> Ops;
+    std::unordered_set<const Term *> Seen;
+    for (const TermRef &Op : T->operands()) {
+      TermRef F = foldRec(Op, M);
+      auto Push = [&](const TermRef &Leaf) {
+        if (Seen.insert(Leaf.get()).second)
+          Ops.push_back(Leaf);
+      };
+      if (F->kind() == T->kind())
+        for (const TermRef &Leaf : F->operands())
+          Push(Leaf);
+      else
+        Push(F);
+    }
+    R = T->kind() == TermKind::And ? mkAnd(std::move(Ops))
+                                   : mkOr(std::move(Ops));
+    break;
+  }
+  case TermKind::Implies: {
+    TermRef A = foldRec(T->operand(0), M), C = foldRec(T->operand(1), M);
+    R = A.get() == C.get() ? mkTrue() : implies(A, C);
+    break;
+  }
+  case TermKind::Ite:
+    R = ite(foldRec(T->operand(0), M), foldRec(T->operand(1), M),
+            foldRec(T->operand(2), M));
+    break;
+  case TermKind::Forall:
+  case TermKind::Exists: {
+    TermRef Body = foldRec(T->operand(0), M);
+    if (!Body->hasFreeVar(T->var().Id))
+      R = Body; // vacuous quantifier
+    else
+      R = T->kind() == TermKind::Forall ? forall(T->var(), Body)
+                                        : exists(T->var(), Body);
+    break;
+  }
+  }
+  M.emplace(T.get(), R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Stage 2: equality substitution (one-point rule)
+//===----------------------------------------------------------------------===//
+
+/// Solves the equality atom for variable \p X when its coefficient is
+/// +-1, giving X = Repl with X not mentioned in Repl.
+std::optional<LinearForm> trySolveEq(const TermRef &EqAtom, unsigned X) {
+  auto La = linearFromTerm(EqAtom->operand(0));
+  auto Lb = linearFromTerm(EqAtom->operand(1));
+  if (!La || !Lb)
+    return std::nullopt;
+  LinearForm L = *La - *Lb; // L == 0
+  int64_t C = L.coeff(X);
+  if (C != 1 && C != -1)
+    return std::nullopt;
+  L.setCoeff(X, 0);
+  return C == 1 ? L.negated() : L;
+}
+
+/// Searches \p T for an equality on \p X entailed by every model of T
+/// (Negated = false) or of not-T (Negated = true). Mirrors the polarity
+/// rules of collect*Facts: conjunctive positions only.
+std::optional<LinearForm> findEntailedEq(const TermRef &T, unsigned X,
+                                         bool Negated) {
+  if (!T->hasFreeVar(X))
+    return std::nullopt;
+  switch (T->kind()) {
+  case TermKind::Eq:
+    return Negated ? std::nullopt : trySolveEq(T, X);
+  case TermKind::And:
+    if (!Negated)
+      for (const TermRef &Op : T->operands())
+        if (auto R = findEntailedEq(Op, X, false))
+          return R;
+    return std::nullopt;
+  case TermKind::Or:
+    if (Negated) // not(a or b) entails not a, not b
+      for (const TermRef &Op : T->operands())
+        if (auto R = findEntailedEq(Op, X, true))
+          return R;
+    return std::nullopt;
+  case TermKind::Not:
+    return findEntailedEq(T->operand(0), X, !Negated);
+  case TermKind::Implies:
+    if (Negated) { // not(A -> C) entails A and not C
+      if (auto R = findEntailedEq(T->operand(0), X, false))
+        return R;
+      return findEntailedEq(T->operand(1), X, true);
+    }
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Collects every binder id inside \p T and whether a Bool-sorted
+/// variable with id \p X occurs. Guards the one-point substitution:
+/// substVar has no capture avoidance, and closeFreeVars reinterprets a
+/// Bool free variable as an Int binder with the same id, so replacing
+/// such occurrences with an Int expression would be ill-sorted.
+void scanForSubstHazards(const TermRef &T, unsigned X,
+                         std::unordered_set<const Term *> &Seen,
+                         std::unordered_set<unsigned> &BinderIds,
+                         bool &BoolOccurrence) {
+  if (!Seen.insert(T.get()).second)
+    return;
+  switch (T->kind()) {
+  case TermKind::Var:
+    if (T->var().Id == X && T->var().VarSort == Sort::Bool)
+      BoolOccurrence = true;
+    return;
+  case TermKind::Forall:
+  case TermKind::Exists:
+    BinderIds.insert(T->var().Id);
+    break;
+  default:
+    break;
+  }
+  for (const TermRef &Op : T->operands())
+    scanForSubstHazards(Op, X, Seen, BinderIds, BoolOccurrence);
+}
+
+bool substitutionIsSafe(const TermRef &Body, unsigned X,
+                        const LinearForm &Repl) {
+  std::unordered_set<const Term *> Seen;
+  std::unordered_set<unsigned> BinderIds;
+  bool BoolOccurrence = false;
+  scanForSubstHazards(Body, X, Seen, BinderIds, BoolOccurrence);
+  if (BoolOccurrence)
+    return false;
+  for (const auto &[Var, Coeff] : Repl.coeffs()) {
+    (void)Coeff;
+    if (BinderIds.count(Var))
+      return false; // would be captured; Cooper handles it instead
+  }
+  return true;
+}
+
+TermRef eqSubstRec(const TermRef &T, Memo &M) {
+  if (T->sort() != Sort::Bool)
+    return T;
+  auto It = M.find(T.get());
+  if (It != M.end())
+    return It->second;
+  TermRef R;
+  switch (T->kind()) {
+  case TermKind::Forall:
+  case TermKind::Exists: {
+    TermRef Body = eqSubstRec(T->operand(0), M);
+    const TermVar &X = T->var();
+    if (!Body->hasFreeVar(X.Id)) {
+      R = Body;
+      break;
+    }
+    // exists x. B with B |= x = e  reduces to B[x := e]; forall x. B
+    // with not-B |= x = e likewise (both directions shown in DESIGN.md).
+    auto Repl = findEntailedEq(Body, X.Id, T->kind() == TermKind::Forall);
+    if (Repl && !Repl->mentions(X.Id) &&
+        substitutionIsSafe(Body, X.Id, *Repl)) {
+      R = substVar(Body, X, linearToTerm(*Repl));
+      break;
+    }
+    R = T->kind() == TermKind::Forall ? forall(X, Body) : exists(X, Body);
+    break;
+  }
+  case TermKind::Not:
+    R = mkNot(eqSubstRec(T->operand(0), M));
+    break;
+  case TermKind::And:
+  case TermKind::Or: {
+    std::vector<TermRef> Ops;
+    Ops.reserve(T->numOperands());
+    for (const TermRef &Op : T->operands())
+      Ops.push_back(eqSubstRec(Op, M));
+    R = T->kind() == TermKind::And ? mkAnd(std::move(Ops))
+                                   : mkOr(std::move(Ops));
+    break;
+  }
+  case TermKind::Implies:
+    R = implies(eqSubstRec(T->operand(0), M), eqSubstRec(T->operand(1), M));
+    break;
+  case TermKind::Ite:
+    R = ite(eqSubstRec(T->operand(0), M), eqSubstRec(T->operand(1), M),
+            eqSubstRec(T->operand(2), M));
+    break;
+  default:
+    R = T; // atoms and constants
+    break;
+  }
+  M.emplace(T.get(), R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Stage 3: interval propagation
+//===----------------------------------------------------------------------===//
+
+/// Decides a comparison atom when the interval of its linear difference
+/// is conclusive under \p Env.
+TermRef decideAtom(const TermRef &T, const IntervalEnv &Env) {
+  auto La = linearFromTerm(T->operand(0));
+  auto Lb = linearFromTerm(T->operand(1));
+  if (!La || !Lb)
+    return T;
+  LinearForm L = *La - *Lb;
+  ValueInterval IV = intervalOfLinear(L, Env);
+  if (IV.empty())
+    return T; // contradictory env: leave the atom alone
+  switch (T->kind()) {
+  case TermKind::Le: // L <= 0 ?
+    if (IV.Hi && *IV.Hi <= 0)
+      return mkTrue();
+    if (IV.Lo && *IV.Lo > 0)
+      return mkFalse();
+    break;
+  case TermKind::Lt: // L < 0 ?
+    if (IV.Hi && *IV.Hi < 0)
+      return mkTrue();
+    if (IV.Lo && *IV.Lo >= 0)
+      return mkFalse();
+    break;
+  case TermKind::Eq: // L == 0 ?
+    if (IV.Lo && IV.Hi && *IV.Lo == 0 && *IV.Hi == 0)
+      return mkTrue();
+    if ((IV.Lo && *IV.Lo > 0) || (IV.Hi && *IV.Hi < 0))
+      return mkFalse();
+    break;
+  default:
+    break;
+  }
+  return T;
+}
+
+/// Env-directed rewrite. The memo is only valid for one Env value, so
+/// recursion under a changed env allocates a fresh memo. Soundness
+/// invariant: the rewrite preserves the value of the subformula in every
+/// model satisfying Env; in models violating Env the enclosing context
+/// already forces the overall value (the env facts came from sibling
+/// conjuncts / implication premises).
+TermRef intervalRec(const TermRef &T, const IntervalEnv &Env, Memo &M) {
+  if (T->sort() != Sort::Bool)
+    return T;
+  auto It = M.find(T.get());
+  if (It != M.end())
+    return It->second;
+  TermRef R;
+  switch (T->kind()) {
+  case TermKind::Eq:
+  case TermKind::Le:
+  case TermKind::Lt:
+    R = decideAtom(T, Env);
+    break;
+  case TermKind::Not:
+    R = mkNot(intervalRec(T->operand(0), Env, M));
+    break;
+  case TermKind::Or: {
+    std::vector<TermRef> Ops;
+    Ops.reserve(T->numOperands());
+    for (const TermRef &Op : T->operands())
+      Ops.push_back(intervalRec(Op, Env, M));
+    R = mkOr(std::move(Ops));
+    break;
+  }
+  case TermKind::And: {
+    const std::vector<TermRef> &Ops = T->operands();
+    std::vector<IntervalEnv> Facts(Ops.size());
+    for (size_t I = 0; I < Ops.size(); ++I)
+      collectIntervalFacts(Ops[I], Facts[I]);
+    IntervalEnv All = Env;
+    for (const IntervalEnv &F : Facts)
+      mergeTighten(All, F);
+    if (anyEmpty(All)) {
+      // The conjuncts (plus env) are jointly unsatisfiable.
+      R = mkFalse();
+      break;
+    }
+    // Conjuncts are rewritten left to right. Child I may assume the
+    // facts of the already-rewritten children before it (they remain in
+    // the formula exactly as assumed) and of the *original* children
+    // after it — never its own. Simultaneously assuming every other
+    // original sibling would be circular once conjuncts repeat:
+    // And(a, a) would let each copy justify the other and fold to true.
+    std::vector<TermRef> NewOps;
+    NewOps.reserve(Ops.size());
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      IntervalEnv Sibling = Env;
+      for (size_t J = 0; J < I; ++J)
+        collectIntervalFacts(NewOps[J], Sibling);
+      for (size_t J = I + 1; J < Ops.size(); ++J)
+        mergeTighten(Sibling, Facts[J]);
+      if (Sibling == Env) {
+        NewOps.push_back(intervalRec(Ops[I], Env, M));
+      } else {
+        Memo Fresh;
+        NewOps.push_back(intervalRec(Ops[I], Sibling, Fresh));
+      }
+    }
+    R = mkAnd(std::move(NewOps));
+    break;
+  }
+  case TermKind::Implies: {
+    TermRef A = intervalRec(T->operand(0), Env, M);
+    IntervalEnv Premise = Env;
+    collectIntervalFacts(A, Premise);
+    if (anyEmpty(Premise)) {
+      R = mkTrue(); // antecedent unsatisfiable under env
+      break;
+    }
+    TermRef C;
+    if (Premise == Env) {
+      C = intervalRec(T->operand(1), Env, M);
+    } else {
+      Memo Fresh;
+      C = intervalRec(T->operand(1), Premise, Fresh);
+    }
+    R = implies(A, C);
+    break;
+  }
+  case TermKind::Ite:
+    R = ite(intervalRec(T->operand(0), Env, M),
+            intervalRec(T->operand(1), Env, M),
+            intervalRec(T->operand(2), Env, M));
+    break;
+  case TermKind::Forall:
+  case TermKind::Exists: {
+    const TermVar &X = T->var();
+    TermRef Body;
+    if (Env.count(X.Id)) {
+      // The binder shadows any outer fact about this id.
+      IntervalEnv Inner = Env;
+      Inner.erase(X.Id);
+      Memo Fresh;
+      Body = intervalRec(T->operand(0), Inner, Fresh);
+    } else {
+      Body = intervalRec(T->operand(0), Env, M);
+    }
+    if (!Body->hasFreeVar(X.Id))
+      R = Body;
+    else
+      R = T->kind() == TermKind::Forall ? forall(X, Body) : exists(X, Body);
+    break;
+  }
+  default:
+    R = T; // BoolConst, Var
+    break;
+  }
+  M.emplace(T.get(), R);
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pipeline driver
+//===----------------------------------------------------------------------===//
+
+SimplifyOutcome exo::smt::simplifyQuery(const TermRef &Closed) {
+  SimplifyConfig Cfg = simplifyConfig();
+  SimplifyOutcome O;
+  O.Simplified = Closed;
+  if (Cfg.ConstFold && !O.decided()) {
+    Memo M;
+    TermRef R = foldRec(O.Simplified, M);
+    O.ConstFoldHit = R.get() != O.Simplified.get();
+    O.Simplified = R;
+  }
+  if (Cfg.EqSubst && !O.decided()) {
+    Memo M;
+    TermRef R = eqSubstRec(O.Simplified, M);
+    O.EqSubstHit = R.get() != O.Simplified.get();
+    O.Simplified = R;
+  }
+  if (Cfg.IntervalProp && !O.decided()) {
+    Memo M;
+    IntervalEnv Env;
+    TermRef R = intervalRec(O.Simplified, Env, M);
+    O.IntervalHit = R.get() != O.Simplified.get();
+    O.Simplified = R;
+  }
+  return O;
+}

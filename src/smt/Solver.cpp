@@ -9,6 +9,7 @@
 #include "smt/Cooper.h"
 #include "smt/Prenex.h"
 #include "smt/QueryCache.h"
+#include "smt/Simplify.h"
 
 #include "support/Deadline.h"
 #include "support/FaultInjector.h"
@@ -47,37 +48,96 @@ struct GlobalStats {
   std::atomic<uint64_t> NumUnknownTimeout{0};
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> CacheMisses{0};
+  std::atomic<uint64_t> NumLiterals{0};
+  std::atomic<uint64_t> SimplifyConstFoldHits{0};
+  std::atomic<uint64_t> SimplifyConstFoldMisses{0};
+  std::atomic<uint64_t> SimplifyEqSubstHits{0};
+  std::atomic<uint64_t> SimplifyEqSubstMisses{0};
+  std::atomic<uint64_t> SimplifyIntervalHits{0};
+  std::atomic<uint64_t> SimplifyIntervalMisses{0};
+  std::atomic<uint64_t> SimplifyDecided{0};
+  std::atomic<uint64_t> CooperReorders{0};
+  std::atomic<uint64_t> CooperEarlyExits{0};
+  std::atomic<uint64_t> FastPathHits{0};
+  std::atomic<uint64_t> FastPathMisses{0};
 
   static GlobalStats &get() {
     static GlobalStats G;
     return G;
   }
 };
+
+/// Per-thread mirror of the counters (see solverThreadStats()).
+thread_local Solver::Stats TLStats;
+
+/// The last budget-Unknown query observed on this thread (see
+/// lastBudgetUnknownQuery()).
+thread_local TermRef TLLastBudgetUnknown;
+} // namespace
+
+namespace {
+/// Applies \p Fn to every (snapshot-field, atomic-counter) pair so the
+/// snapshot/reset functions cannot drift out of sync with the counter
+/// list as stats grow.
+template <typename FnT> void forEachCounter(GlobalStats &G, FnT Fn) {
+  Fn(&Solver::Stats::NumQueries, G.NumQueries);
+  Fn(&Solver::Stats::NumUnknown, G.NumUnknown);
+  Fn(&Solver::Stats::NumUnknownBudget, G.NumUnknownBudget);
+  Fn(&Solver::Stats::NumUnknownStructural, G.NumUnknownStructural);
+  Fn(&Solver::Stats::NumUnknownTimeout, G.NumUnknownTimeout);
+  Fn(&Solver::Stats::CacheHits, G.CacheHits);
+  Fn(&Solver::Stats::CacheMisses, G.CacheMisses);
+  Fn(&Solver::Stats::NumLiterals, G.NumLiterals);
+  Fn(&Solver::Stats::SimplifyConstFoldHits, G.SimplifyConstFoldHits);
+  Fn(&Solver::Stats::SimplifyConstFoldMisses, G.SimplifyConstFoldMisses);
+  Fn(&Solver::Stats::SimplifyEqSubstHits, G.SimplifyEqSubstHits);
+  Fn(&Solver::Stats::SimplifyEqSubstMisses, G.SimplifyEqSubstMisses);
+  Fn(&Solver::Stats::SimplifyIntervalHits, G.SimplifyIntervalHits);
+  Fn(&Solver::Stats::SimplifyIntervalMisses, G.SimplifyIntervalMisses);
+  Fn(&Solver::Stats::SimplifyDecided, G.SimplifyDecided);
+  Fn(&Solver::Stats::CooperReorders, G.CooperReorders);
+  Fn(&Solver::Stats::CooperEarlyExits, G.CooperEarlyExits);
+  Fn(&Solver::Stats::FastPathHits, G.FastPathHits);
+  Fn(&Solver::Stats::FastPathMisses, G.FastPathMisses);
+}
 } // namespace
 
 Solver::Stats exo::smt::solverGlobalStats() {
   GlobalStats &G = GlobalStats::get();
   Solver::Stats S;
-  S.NumQueries = G.NumQueries.load(std::memory_order_relaxed);
-  S.NumUnknown = G.NumUnknown.load(std::memory_order_relaxed);
-  S.NumUnknownBudget = G.NumUnknownBudget.load(std::memory_order_relaxed);
-  S.NumUnknownStructural =
-      G.NumUnknownStructural.load(std::memory_order_relaxed);
-  S.NumUnknownTimeout = G.NumUnknownTimeout.load(std::memory_order_relaxed);
-  S.CacheHits = G.CacheHits.load(std::memory_order_relaxed);
-  S.CacheMisses = G.CacheMisses.load(std::memory_order_relaxed);
+  forEachCounter(G, [&S](uint64_t Solver::Stats::*M,
+                         std::atomic<uint64_t> &C) {
+    S.*M = C.load(std::memory_order_relaxed);
+  });
   return S;
 }
 
 void exo::smt::resetSolverGlobalStats() {
   GlobalStats &G = GlobalStats::get();
-  G.NumQueries.store(0, std::memory_order_relaxed);
-  G.NumUnknown.store(0, std::memory_order_relaxed);
-  G.NumUnknownBudget.store(0, std::memory_order_relaxed);
-  G.NumUnknownStructural.store(0, std::memory_order_relaxed);
-  G.NumUnknownTimeout.store(0, std::memory_order_relaxed);
-  G.CacheHits.store(0, std::memory_order_relaxed);
-  G.CacheMisses.store(0, std::memory_order_relaxed);
+  forEachCounter(G, [](uint64_t Solver::Stats::*M,
+                       std::atomic<uint64_t> &C) {
+    (void)M;
+    C.store(0, std::memory_order_relaxed);
+  });
+}
+
+Solver::Stats exo::smt::solverThreadStats() { return TLStats; }
+
+void exo::smt::noteEffectFastPath(bool Hit) {
+  GlobalStats &G = GlobalStats::get();
+  if (Hit) {
+    ++TLStats.FastPathHits;
+    G.FastPathHits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++TLStats.FastPathMisses;
+    G.FastPathMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TermRef exo::smt::lastBudgetUnknownQuery() { return TLLastBudgetUnknown; }
+
+void exo::smt::clearLastBudgetUnknownQuery() {
+  TLLastBudgetUnknown = nullptr;
 }
 
 uint64_t exo::smt::defaultMaxLiterals() {
@@ -133,12 +193,16 @@ static TermRef closeFreeVars(TermRef F, bool Universally) {
 }
 
 SolverResult Solver::decide(TermRef Closed) {
-  ++TheStats.NumQueries;
   GlobalStats &G = GlobalStats::get();
-  auto Bump = [](std::atomic<uint64_t> &Counter) {
-    Counter.fetch_add(1, std::memory_order_relaxed);
+  // Every counter bump lands in three places: this instance, the
+  // process-wide aggregate, and the per-thread mirror.
+  auto Bump = [&](uint64_t Solver::Stats::*M, std::atomic<uint64_t> &Counter,
+                  uint64_t N = 1) {
+    TheStats.*M += N;
+    TLStats.*M += N;
+    Counter.fetch_add(N, std::memory_order_relaxed);
   };
-  Bump(G.NumQueries);
+  Bump(&Stats::NumQueries, G.NumQueries);
 
   // Fault-injection sites, ahead of the cache so an injected fault can
   // never be masked by a hit. An injected timeout models a wedged query:
@@ -159,41 +223,67 @@ SolverResult Solver::decide(TermRef Closed) {
           break;
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
-      ++TheStats.NumUnknown;
-      Bump(G.NumUnknown);
-      ++TheStats.NumUnknownTimeout;
-      Bump(G.NumUnknownTimeout);
+      Bump(&Stats::NumUnknown, G.NumUnknown);
+      Bump(&Stats::NumUnknownTimeout, G.NumUnknownTimeout);
       return SolverResult::Unknown;
     }
     if (Inj.shouldFire(support::Fault::SolverBudgetUnknown)) {
-      ++TheStats.NumUnknown;
-      Bump(G.NumUnknown);
-      ++TheStats.NumUnknownBudget;
-      Bump(G.NumUnknownBudget);
+      Bump(&Stats::NumUnknown, G.NumUnknown);
+      Bump(&Stats::NumUnknownBudget, G.NumUnknownBudget);
+      TLLastBudgetUnknown = Closed;
       return SolverResult::Unknown;
     }
   }
 
-  // Consult the process-wide memo table first. A hit returns exactly what
-  // the cold decision procedure returned for an alpha-equivalent query;
+  // Preprocessing pipeline, ahead of the cache: a query decided here
+  // costs no key computation and no budget, and the cache key below is
+  // computed on the *simplified* term so more alpha-variants collide.
+  SimplifyConfig Cfg = simplifyConfig();
+  SimplifyOutcome SO = simplifyQuery(Closed);
+  if (Cfg.ConstFold)
+    Bump(SO.ConstFoldHit ? &Stats::SimplifyConstFoldHits
+                         : &Stats::SimplifyConstFoldMisses,
+         SO.ConstFoldHit ? G.SimplifyConstFoldHits
+                         : G.SimplifyConstFoldMisses);
+  if (Cfg.EqSubst)
+    Bump(SO.EqSubstHit ? &Stats::SimplifyEqSubstHits
+                       : &Stats::SimplifyEqSubstMisses,
+         SO.EqSubstHit ? G.SimplifyEqSubstHits : G.SimplifyEqSubstMisses);
+  if (Cfg.IntervalProp)
+    Bump(SO.IntervalHit ? &Stats::SimplifyIntervalHits
+                        : &Stats::SimplifyIntervalMisses,
+         SO.IntervalHit ? G.SimplifyIntervalHits
+                        : G.SimplifyIntervalMisses);
+  if (SO.decided()) {
+    Bump(&Stats::SimplifyDecided, G.SimplifyDecided);
+    return SO.Simplified->boolValue() ? SolverResult::Yes : SolverResult::No;
+  }
+  TermRef Query = SO.Simplified;
+
+  // Consult the process-wide memo table. A hit returns exactly what the
+  // cold decision procedure returned for an alpha-equivalent query;
   // Unknown verdicts are never stored, so budget changes always re-solve.
   bool UseCache = Opts.UseQueryCache && queryCacheEnabled();
   std::string Key;
   if (UseCache) {
-    Key = canonicalQueryKey(Closed);
+    Key = canonicalQueryKey(Query);
     SolverResult Cached;
     if (queryCacheLookup(Key, Cached)) {
-      ++TheStats.CacheHits;
-      Bump(G.CacheHits);
+      Bump(&Stats::CacheHits, G.CacheHits);
       return Cached;
     }
-    ++TheStats.CacheMisses;
-    Bump(G.CacheMisses);
+    Bump(&Stats::CacheMisses, G.CacheMisses);
   }
 
   Budget B(Opts.MaxLiterals);
-  PrenexResult P = prenex(Closed, B);
+  PrenexResult P = prenex(Query, B);
   Decision D = B.exceeded() ? Decision::Unknown : decideClosed(P, B);
+  if (B.spent())
+    Bump(&Stats::NumLiterals, G.NumLiterals, B.spent());
+  if (B.reorders())
+    Bump(&Stats::CooperReorders, G.CooperReorders, B.reorders());
+  if (B.earlyExits())
+    Bump(&Stats::CooperEarlyExits, G.CooperEarlyExits, B.earlyExits());
   switch (D) {
   case Decision::True:
   case Decision::False: {
@@ -206,17 +296,16 @@ SolverResult Solver::decide(TermRef Closed) {
   case Decision::Unknown:
     break;
   }
-  ++TheStats.NumUnknown;
-  Bump(G.NumUnknown);
+  Bump(&Stats::NumUnknown, G.NumUnknown);
   if (B.timedOut()) {
-    ++TheStats.NumUnknownTimeout;
-    Bump(G.NumUnknownTimeout);
+    Bump(&Stats::NumUnknownTimeout, G.NumUnknownTimeout);
   } else if (B.structuralOverflow()) {
-    ++TheStats.NumUnknownStructural;
-    Bump(G.NumUnknownStructural);
+    Bump(&Stats::NumUnknownStructural, G.NumUnknownStructural);
   } else {
-    ++TheStats.NumUnknownBudget;
-    Bump(G.NumUnknownBudget);
+    Bump(&Stats::NumUnknownBudget, G.NumUnknownBudget);
+    // Remember the (pre-simplification) query so a retry policy can
+    // re-prove just this one under an escalated budget.
+    TLLastBudgetUnknown = Closed;
   }
   return SolverResult::Unknown;
 }

@@ -85,6 +85,14 @@ public:
   /// mid-query; see support/Deadline.h — neither budget nor structure is
   /// implicated, the query was cancelled). Cache counters track the
   /// process-wide query cache.
+  /// Preprocessing counters (DESIGN.md, "Solver preprocessing"): each
+  /// enabled pipeline stage counts a hit when it changed the query and a
+  /// miss when it left it alone; SimplifyDecided counts queries reduced
+  /// to a constant before prenex (no literal budget consumed at all).
+  /// NumLiterals is the total Cooper literal consumption — the currency
+  /// of the bench tripwire. FastPathHits/Misses track the effect-analysis
+  /// disjointness pre-check, which answers without building a query
+  /// (hits are NOT included in NumQueries).
   struct Stats {
     uint64_t NumQueries = 0;
     uint64_t NumUnknown = 0;
@@ -93,6 +101,18 @@ public:
     uint64_t NumUnknownTimeout = 0;
     uint64_t CacheHits = 0;
     uint64_t CacheMisses = 0;
+    uint64_t NumLiterals = 0;
+    uint64_t SimplifyConstFoldHits = 0;
+    uint64_t SimplifyConstFoldMisses = 0;
+    uint64_t SimplifyEqSubstHits = 0;
+    uint64_t SimplifyEqSubstMisses = 0;
+    uint64_t SimplifyIntervalHits = 0;
+    uint64_t SimplifyIntervalMisses = 0;
+    uint64_t SimplifyDecided = 0;
+    uint64_t CooperReorders = 0;
+    uint64_t CooperEarlyExits = 0;
+    uint64_t FastPathHits = 0;
+    uint64_t FastPathMisses = 0;
   };
   const Stats &stats() const { return TheStats; }
 
@@ -107,6 +127,24 @@ private:
 /// this to observe solvers created deep inside the scheduling pipeline.
 Solver::Stats solverGlobalStats();
 void resetSolverGlobalStats();
+
+/// Per-thread aggregate of the same counters. A batch job runs entirely
+/// on one worker thread, so CompileSession snapshots this before and
+/// after a job to attribute query counts to it exactly, without racing
+/// against jobs on other threads.
+Solver::Stats solverThreadStats();
+
+/// Records an effect-analysis disjointness fast-path outcome (see
+/// analysis/Checks.cpp) into the global and per-thread stats. Lives here
+/// so the fast path shares the solver's stats plumbing.
+void noteEffectFastPath(bool Hit);
+
+/// The most recent query on this thread that came back Unknown for
+/// *budget* reasons, kept so retry policies can re-prove just that query
+/// under an escalated budget instead of re-running a whole job
+/// (CompileSession::attemptJob). Cleared explicitly by the retry loop.
+TermRef lastBudgetUnknownQuery();
+void clearLastBudgetUnknownQuery();
 
 } // namespace smt
 } // namespace exo

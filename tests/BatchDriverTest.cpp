@@ -17,6 +17,7 @@
 
 #include "frontend/Parser.h"
 #include "scheduling/Schedule.h"
+#include "smt/Simplify.h"
 
 #include <gtest/gtest.h>
 
@@ -28,6 +29,17 @@ using namespace exo::ir;
 using namespace exo::scheduling;
 
 namespace {
+
+/// Disable the preprocessing pipeline for tests that starve the Cooper
+/// literal budget: with the pipeline on, the staging containment proofs
+/// are decided without consuming any literals, so a one-literal budget
+/// no longer fails. The config is a process-global atomic, so this also
+/// covers the BatchDriver worker threads.
+struct ScopedSimplifyOff {
+  smt::SimplifyConfig Saved = smt::simplifyConfig();
+  ScopedSimplifyOff() { smt::setSimplifyEnabled(false); }
+  ~ScopedSimplifyOff() { smt::setSimplifyConfig(Saved); }
+};
 
 const char *GemmSrc = R"(
 @proc
@@ -119,7 +131,10 @@ TEST(BatchDriverTest, FailureIsRecordedNotFatal) {
 TEST(BatchDriverTest, SessionBudgetReachesSolver) {
   // With a one-literal budget the staging containment proof cannot
   // complete; the job must fail with the budget-exhausted verdict in its
-  // payload.
+  // payload. The preprocessing pipeline would decide these queries
+  // without spending literals, so switch it off to keep Cooper on the
+  // hook.
+  ScopedSimplifyOff Off;
   std::vector<CompileJob> Jobs;
   Jobs.push_back({"starved",
                   []() -> Expected<std::vector<ProcRef>> {

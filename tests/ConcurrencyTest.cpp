@@ -21,6 +21,7 @@
 #include "frontend/Parser.h"
 #include "scheduling/Schedule.h"
 #include "smt/QueryCache.h"
+#include "smt/Simplify.h"
 #include "smt/Solver.h"
 #include "support/ThreadPool.h"
 
@@ -223,6 +224,44 @@ TEST(ConcurrencyTest, ThreadPoolInlineModeRunsOnCaller) {
   Pool.submit([&Ran] { Ran = std::this_thread::get_id(); });
   Pool.waitIdle();
   EXPECT_EQ(Ran, Caller);
+}
+
+TEST(ConcurrencyTest, SimplifyConfigTogglesAreRaceFree) {
+  // The preprocessing pipeline's stage toggles are a process-global
+  // atomic read by every solve. Hammer solves on N threads while a
+  // toggler thread flips stages: TSan must stay quiet, and because every
+  // stage is verdict-preserving, the tile-disjointness query must answer
+  // Yes under every configuration it happens to observe.
+  using namespace exo::smt;
+  clearSolverQueryCache();
+  SimplifyConfig Saved = simplifyConfig();
+  std::atomic<bool> Done{false};
+  std::atomic<unsigned> Wrong{0};
+
+  std::thread Toggler([&] {
+    unsigned I = 0;
+    while (!Done.load(std::memory_order_relaxed)) {
+      SimplifyConfig C;
+      C.ConstFold = I & 1;
+      C.EqSubst = I & 2;
+      C.IntervalProp = I & 4;
+      C.CheapVarOrder = I & 8;
+      C.EffectFastPath = I & 16;
+      setSimplifyConfig(C);
+      ++I;
+      std::this_thread::yield();
+    }
+  });
+
+  onThreads([&](unsigned T) {
+    for (unsigned R = 0; R < Reps; ++R)
+      if (tileQuery(static_cast<int64_t>(2 + (R % 8))) != SolverResult::Yes)
+        Wrong.fetch_add(1, std::memory_order_relaxed);
+  });
+  Done.store(true);
+  Toggler.join();
+  setSimplifyConfig(Saved);
+  EXPECT_EQ(Wrong.load(), 0u);
 }
 
 TEST(ConcurrencyTest, GlobalSolverStatsAggregateAtomically) {

@@ -8,6 +8,7 @@
 #include "analysis/Context.h"
 
 #include "frontend/Parser.h"
+#include "smt/Solver.h"
 
 #include <gtest/gtest.h>
 
@@ -131,6 +132,40 @@ def f(x: R[16]):
         x[j] = 2.0
 )");
   EXPECT_TRUE(T.commutes());
+}
+
+TEST(EffectsTest, DisjointFastPathAnswersSeparatedTiles) {
+  // The interval fast path (analysis::disjointFastPath) must answer the
+  // x[0:8] / x[8:16] case without posing a solver query: the coordinate
+  // difference i - j lies in [-15, -1] under the loop bounds.
+  smt::resetSolverGlobalStats();
+  TwoStmtEffects T(R"(
+@proc
+def f(x: R[16]):
+    for i in seq(0, 8):
+        x[i] = 1.0
+    for j in seq(8, 16):
+        x[j] = 2.0
+)");
+  EXPECT_TRUE(T.commutes());
+  EXPECT_GT(smt::solverGlobalStats().FastPathHits, 0u);
+}
+
+TEST(EffectsTest, DisjointFastPathBailsOnSharedBinder) {
+  // Overlapping tiles sharing structure must NOT be claimed disjoint:
+  // x[0:9] and x[8:16] overlap at x[8]; the fast path may only miss
+  // (falling back to the solver), never hit.
+  smt::resetSolverGlobalStats();
+  TwoStmtEffects T(R"(
+@proc
+def f(x: R[16]):
+    for i in seq(0, 9):
+        x[i] = 1.0
+    for j in seq(8, 16):
+        x[j] = 2.0
+)");
+  EXPECT_FALSE(T.commutes());
+  EXPECT_EQ(smt::solverGlobalStats().FastPathHits, 0u);
 }
 
 TEST(EffectsTest, GuardedWritesRespectGuards) {

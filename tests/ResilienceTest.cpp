@@ -21,6 +21,7 @@
 #include "frontend/Parser.h"
 #include "gemmini_sim.h"
 #include "scheduling/Schedule.h"
+#include "smt/Simplify.h"
 #include "smt/Solver.h"
 
 #include <gtest/gtest.h>
@@ -210,7 +211,18 @@ CompileJob structuralUnknownJob() {
           }};
 }
 
+/// Pins the preprocessing pipeline off for one test so MaxLiterals = 1
+/// genuinely starves Cooper — with the pipeline on, the staged-gemm
+/// containment queries are decided before any literal is charged and the
+/// budget never runs out.
+struct ScopedSimplifyOff {
+  smt::SimplifyConfig Saved = smt::simplifyConfig();
+  ScopedSimplifyOff() { smt::setSimplifyEnabled(false); }
+  ~ScopedSimplifyOff() { smt::setSimplifyConfig(Saved); }
+};
+
 TEST(RetryPolicyTest, BudgetUnknownRetriedWithEscalatedBudgetSucceeds) {
+  ScopedSimplifyOff Off;
   SessionOptions Opts;
   Opts.MaxLiterals = 1; // starve the first attempt
   Opts.UseQueryCache = false;
@@ -225,7 +237,62 @@ TEST(RetryPolicyTest, BudgetUnknownRetriedWithEscalatedBudgetSucceeds) {
       << "a retried-then-successful job must not carry stale error state";
 }
 
+TEST(RetryPolicyTest, EscalationProbesFailedQueryBeforeFullRerun) {
+  // The retry loop must first re-prove only the recorded failed query
+  // under the escalated budget (cheap probe) and re-run the whole job
+  // only once the probe's verdict changes. With the pipeline off and a
+  // one-literal budget, the staging containment query goes
+  // budget-Unknown; one escalation to the default budget flips it, so
+  // exactly one probe runs and the full re-run succeeds.
+  ScopedSimplifyOff Off;
+  SessionOptions Opts;
+  Opts.MaxLiterals = 1;
+  Opts.UseQueryCache = false;
+  Opts.MaxRetries = 1;
+  Opts.RetryBudgetFactor = smt::defaultMaxLiterals();
+  JobResult R = CompileSession(Opts).run(stagedGemmJob());
+  EXPECT_TRUE(R.Ok) << R.ErrorMessage;
+  EXPECT_EQ(R.RetryProbes, 1u);
+  EXPECT_EQ(R.RetryPath, "probe");
+}
+
+TEST(RetryPolicyTest, ProbeExhaustionSkipsFullRerun) {
+  // When every escalation step still leaves the probe Unknown, the full
+  // job is never re-run: the session fails with the probe-exhausted
+  // path recorded and only the initial attempt's verdict.
+  ScopedSimplifyOff Off;
+  SessionOptions Opts;
+  Opts.MaxLiterals = 1;
+  Opts.UseQueryCache = false;
+  Opts.MaxRetries = 3;
+  Opts.RetryBudgetFactor = 1; // escalation that never actually grows
+  JobResult R = CompileSession(Opts).run(stagedGemmJob());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Retries, 0u)
+      << "a full re-run must not happen while probes stay Unknown";
+  EXPECT_EQ(R.RetryProbes, 3u);
+  EXPECT_EQ(R.RetryPath, "probe-exhausted");
+  EXPECT_EQ(R.ErrorVerdict,
+            scheduleVerdictName(ScheduleErrorInfo::Verdict::UnknownBudget));
+}
+
+TEST(RetryPolicyTest, PipelineDecidesStarvedQueriesOutright) {
+  // The flip side of the starvation tests above: with the preprocessing
+  // pipeline ON, the same staged-gemm containment proofs are decided
+  // during preprocessing and the one-literal session succeeds with no
+  // retries at all. (This schedule was a budget-Unknown before the
+  // pipeline existed.)
+  SessionOptions Opts;
+  Opts.MaxLiterals = 1;
+  Opts.UseQueryCache = false;
+  JobResult R = CompileSession(Opts).run(stagedGemmJob());
+  EXPECT_TRUE(R.Ok) << R.ErrorMessage;
+  EXPECT_EQ(R.Retries, 0u);
+  EXPECT_GT(R.SimplifyDecided + R.FastPathHits, 0u);
+}
+
 TEST(RetryPolicyTest, BudgetUnknownWithoutRetriesStaysFailed) {
+  ScopedSimplifyOff Off;
   SessionOptions Opts;
   Opts.MaxLiterals = 1;
   Opts.UseQueryCache = false;

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "smt/QueryCache.h"
+#include "smt/Simplify.h"
 #include "smt/Solver.h"
 
 #include "support/MathExtras.h"
@@ -262,12 +263,17 @@ TEST_P(CacheDifferentialTest, WarmEqualsColdAndAlphaVariantsHit) {
   EXPECT_EQ(Prime.checkSat(SatQ), ColdSat);
 
   // Warm solve: bit-identical verdicts; hits exactly for Yes/No, never
-  // for Unknown (which must not have been cached).
+  // for Unknown (which must not have been cached). Queries the
+  // preprocessing pipeline decides outright never reach the cache at
+  // all — they are cheaper than the key computation — so they are
+  // excluded from the expected hit count.
   Solver Warm;
   EXPECT_EQ(Warm.checkValid(ValidQ), ColdValid);
   EXPECT_EQ(Warm.checkSat(SatQ), ColdSat);
   uint64_t WantHits = (ColdValid != SolverResult::Unknown ? 1u : 0u) +
                       (ColdSat != SolverResult::Unknown ? 1u : 0u);
+  ASSERT_LE(Warm.stats().SimplifyDecided, WantHits);
+  WantHits -= Warm.stats().SimplifyDecided;
   EXPECT_EQ(Warm.stats().CacheHits, WantHits);
 
   // Alpha-renamed variant: the same formula built over a disjoint fresh
@@ -284,6 +290,199 @@ TEST_P(CacheDifferentialTest, WarmEqualsColdAndAlphaVariantsHit) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheDifferentialTest,
                          ::testing::Range(1u, 26u));
+
+/// Toggle the whole preprocessing pipeline off for a scope. The config
+/// is a process-global atomic, so this also governs worker threads.
+struct ScopedSimplifyOff {
+  SimplifyConfig Saved = simplifyConfig();
+  ScopedSimplifyOff() { setSimplifyEnabled(false); }
+  ~ScopedSimplifyOff() { setSimplifyConfig(Saved); }
+};
+
+class SimplifyDifferentialTest : public ::testing::TestWithParam<unsigned> {};
+
+/// The preprocessing pipeline must be verdict-preserving: with the
+/// pipeline enabled the solver must agree with brute-force enumeration,
+/// and against the pipeline-disabled solver the only permitted
+/// difference is Unknown -> Yes/No (a strict improvement). A Yes <-> No
+/// flip in either direction is a soundness bug.
+TEST_P(SimplifyDifferentialTest, PipelineAgreesWithBruteForce) {
+  std::vector<TermVar> Vars = {freshVar("x", Sort::Int),
+                               freshVar("y", Sort::Int)};
+  FormulaGen Gen(GetParam() * 31337, Vars);
+  TermRef Body = Gen.randFormula(3);
+
+  std::vector<TermRef> BoundParts;
+  for (const TermVar &V : Vars) {
+    BoundParts.push_back(le(intConst(Lo), mkVar(V)));
+    BoundParts.push_back(le(mkVar(V), intConst(Hi)));
+  }
+  TermRef Bounds = mkAnd(BoundParts);
+  TermRef ValidQ = implies(Bounds, Body);
+  TermRef SatQ = mkAnd(Bounds, Body);
+
+  bool AllTrue = true, AnyTrue = false;
+  std::map<unsigned, int64_t> Env;
+  for (int64_t X = Lo; X <= Hi; ++X)
+    for (int64_t Y = Lo; Y <= Hi; ++Y) {
+      Env[Vars[0].Id] = X;
+      Env[Vars[1].Id] = Y;
+      bool V = evalFormula(Body, Env);
+      AllTrue &= V;
+      AnyTrue |= V;
+    }
+
+  SolverOptions NoCache;
+  NoCache.UseQueryCache = false;
+
+  SolverResult OffValid, OffSat;
+  {
+    ScopedSimplifyOff Off;
+    Solver S(NoCache);
+    OffValid = S.checkValid(ValidQ);
+    OffSat = S.checkSat(SatQ);
+  }
+
+  Solver On(NoCache);
+  SolverResult OnValid = On.checkValid(ValidQ);
+  SolverResult OnSat = On.checkSat(SatQ);
+
+  // Pipeline-on verdicts agree with enumeration whenever decided.
+  if (OnValid != SolverResult::Unknown)
+    EXPECT_EQ(OnValid == SolverResult::Yes, AllTrue) << Body->str();
+  if (OnSat != SolverResult::Unknown)
+    EXPECT_EQ(OnSat == SolverResult::Yes, AnyTrue) << Body->str();
+
+  // Versus pipeline-off: when both sides decide, the verdicts must be
+  // bit-identical — Yes <-> No is never legal. Unknown can move in
+  // either direction: the pipeline usually upgrades budget-Unknowns,
+  // but the cheap-variable reorder is a heuristic and may pick an
+  // elimination order that exhausts the literal budget where the
+  // default order squeaked through. Both are safe outcomes.
+  if (OffValid != SolverResult::Unknown && OnValid != SolverResult::Unknown)
+    EXPECT_EQ(OnValid, OffValid) << Body->str();
+  if (OffSat != SolverResult::Unknown && OnSat != SolverResult::Unknown)
+    EXPECT_EQ(OnSat, OffSat) << Body->str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyDifferentialTest,
+                         ::testing::Range(1u, 41u));
+
+class SimplifyQuantifiedDifferentialTest
+    : public ::testing::TestWithParam<unsigned> {};
+
+/// Same property over alternating quantifiers — this is the shape that
+/// exercises the one-point rule under both polarities and the interval
+/// environment threaded through binders.
+TEST_P(SimplifyQuantifiedDifferentialTest, PipelineAgreesOnAlternation) {
+  std::vector<TermVar> Vars = {freshVar("x", Sort::Int),
+                               freshVar("y", Sort::Int)};
+  FormulaGen Gen(GetParam() * 523, Vars);
+  TermRef Body = Gen.randFormula(2);
+
+  bool Brute = true;
+  std::map<unsigned, int64_t> Env;
+  for (int64_t X = Lo; X <= Hi && Brute; ++X) {
+    bool ExistsY = false;
+    for (int64_t Y = Lo; Y <= Hi; ++Y) {
+      Env[Vars[0].Id] = X;
+      Env[Vars[1].Id] = Y;
+      ExistsY |= evalFormula(Body, Env);
+    }
+    Brute &= ExistsY;
+  }
+
+  TermRef XIn = mkAnd(le(intConst(Lo), mkVar(Vars[0])),
+                      le(mkVar(Vars[0]), intConst(Hi)));
+  TermRef YIn = mkAnd(le(intConst(Lo), mkVar(Vars[1])),
+                      le(mkVar(Vars[1]), intConst(Hi)));
+  TermRef F = forall(Vars[0],
+                     implies(XIn, exists(Vars[1], mkAnd(YIn, Body))));
+
+  SolverOptions NoCache;
+  NoCache.UseQueryCache = false;
+
+  SolverResult OffR;
+  {
+    ScopedSimplifyOff Off;
+    Solver S(NoCache);
+    OffR = S.checkValid(F);
+  }
+  Solver On(NoCache);
+  SolverResult OnR = On.checkValid(F);
+
+  if (OnR != SolverResult::Unknown)
+    EXPECT_EQ(OnR == SolverResult::Yes, Brute) << Body->str();
+  if (OffR != SolverResult::Unknown && OnR != SolverResult::Unknown)
+    EXPECT_EQ(OnR, OffR) << Body->str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyQuantifiedDifferentialTest,
+                         ::testing::Range(1u, 31u));
+
+/// Multithreaded face of the differential: serial pipeline-off verdicts
+/// and brute-force enumeration are computed first, then many threads
+/// decide the same pool with the pipeline enabled. Every decided
+/// verdict must match enumeration; every off-decided verdict must be
+/// reproduced exactly.
+TEST(ParallelSimplifyDifferentialTest, ThreadedPipelineMatchesSerial) {
+  constexpr unsigned NumFormulas = 24, NumThreads = 4;
+  std::vector<TermRef> Queries;
+  std::vector<SolverResult> OffRef;
+  std::vector<bool> Brute;
+  SolverOptions NoCache;
+  NoCache.UseQueryCache = false;
+
+  for (unsigned Seed = 1; Seed <= NumFormulas; ++Seed) {
+    std::vector<TermVar> Vars = {freshVar("x", Sort::Int),
+                                 freshVar("y", Sort::Int)};
+    FormulaGen Gen(Seed * 40487, Vars);
+    TermRef Body = Gen.randFormula(3);
+    std::vector<TermRef> BoundParts;
+    for (const TermVar &V : Vars) {
+      BoundParts.push_back(le(intConst(Lo), mkVar(V)));
+      BoundParts.push_back(le(mkVar(V), intConst(Hi)));
+    }
+    Queries.push_back(implies(mkAnd(BoundParts), Body));
+
+    bool AllTrue = true;
+    std::map<unsigned, int64_t> Env;
+    for (int64_t X = Lo; X <= Hi; ++X)
+      for (int64_t Y = Lo; Y <= Hi; ++Y) {
+        Env[Vars[0].Id] = X;
+        Env[Vars[1].Id] = Y;
+        AllTrue &= evalFormula(Body, Env);
+      }
+    Brute.push_back(AllTrue);
+
+    ScopedSimplifyOff Off;
+    Solver Cold(NoCache);
+    OffRef.push_back(Cold.checkValid(Queries.back()));
+  }
+
+  clearSolverQueryCache();
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (unsigned Round = 0; Round < 4; ++Round)
+        for (unsigned I = 0; I < NumFormulas; ++I) {
+          Solver S;
+          SolverResult R = S.checkValid(Queries[I]);
+          bool Bad = false;
+          if (R != SolverResult::Unknown) {
+            Bad |= (R == SolverResult::Yes) != Brute[I];
+            if (OffRef[I] != SolverResult::Unknown)
+              Bad |= R != OffRef[I];
+          }
+          if (Bad)
+            Mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+}
 
 /// The multithreaded face of the same property: many threads deciding the
 /// same formula pool through the shared striped cache must each get

@@ -9,6 +9,7 @@
 #include "smt/Cooper.h"
 #include "smt/Linear.h"
 #include "smt/Prenex.h"
+#include "smt/Simplify.h"
 
 #include <gtest/gtest.h>
 
@@ -176,6 +177,90 @@ TEST_F(SolverTest, SubstVar) {
   TermRef F = le(add(Vx, Vy), intConst(10));
   TermRef G = substVar(F, X, intConst(4));
   EXPECT_EQ(S.checkValid(iff(G, le(Vy, intConst(6)))), SolverResult::Yes);
+}
+
+//===----------------------------------------------------------------------===//
+// Preprocessing pipeline (Simplify.cpp) unit tests.
+//===----------------------------------------------------------------------===//
+
+class SimplifyTest : public SolverTest {
+protected:
+  /// simplifyQuery expects a closed term; universally close over x, y.
+  TermRef closedOf(TermRef F) { return forall(X, forall(Y, F)); }
+};
+
+TEST_F(SimplifyTest, ConstFoldDecidesGroundQuery) {
+  // forall x in [0,8). x*0 + 3 <= 5 — canonicalization grounds the atom.
+  TermRef F = forall(X, implies(mkAnd(le(intConst(0), Vx),
+                                      lt(Vx, intConst(8))),
+                                le(intConst(3), intConst(5))));
+  SimplifyOutcome O = simplifyQuery(F);
+  EXPECT_TRUE(O.decided());
+  EXPECT_TRUE(O.Simplified->boolValue());
+}
+
+TEST_F(SimplifyTest, EqSubstOnePointRule) {
+  // forall x,y. y == x+1 -> y <= x+1: the one-point rule removes y.
+  TermRef Body =
+      implies(eq(Vy, add(Vx, intConst(1))), le(Vy, add(Vx, intConst(1))));
+  SimplifyOutcome O = simplifyQuery(closedOf(Body));
+  EXPECT_TRUE(O.EqSubstHit);
+  EXPECT_TRUE(O.decided());
+  EXPECT_TRUE(O.Simplified->boolValue());
+}
+
+TEST_F(SimplifyTest, IntervalPropDecidesBoundedQuery) {
+  // forall x. 0 <= x < 16 -> x <= 20: pure interval reasoning.
+  TermRef Body = implies(
+      mkAnd(le(intConst(0), Vx), lt(Vx, intConst(16))), le(Vx, intConst(20)));
+  SimplifyOutcome O = simplifyQuery(closedOf(Body));
+  EXPECT_TRUE(O.decided());
+  EXPECT_TRUE(O.Simplified->boolValue());
+}
+
+TEST_F(SimplifyTest, IntervalPropRespectsDuplicatedConjuncts) {
+  // Regression: duplicated conjuncts must not justify each other away.
+  // After the one-point substitution y := x the bounds conjunction holds
+  // the x-bounds twice; simultaneous sibling rewriting would fold the
+  // whole premise to true and flip this valid query to No.
+  TermRef Div6 = le(intConst(6), div(add(Vx, intConst(1)), 3));
+  TermRef Body = mkNot(mkAnd(
+      {Div6, eq(Vy, Vx), mkOr(lt(Vy, intConst(1)), le(intConst(4), Vy))}));
+  TermRef Bounds = mkAnd({le(intConst(-3), Vx), le(Vx, intConst(3)),
+                          le(intConst(-3), Vy), le(Vy, intConst(3))});
+  EXPECT_EQ(S.checkValid(implies(Bounds, Body)), SolverResult::Yes);
+}
+
+TEST_F(SimplifyTest, SimplifyIsVerdictPreservingOnContradiction) {
+  // Contradictory interval premise: x <= 0 and x >= 1 -> anything.
+  TermRef Body = implies(mkAnd(le(Vx, intConst(0)), le(intConst(1), Vx)),
+                         eq(Vy, intConst(42)));
+  SimplifyOutcome O = simplifyQuery(closedOf(Body));
+  EXPECT_TRUE(O.decided());
+  EXPECT_TRUE(O.Simplified->boolValue());
+}
+
+TEST_F(SimplifyTest, StageTogglesAreHonored) {
+  SimplifyConfig Saved = simplifyConfig();
+  setSimplifyEnabled(false);
+  TermRef Body = implies(
+      mkAnd(le(intConst(0), Vx), lt(Vx, intConst(16))), le(Vx, intConst(20)));
+  SimplifyOutcome O = simplifyQuery(closedOf(Body));
+  EXPECT_FALSE(O.decided());
+  EXPECT_EQ(O.Simplified, closedOf(Body));
+  setSimplifyConfig(Saved);
+}
+
+TEST_F(SimplifyTest, DecidedQueriesSpendNoLiterals) {
+  // A pipeline-decided query consumes no Cooper literal budget at all:
+  // even a one-literal solver proves it.
+  Solver Tiny(SolverOptions{/*MaxLiterals=*/1});
+  TermRef F = forall(X, implies(mkAnd(le(intConst(0), Vx),
+                                      lt(Vx, intConst(16))),
+                                le(Vx, intConst(20))));
+  EXPECT_EQ(Tiny.checkValid(F), SolverResult::Yes);
+  EXPECT_EQ(Tiny.stats().SimplifyDecided, 1u);
+  EXPECT_EQ(Tiny.stats().NumLiterals, 0u);
 }
 
 // Property-style sweep: the split identity holds for many tile widths.
