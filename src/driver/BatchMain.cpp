@@ -38,6 +38,8 @@
 #include "driver/KernelSuite.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
+#include "testing/ProgramGen.h"
+#include "testing/ScheduleGen.h"
 
 #include "analysis/EffectCache.h"
 #include "smt/QueryCache.h"
@@ -85,6 +87,36 @@ std::string jsonEscape(const std::string &S) {
     }
   }
   return Out;
+}
+
+/// --fuzz N: replace the kernel suite with N randomly generated,
+/// randomly scheduled procedures (the fuzzing harness's generators, see
+/// testing/Fuzzer.h) and push them through the same parallel batch
+/// pipeline. Each job is self-contained and deterministic in its seed,
+/// so retries and worker interleavings cannot change the output.
+std::vector<CompileJob> fuzzJobs(uint64_t Seed, unsigned N) {
+  std::vector<CompileJob> Jobs;
+  for (unsigned I = 0; I < N; ++I) {
+    uint64_t S = Seed + I;
+    CompileJob J;
+    J.Name = "fuzz_p" + std::to_string(S);
+    J.Build = [S]() -> Expected<std::vector<ir::ProcRef>> {
+      auto G = testing::generateProgram(S);
+      if (!G)
+        return G.error();
+      testing::Rng R(S * 7919 + 104730);
+      return std::vector<ir::ProcRef>{
+          testing::generateSchedule(G->Proc, R).Scheduled};
+    };
+    J.BuildReference = [S]() -> Expected<std::vector<ir::ProcRef>> {
+      auto G = testing::generateProgram(S);
+      if (!G)
+        return G.error();
+      return std::vector<ir::ProcRef>{G->Proc};
+    };
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
 }
 
 const char *jobStatus(const JobResult &J) {
@@ -195,6 +227,8 @@ int main(int Argc, char **Argv) {
   bool SerialCheck = false, List = false;
   std::string JsonPath, InjectSpec;
   uint64_t InjectSeed = 0;
+  unsigned FuzzCount = 0;
+  uint64_t FuzzSeed = 1;
   std::vector<std::string> Filters;
   SessionOptions SOpts;
 
@@ -218,6 +252,10 @@ int main(int Argc, char **Argv) {
       InjectSpec = Argv[++I];
     else if (A == "--inject-seed" && I + 1 < Argc)
       InjectSeed = static_cast<uint64_t>(std::atoll(Argv[++I]));
+    else if (A == "--fuzz" && I + 1 < Argc)
+      FuzzCount = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (A == "--fuzz-seed" && I + 1 < Argc)
+      FuzzSeed = static_cast<uint64_t>(std::atoll(Argv[++I]));
     else if (A == "--list")
       List = true;
     else if (A == "--help" || A == "-h") {
@@ -226,7 +264,10 @@ int main(int Argc, char **Argv) {
           "                   [--deadline-ms N] [--max-retries N]\n"
           "                   [--max-literals N] [--fallback-reference]\n"
           "                   [--inject SPEC] [--inject-seed N]\n"
+          "                   [--fuzz N] [--fuzz-seed S]\n"
           "                   [--list] [job-name...]\n"
+          "--fuzz N compiles N randomly generated+scheduled procedures\n"
+          "instead of the kernel suite (same parallel pipeline).\n"
           "inject SPEC: comma-separated kind[@prob][*count]; kinds:\n"
           "  solver-timeout, budget-unknown, alloc-fail, runtime-trap\n");
       return 0;
@@ -248,7 +289,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::vector<CompileJob> Jobs = standardKernelSuite();
+  std::vector<CompileJob> Jobs =
+      FuzzCount ? fuzzJobs(FuzzSeed, FuzzCount) : standardKernelSuite();
   if (List) {
     for (const CompileJob &J : Jobs)
       std::printf("%s\n", J.Name.c_str());

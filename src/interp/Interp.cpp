@@ -231,7 +231,12 @@ private:
       auto Lo = evalControl(Coords[D].Lo, Env);
       if (!Lo)
         return Lo.error();
-      if (*Lo < 0 || *Lo > Base.Dims[D])
+      // An interval may be empty at the very end of the dimension
+      // (Lo == Dims[D]); a point coordinate selects element Lo and so
+      // must be strictly inside, matching StaticChecks and the generated
+      // C, which would otherwise index one past the buffer.
+      if (*Lo < 0 || *Lo > Base.Dims[D] ||
+          (!Coords[D].IsInterval && *Lo == Base.Dims[D]))
         return makeError(Error::Kind::Bounds,
                          "interp: window lower bound out of range");
       Offset += *Lo * Base.Strides[D];

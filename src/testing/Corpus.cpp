@@ -1,0 +1,143 @@
+//===- testing/Corpus.cpp - Fuzz corpus file format ------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Corpus.h"
+
+#include "frontend/Parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace exo;
+using namespace exo::testing;
+
+Expected<CorpusCase> exo::testing::parseCorpus(const std::string &Text) {
+  CorpusCase Case;
+  enum { Head, Source, Trace, Done } Mode = Head;
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Mode == Head && (Line.empty() || Line[0] == '#'))
+      continue;
+    if (Line == "[source]") {
+      Mode = Source;
+      continue;
+    }
+    if (Line == "[trace]") {
+      Mode = Trace;
+      continue;
+    }
+    if (Line == "[end]") {
+      Mode = Done;
+      continue;
+    }
+    switch (Mode) {
+    case Head: {
+      std::istringstream LS(Line);
+      std::string Key;
+      LS >> Key;
+      if (Key == "seed")
+        LS >> Case.Seed;
+      else if (Key == "input-seed")
+        LS >> Case.InputSeed;
+      else if (Key == "control") {
+        std::string Name;
+        int64_t V = 0;
+        LS >> Name >> V;
+        if (Name.empty())
+          return makeError(Error::Kind::Parse,
+                           "corpus line " + std::to_string(LineNo) +
+                               ": malformed control entry");
+        Case.Controls[Name] = V;
+      } else
+        return makeError(Error::Kind::Parse,
+                         "corpus line " + std::to_string(LineNo) +
+                             ": unknown key '" + Key + "'");
+      break;
+    }
+    case Source:
+      Case.Source += Line;
+      Case.Source += '\n';
+      break;
+    case Trace: {
+      if (Line.empty() || Line[0] == '#')
+        break;
+      auto S = ScheduleStep::parse(Line);
+      if (!S)
+        return makeError(Error::Kind::Parse,
+                         "corpus line " + std::to_string(LineNo) + ": " +
+                             S.error().message());
+      Case.Trace.push_back(std::move(*S));
+      break;
+    }
+    case Done:
+      break;
+    }
+  }
+  if (Case.Source.empty())
+    return makeError(Error::Kind::Parse, "corpus file has no [source] section");
+  return Case;
+}
+
+Expected<CorpusCase> exo::testing::readCorpusFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError(Error::Kind::Parse, "cannot open corpus file " + Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  auto Case = parseCorpus(SS.str());
+  if (!Case)
+    return makeError(Error::Kind::Parse, Path + ": " + Case.error().message());
+  return Case;
+}
+
+std::string exo::testing::renderCorpus(const CorpusCase &Case) {
+  std::ostringstream OS;
+  OS << "# exocc-fuzz corpus case (DESIGN.md, \"Differential testing\")\n";
+  OS << "seed " << Case.Seed << "\n";
+  OS << "input-seed " << Case.InputSeed << "\n";
+  for (const auto &[Name, V] : Case.Controls)
+    OS << "control " << Name << " " << V << "\n";
+  OS << "[source]\n" << Case.Source;
+  if (!Case.Source.empty() && Case.Source.back() != '\n')
+    OS << "\n";
+  OS << "[trace]\n";
+  for (const ScheduleStep &S : Case.Trace)
+    OS << S.str() << "\n";
+  OS << "[end]\n";
+  return OS.str();
+}
+
+Expected<bool> exo::testing::writeCorpusFile(const std::string &Path,
+                                             const CorpusCase &Case) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return makeError(Error::Kind::Internal, "cannot write corpus file " + Path);
+  Out << renderCorpus(Case);
+  return true;
+}
+
+Expected<OracleCase> exo::testing::materializeCorpus(const CorpusCase &Case) {
+  auto P = frontend::parseProc(Case.Source);
+  if (!P)
+    return makeError(Error::Kind::Parse,
+                     "corpus source: " + P.error().message());
+  auto Args = argSpecsFor(*P, Case.Controls);
+  if (!Args)
+    return Args.error();
+  auto Scheduled = applyTrace(*P, Case.Trace);
+  if (!Scheduled)
+    return Scheduled.error();
+  OracleCase OC;
+  OC.Reference = *P;
+  OC.Scheduled = *Scheduled;
+  OC.Args = std::move(*Args);
+  OC.InputSeed = Case.InputSeed;
+  return OC;
+}

@@ -1,0 +1,65 @@
+//===- testing/Corpus.h - Fuzz corpus file format --------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.fuzz` corpus file format: one self-contained differential case —
+/// the original procedure source, the concrete control-argument values,
+/// the input-fill seed, and the schedule trace. The seed corpus under
+/// tests/corpus/ is replayed by FuzzRegressionTest, reproducers written
+/// by the shrinker use the same format, and `exocc-fuzz --replay FILE`
+/// re-runs any of them through the triple oracle.
+///
+/// The format is line-oriented:
+///
+///   # free-form comment lines
+///   seed 42
+///   input-seed 42
+///   control n 4
+///   [source]
+///   @proc
+///   def fuzz_p42(n: size, A0: f32[n, 8]):
+///       ...
+///   [trace]
+///   split|i0|4|i0o|i0i|guard
+///   simplify
+///   [end]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_TESTING_CORPUS_H
+#define EXO_TESTING_CORPUS_H
+
+#include "testing/Oracle.h"
+#include "testing/ScheduleGen.h"
+
+namespace exo {
+namespace testing {
+
+struct CorpusCase {
+  uint64_t Seed = 0;      ///< generator seed (provenance only)
+  uint64_t InputSeed = 0; ///< LCG seed for the oracle's input fill
+  std::map<std::string, int64_t> Controls; ///< control-arg values by name
+  std::string Source;     ///< printed original procedure
+  std::vector<ScheduleStep> Trace;
+};
+
+Expected<CorpusCase> parseCorpus(const std::string &Text);
+Expected<CorpusCase> readCorpusFile(const std::string &Path);
+
+std::string renderCorpus(const CorpusCase &Case);
+Expected<bool> writeCorpusFile(const std::string &Path,
+                               const CorpusCase &Case);
+
+/// Turns a corpus case back into a runnable oracle case: parses the
+/// source, recomputes the argument shapes under the recorded control
+/// values, and replays the trace. A trace step the scheduling layer now
+/// rejects is an error (the corpus pins accepted schedules).
+Expected<OracleCase> materializeCorpus(const CorpusCase &Case);
+
+} // namespace testing
+} // namespace exo
+
+#endif // EXO_TESTING_CORPUS_H

@@ -1,0 +1,408 @@
+//===- testing/Oracle.cpp - Triple differential oracle ---------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Oracle.h"
+
+#include "backend/CodeGen.h"
+#include "interp/Interp.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace exo;
+using namespace exo::ir;
+using namespace exo::testing;
+
+#ifndef EXO_SOURCE_DIR
+#define EXO_SOURCE_DIR "."
+#endif
+
+namespace {
+
+/// The input fill: a 32-bit LCG producing small integers in [-3, 3],
+/// replicated verbatim in the emitted C harness so both sides see the
+/// same values. Integer inputs keep every pipeline bit-exact (see
+/// ProgramGen.h).
+struct Lcg {
+  uint32_t S;
+  explicit Lcg(uint64_t Seed)
+      : S(static_cast<uint32_t>(Seed ^ (Seed >> 32)) | 1u) {}
+  int next() {
+    S = S * 1103515245u + 12345u;
+    return static_cast<int>((S >> 16) % 7) - 3;
+  }
+};
+
+int64_t numElems(const ArgSpec &A) {
+  int64_t N = 1;
+  for (int64_t D : A.Dims)
+    N *= D;
+  return N;
+}
+
+/// Fills fresh interpreter storage for every buffer argument of a case.
+std::vector<std::vector<double>> fillBuffers(const OracleCase &C) {
+  Lcg R(C.InputSeed);
+  std::vector<std::vector<double>> Storage;
+  for (const ArgSpec &A : C.Args) {
+    if (A.IsControl)
+      continue;
+    std::vector<double> Buf(static_cast<size_t>(numElems(A)));
+    for (double &V : Buf)
+      V = R.next();
+    Storage.push_back(std::move(Buf));
+  }
+  return Storage;
+}
+
+Expected<bool> runInterp(const ProcRef &P, const OracleCase &C,
+                         std::vector<std::vector<double>> &Storage) {
+  interp::Interp I;
+  std::vector<interp::ArgValue> Vals;
+  size_t B = 0;
+  for (const ArgSpec &A : C.Args) {
+    if (A.IsControl) {
+      Vals.push_back(interp::ArgValue::control(A.Value));
+    } else {
+      Vals.push_back(interp::ArgValue::buffer(
+          interp::BufferView::dense(Storage[B].data(), A.Dims)));
+      ++B;
+    }
+  }
+  return I.run(P, std::move(Vals));
+}
+
+/// Flattens all buffers of a run into the comparison order (argument
+/// order, row-major), matching what the C harness prints.
+std::vector<double> flatten(const std::vector<std::vector<double>> &Storage) {
+  std::vector<double> Out;
+  for (const auto &Buf : Storage)
+    Out.insert(Out.end(), Buf.begin(), Buf.end());
+  return Out;
+}
+
+bool valuesAgree(double A, double B, double Tol) {
+  if (Tol == 0.0)
+    return A == B || (std::isnan(A) && std::isnan(B));
+  return std::fabs(A - B) <= Tol;
+}
+
+/// Maps a flat comparison index back to "buffer[elem]" for diagnostics.
+std::string locateFlat(const OracleCase &C, size_t Flat) {
+  for (const ArgSpec &A : C.Args) {
+    if (A.IsControl)
+      continue;
+    size_t N = static_cast<size_t>(numElems(A));
+    if (Flat < N)
+      return A.Name + "[" + std::to_string(Flat) + "]";
+    Flat -= N;
+  }
+  return "<out of range>";
+}
+
+std::string describeMismatch(const OracleCase &C, const char *LHS,
+                             const char *RHS, const std::vector<double> &A,
+                             const std::vector<double> &B, double Tol) {
+  if (A.size() != B.size())
+    return std::string(LHS) + " produced " + std::to_string(A.size()) +
+           " values, " + RHS + " " + std::to_string(B.size());
+  unsigned Bad = 0;
+  std::string First;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (valuesAgree(A[I], B[I], Tol))
+      continue;
+    if (!Bad) {
+      std::ostringstream OS;
+      OS << locateFlat(C, I) << ": " << LHS << "=" << A[I] << " " << RHS
+         << "=" << B[I];
+      First = OS.str();
+    }
+    ++Bad;
+  }
+  if (!Bad)
+    return "";
+  return First + " (" + std::to_string(Bad) + " element" +
+         (Bad == 1 ? "" : "s") + " differ)";
+}
+
+/// Emits the per-case block of the C harness: typed buffers, the LCG
+/// fill, the call, and the output dump framed by CASE/END markers so a
+/// mid-batch crash still leaves the earlier cases judgeable.
+void emitCaseC(std::ostream &OS, size_t Idx, const OracleCase &C) {
+  Lcg Seed(C.InputSeed);
+  OS << "  { /* case " << Idx << " */\n";
+  OS << "    unsigned s = " << Seed.S << "u;\n";
+  std::vector<std::string> CallArgs;
+  for (const ArgSpec &A : C.Args) {
+    if (A.IsControl) {
+      CallArgs.push_back(std::to_string(A.Value));
+      continue;
+    }
+    const char *Ty = backend::cTypeOf(A.Elem);
+    int64_t N = numElems(A);
+    OS << "    static " << Ty << " " << A.Name << "[" << N << "];\n";
+    OS << "    for (long i = 0; i < " << N << "; i++) " << A.Name
+       << "[i] = (" << Ty << ")exo_fuzz_next(&s);\n";
+    CallArgs.push_back(A.Name);
+  }
+  OS << "    " << C.Scheduled->name() << "(";
+  for (size_t I = 0; I < CallArgs.size(); ++I)
+    OS << (I ? ", " : "") << CallArgs[I];
+  OS << ");\n";
+  OS << "    printf(\"CASE " << Idx << "\\n\");\n";
+  for (const ArgSpec &A : C.Args) {
+    if (A.IsControl)
+      continue;
+    OS << "    for (long i = 0; i < " << numElems(A)
+       << "; i++) printf(\"%.17g\\n\", (double)" << A.Name << "[i]);\n";
+  }
+  OS << "    printf(\"END " << Idx << "\\n\");\n";
+  OS << "  }\n";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Runs the C pipeline for one sub-batch of cases whose scheduled procs
+/// have pairwise-distinct definitions per name. Expected values are the
+/// reference-interpreter results already computed by the caller.
+void runCBatch(const std::vector<size_t> &Idxs,
+               const std::vector<OracleCase> &Cases,
+               const std::vector<std::vector<double>> &Expected,
+               const OracleOptions &O, const std::string &Dir, unsigned Batch,
+               std::vector<OracleOutcome> &Out) {
+  // One emission per distinct proc; several cases may call the same one.
+  std::vector<ProcRef> Procs;
+  for (size_t I : Idxs) {
+    bool Seen = false;
+    for (const ProcRef &P : Procs)
+      Seen = Seen || P == Cases[I].Scheduled;
+    if (!Seen)
+      Procs.push_back(Cases[I].Scheduled);
+  }
+  auto C = backend::generateC(Procs);
+  if (!C) {
+    // The per-case pre-check passed, so a whole-batch failure is a
+    // harness-level surprise; attribute it to every case.
+    for (size_t I : Idxs)
+      Out[I] = {OracleStatus::CodegenError,
+                "batch generateC: " + C.error().str()};
+    return;
+  }
+
+  std::string Tag = std::to_string(Batch);
+  std::string CPath = Dir + "/fuzz_batch" + Tag + ".c";
+  std::string Bin = Dir + "/fuzz_batch" + Tag;
+  std::string OutPath = Dir + "/fuzz_batch" + Tag + ".out";
+  std::string ErrPath = Dir + "/fuzz_batch" + Tag + ".cc.err";
+  {
+    std::ofstream F(CPath);
+    F << *C;
+    F << "\n#include <stdio.h>\n";
+    F << "static int exo_fuzz_next(unsigned *s) {\n"
+         "  *s = *s * 1103515245u + 12345u;\n"
+         "  return (int)((*s >> 16) % 7) - 3;\n"
+         "}\n";
+    F << "int main(void) {\n";
+    for (size_t I : Idxs)
+      emitCaseC(F, I, Cases[I]);
+    F << "  return 0;\n}\n";
+  }
+
+  std::string Cmd = O.Compiler + " -O1 -std=c11 -o " + Bin + " " + CPath +
+                    " -I " EXO_SOURCE_DIR "/src/hwlibs/avx512/runtime" +
+                    " -I " EXO_SOURCE_DIR "/src/hwlibs/gemmini/runtime";
+  if (C->find("gemmini_sim.h") != std::string::npos)
+    Cmd += " " EXO_SOURCE_DIR "/src/hwlibs/gemmini/runtime/gemmini_sim.c";
+  Cmd += " -lm 2> " + ErrPath;
+  if (std::system(Cmd.c_str()) != 0) {
+    std::string Err = readFile(ErrPath);
+    if (Err.size() > 800)
+      Err = Err.substr(0, 800) + "...";
+    for (size_t I : Idxs)
+      Out[I] = {OracleStatus::CompileError,
+                "cc failed on " + CPath + ": " + Err};
+    return;
+  }
+
+  int Rc = std::system((Bin + " > " + OutPath + " 2>&1").c_str());
+
+  // Parse the CASE/END framed output; a crash leaves later cases
+  // unframed and they report RunError below.
+  std::map<size_t, std::vector<double>> Got;
+  {
+    std::ifstream In(OutPath);
+    std::string Line;
+    size_t Cur = SIZE_MAX;
+    std::vector<double> Vals;
+    while (std::getline(In, Line)) {
+      if (Line.rfind("CASE ", 0) == 0) {
+        Cur = static_cast<size_t>(std::strtoull(Line.c_str() + 5, nullptr, 10));
+        Vals.clear();
+      } else if (Line.rfind("END ", 0) == 0) {
+        if (Cur != SIZE_MAX)
+          Got[Cur] = Vals;
+        Cur = SIZE_MAX;
+      } else if (Cur != SIZE_MAX) {
+        Vals.push_back(std::strtod(Line.c_str(), nullptr));
+      }
+    }
+  }
+
+  for (size_t I : Idxs) {
+    auto It = Got.find(I);
+    if (It == Got.end()) {
+      Out[I] = {OracleStatus::RunError,
+                "binary " + Bin + (Rc != 0 ? " exited nonzero" : "") +
+                    " before completing case " + std::to_string(I)};
+      continue;
+    }
+    std::string Diff = describeMismatch(Cases[I], "interp", "C", Expected[I],
+                                        It->second, O.Tolerance);
+    if (!Diff.empty())
+      Out[I] = {OracleStatus::CodegenDivergence, Diff};
+  }
+}
+
+} // namespace
+
+const char *exo::testing::oracleStatusName(OracleStatus S) {
+  switch (S) {
+  case OracleStatus::Agree:
+    return "agree";
+  case OracleStatus::ScheduleDivergence:
+    return "schedule-divergence";
+  case OracleStatus::CodegenDivergence:
+    return "codegen-divergence";
+  case OracleStatus::ReferenceError:
+    return "reference-error";
+  case OracleStatus::ScheduledInterpError:
+    return "scheduled-interp-error";
+  case OracleStatus::CodegenError:
+    return "codegen-error";
+  case OracleStatus::CompileError:
+    return "compile-error";
+  case OracleStatus::RunError:
+    return "run-error";
+  }
+  return "unknown";
+}
+
+Expected<std::vector<OracleOutcome>>
+exo::testing::runOracle(std::vector<OracleCase> Cases, const OracleOptions &O) {
+  std::vector<OracleOutcome> Out(Cases.size());
+  std::vector<std::vector<double>> Expected(Cases.size());
+  std::vector<bool> NeedsC(Cases.size(), false);
+
+  // Pipelines 1 and 2: the interpreter on both forms, then a per-case
+  // codegen pre-check so batch emission only sees procs C accepts.
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const OracleCase &C = Cases[I];
+    if (!C.Reference || !C.Scheduled) {
+      Out[I] = {OracleStatus::ReferenceError, "null procedure"};
+      continue;
+    }
+    auto RefStore = fillBuffers(C);
+    auto RefRun = runInterp(C.Reference, C, RefStore);
+    if (!RefRun) {
+      Out[I] = {OracleStatus::ReferenceError, RefRun.error().str()};
+      continue;
+    }
+    Expected[I] = flatten(RefStore);
+
+    if (C.Scheduled != C.Reference) {
+      auto SchedStore = fillBuffers(C);
+      auto SchedRun = runInterp(C.Scheduled, C, SchedStore);
+      if (!SchedRun) {
+        Out[I] = {OracleStatus::ScheduledInterpError, SchedRun.error().str()};
+        continue;
+      }
+      std::string Diff = describeMismatch(C, "orig", "sched", Expected[I],
+                                          flatten(SchedStore), O.Tolerance);
+      if (!Diff.empty()) {
+        Out[I] = {OracleStatus::ScheduleDivergence, Diff};
+        continue;
+      }
+    }
+
+    if (O.SkipC)
+      continue;
+    auto CGen = backend::generateC(C.Scheduled);
+    if (!CGen) {
+      Out[I] = {OracleStatus::CodegenError, CGen.error().str()};
+      continue;
+    }
+    NeedsC[I] = true;
+  }
+
+  if (O.SkipC)
+    return Out;
+
+  // Pipeline 3. Partition into sub-batches where each proc *name* maps
+  // to one definition (replayed clones of the same program share a name
+  // but not a ProcRef, and C allows only one definition per name).
+  std::vector<std::vector<size_t>> Groups;
+  std::vector<std::map<std::string, ProcRef>> GroupNames;
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    if (!NeedsC[I])
+      continue;
+    const ProcRef &P = Cases[I].Scheduled;
+    bool Placed = false;
+    for (size_t G = 0; G < Groups.size() && !Placed; ++G) {
+      auto It = GroupNames[G].find(P->name());
+      if (It == GroupNames[G].end() || It->second == P) {
+        GroupNames[G][P->name()] = P;
+        Groups[G].push_back(I);
+        Placed = true;
+      }
+    }
+    if (!Placed) {
+      Groups.push_back({I});
+      GroupNames.push_back({{P->name(), P}});
+    }
+  }
+  if (Groups.empty())
+    return Out;
+
+  std::string Dir = O.WorkDir;
+  bool OwnDir = Dir.empty();
+  if (OwnDir) {
+    char Tmpl[] = "/tmp/exo_oracle_XXXXXX";
+    if (!mkdtemp(Tmpl))
+      return makeError(Error::Kind::Internal,
+                       "oracle: cannot create scratch directory");
+    Dir = Tmpl;
+  }
+
+  for (size_t G = 0; G < Groups.size(); ++G)
+    runCBatch(Groups[G], Cases, Expected, O, Dir, static_cast<unsigned>(G),
+              Out);
+
+  // Keep the evidence when anything in the C pipeline needs inspection.
+  bool Trouble = false;
+  for (const OracleOutcome &R : Out)
+    Trouble = Trouble || R.Status == OracleStatus::CompileError ||
+              R.Status == OracleStatus::RunError;
+  if (OwnDir && !O.KeepFiles && !Trouble)
+    std::system(("rm -rf '" + Dir + "'").c_str());
+  return Out;
+}
+
+Expected<OracleOutcome> exo::testing::runOracle(const OracleCase &Case,
+                                                const OracleOptions &O) {
+  auto R = runOracle(std::vector<OracleCase>{Case}, O);
+  if (!R)
+    return R.error();
+  return (*R)[0];
+}

@@ -1,0 +1,735 @@
+//===- testing/ProgramGen.cpp - Random LoopIR program generator ----------===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ProgramGen.h"
+
+#include "frontend/StaticChecks.h"
+#include "frontend/TypeCheck.h"
+#include "ir/Builder.h"
+#include "testing/Rng.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace exo;
+using namespace exo::ir;
+using namespace exo::testing;
+
+namespace {
+
+/// Any value the harness lets a buffer reach stays below this, which keeps
+/// every intermediate exactly representable in float, double and int32 and
+/// therefore keeps the oracle bit-exact (see ProgramGen.h).
+constexpr double MaxMagnitude = double(1 << 20);
+
+/// A control expression together with a conservative inclusive interval.
+/// When BoundBy is valid the expression is additionally provably inside
+/// [0, BoundBy) for the symbolic size argument BoundBy.
+struct IdxExpr {
+  ExprRef E;
+  int64_t Min = 0;
+  int64_t Max = 0;
+  Sym BoundBy;
+
+  IdxExpr() = default;
+  IdxExpr(ExprRef E, int64_t Min, int64_t Max, Sym BoundBy = Sym())
+      : E(std::move(E)), Min(Min), Max(Max), BoundBy(BoundBy) {}
+};
+
+/// A buffer (argument, local alloc, or window alias) visible in the
+/// current scope. Aliases share their root's magnitude-bound slot so a
+/// write through a window raises the bound of the underlying storage.
+struct BufInfo {
+  Sym S;
+  ScalarKind Elem = ScalarKind::R;
+  std::vector<int64_t> Dims;   ///< concrete extents (all dims)
+  std::vector<Sym> SymDims;    ///< per-dim size sym (invalid = constant)
+  bool Writable = true;
+  Sym RootArg;                 ///< valid when writes reach an argument
+  size_t BoundSlot = 0;        ///< index into Gen::Bounds
+};
+
+struct IterVar {
+  Sym S;
+  int64_t Min = 0, Max = 0;
+  Sym BoundBy;
+};
+
+class Gen {
+public:
+  Gen(uint64_t Seed, const GenOptions &O)
+      : O(O), Seed(Seed), R(Seed ^ 0x9e3779b97f4a7c15ull),
+        B("fuzz_p" + std::to_string(Seed)) {}
+
+  Expected<GeneratedProgram> run();
+
+private:
+  // Structure ------------------------------------------------------------
+  void makeArgs();
+  void genBlock(unsigned Depth, unsigned MaxStmts, int64_t TripFactor);
+  void genFor(unsigned Depth, int64_t TripFactor);
+  void genIf(unsigned Depth, int64_t TripFactor);
+  void genAssignOrReduce(bool Reduce, int64_t TripFactor);
+  void genAlloc(unsigned Depth, int64_t TripFactor);
+  void genWindow();
+
+  // Expressions ----------------------------------------------------------
+  IdxExpr genIndexFor(int64_t Extent, Sym SymDim);
+  IdxExpr genFreeIndex(unsigned Depth);
+  ExprRef genCond();
+  /// Returns a data expression and its magnitude bound.
+  std::pair<ExprRef, double> genData(unsigned Depth, double Budget);
+
+  // Helpers --------------------------------------------------------------
+  std::vector<BufInfo *> visibleBuffers(bool NeedWrite, bool NeedTensor);
+  std::vector<ExprRef> inBoundsIndices(const BufInfo &Buf);
+  int64_t extent() { return R.range(2, int64_t(O.MaxExtent)); }
+  ScalarKind bufElem();
+  std::string fresh(const char *Stem) {
+    return std::string(Stem) + std::to_string(Counter++);
+  }
+
+  const GenOptions &O;
+  uint64_t Seed;
+  Rng R;
+  ProcBuilder B;
+  unsigned Counter = 0;
+  unsigned StmtsEmitted = 0;
+  ScalarKind ProgKind = ScalarKind::F32;
+  std::vector<BufInfo> Bufs;
+  std::vector<IterVar> Iters;
+  std::vector<double> Bounds;
+  Sym SizeSym;
+  int64_t SizeMin = 0, SizeMax = 0, SizeVal = 0;
+  std::vector<ArgSpec> Args;
+  bool WroteArg = false;
+};
+
+ScalarKind Gen::bufElem() {
+  if (O.AllowMixedPrecision && R.chance(1, 4))
+    return ScalarKind::R; // adapts to any concrete kind in expressions
+  return ProgKind;
+}
+
+void Gen::makeArgs() {
+  // One concrete data kind per program; R buffers may join in freely. The
+  // exact-integer value discipline makes float/double/int32 agree bit-wise.
+  switch (R.range(0, 3)) {
+  case 0: ProgKind = ScalarKind::F32; break;
+  case 1: ProgKind = ScalarKind::F64; break;
+  case 2: ProgKind = ScalarKind::I32; break;
+  default: ProgKind = ScalarKind::R; break;
+  }
+
+  if (O.AllowSizeParam && R.chance(1, 2)) {
+    SizeMin = 2;
+    SizeMax = R.range(3, 6);
+    SizeVal = R.range(SizeMin, SizeMax);
+    SizeSym = B.sizeArg("n");
+    B.pred(eLe(litInt(SizeMin), B.rd(SizeSym)));
+    B.pred(eLe(B.rd(SizeSym), litInt(SizeMax)));
+    ArgSpec A;
+    A.IsControl = true;
+    A.Name = "n";
+    A.Value = SizeVal;
+    Args.push_back(std::move(A));
+  }
+
+  unsigned NumTensors = unsigned(R.range(2, int64_t(O.MaxTensors)));
+  for (unsigned I = 0; I < NumTensors; ++I) {
+    std::string Name = fresh("A");
+    ScalarKind K = bufElem();
+    unsigned Rank = unsigned(R.range(1, int64_t(O.MaxRank)));
+    std::vector<ExprRef> DimEs;
+    BufInfo Buf;
+    ArgSpec A;
+    A.Name = Name;
+    A.Elem = K;
+    for (unsigned D = 0; D < Rank; ++D) {
+      if (SizeSym.valid() && R.chance(1, 4)) {
+        DimEs.push_back(B.rd(SizeSym));
+        Buf.Dims.push_back(SizeVal);
+        Buf.SymDims.push_back(SizeSym);
+        A.Dims.push_back(SizeVal);
+      } else {
+        int64_t E = extent();
+        DimEs.push_back(litInt(E));
+        Buf.Dims.push_back(E);
+        Buf.SymDims.emplace_back();
+        A.Dims.push_back(E);
+      }
+    }
+    Buf.S = B.tensorArg(Name, K, DimEs);
+    Buf.Elem = K;
+    Buf.Writable = true;
+    Buf.RootArg = Buf.S;
+    Buf.BoundSlot = Bounds.size();
+    Bounds.push_back(3.0); // the oracle fills inputs with values in [-3, 3]
+    Bufs.push_back(std::move(Buf));
+    Args.push_back(std::move(A));
+  }
+
+  if (R.chance(1, 3)) {
+    std::string Name = fresh("s");
+    ScalarKind K = bufElem();
+    BufInfo Buf;
+    Buf.S = B.scalarArg(Name, K);
+    Buf.Elem = K;
+    Buf.Writable = true;
+    Buf.RootArg = Buf.S;
+    Buf.BoundSlot = Bounds.size();
+    Bounds.push_back(3.0);
+    Bufs.push_back(std::move(Buf));
+    ArgSpec A;
+    A.Name = Name;
+    A.Elem = K;
+    Args.push_back(std::move(A));
+  }
+}
+
+std::vector<BufInfo *> Gen::visibleBuffers(bool NeedWrite, bool NeedTensor) {
+  std::vector<BufInfo *> Out;
+  for (BufInfo &Buf : Bufs) {
+    if (NeedWrite && !Buf.Writable)
+      continue;
+    if (NeedTensor && Buf.Dims.empty())
+      continue;
+    Out.push_back(&Buf);
+  }
+  return Out;
+}
+
+// Index generation ---------------------------------------------------------
+
+IdxExpr Gen::genIndexFor(int64_t Extent, Sym SymDim) {
+  // Symbolic dimension [0, n): only loop iterators bounded by exactly n,
+  // or constants below the proven minimum of n, are statically safe.
+  if (SymDim.valid()) {
+    std::vector<const IterVar *> Fit;
+    for (const IterVar &IV : Iters)
+      if (IV.BoundBy == SymDim)
+        Fit.push_back(&IV);
+    if (!Fit.empty() && R.chance(5, 6)) {
+      const IterVar *IV = R.pick(Fit);
+      return {B.rd(IV->S), IV->Min, IV->Max, SymDim};
+    }
+    int64_t C = R.range(0, SizeMin - 1);
+    return {litInt(C), C, C, SymDim};
+  }
+
+  std::vector<const IterVar *> Fit;
+  for (const IterVar &IV : Iters)
+    if (IV.Min >= 0 && IV.Max <= Extent - 1)
+      Fit.push_back(&IV);
+
+  switch (R.range(0, 5)) {
+  case 0: { // plain fitting iterator, maybe shifted
+    if (Fit.empty())
+      break;
+    const IterVar *IV = R.pick(Fit);
+    int64_t Room = Extent - 1 - IV->Max;
+    if (Room > 0 && R.chance(1, 2)) {
+      int64_t C = R.range(0, std::min<int64_t>(Room, 3));
+      return {eAdd(B.rd(IV->S), litInt(C)), IV->Min + C, IV->Max + C};
+    }
+    return {B.rd(IV->S), IV->Min, IV->Max};
+  }
+  case 1: { // scaled iterator: c*i (+ d)
+    std::vector<const IterVar *> Small;
+    for (const IterVar &IV : Iters)
+      if (IV.Min >= 0 && 2 * IV.Max <= Extent - 1)
+        Small.push_back(&IV);
+    if (Small.empty())
+      break;
+    const IterVar *IV = R.pick(Small);
+    int64_t C = 2;
+    if (3 * IV->Max <= Extent - 1 && R.chance(1, 2))
+      C = 3;
+    int64_t Room = Extent - 1 - C * IV->Max;
+    int64_t D = Room > 0 ? R.range(0, std::min<int64_t>(Room, 2)) : 0;
+    ExprRef E = eMul(litInt(C), B.rd(IV->S));
+    if (D)
+      E = eAdd(std::move(E), litInt(D));
+    return {std::move(E), C * IV->Min + D, C * IV->Max + D};
+  }
+  case 2: { // sum of two iterators
+    if (Fit.size() < 2)
+      break;
+    for (unsigned Try = 0; Try < 4; ++Try) {
+      const IterVar *A = R.pick(Fit), *Bv = R.pick(Fit);
+      if (A->Max + Bv->Max <= Extent - 1)
+        return {eAdd(B.rd(A->S), B.rd(Bv->S)), A->Min + Bv->Min,
+                A->Max + Bv->Max};
+    }
+    break;
+  }
+  case 3: { // reversal: (Extent-1) - i
+    if (Fit.empty())
+      break;
+    const IterVar *IV = R.pick(Fit);
+    if (IV->Min < 0)
+      break;
+    return {eSub(litInt(Extent - 1), B.rd(IV->S)), Extent - 1 - IV->Max,
+            Extent - 1 - IV->Min};
+  }
+  case 4: { // mod-fit: e % Extent for any non-negative expression
+    if (!O.AllowModIndex || Iters.empty())
+      break;
+    IdxExpr Inner = genFreeIndex(1);
+    if (Inner.Min < 0)
+      break;
+    if (Inner.Max <= Extent - 1)
+      return {std::move(Inner.E), Inner.Min, Inner.Max};
+    return {eMod(std::move(Inner.E), litInt(Extent)), 0,
+            std::min<int64_t>(Inner.Max, Extent - 1)};
+  }
+  default:
+    break;
+  }
+  int64_t C = R.range(0, Extent - 1);
+  return {litInt(C), C, C};
+}
+
+/// An arbitrary non-negative affine expression (used under mod-fitting
+/// and in branch conditions, where no extent constrains it).
+IdxExpr Gen::genFreeIndex(unsigned Depth) {
+  std::vector<const IterVar *> NonNeg;
+  for (const IterVar &IV : Iters)
+    if (IV.Min >= 0)
+      NonNeg.push_back(&IV);
+  if (NonNeg.empty() || Depth == 0 || R.chance(1, 3)) {
+    if (!NonNeg.empty() && R.chance(2, 3)) {
+      const IterVar *IV = R.pick(NonNeg);
+      return {B.rd(IV->S), IV->Min, IV->Max};
+    }
+    int64_t C = R.range(0, 4);
+    return {litInt(C), C, C};
+  }
+  IdxExpr A = genFreeIndex(Depth - 1);
+  IdxExpr Bx = genFreeIndex(Depth - 1);
+  if (R.chance(1, 3)) {
+    int64_t C = R.range(2, 3);
+    return {eMul(litInt(C), std::move(A.E)), C * A.Min, C * A.Max};
+  }
+  return {eAdd(std::move(A.E), std::move(Bx.E)), A.Min + Bx.Min,
+          A.Max + Bx.Max};
+}
+
+ExprRef Gen::genCond() {
+  auto cmp = [&](ExprRef L, ExprRef Rr) {
+    static const BinOpKind Ops[] = {BinOpKind::Lt, BinOpKind::Le,
+                                    BinOpKind::Gt, BinOpKind::Ge,
+                                    BinOpKind::Eq, BinOpKind::Ne};
+    return Expr::binOp(Ops[R.next() % 6], std::move(L), std::move(Rr));
+  };
+  ExprRef C1;
+  IdxExpr A = genFreeIndex(1);
+  if (SizeSym.valid() && R.chance(1, 4)) {
+    C1 = cmp(std::move(A.E), B.rd(SizeSym));
+  } else if (!Iters.empty() && R.chance(1, 3)) {
+    const IterVar &IV = Iters[R.next() % Iters.size()];
+    C1 = cmp(std::move(A.E), B.rd(IV.S));
+  } else {
+    C1 = cmp(std::move(A.E), litInt(R.range(0, 5)));
+  }
+  if (R.chance(1, 4)) {
+    IdxExpr Bx = genFreeIndex(1);
+    ExprRef C2 = cmp(std::move(Bx.E), litInt(R.range(0, 5)));
+    return Expr::binOp(R.chance(1, 2) ? BinOpKind::And : BinOpKind::Or,
+                       std::move(C1), std::move(C2));
+  }
+  return C1;
+}
+
+std::vector<ExprRef> Gen::inBoundsIndices(const BufInfo &Buf) {
+  std::vector<ExprRef> Idx;
+  for (size_t D = 0; D < Buf.Dims.size(); ++D)
+    Idx.push_back(genIndexFor(Buf.Dims[D], Buf.SymDims[D]).E);
+  return Idx;
+}
+
+// Data expressions ----------------------------------------------------------
+
+std::pair<ExprRef, double> Gen::genData(unsigned Depth, double Budget) {
+  auto atom = [&]() -> std::pair<ExprRef, double> {
+    std::vector<BufInfo *> Readable = visibleBuffers(false, false);
+    // Drop buffers whose current bound already exceeds the budget.
+    Readable.erase(std::remove_if(Readable.begin(), Readable.end(),
+                                  [&](BufInfo *Bu) {
+                                    return Bounds[Bu->BoundSlot] > Budget;
+                                  }),
+                   Readable.end());
+    if (!Readable.empty() && R.chance(3, 4)) {
+      BufInfo *Bu = R.pick(Readable);
+      return {B.rd(Bu->S, inBoundsIndices(*Bu)), Bounds[Bu->BoundSlot]};
+    }
+    if (O.IntegerData) {
+      int64_t V = R.range(-3, 3);
+      return {litData(double(V)), double(std::abs(V))};
+    }
+    double V = double(R.range(-30, 30)) / 10.0;
+    return {litData(V), std::abs(V) + 1};
+  };
+
+  if (Depth == 0 || R.chance(1, 3))
+    return atom();
+
+  switch (R.range(0, 6)) {
+  case 0: { // add / sub
+    auto [L, Lb] = genData(Depth - 1, Budget / 2);
+    auto [Rr, Rb] = genData(Depth - 1, Budget / 2);
+    bool Add = R.chance(1, 2);
+    return {Expr::binOp(Add ? BinOpKind::Add : BinOpKind::Sub, std::move(L),
+                        std::move(Rr)),
+            Lb + Rb};
+  }
+  case 1: { // mul — split the budget multiplicatively
+    double Sub = Budget > 1.0 ? std::max(1.0, Budget / 16.0) : Budget;
+    auto [L, Lb] = genData(Depth - 1, Sub);
+    auto [Rr, Rb] = genData(Depth - 1, Budget / std::max(1.0, Lb));
+    return {eMul(std::move(L), std::move(Rr)), Lb * Rb};
+  }
+  case 2: { // unary minus
+    auto [E, Eb] = genData(Depth - 1, Budget);
+    return {Expr::usub(std::move(E)), Eb};
+  }
+  case 3: { // min / max
+    auto [L, Lb] = genData(Depth - 1, Budget);
+    auto [Rr, Rb] = genData(Depth - 1, Budget);
+    Type T = L->type();
+    return {Expr::builtIn(R.chance(1, 2) ? "max" : "min",
+                          {std::move(L), std::move(Rr)}, T),
+            std::max(Lb, Rb)};
+  }
+  case 4: { // relu / abs
+    auto [E, Eb] = genData(Depth - 1, Budget);
+    Type T = E->type();
+    return {Expr::builtIn(R.chance(1, 2) ? "relu" : "abs", {std::move(E)}, T),
+            Eb};
+  }
+  case 5: { // select(c, a, b)
+    auto [C, Cb] = genData(Depth - 1, Budget);
+    auto [L, Lb] = genData(Depth - 1, Budget);
+    auto [Rr, Rb] = genData(Depth - 1, Budget);
+    (void)Cb;
+    Type T = L->type();
+    return {Expr::builtIn("select", {std::move(C), std::move(L),
+                                     std::move(Rr)},
+                          T),
+            std::max(Lb, Rb)};
+  }
+  default:
+    return atom();
+  }
+}
+
+// Statements ----------------------------------------------------------------
+
+void Gen::genAssignOrReduce(bool Reduce, int64_t TripFactor) {
+  std::vector<BufInfo *> Writable = visibleBuffers(true, false);
+  if (Writable.empty())
+    return;
+  BufInfo *Dst = R.pick(Writable);
+  double Old = Bounds[Dst->BoundSlot];
+  // A reduction executed TripFactor times adds its rhs bound each trip.
+  double Budget =
+      Reduce ? (MaxMagnitude - Old) / double(TripFactor) : MaxMagnitude;
+  if (Budget < 1.0) {
+    Reduce = false;
+    Budget = MaxMagnitude;
+  }
+  auto [Rhs, Bound] = genData(O.MaxExprDepth, Budget);
+  std::vector<ExprRef> Idx = inBoundsIndices(*Dst);
+  if (Reduce) {
+    B.reduce(Dst->S, std::move(Idx), std::move(Rhs));
+    Bounds[Dst->BoundSlot] = Old + double(TripFactor) * Bound;
+  } else {
+    B.assign(Dst->S, std::move(Idx), std::move(Rhs));
+    Bounds[Dst->BoundSlot] = std::max(Old, Bound);
+  }
+  if (Dst->RootArg.valid())
+    WroteArg = true;
+  ++StmtsEmitted;
+}
+
+void Gen::genAlloc(unsigned Depth, int64_t TripFactor) {
+  (void)Depth;
+  std::string Name = fresh("t");
+  ScalarKind K = bufElem();
+  BufInfo Buf;
+  Buf.Elem = K;
+  Buf.Writable = true;
+  Buf.BoundSlot = Bounds.size();
+
+  bool Scalar = R.chance(1, 3);
+  if (Scalar) {
+    Buf.S = B.allocScalar(Name, K);
+    // Generated C does not zero-initialize locals (the interpreter does),
+    // so every alloc is fully assigned before any read — see header.
+    auto [Init, Bound] = genData(1, MaxMagnitude);
+    B.assign(Buf.S, {}, std::move(Init));
+    Bounds.push_back(Bound);
+    Bufs.push_back(std::move(Buf));
+    StmtsEmitted += 2;
+    return;
+  }
+
+  unsigned Rank = unsigned(R.range(1, 2));
+  std::vector<ExprRef> DimEs;
+  for (unsigned D = 0; D < Rank; ++D) {
+    int64_t E = R.range(2, std::min<int64_t>(O.MaxExtent, 6));
+    DimEs.push_back(litInt(E));
+    Buf.Dims.push_back(E);
+    Buf.SymDims.emplace_back();
+  }
+  Buf.S = B.allocTensor(Name, K, DimEs);
+
+  // Perfect init nest writing every cell (write-before-read discipline).
+  std::vector<IterVar> InitIters;
+  std::vector<Sym> Loops;
+  for (unsigned D = 0; D < Rank; ++D) {
+    Sym It = B.beginFor(fresh("i"), litInt(0), litInt(Buf.Dims[D]));
+    InitIters.push_back({It, 0, Buf.Dims[D] - 1, Sym()});
+  }
+  size_t Keep = Iters.size();
+  for (const IterVar &IV : InitIters)
+    Iters.push_back(IV);
+  auto [Init, Bound] = genData(1, MaxMagnitude);
+  std::vector<ExprRef> Idx;
+  for (const IterVar &IV : InitIters)
+    Idx.push_back(B.rd(IV.S));
+  B.assign(Buf.S, std::move(Idx), std::move(Init));
+  Iters.resize(Keep);
+  for (unsigned D = 0; D < Rank; ++D)
+    B.endFor();
+  (void)TripFactor;
+  Bounds.push_back(Bound);
+  Bufs.push_back(std::move(Buf));
+  StmtsEmitted += 2 + Rank;
+}
+
+void Gen::genWindow() {
+  std::vector<BufInfo *> Tensors = visibleBuffers(false, true);
+  // Windows over symbolic-extent dimensions are skipped: their alias
+  // extents would not be static, which the index machinery needs.
+  Tensors.erase(std::remove_if(Tensors.begin(), Tensors.end(),
+                               [](BufInfo *Bu) {
+                                 for (const Sym &S : Bu->SymDims)
+                                   if (S.valid())
+                                     return true;
+                                 return false;
+                               }),
+                Tensors.end());
+  if (Tensors.empty())
+    return;
+  BufInfo *Base = R.pick(Tensors);
+  std::vector<WinCoord> Coords;
+  BufInfo Alias;
+  bool AnyInterval = false;
+  for (size_t D = 0; D < Base->Dims.size(); ++D) {
+    int64_t Ext = Base->Dims[D];
+    bool Interval = R.chance(2, 3) || (!AnyInterval && D + 1 == Base->Dims.size());
+    if (Interval) {
+      int64_t Lo = R.range(0, Ext - 1);
+      int64_t Hi = R.range(Lo + 1, Ext);
+      Coords.push_back(iv(litInt(Lo), litInt(Hi)));
+      Alias.Dims.push_back(Hi - Lo);
+      Alias.SymDims.emplace_back();
+      AnyInterval = true;
+    } else {
+      Coords.push_back(pt(genIndexFor(Ext, Sym()).E));
+    }
+  }
+  Alias.S = B.windowAlias(fresh("w"), Base->S, std::move(Coords));
+  Alias.Elem = Base->Elem;
+  Alias.Writable = Base->Writable;
+  Alias.RootArg = Base->RootArg;
+  Alias.BoundSlot = Base->BoundSlot;
+  Bufs.push_back(std::move(Alias));
+  ++StmtsEmitted;
+}
+
+void Gen::genFor(unsigned Depth, int64_t TripFactor) {
+  int64_t Lo = 0, Hi;
+  Sym BoundBy;
+  ExprRef LoE = litInt(0), HiE;
+  int64_t MinTrips;
+  if (SizeSym.valid() && R.chance(1, 4)) {
+    HiE = B.rd(SizeSym);
+    Hi = SizeMax; // static worst case; actual trips = SizeVal
+    BoundBy = SizeSym;
+    MinTrips = SizeMax;
+  } else {
+    Hi = extent();
+    if (R.chance(1, 6)) {
+      Lo = R.range(1, Hi - 1); // non-zero lower bound (split must reject)
+      LoE = litInt(Lo);
+    }
+    HiE = litInt(Hi);
+    MinTrips = Hi - Lo;
+  }
+  Sym It = B.beginFor(fresh("i"), std::move(LoE), std::move(HiE));
+  Iters.push_back({It, Lo, Hi - 1, BoundBy});
+  genBlock(Depth + 1, 3, TripFactor * MinTrips);
+  Iters.pop_back();
+  B.endFor();
+  ++StmtsEmitted;
+}
+
+void Gen::genIf(unsigned Depth, int64_t TripFactor) {
+  B.beginIf(genCond());
+  genBlock(Depth + 1, 2, TripFactor);
+  if (R.chance(1, 3)) {
+    B.beginElse();
+    genBlock(Depth + 1, 2, TripFactor);
+  }
+  B.endIf();
+  ++StmtsEmitted;
+}
+
+void Gen::genBlock(unsigned Depth, unsigned MaxStmts, int64_t TripFactor) {
+  unsigned N = unsigned(R.range(1, int64_t(MaxStmts)));
+  size_t Visible = Bufs.size(); // scope: pop allocs/aliases on exit
+  for (unsigned I = 0; I < N && StmtsEmitted < 48; ++I) {
+    unsigned Roll = unsigned(R.range(0, 99));
+    if (Roll < 30 && Depth < O.MaxLoopDepth)
+      genFor(Depth, TripFactor);
+    else if (Roll < 40 && O.AllowConditionals && Depth < O.MaxLoopDepth)
+      genIf(Depth, TripFactor);
+    else if (Roll < 50 && O.AllowAllocs && Depth < O.MaxLoopDepth)
+      genAlloc(Depth, TripFactor);
+    else if (Roll < 60 && O.AllowWindows)
+      genWindow();
+    else if (Roll < 80 && O.AllowReductions)
+      genAssignOrReduce(/*Reduce=*/true, TripFactor);
+    else
+      genAssignOrReduce(/*Reduce=*/false, TripFactor);
+  }
+  Bufs.resize(Visible);
+}
+
+Expected<GeneratedProgram> Gen::run() {
+  makeArgs();
+  genBlock(0, O.MaxTopStmts, 1);
+  if (!WroteArg) {
+    // The oracle compares argument buffers; make at least one observable.
+    for (BufInfo &Buf : Bufs)
+      if (Buf.RootArg.valid() && Buf.Writable) {
+        auto [Rhs, Bound] = genData(1, MaxMagnitude);
+        B.assign(Buf.S, inBoundsIndices(Buf), std::move(Rhs));
+        Bounds[Buf.BoundSlot] = std::max(Bounds[Buf.BoundSlot], Bound);
+        break;
+      }
+  }
+  ProcRef P = B.result();
+
+  // A generated program failing the front end is a harness bug: surface it
+  // with the offending program attached.
+  if (auto TC = frontend::typeCheck(P); !TC)
+    return makeError(Error::Kind::Internal,
+                     "fuzz generator produced an ill-typed program (seed " +
+                         std::to_string(Seed) + "): " + TC.error().message() +
+                         "\n" + P->str());
+  if (auto BC = frontend::boundsCheck(P); !BC)
+    return makeError(Error::Kind::Internal,
+                     "fuzz generator produced an out-of-bounds program "
+                     "(seed " +
+                         std::to_string(Seed) + "): " + BC.error().message() +
+                         "\n" + P->str());
+
+  // Mark which argument buffers the program can write (the oracle prints
+  // every argument anyway; Written guides divergence reporting).
+  GeneratedProgram G;
+  G.Proc = P;
+  G.Seed = Seed;
+  G.Args = std::move(Args);
+  for (ArgSpec &A : G.Args) {
+    if (A.IsControl)
+      continue;
+    A.Written = true; // conservatively: most args are writable roots
+  }
+  return G;
+}
+
+/// Constant-folds a control expression under concrete control-arg values.
+Expected<int64_t> evalControl(const ExprRef &E,
+                              const std::map<std::string, int64_t> &Env) {
+  switch (E->kind()) {
+  case ExprKind::Const:
+    return E->intValue();
+  case ExprKind::Read: {
+    auto It = Env.find(E->name().name());
+    if (It == Env.end())
+      return makeError(Error::Kind::Internal,
+                       "argSpecsFor: no value for control arg '" +
+                           E->name().name() + "'");
+    return It->second;
+  }
+  case ExprKind::USub: {
+    auto V = evalControl(E->args()[0], Env);
+    if (!V)
+      return V;
+    return -*V;
+  }
+  case ExprKind::BinOp: {
+    auto L = evalControl(E->args()[0], Env);
+    auto Rr = evalControl(E->args()[1], Env);
+    if (!L)
+      return L;
+    if (!Rr)
+      return Rr;
+    switch (E->binOp()) {
+    case BinOpKind::Add: return *L + *Rr;
+    case BinOpKind::Sub: return *L - *Rr;
+    case BinOpKind::Mul: return *L * *Rr;
+    default:
+      return makeError(Error::Kind::Internal,
+                       "argSpecsFor: unsupported dimension operator");
+    }
+  }
+  default:
+    return makeError(Error::Kind::Internal,
+                     "argSpecsFor: unsupported dimension expression " +
+                         E->str());
+  }
+}
+
+} // namespace
+
+Expected<GeneratedProgram> exo::testing::generateProgram(uint64_t Seed,
+                                                         const GenOptions &O) {
+  Gen G(Seed, O);
+  return G.run();
+}
+
+Expected<std::vector<ArgSpec>> exo::testing::argSpecsFor(
+    const ProcRef &P, const std::map<std::string, int64_t> &ControlValues) {
+  std::vector<ArgSpec> Out;
+  for (const FnArg &A : P->args()) {
+    ArgSpec S;
+    S.Name = A.Name.name();
+    if (A.Ty.isControl()) {
+      S.IsControl = true;
+      auto It = ControlValues.find(S.Name);
+      if (It == ControlValues.end())
+        return makeError(Error::Kind::Internal,
+                         "argSpecsFor: missing value for control arg '" +
+                             S.Name + "'");
+      S.Value = It->second;
+    } else {
+      S.Elem = A.Ty.elem();
+      S.Written = true;
+      for (const ExprRef &D : A.Ty.dims()) {
+        auto V = evalControl(D, ControlValues);
+        if (!V)
+          return V.error();
+        S.Dims.push_back(*V);
+      }
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- testing/ProgramGen.h - Random LoopIR program generator --*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of random, *statically valid* LoopIR procedures for
+/// the differential fuzzing harness (DESIGN.md, "Differential testing").
+/// Every emitted program passes typeCheck and boundsCheck by construction:
+/// the generator tracks a conservative integer interval for each control
+/// expression it builds and only forms accesses it can place in bounds,
+/// so a front-end rejection of a generated program is itself a bug worth
+/// reporting.
+///
+/// Two design choices make the triple oracle exact rather than
+/// tolerance-based by default:
+///
+///  * integer-valued data: inputs and literals are small integers and
+///    (by default) no data division is generated, so every intermediate
+///    is an integer far below 2^24 — exactly representable in float,
+///    double, and int32 alike. Scheduling may reassociate reductions
+///    freely without perturbing a single bit.
+///
+///  * magnitude tracking: each buffer carries a conservative bound on the
+///    absolute value it can hold (reductions multiply by their iteration
+///    count); expressions that could overflow the exact range are never
+///    emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_TESTING_PROGRAMGEN_H
+#define EXO_TESTING_PROGRAMGEN_H
+
+#include "ir/Proc.h"
+#include "support/Error.h"
+
+#include <map>
+
+namespace exo {
+namespace testing {
+
+/// Size/shape knobs for the generator.
+struct GenOptions {
+  unsigned MaxRank = 3;        ///< tensor args: 1..MaxRank dimensions
+  unsigned MaxExtent = 8;      ///< per-dimension extents: 2..MaxExtent
+  unsigned MaxTensors = 4;     ///< tensor arguments: 2..MaxTensors
+  unsigned MaxTopStmts = 4;    ///< top-level statements: 1..MaxTopStmts
+  unsigned MaxLoopDepth = 3;   ///< loop/if nesting depth
+  unsigned MaxExprDepth = 3;   ///< data expression depth
+  bool AllowConditionals = true;
+  bool AllowWindows = true;    ///< window-binding statements
+  bool AllowReductions = true;
+  bool AllowAllocs = true;     ///< local buffers and scalars
+  bool AllowSizeParam = true;  ///< a symbolic `n: size` argument
+  bool AllowModIndex = true;   ///< `e % c` index fitting
+  bool AllowMixedPrecision = true; ///< some buffers R, some concrete
+  /// When false, data division and non-integer literals are generated and
+  /// the oracle must use ULP tolerances instead of exact comparison.
+  bool IntegerData = true;
+};
+
+/// One procedure argument as the oracle must supply it.
+struct ArgSpec {
+  bool IsControl = false;
+  std::string Name;
+  int64_t Value = 0;             ///< control args: the concrete value
+  std::vector<int64_t> Dims;     ///< tensor args: concrete extents
+  ir::ScalarKind Elem = ir::ScalarKind::R;
+  bool Written = false;          ///< the program may write this buffer
+};
+
+/// A generated program plus everything the oracle needs to execute it.
+struct GeneratedProgram {
+  ir::ProcRef Proc;
+  std::vector<ArgSpec> Args; ///< in procedure argument order
+  uint64_t Seed = 0;
+};
+
+/// Generates the program for \p Seed. Deterministic: equal seeds and
+/// options produce structurally identical procedures.
+Expected<GeneratedProgram> generateProgram(uint64_t Seed,
+                                           const GenOptions &O = {});
+
+/// Recomputes the ArgSpecs of \p P (e.g. one re-parsed from a corpus
+/// file) given concrete values for its control arguments; evaluates
+/// tensor dimension expressions under those values.
+Expected<std::vector<ArgSpec>>
+argSpecsFor(const ir::ProcRef &P,
+            const std::map<std::string, int64_t> &ControlValues);
+
+} // namespace testing
+} // namespace exo
+
+#endif // EXO_TESTING_PROGRAMGEN_H

@@ -1,0 +1,66 @@
+//===- testing/Rng.h - Deterministic fuzzing RNG ---------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64-based random source for the fuzzing harness. Unlike the
+/// standard <random> engines + distributions, every draw here is defined
+/// purely in terms of integer arithmetic, so a (seed, draw sequence) pair
+/// reproduces bit-identically on every platform and standard library —
+/// the property corpus replay and reproducer shrinking depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_TESTING_RNG_H
+#define EXO_TESTING_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace exo {
+namespace testing {
+
+/// splitmix64: tiny, fast, and passes BigCrush — more than enough for
+/// test-case generation (the same generator seeds support::FaultInjector).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform draw from [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return next() % Den < Num; }
+
+  /// Uniform element of a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "pick from empty vector");
+    return V[next() % V.size()];
+  }
+
+  /// Derives an independent stream (for per-case sub-generators).
+  Rng fork() { return Rng(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace testing
+} // namespace exo
+
+#endif // EXO_TESTING_RNG_H

@@ -1,0 +1,646 @@
+//===- testing/ScheduleGen.cpp - Random schedule driver ------------------===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ScheduleGen.h"
+
+#include "hwlibs/avx512/Avx512Lib.h"
+#include "hwlibs/gemmini/GemminiLib.h"
+#include "ir/Builder.h"
+#include "scheduling/Schedule.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+using namespace exo;
+using namespace exo::ir;
+using namespace exo::testing;
+using namespace exo::scheduling;
+
+//===----------------------------------------------------------------------===//
+// Trace serialization
+//===----------------------------------------------------------------------===//
+
+std::string ScheduleStep::str() const {
+  std::string S = Op;
+  for (const std::string &A : Args) {
+    S += '|';
+    S += A;
+  }
+  return S;
+}
+
+Expected<ScheduleStep> ScheduleStep::parse(const std::string &Line) {
+  ScheduleStep S;
+  size_t Pos = 0;
+  bool First = true;
+  while (Pos <= Line.size()) {
+    size_t Bar = Line.find('|', Pos);
+    std::string Tok = Bar == std::string::npos ? Line.substr(Pos)
+                                               : Line.substr(Pos, Bar - Pos);
+    if (First) {
+      S.Op = Tok;
+      First = false;
+    } else {
+      S.Args.push_back(Tok);
+    }
+    if (Bar == std::string::npos)
+      break;
+    Pos = Bar + 1;
+  }
+  if (S.Op.empty())
+    return makeError(Error::Kind::Parse, "empty schedule-trace line");
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Step application
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Expected<int64_t> parseNum(const std::string &S) {
+  if (S.empty())
+    return makeError(Error::Kind::Parse, "bad number in trace: ''");
+  size_t Pos = S[0] == '-' ? 1 : 0;
+  if (Pos == S.size())
+    return makeError(Error::Kind::Parse, "bad number in trace: '" + S + "'");
+  int64_t V = 0;
+  for (; Pos < S.size(); ++Pos) {
+    if (S[Pos] < '0' || S[Pos] > '9')
+      return makeError(Error::Kind::Parse, "bad number in trace: '" + S + "'");
+    V = V * 10 + (S[Pos] - '0');
+  }
+  return S[0] == '-' ? -V : V;
+}
+
+Expected<ScalarKind> parseKind(const std::string &S) {
+  if (S == "f32")
+    return ScalarKind::F32;
+  if (S == "f64")
+    return ScalarKind::F64;
+  if (S == "i8")
+    return ScalarKind::I8;
+  if (S == "i16")
+    return ScalarKind::I16;
+  if (S == "i32")
+    return ScalarKind::I32;
+  return makeError(Error::Kind::Parse, "bad precision in trace: '" + S + "'");
+}
+
+/// Resolves "gemmini:<name>" / "avx512:<name>" instruction references for
+/// replace steps; the libraries register their memories as a side effect.
+Expected<ProcRef> resolveInstr(const std::string &Ref) {
+  const auto &G = hw::gemmini::gemminiLib();
+  const auto &V = hw::avx512::avx512Lib();
+  struct Entry {
+    const char *Name;
+    const ProcRef &P;
+  };
+  const Entry Table[] = {
+      {"gemmini:ld_data", G.LdData},       {"gemmini:ld_data2", G.LdData2},
+      {"gemmini:zero_acc", G.ZeroAcc},     {"gemmini:matmul16", G.Matmul16},
+      {"gemmini:st_acc", G.StAcc},         {"gemmini:st_acc_relu", G.StAccRelu},
+      {"avx512:loadu_ps", V.LoaduPs},      {"avx512:storeu_ps", V.StoreuPs},
+      {"avx512:zero_ps", V.ZeroPs},        {"avx512:fmadd_ps", V.FmaddPs},
+      {"avx512:accum_ps", V.AccumPs},      {"avx512:relu_ps", V.ReluPs},
+  };
+  for (const Entry &E : Table)
+    if (Ref == E.Name)
+      return E.P;
+  return makeError(Error::Kind::Parse, "unknown instruction ref '" + Ref + "'");
+}
+
+Error arity(const ScheduleStep &S, size_t Want) {
+  return makeError(Error::Kind::Parse, "trace op '" + S.Op + "' expects " +
+                                           std::to_string(Want) +
+                                           " args, got " +
+                                           std::to_string(S.Args.size()));
+}
+
+/// TEST-ONLY unsound rewrite: shrinks the Nth loop (pre-order, counted
+/// among loops whose iterator is named \p Iter) to skip its last
+/// iteration — deliberately with no safety check. Exists so the
+/// acceptance test can prove the triple oracle catches a semantics break.
+Expected<ProcRef> unsoundDropIter(const ProcRef &P, const std::string &Iter,
+                                  int64_t Nth) {
+  int64_t Remaining = Nth;
+  bool Done = false;
+  // Mirrors the pre-order of Pattern.cpp's searchBlock.
+  std::function<Block(const Block &)> rewrite = [&](const Block &B) -> Block {
+    Block Out;
+    for (const StmtRef &S : B) {
+      if (Done) {
+        Out.push_back(S);
+        continue;
+      }
+      if (S->kind() == StmtKind::For && S->name().name() == Iter) {
+        if (Remaining == 0) {
+          Done = true;
+          Out.push_back(withForParts(S, S->lo(),
+                                     eSub(S->hi(), litInt(1)), S->body()));
+          continue;
+        }
+        --Remaining;
+      }
+      StmtRef New = S;
+      if (!S->body().empty() || !S->orelse().empty()) {
+        Block NewBody = S->body().empty() ? Block{} : rewrite(S->body());
+        Block NewOrelse = S->orelse().empty() ? Block{} : rewrite(S->orelse());
+        if (S->kind() == StmtKind::For)
+          New = withForParts(S, S->lo(), S->hi(), std::move(NewBody));
+        else if (S->kind() == StmtKind::If)
+          New = withIfParts(S, S->rhs(), std::move(NewBody),
+                            std::move(NewOrelse));
+      }
+      Out.push_back(New);
+    }
+    return Out;
+  };
+  Block NewBody = rewrite(P->body());
+  if (!Done)
+    return makeError(Error::Kind::Pattern,
+                     "unsound_drop_iter: no loop '" + Iter + "' #" +
+                         std::to_string(Nth));
+  auto C = P->clone();
+  C->setBody(std::move(NewBody));
+  C->setProvenance(P, {});
+  return ProcRef(std::move(C));
+}
+
+} // namespace
+
+Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
+                                          const ScheduleStep &S) {
+  const std::string &Op = S.Op;
+  auto A = [&](size_t I) -> const std::string & { return S.Args[I]; };
+
+  if (Op == "split") {
+    if (S.Args.size() != 5)
+      return arity(S, 5);
+    auto F = parseNum(A(1));
+    if (!F)
+      return F.error();
+    SplitTail T = A(4) == "cut"       ? SplitTail::Cut
+                  : A(4) == "perfect" ? SplitTail::Perfect
+                                      : SplitTail::Guard;
+    return splitLoop(P, Schedule::loopPattern(A(0)), *F, A(2), A(3), T);
+  }
+  if (Op == "reorder") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return reorderLoops(P, Schedule::loopPattern(A(0)));
+  }
+  if (Op == "unroll") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return unrollLoop(P, Schedule::loopPattern(A(0)));
+  }
+  if (Op == "partition") {
+    if (S.Args.size() != 2)
+      return arity(S, 2);
+    auto C = parseNum(A(1));
+    if (!C)
+      return C.error();
+    return partitionLoop(P, Schedule::loopPattern(A(0)), *C);
+  }
+  if (Op == "remove") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return removeLoop(P, Schedule::loopPattern(A(0)));
+  }
+  if (Op == "fuse") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return fuseLoops(P, Schedule::loopPattern(A(0)));
+  }
+  if (Op == "lift_if") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return liftIf(P, A(0));
+  }
+  if (Op == "reorder_stmts") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return reorderStmts(P, A(0));
+  }
+  if (Op == "move_up") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return moveStmtUp(P, A(0));
+  }
+  if (Op == "fission") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return fissionAfter(P, A(0));
+  }
+  if (Op == "lift_alloc") {
+    if (S.Args.size() != 2)
+      return arity(S, 2);
+    auto L = parseNum(A(1));
+    if (!L)
+      return L.error();
+    return liftAlloc(P, A(0), unsigned(*L));
+  }
+  if (Op == "stage") {
+    if (S.Args.size() != 5)
+      return arity(S, 5);
+    auto C = parseNum(A(1));
+    if (!C)
+      return C.error();
+    return stageMem(P, A(0), unsigned(*C), A(2), A(3), A(4));
+  }
+  if (Op == "set_memory") {
+    if (S.Args.size() != 2)
+      return arity(S, 2);
+    // Touch the library singletons so their memories are registered
+    // before codegen meets the annotation.
+    if (A(1) == "AVX512")
+      (void)hw::avx512::avx512Lib();
+    if (A(1) == "GEMM_SCRATCH" || A(1) == "GEMM_ACC")
+      (void)hw::gemmini::gemminiLib();
+    return setMemory(P, A(0), A(1));
+  }
+  if (Op == "set_precision") {
+    if (S.Args.size() != 2)
+      return arity(S, 2);
+    auto K = parseKind(A(1));
+    if (!K)
+      return K.error();
+    return setPrecision(P, A(0), *K);
+  }
+  if (Op == "replace") {
+    if (S.Args.size() != 3)
+      return arity(S, 3);
+    auto C = parseNum(A(1));
+    if (!C)
+      return C.error();
+    auto Tgt = resolveInstr(A(2));
+    if (!Tgt)
+      return Tgt.error();
+    return replaceWith(P, A(0), unsigned(*C), *Tgt);
+  }
+  if (Op == "simplify")
+    return simplify(P);
+  if (Op == "delete_pass")
+    return deletePass(P);
+  if (Op == "unsound_drop_iter") {
+    if (S.Args.size() != 2)
+      return arity(S, 2);
+    auto N = parseNum(A(1));
+    if (!N)
+      return N.error();
+    return unsoundDropIter(P, A(0), *N);
+  }
+  return makeError(Error::Kind::Parse, "unknown trace op '" + Op + "'");
+}
+
+Expected<ProcRef> exo::testing::applyTrace(
+    const ProcRef &P, const std::vector<ScheduleStep> &Trace) {
+  ProcRef Cur = P;
+  for (const ScheduleStep &S : Trace) {
+    auto Next = applyStep(Cur, S);
+    if (!Next)
+      return makeError(Next.error().kind(),
+                       "trace step '" + S.str() +
+                           "' failed: " + Next.error().message());
+    Cur = *Next;
+  }
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Random proposal
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LoopTgt {
+  std::string Iter;
+  unsigned Ord = 0; ///< among loops with this iterator name, pre-order
+  int64_t ConstLo = -1, ConstHi = -1; ///< -1 when symbolic
+  unsigned Depth = 0;
+};
+
+struct WriteTgt {
+  std::string Buf;
+  bool Reduce = false;
+  bool Scalar = false;
+  unsigned Ord = 0; ///< among pattern-equivalent statements, pre-order
+};
+
+struct AllocTgt {
+  std::string Name;
+  unsigned Depth = 0;
+  bool IsR = false;
+};
+
+struct BufTgt {
+  std::string Name;
+  std::vector<int64_t> Dims;
+};
+
+struct Targets {
+  std::vector<LoopTgt> Loops;
+  std::vector<WriteTgt> Writes;
+  std::vector<AllocTgt> Allocs;
+  std::vector<BufTgt> StageableBufs; ///< constant-extent tensors
+  unsigned NumIfs = 0;
+  std::vector<ScalarKind> ConcreteKinds; ///< distinct, discovery order
+};
+
+void noteKind(Targets &T, ScalarKind K) {
+  if (K == ScalarKind::R || !isDataScalar(K))
+    return;
+  if (std::find(T.ConcreteKinds.begin(), T.ConcreteKinds.end(), K) ==
+      T.ConcreteKinds.end())
+    T.ConcreteKinds.push_back(K);
+}
+
+void noteBuf(Targets &T, const std::string &Name, const Type &Ty) {
+  if (!Ty.isTensor() || Ty.isWindow())
+    return;
+  BufTgt B;
+  B.Name = Name;
+  for (const ExprRef &D : Ty.dims()) {
+    if (D->kind() != ExprKind::Const)
+      return;
+    B.Dims.push_back(D->intValue());
+  }
+  T.StageableBufs.push_back(std::move(B));
+}
+
+void collectBlock(const Block &B, unsigned Depth, Targets &T,
+                  std::map<std::string, unsigned> &LoopOrds,
+                  std::map<std::string, unsigned> &AssignOrds,
+                  std::map<std::string, unsigned> &ReduceOrds) {
+  for (const StmtRef &S : B) {
+    switch (S->kind()) {
+    case StmtKind::For: {
+      LoopTgt L;
+      L.Iter = S->name().name();
+      L.Ord = LoopOrds[L.Iter]++;
+      L.Depth = Depth;
+      if (S->lo()->kind() == ExprKind::Const)
+        L.ConstLo = S->lo()->intValue();
+      if (S->hi()->kind() == ExprKind::Const)
+        L.ConstHi = S->hi()->intValue();
+      T.Loops.push_back(std::move(L));
+      break;
+    }
+    case StmtKind::If:
+      ++T.NumIfs;
+      break;
+    case StmtKind::Assign: {
+      WriteTgt W;
+      W.Buf = S->name().name();
+      W.Scalar = S->indices().empty();
+      W.Ord = AssignOrds[W.Buf]++;
+      T.Writes.push_back(std::move(W));
+      break;
+    }
+    case StmtKind::Reduce: {
+      WriteTgt W;
+      W.Buf = S->name().name();
+      W.Reduce = true;
+      W.Scalar = S->indices().empty();
+      W.Ord = ReduceOrds[W.Buf]++;
+      T.Writes.push_back(std::move(W));
+      break;
+    }
+    case StmtKind::WindowStmt:
+      // The Assign pattern "w = _" also matches window bindings, so they
+      // consume an ordinal in the same counter (see Pattern.cpp).
+      AssignOrds[S->name().name()]++;
+      break;
+    case StmtKind::Alloc: {
+      AllocTgt A;
+      A.Name = S->name().name();
+      A.Depth = Depth;
+      A.IsR = S->allocType().elem() == ScalarKind::R;
+      noteKind(T, S->allocType().elem());
+      noteBuf(T, A.Name, S->allocType());
+      T.Allocs.push_back(std::move(A));
+      break;
+    }
+    default:
+      break;
+    }
+    if (!S->body().empty())
+      collectBlock(S->body(), Depth + 1, T, LoopOrds, AssignOrds, ReduceOrds);
+    if (!S->orelse().empty())
+      collectBlock(S->orelse(), Depth + 1, T, LoopOrds, AssignOrds,
+                   ReduceOrds);
+  }
+}
+
+Targets collectTargets(const ProcRef &P) {
+  Targets T;
+  std::map<std::string, unsigned> LoopOrds, AssignOrds, ReduceOrds;
+  for (const FnArg &A : P->args()) {
+    noteKind(T, A.Ty.elem());
+    noteBuf(T, A.Name.name(), A.Ty);
+  }
+  collectBlock(P->body(), 0, T, LoopOrds, AssignOrds, ReduceOrds);
+  return T;
+}
+
+std::string loopRef(const LoopTgt &L) {
+  if (L.Ord == 0)
+    return L.Iter;
+  return L.Iter + " #" + std::to_string(L.Ord);
+}
+
+std::string writePat(const WriteTgt &W) {
+  std::string P = W.Scalar ? W.Buf : W.Buf + "[_]";
+  P += W.Reduce ? " += _" : " = _";
+  if (W.Ord)
+    P += " #" + std::to_string(W.Ord);
+  return P;
+}
+
+/// Proposes one random step against the current procedure, or nullopt
+/// when the roll found no suitable target.
+std::optional<ScheduleStep> propose(const Targets &T, Rng &R,
+                                    unsigned &NameCounter) {
+  auto pickLoop = [&]() -> const LoopTgt * {
+    return T.Loops.empty() ? nullptr : &T.Loops[R.next() % T.Loops.size()];
+  };
+  auto pickWrite = [&]() -> const WriteTgt * {
+    return T.Writes.empty() ? nullptr : &T.Writes[R.next() % T.Writes.size()];
+  };
+
+  switch (R.range(0, 15)) {
+  case 0:
+  case 1: { // split
+    const LoopTgt *L = pickLoop();
+    if (!L)
+      return std::nullopt;
+    int64_t Factor = R.range(2, 4);
+    static const char *const Tails[] = {"guard", "cut", "perfect"};
+    std::string Base = L->Iter + "x" + std::to_string(NameCounter++);
+    return ScheduleStep{"split",
+                        {loopRef(*L), std::to_string(Factor), Base + "o",
+                         Base + "i", Tails[R.next() % 3]}};
+  }
+  case 2:
+  case 3: { // reorder
+    const LoopTgt *L = pickLoop();
+    if (!L)
+      return std::nullopt;
+    return ScheduleStep{"reorder", {loopRef(*L)}};
+  }
+  case 4: { // unroll — small constant-extent loops only (bounded blowup)
+    std::vector<const LoopTgt *> C;
+    for (const LoopTgt &L : T.Loops)
+      if (L.ConstLo >= 0 && L.ConstHi >= 0 && L.ConstHi - L.ConstLo <= 6)
+        C.push_back(&L);
+    if (C.empty())
+      return std::nullopt;
+    return ScheduleStep{"unroll", {loopRef(*C[R.next() % C.size()])}};
+  }
+  case 5: { // partition
+    const LoopTgt *L = pickLoop();
+    if (!L)
+      return std::nullopt;
+    int64_t Span = (L->ConstLo >= 0 && L->ConstHi > L->ConstLo)
+                       ? L->ConstHi - L->ConstLo
+                       : 4;
+    return ScheduleStep{"partition",
+                        {loopRef(*L), std::to_string(R.range(1, Span))}};
+  }
+  case 6: { // remove / fuse
+    const LoopTgt *L = pickLoop();
+    if (!L)
+      return std::nullopt;
+    return ScheduleStep{R.chance(1, 2) ? "remove" : "fuse", {loopRef(*L)}};
+  }
+  case 7: { // lift_if
+    if (!T.NumIfs)
+      return std::nullopt;
+    unsigned K = unsigned(R.next() % T.NumIfs);
+    std::string Pat = "if _: _";
+    if (K)
+      Pat += " #" + std::to_string(K);
+    return ScheduleStep{"lift_if", {Pat}};
+  }
+  case 8: { // reorder_stmts / move_up
+    const WriteTgt *W = pickWrite();
+    if (!W)
+      return std::nullopt;
+    return ScheduleStep{R.chance(1, 2) ? "reorder_stmts" : "move_up",
+                        {writePat(*W)}};
+  }
+  case 9: { // fission
+    const WriteTgt *W = pickWrite();
+    if (!W)
+      return std::nullopt;
+    return ScheduleStep{"fission", {writePat(*W)}};
+  }
+  case 10: { // lift_alloc
+    std::vector<const AllocTgt *> C;
+    for (const AllocTgt &A : T.Allocs)
+      if (A.Depth > 0)
+        C.push_back(&A);
+    if (C.empty())
+      return std::nullopt;
+    const AllocTgt *A = C[R.next() % C.size()];
+    unsigned Levels = unsigned(R.range(1, int64_t(A->Depth)));
+    return ScheduleStep{"lift_alloc",
+                        {A->Name + " : _", std::to_string(Levels)}};
+  }
+  case 11: { // stage a whole buffer around one write
+    const WriteTgt *W = pickWrite();
+    if (!W || T.StageableBufs.empty())
+      return std::nullopt;
+    const BufTgt &Buf = T.StageableBufs[R.next() % T.StageableBufs.size()];
+    std::string Win = Buf.Name + "[";
+    for (size_t D = 0; D < Buf.Dims.size(); ++D) {
+      if (D)
+        Win += ", ";
+      Win += "0:" + std::to_string(Buf.Dims[D]);
+    }
+    Win += "]";
+    return ScheduleStep{"stage",
+                        {writePat(*W), "1", Win,
+                         "stg" + std::to_string(NameCounter++), "DRAM"}};
+  }
+  case 12: { // set_memory (addressable memories only)
+    if (T.Allocs.empty())
+      return std::nullopt;
+    const AllocTgt &A = T.Allocs[R.next() % T.Allocs.size()];
+    return ScheduleStep{"set_memory",
+                        {A.Name, R.chance(1, 2) ? "AVX512" : "DRAM"}};
+  }
+  case 13: { // set_precision — only to the kind already concrete in the
+             // program (or any kind if pure-R), so the backend precision
+             // check stays satisfiable
+    std::vector<const AllocTgt *> C;
+    for (const AllocTgt &A : T.Allocs)
+      if (A.IsR)
+        C.push_back(&A);
+    if (C.empty() || T.ConcreteKinds.size() > 1)
+      return std::nullopt;
+    const char *K = T.ConcreteKinds.size() == 1
+                        ? scalarKindName(T.ConcreteKinds[0])
+                        : (R.chance(1, 2) ? "f32" : "f64");
+    return ScheduleStep{"set_precision", {C[R.next() % C.size()]->Name, K}};
+  }
+  case 14: { // replace with an @instr (unification nearly always rejects
+             // random code; exercising the rejection path is the point)
+    const WriteTgt *W = pickWrite();
+    if (!W)
+      return std::nullopt;
+    static const char *const Instrs[] = {
+        "avx512:zero_ps",  "avx512:loadu_ps", "avx512:storeu_ps",
+        "avx512:fmadd_ps", "avx512:accum_ps", "avx512:relu_ps",
+        "gemmini:zero_acc"};
+    return ScheduleStep{
+        "replace",
+        {writePat(*W), "1",
+         Instrs[R.next() % (sizeof(Instrs) / sizeof(Instrs[0]))]}};
+  }
+  default:
+    return ScheduleStep{"simplify", {}};
+  }
+}
+
+} // namespace
+
+ScheduleResult exo::testing::generateSchedule(const ProcRef &P, Rng &R,
+                                              const ScheduleGenOptions &O) {
+  ScheduleResult Res;
+  Res.Scheduled = P;
+  unsigned NameCounter = 0;
+  // Where in the attempt sequence the unsound step (if any) fires.
+  unsigned UnsoundAt =
+      O.InjectUnsound ? unsigned(R.range(0, int64_t(O.MaxAttempts) / 2)) : ~0u;
+
+  for (unsigned Attempt = 0;
+       Attempt < O.MaxAttempts && Res.Accepted < O.MaxSteps; ++Attempt) {
+    Targets T = collectTargets(Res.Scheduled);
+    std::optional<ScheduleStep> S;
+    if (Attempt == UnsoundAt && !T.Loops.empty()) {
+      const LoopTgt &L = T.Loops[R.next() % T.Loops.size()];
+      S = ScheduleStep{"unsound_drop_iter", {L.Iter, std::to_string(L.Ord)}};
+    } else {
+      S = propose(T, R, NameCounter);
+    }
+    if (!S)
+      continue;
+    ++Res.Proposed;
+    auto &Stat = Res.OpStats[S->Op];
+    ++Stat.first;
+    auto Next = applyStep(Res.Scheduled, *S);
+    if (!Next)
+      continue; // rejection is a valid outcome
+    ++Stat.second;
+    ++Res.Accepted;
+    Res.Scheduled = *Next;
+    Res.Trace.push_back(std::move(*S));
+  }
+  return Res;
+}

@@ -1,0 +1,80 @@
+//===- testing/ScheduleGen.h - Random schedule driver ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random schedule driver of the differential fuzzing harness: it
+/// repeatedly proposes applicable scheduling operators against a
+/// procedure, applying those the scheduling layer accepts and counting
+/// those it rejects (rejection is a *valid* outcome — the operators'
+/// safety checks are exactly what is under test). Every accepted step is
+/// recorded as a replayable textual trace ("op|arg|arg|..."), which is
+/// what the corpus files, the reproducer shrinker, and the regression
+/// replayer exchange.
+///
+/// The driver also hosts the deliberately-unsound test-only rewrite
+/// ("unsound_drop_iter") used by the acceptance test to prove the oracle
+/// can catch a semantics break.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_TESTING_SCHEDULEGEN_H
+#define EXO_TESTING_SCHEDULEGEN_H
+
+#include "ir/Proc.h"
+#include "support/Error.h"
+#include "testing/Rng.h"
+
+#include <map>
+
+namespace exo {
+namespace testing {
+
+/// One replayable schedule step: an operator name plus string arguments,
+/// serialized as "op|arg1|arg2|...".
+struct ScheduleStep {
+  std::string Op;
+  std::vector<std::string> Args;
+
+  std::string str() const;
+  static Expected<ScheduleStep> parse(const std::string &Line);
+};
+
+/// Applies one step to \p P through the scheduling layer. Unknown
+/// operators and malformed arguments are errors; operator rejection is
+/// reported exactly as the scheduling layer reported it.
+Expected<ir::ProcRef> applyStep(const ir::ProcRef &P, const ScheduleStep &S);
+
+/// Applies a whole trace, failing on the first rejected step.
+Expected<ir::ProcRef> applyTrace(const ir::ProcRef &P,
+                                 const std::vector<ScheduleStep> &Trace);
+
+struct ScheduleGenOptions {
+  unsigned MaxSteps = 6;     ///< stop after this many accepted rewrites
+  unsigned MaxAttempts = 20; ///< ... or this many proposals, either way
+  /// TEST-ONLY: when true, one "unsound_drop_iter" step (drops the last
+  /// iteration of a loop, with no safety check) is injected into the
+  /// proposal mix so the acceptance test can verify the oracle trips.
+  bool InjectUnsound = false;
+};
+
+struct ScheduleResult {
+  ir::ProcRef Scheduled;             ///< never null; == input when no step landed
+  std::vector<ScheduleStep> Trace;   ///< the accepted steps, in order
+  unsigned Proposed = 0;
+  unsigned Accepted = 0;
+  /// Per-operator {proposed, accepted} counts for the throughput report.
+  std::map<std::string, std::pair<unsigned, unsigned>> OpStats;
+};
+
+/// Drives random scheduling of \p P. Never fails: rejected operators are
+/// recorded in the stats and skipped.
+ScheduleResult generateSchedule(const ir::ProcRef &P, Rng &R,
+                                const ScheduleGenOptions &O = {});
+
+} // namespace testing
+} // namespace exo
+
+#endif // EXO_TESTING_SCHEDULEGEN_H
