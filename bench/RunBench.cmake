@@ -1,0 +1,17 @@
+# Runs one bench smoke command and copies the JSON it produced into the
+# repository root, so the recorded bench trajectory (BENCH_*.json) lives
+# next to the sources instead of only inside the build tree.
+#
+# Usage:
+#   cmake -DJSON=<produced file> -DREPO_ROOT=<dir> -DARGS=<;-list>
+#         -P RunBench.cmake
+if(NOT DEFINED ARGS OR NOT DEFINED JSON OR NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "RunBench.cmake needs -DARGS, -DJSON and -DREPO_ROOT")
+endif()
+execute_process(COMMAND ${ARGS} RESULT_VARIABLE RC)
+if(EXISTS "${JSON}")
+  file(COPY "${JSON}" DESTINATION "${REPO_ROOT}")
+endif()
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "bench command failed with status ${RC}: ${ARGS}")
+endif()

@@ -6,6 +6,7 @@
 
 #include "analysis/Context.h"
 
+#include "analysis/EffectSnapshot.h"
 #include "support/Error.h"
 
 #include <functional>
@@ -127,6 +128,20 @@ ContextInfo exo::analysis::computeContext(AnalysisCtx &Ctx, const Proc &P,
                                           const StmtCursor &C) {
   ContextInfo Info;
 
+  // Incremental mode: per-subtree summaries (config sets, stabilization
+  // probes) come from the thread's snapshot when one is active. The
+  // snapshot serves exactly what the inline walks below would compute, so
+  // the two modes differ only in work saved, never in results.
+  EffectSnapshot *Snap = activeEffectSnapshot();
+  auto AddCfg = [&](const StmtRef &S) {
+    if (Snap) {
+      Snap->configSets(S, Info.PostReadFields, Info.PostWriteFields);
+    } else {
+      collectConfigReads(S, Info.PostReadFields);
+      collectConfigWrites({S}, Info.PostWriteFields);
+    }
+  };
+
   // Asserted preconditions strengthen the path condition (§3.1 item 6).
   for (auto &Pred : P.preds())
     Info.PathCond = triAnd(Info.PathCond, Ctx.liftBool(Pred, Info.Pre.Env));
@@ -144,17 +159,13 @@ ContextInfo exo::analysis::computeContext(AnalysisCtx &Ctx, const Proc &P,
     // Flow through the preceding statements of this level.
     for (unsigned I = 0; I < Stop; ++I) {
       flowStmt(Ctx, Info.Pre, (*B)[I]);
-      if (SawLoop) {
-        collectConfigReads((*B)[I], Info.PostReadFields);
-        collectConfigWrites({(*B)[I]}, Info.PostWriteFields);
-      }
+      if (SawLoop)
+        AddCfg((*B)[I]);
     }
     // Trailing statements at this level execute after the selection.
     unsigned After = Depth < C.Path.size() ? C.Path[Depth].Index + 1 : C.End;
-    for (unsigned I = After; I < B->size(); ++I) {
-      collectConfigReads((*B)[I], Info.PostReadFields);
-      collectConfigWrites({(*B)[I]}, Info.PostWriteFields);
-    }
+    for (unsigned I = After; I < B->size(); ++I)
+      AddCfg((*B)[I]);
     if (Depth == C.Path.size())
       break;
 
@@ -167,18 +178,23 @@ ContextInfo exo::analysis::computeContext(AnalysisCtx &Ctx, const Proc &P,
         // deeper walk adds the preceding/trailing parts, and the selection
         // itself is added conservatively here by including the full
         // subtree minus nothing — simpler and sound.
-        collectConfigReads(S->body(), Info.PostReadFields);
-        collectConfigWrites(S->body(), Info.PostWriteFields);
+        for (auto &Child : S->body())
+          AddCfg(Child);
       }
       // Entering the loop at an arbitrary iteration: stabilize globals and
       // bind the iterator to a fresh variable constrained by its bounds.
       EffInt Lo = Ctx.liftControl(S->lo(), Info.Pre.Env);
       EffInt Hi = Ctx.liftControl(S->hi(), Info.Pre.Env);
-      FlowState Probe = Info.Pre;
-      Probe.Env[S->name()] = Ctx.unknownInt();
-      flowBlock(Ctx, Probe, S->body());
-      Probe.Env.erase(S->name());
-      havocKeys(Ctx, Info.Pre.Env, changedKeys(Info.Pre.Env, Probe.Env));
+      if (Snap) {
+        havocKeys(Ctx, Info.Pre.Env,
+                  Snap->loopStabilizedKeys(Ctx, S, Info.Pre));
+      } else {
+        FlowState Probe = Info.Pre;
+        Probe.Env[S->name()] = Ctx.unknownInt();
+        flowBlock(Ctx, Probe, S->body());
+        Probe.Env.erase(S->name());
+        havocKeys(Ctx, Info.Pre.Env, changedKeys(Info.Pre.Env, Probe.Env));
+      }
       // Use the symbol's canonical solver variable so downstream passes
       // (notably unification) can render solutions back to expressions.
       smt::TermVar X = Ctx.varFor(S->name());

@@ -7,6 +7,7 @@
 #include "analysis/Dataflow.h"
 
 #include "analysis/EffectCache.h"
+#include "analysis/EffectSnapshot.h"
 #include "ir/Subst.h"
 
 using namespace exo;
@@ -159,7 +160,13 @@ void exo::analysis::flowStmt(AnalysisCtx &Ctx, FlowState &State,
   case StmtKind::For: {
     // Stabilization heuristic (§5.3): run the body symbolically once; any
     // global that does not provably return to its entry value is ⊥ both
-    // inside subsequent analysis and after the loop.
+    // inside subsequent analysis and after the loop. The snapshot's probe
+    // cache computes exactly this (same copy/bind/flow/diff), so flows in
+    // incremental mode share its per-(node, env-slice) lines.
+    if (EffectSnapshot *Snap = activeEffectSnapshot()) {
+      havocKeys(Ctx, State.Env, Snap->loopStabilizedKeys(Ctx, S, State));
+      return;
+    }
     FlowState BodyState = State;
     BodyState.Env[S->name()] = Ctx.unknownInt(); // some iteration
     flowBlock(Ctx, BodyState, S->body());

@@ -49,6 +49,10 @@ struct BatchCacheStats {
   uint64_t FastPathHits = 0;
   uint64_t FastPathMisses = 0;
   uint64_t CooperLiterals = 0;
+  /// Incremental re-analysis activity, summed over the per-job
+  /// EffectSnapshots (DESIGN.md, "Incremental analysis").
+  uint64_t IncrementalHits = 0;
+  uint64_t IncrementalMisses = 0;
 };
 
 struct BatchResult {

@@ -143,6 +143,8 @@ void writeJson(const std::string &Path, const BatchResult &R) {
       << ", \"fastpath_hits\": " << R.Cache.FastPathHits
       << ", \"fastpath_misses\": " << R.Cache.FastPathMisses
       << ", \"cooper_literals\": " << R.Cache.CooperLiterals
+      << ", \"incremental_hits\": " << R.Cache.IncrementalHits
+      << ", \"incremental_misses\": " << R.Cache.IncrementalMisses
       << "},\n  \"jobs\": [";
   bool First = true;
   for (const JobResult &J : R.Jobs) {
@@ -158,7 +160,9 @@ void writeJson(const std::string &Path, const BatchResult &R) {
         << ", \"output_bytes\": " << J.Output.size()
         << ", \"solver_queries\": " << J.SolverQueries
         << ", \"simplify_decided\": " << J.SimplifyDecided
-        << ", \"fastpath_hits\": " << J.FastPathHits;
+        << ", \"fastpath_hits\": " << J.FastPathHits
+        << ", \"incremental_hits\": " << J.IncrementalHits
+        << ", \"incremental_misses\": " << J.IncrementalMisses;
     // Degraded jobs carry the schedule's failure alongside the reference
     // output, so report error detail for them too.
     if (!J.Ok || J.Degraded) {
@@ -213,6 +217,9 @@ void printResult(const BatchResult &R) {
               (unsigned long long)R.Cache.FastPathHits,
               (unsigned long long)R.Cache.FastPathMisses,
               (unsigned long long)R.Cache.CooperLiterals);
+  std::printf("       incremental re-analysis: %llu hits / %llu misses\n",
+              (unsigned long long)R.Cache.IncrementalHits,
+              (unsigned long long)R.Cache.IncrementalMisses);
   if (R.NumFailed || R.NumDegraded || R.NumDeadlineMiss || R.NumRetried)
     std::printf("       %u failed, %u degraded, %u deadline miss%s, "
                 "%u retried\n",

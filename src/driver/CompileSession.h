@@ -66,6 +66,14 @@ struct SessionOptions {
   /// builder, emit C from the (unscheduled, always-correct) reference and
   /// mark the result Degraded instead of failing the job.
   bool FallbackReference = false;
+
+  /// Install a per-job analysis::EffectSnapshot for the duration of the
+  /// build, so each scheduling rewrite in the job's chain re-analyzes
+  /// only the dirty region it touched. Incremental and full analysis
+  /// pose identical solver queries (the snapshot caches no verdicts), so
+  /// this is purely a time optimization; the hit/miss counters land on
+  /// the JobResult.
+  bool UseEffectSnapshot = true;
 };
 
 /// One unit of batch work: a name plus a builder producing the procedures
@@ -113,6 +121,12 @@ struct JobResult {
   uint64_t SolverQueries = 0;
   uint64_t SimplifyDecided = 0;
   uint64_t FastPathHits = 0;
+
+  /// Incremental re-analysis activity of the job's EffectSnapshot (zero
+  /// when SessionOptions::UseEffectSnapshot is off): subtree summaries
+  /// served from the snapshot vs (re)derived.
+  uint64_t IncrementalHits = 0;
+  uint64_t IncrementalMisses = 0;
 
   /// The job's deadline had passed by the time it finished (stamped by
   /// the session; the batch watchdog may also mark it).

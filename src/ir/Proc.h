@@ -37,6 +37,27 @@ struct InstrInfo {
   std::string CGlobal;
 };
 
+/// The region a scheduling rewrite replaced, recorded on the derived
+/// procedure so incremental re-analysis knows which subtrees are new.
+/// Everything outside the region — and outside the rebuilt spine leading
+/// to it — is shared with the parent procedure by node identity.
+struct DirtyRegion {
+  /// One step of the spine path, mirroring analysis::PathStep (which the
+  /// ir layer cannot name).
+  struct Step {
+    unsigned Index;           ///< statement index in the current block
+    bool IntoOrelse = false;  ///< descend into orelse instead of body
+  };
+
+  /// True for rewrites with no cursor (whole-body walkers such as
+  /// simplify, delete_pass, set_precision): nothing can be assumed shared.
+  bool Whole = true;
+  std::vector<Step> Path;     ///< spine from the proc body to the edit
+  unsigned Begin = 0;         ///< first replaced statement in that block
+  unsigned OldCount = 0;      ///< statements removed from the parent
+  unsigned NewCount = 0;      ///< statements inserted in the derived proc
+};
+
 /// A procedure. Immutable; scheduling produces new procedures linked by
 /// provenance.
 class Proc {
@@ -63,6 +84,9 @@ public:
   /// Config fields (Config.field syms) this proc's derivation polluted:
   /// it is equivalent to its parent only modulo these globals (§4.3).
   const std::set<Sym> &configDelta() const { return ConfigDelta; }
+  /// Which region of this proc the deriving rewrite replaced, when known.
+  /// Meaningful only together with parent(); absent for originals.
+  const std::optional<DirtyRegion> &dirtyRegion() const { return Dirty; }
 
   /// Finds an argument by name; returns nullptr if absent.
   const FnArg *findArg(Sym Name) const;
@@ -80,6 +104,7 @@ public:
     Parent = std::move(P);
     ConfigDelta = std::move(Delta);
   }
+  void setDirtyRegion(DirtyRegion R) { Dirty = std::move(R); }
 
 private:
   std::string Name;
@@ -89,6 +114,7 @@ private:
   std::optional<InstrInfo> Instr;
   ProcRef Parent;
   std::set<Sym> ConfigDelta;
+  std::optional<DirtyRegion> Dirty; ///< not copied by clone()
 };
 
 } // namespace ir

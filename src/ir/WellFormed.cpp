@@ -1,0 +1,168 @@
+//===- ir/WellFormed.cpp ---------------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/WellFormed.h"
+
+#include "support/Error.h"
+
+#include <set>
+
+using namespace exo;
+using namespace exo::ir;
+
+namespace {
+
+struct WfChecker {
+  std::vector<std::string> Errors;
+  /// Bindings visible on the current path: arguments, enclosing loop
+  /// iterators, and allocations/windows earlier in enclosing blocks.
+  std::set<Sym> Scope;
+
+  void fail(const StmtRef &S, const std::string &Msg) {
+    Errors.push_back(Msg + " in `" + S->str() + "`");
+  }
+
+  void bind(const StmtRef &S, Sym Name) {
+    if (!Scope.insert(Name).second)
+      fail(S, "binder '" + Name.name() + "' shadows an enclosing binding");
+  }
+
+  void checkBlock(const Block &B) {
+    // Bindings introduced at this level, popped when the block ends.
+    std::vector<Sym> Local;
+    for (const StmtRef &S : B) {
+      if (!S) {
+        Errors.push_back("null statement in block");
+        continue;
+      }
+      checkStmt(S, Local);
+    }
+    for (Sym Name : Local)
+      Scope.erase(Name);
+  }
+
+  void checkStmt(const StmtRef &S, std::vector<Sym> &Local) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+    case StmtKind::Reduce:
+      if (!S->Rhs)
+        fail(S, "assignment without an rhs");
+      for (const ExprRef &I : S->indices())
+        if (!I)
+          fail(S, "null index expression");
+      break;
+    case StmtKind::WriteConfig:
+      if (!S->Rhs)
+        fail(S, "config write without an rhs");
+      break;
+    case StmtKind::Pass:
+      break;
+    case StmtKind::If:
+      if (!S->Rhs)
+        fail(S, "if without a condition");
+      if (S->body().empty())
+        fail(S, "if with an empty body");
+      checkBlock(S->body());
+      checkBlock(S->orelse());
+      break;
+    case StmtKind::For:
+      if (!S->LoE || !S->HiE)
+        fail(S, "loop without bounds");
+      if (S->body().empty())
+        fail(S, "loop with an empty body");
+      if (!S->orelse().empty())
+        fail(S, "loop with an orelse");
+      bind(S, S->name());
+      checkBlock(S->body());
+      Scope.erase(S->name());
+      break;
+    case StmtKind::Alloc:
+      for (const ExprRef &D : S->allocType().dims())
+        if (!D)
+          fail(S, "null allocation dimension");
+      bind(S, S->name());
+      Local.push_back(S->name());
+      break;
+    case StmtKind::Call:
+      if (!S->proc())
+        fail(S, "call without a callee");
+      else if (S->args().size() != S->proc()->args().size())
+        fail(S, "call arity mismatch with callee '" + S->proc()->name() +
+                    "'");
+      for (const ExprRef &A : S->args())
+        if (!A)
+          fail(S, "null call argument");
+      break;
+    case StmtKind::WindowStmt:
+      if (!S->Rhs)
+        fail(S, "window binding without a window expression");
+      bind(S, S->name());
+      Local.push_back(S->name());
+      break;
+    }
+    if (S->kind() != StmtKind::If && S->kind() != StmtKind::For) {
+      if (!S->body().empty() || !S->orelse().empty())
+        fail(S, "leaf statement with child blocks");
+    }
+  }
+
+  void checkDirtyRegion(const Proc &P) {
+    const auto &Dirty = P.dirtyRegion();
+    if (!Dirty || Dirty->Whole)
+      return;
+    const Block *B = &P.body();
+    for (const DirtyRegion::Step &Step : Dirty->Path) {
+      if (Step.Index >= B->size()) {
+        Errors.push_back("dirty region path index out of range");
+        return;
+      }
+      const StmtRef &S = (*B)[Step.Index];
+      if (Step.IntoOrelse) {
+        if (S->kind() != StmtKind::If) {
+          Errors.push_back("dirty region descends into the orelse of a "
+                           "non-if statement");
+          return;
+        }
+        B = &S->orelse();
+      } else {
+        if (S->kind() != StmtKind::If && S->kind() != StmtKind::For) {
+          Errors.push_back("dirty region descends into a leaf statement");
+          return;
+        }
+        B = &S->body();
+      }
+    }
+    if (Dirty->Begin + Dirty->NewCount > B->size())
+      Errors.push_back("dirty region range runs past the end of its block");
+  }
+};
+
+} // namespace
+
+std::vector<std::string> exo::ir::wellFormednessErrors(const Proc &P) {
+  WfChecker C;
+  for (const FnArg &A : P.args())
+    if (!C.Scope.insert(A.Name).second)
+      C.Errors.push_back("duplicate argument '" + A.Name.name() + "'");
+  for (const ExprRef &Pred : P.preds())
+    if (!Pred)
+      C.Errors.push_back("null precondition");
+  if (P.body().empty())
+    C.Errors.push_back("empty procedure body");
+  C.checkBlock(P.body());
+  C.checkDirtyRegion(P);
+  return C.Errors;
+}
+
+bool exo::ir::isWellFormed(const Proc &P) {
+  return wellFormednessErrors(P).empty();
+}
+
+void exo::ir::assertWellFormed(const Proc &P) {
+  std::vector<std::string> Errors = wellFormednessErrors(P);
+  if (!Errors.empty())
+    fatalError("ill-formed proc " + P.name() + ": " + Errors.front());
+}

@@ -35,7 +35,7 @@ struct ConfigInsertion {
   ExprRef Value;
   std::optional<Error> Err;
 
-  ConfigInsertion(const ProcRef &P, const StmtCursor &C, const ConfigRef &Cfg,
+  ConfigInsertion(const ProcRef &P, OpContext &Op, const ConfigRef &Cfg,
                   const std::string &Field, const std::string &ValueSrc,
                   const std::set<Sym> &SelfReads) {
     const ConfigDecl::Field *F = Cfg->findField(Field);
@@ -50,7 +50,8 @@ struct ConfigInsertion {
 
     frontend::ParseEnv Env;
     Env.addConfig(Cfg);
-    auto V = frontend::parseExprInScope(ValueSrc, scopeAt(*P, C), Env);
+    auto V = frontend::parseExprInScope(ValueSrc, scopeAt(*P, Op.cursor()),
+                                        Env);
     if (!V) {
       Err = V.error();
       return;
@@ -60,8 +61,7 @@ struct ConfigInsertion {
     // §6.2: the field must not be read by anything executing after the
     // insertion point (including the selected statements themselves and
     // later iterations of enclosing loops).
-    AnalysisCtx Ctx;
-    ContextInfo Info = computeContext(Ctx, *P, C);
+    const ContextInfo &Info = Op.info();
     if (Info.PostReadFields.count(FieldSym) || SelfReads.count(FieldSym)) {
       Err = makeError(Error::Kind::Safety,
                       "config field '" + Field +
@@ -82,15 +82,15 @@ Expected<ProcRef> exo::scheduling::configWriteAt(const ProcRef &P,
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
-  StmtRef S = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef S = Op.stmt();
   std::set<Sym> SelfReads;
   collectConfigReads(S, SelfReads);
-  ConfigInsertion Ins(P, *C, Cfg, Field, ValueSrc, SelfReads);
+  ConfigInsertion Ins(P, Op, Cfg, Field, ValueSrc, SelfReads);
   if (Ins.Err)
     return *Ins.Err;
   StmtRef Write = Stmt::writeConfig(Ins.CfgSym, Ins.FieldSym, Ins.Value);
-  return deriveProc(P, replaceRange(P->body(), *C, {Write, S}),
-                    {Ins.FieldSym});
+  return Op.derive({Write, S}, {Ins.FieldSym});
 }
 
 Expected<ProcRef> exo::scheduling::configWriteRoot(const ProcRef &P,
@@ -102,13 +102,12 @@ Expected<ProcRef> exo::scheduling::configWriteRoot(const ProcRef &P,
   Top.End = 0; // empty selection at the very start
   std::set<Sym> SelfReads;
   collectConfigReads(P->body(), SelfReads);
-  ConfigInsertion Ins(P, Top, Cfg, Field, ValueSrc, SelfReads);
+  OpContext Op(P, Top);
+  ConfigInsertion Ins(P, Op, Cfg, Field, ValueSrc, SelfReads);
   if (Ins.Err)
     return *Ins.Err;
-  Block NewBody = P->body();
-  NewBody.insert(NewBody.begin(),
-                 Stmt::writeConfig(Ins.CfgSym, Ins.FieldSym, Ins.Value));
-  return deriveProc(P, std::move(NewBody), {Ins.FieldSym});
+  return Op.derive({Stmt::writeConfig(Ins.CfgSym, Ins.FieldSym, Ins.Value)},
+                   {Ins.FieldSym});
 }
 
 Expected<ProcRef> exo::scheduling::bindConfig(const ProcRef &P,
@@ -119,7 +118,8 @@ Expected<ProcRef> exo::scheduling::bindConfig(const ProcRef &P,
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
-  StmtRef S = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef S = Op.stmt();
   const ConfigDecl::Field *F = Cfg->findField(Field);
   if (!F)
     return makeError(Error::Kind::Scheduling,
@@ -161,8 +161,7 @@ Expected<ProcRef> exo::scheduling::bindConfig(const ProcRef &P,
 
   // Context condition (§6.2) — same as inserting a write before s, except
   // the selected statement now deliberately reads the field.
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
+  const ContextInfo &Info = Op.info();
   if (Info.PostReadFields.count(F->Name))
     return makeError(Error::Kind::Safety,
                      "config field '" + Field +
@@ -215,6 +214,5 @@ Expected<ProcRef> exo::scheduling::bindConfig(const ProcRef &P,
   }
 
   StmtRef Write = Stmt::writeConfig(Cfg->name(), F->Name, Found);
-  return deriveProc(P, replaceRange(P->body(), *C, {Write, NewStmt}),
-                    {F->Name});
+  return Op.derive({Write, NewStmt}, {F->Name});
 }

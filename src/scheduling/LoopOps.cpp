@@ -42,7 +42,8 @@ Expected<ProcRef> exo::scheduling::splitLoop(const ProcRef &P,
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
-  StmtRef Loop = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef Loop = Op.stmt();
   if (Loop->lo()->kind() != ExprKind::Const || Loop->lo()->intValue() != 0)
     return makeError(Error::Kind::Scheduling,
                      "split requires a loop starting at 0");
@@ -75,13 +76,12 @@ Expected<ProcRef> exo::scheduling::splitLoop(const ProcRef &P,
   }
   case SplitTail::Perfect: {
     // Prove f | hi under the path condition.
-    AnalysisCtx Ctx;
-    ContextInfo Info = computeContext(Ctx, *P, *C);
-    EffInt HiV = Ctx.liftControl(Hi, Info.Pre.Env);
+    const ContextInfo &Info = Op.info();
+    EffInt HiV = Op.Ctx.liftControl(Hi, Info.Pre.Env);
     smt::TermRef Divides =
         smt::mkAnd(HiV.Def, smt::eq(smt::mod(HiV.Val, Factor),
                                     smt::intConst(0)));
-    if (auto E = checkProved(Ctx, Info.PathCond, Divides, "split", LoopPat,
+    if (auto E = checkProved(Op.Ctx, Info.PathCond, Divides, "split", LoopPat,
                              "for " + Loop->name().name() + " in _: _",
                              "split(perfect): cannot prove " +
                                  std::to_string(Factor) + " divides " +
@@ -114,7 +114,7 @@ Expected<ProcRef> exo::scheduling::splitLoop(const ProcRef &P,
     break;
   }
   }
-  return deriveProc(P, replaceRange(P->body(), *C, Replacement));
+  return Op.derive(Replacement);
 }
 
 Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
@@ -122,7 +122,8 @@ Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
-  StmtRef OuterLoop = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef OuterLoop = Op.stmt();
   if (OuterLoop->body().size() != 1 ||
       OuterLoop->body()[0]->kind() != StmtKind::For)
     return makeError(Error::Kind::Scheduling,
@@ -138,8 +139,8 @@ Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
                      "reorder: inner bounds depend on the outer iterator");
 
   // §5.8 condition: any flipped iteration pair must commute.
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
+  AnalysisCtx &Ctx = Op.Ctx;
+  const ContextInfo &Info = Op.info();
   smt::TermRef X1 = smt::mkVar(smt::freshVar("x1", smt::Sort::Int));
   smt::TermRef Y1 = smt::mkVar(smt::freshVar("y1", smt::Sort::Int));
   smt::TermRef X2 = smt::mkVar(smt::freshVar("x2", smt::Sort::Int));
@@ -189,7 +190,7 @@ Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
                                    OuterLoop->hi(), InnerLoop->body());
   StmtRef NewOuter = Stmt::forStmt(InnerLoop->name(), InnerLoop->lo(),
                                    InnerLoop->hi(), {NewInner});
-  return deriveProc(P, replaceRange(P->body(), *C, {NewOuter}));
+  return Op.derive({NewOuter});
 }
 
 Expected<ProcRef> exo::scheduling::unrollLoop(const ProcRef &P,
@@ -197,7 +198,8 @@ Expected<ProcRef> exo::scheduling::unrollLoop(const ProcRef &P,
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
-  StmtRef Loop = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef Loop = Op.stmt();
   ExprRef Lo = simplifyExpr(Loop->lo());
   ExprRef Hi = simplifyExpr(Loop->hi());
   if (Lo->kind() != ExprKind::Const || Hi->kind() != ExprKind::Const)
@@ -217,7 +219,7 @@ Expected<ProcRef> exo::scheduling::unrollLoop(const ProcRef &P,
   }
   if (Replacement.empty())
     Replacement.push_back(Stmt::pass());
-  return deriveProc(P, replaceRange(P->body(), *C, Replacement));
+  return Op.derive(Replacement);
 }
 
 Expected<ProcRef> exo::scheduling::partitionLoop(const ProcRef &P,
@@ -226,16 +228,16 @@ Expected<ProcRef> exo::scheduling::partitionLoop(const ProcRef &P,
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
-  StmtRef Loop = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef Loop = Op.stmt();
 
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
-  EffInt LoV = Ctx.liftControl(Loop->lo(), Info.Pre.Env);
-  EffInt HiV = Ctx.liftControl(Loop->hi(), Info.Pre.Env);
+  const ContextInfo &Info = Op.info();
+  EffInt LoV = Op.Ctx.liftControl(Loop->lo(), Info.Pre.Env);
+  EffInt HiV = Op.Ctx.liftControl(Loop->hi(), Info.Pre.Env);
   smt::TermRef Fits = smt::mkAnd(
       smt::mkAnd(LoV.Def, HiV.Def),
       smt::le(smt::add(LoV.Val, smt::intConst(Cut)), HiV.Val));
-  if (auto E = checkProved(Ctx, Info.PathCond, Fits, "partition_loop",
+  if (auto E = checkProved(Op.Ctx, Info.PathCond, Fits, "partition_loop",
                            LoopPat,
                            "for " + Loop->name().name() + " in _: _",
                            "partition_loop: cannot prove lo + " +
@@ -251,7 +253,7 @@ Expected<ProcRef> exo::scheduling::partitionLoop(const ProcRef &P,
                              refreshBinders(substBlock(Loop->body(), M1)));
   StmtRef L2 = Stmt::forStmt(I2, Mid, Loop->hi(),
                              refreshBinders(substBlock(Loop->body(), M2)));
-  return deriveProc(P, replaceRange(P->body(), *C, {L1, L2}));
+  return Op.derive({L1, L2});
 }
 
 Expected<ProcRef> exo::scheduling::removeLoop(const ProcRef &P,
@@ -259,13 +261,14 @@ Expected<ProcRef> exo::scheduling::removeLoop(const ProcRef &P,
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
-  StmtRef Loop = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef Loop = Op.stmt();
   if (freeVars(Loop->body()).count(Loop->name()))
     return makeError(Error::Kind::Scheduling,
                      "remove_loop: iterator occurs free in the body");
 
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
+  AnalysisCtx &Ctx = Op.Ctx;
+  const ContextInfo &Info = Op.info();
   // At least one iteration: lo < hi.
   EffInt LoV = Ctx.liftControl(Loop->lo(), Info.Pre.Env);
   EffInt HiV = Ctx.liftControl(Loop->hi(), Info.Pre.Env);
@@ -288,7 +291,7 @@ Expected<ProcRef> exo::scheduling::removeLoop(const ProcRef &P,
                            "remove_loop: body is not provably idempotent"))
     return *E;
 
-  return deriveProc(P, replaceRange(P->body(), *C, Loop->body()));
+  return Op.derive(Loop->body());
 }
 
 Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
@@ -304,8 +307,9 @@ Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
   StmtRef L1 = B[C->Begin];
   StmtRef L2 = B[C->Begin + 1];
 
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
+  OpContext Op(P, *C);
+  AnalysisCtx &Ctx = Op.Ctx;
+  const ContextInfo &Info = Op.info();
   // Bounds must provably coincide.
   EffInt Lo1 = Ctx.liftControl(L1->lo(), Info.Pre.Env);
   EffInt Lo2 = Ctx.liftControl(L2->lo(), Info.Pre.Env);
@@ -352,7 +356,7 @@ Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
   StmtRef NewLoop = Stmt::forStmt(L1->name(), L1->lo(), L1->hi(), Fused);
   StmtCursor Two = *C;
   Two.End = C->Begin + 2;
-  return deriveProc(P, replaceRange(P->body(), Two, {NewLoop}));
+  return deriveProc(P, replaceRange(P->body(), Two, {NewLoop}), Two, 1);
 }
 
 Expected<ProcRef> exo::scheduling::liftIf(const ProcRef &P,
@@ -389,5 +393,6 @@ Expected<ProcRef> exo::scheduling::liftIf(const ProcRef &P,
                             refreshBinders(substBlock(If->orelse(), Map)))};
   }
   StmtRef NewIf = Stmt::ifStmt(If->rhs(), {ThenLoop}, std::move(Orelse));
-  return deriveProc(P, replaceRange(P->body(), ParentCur, {NewIf}));
+  return deriveProc(P, replaceRange(P->body(), ParentCur, {NewIf}), ParentCur,
+                    1);
 }

@@ -243,7 +243,8 @@ Expected<ProcRef> exo::scheduling::stageMem(const ProcRef &P,
   auto C = findStmts(*P, StmtPat, Count);
   if (!C)
     return C.error();
-  std::vector<StmtRef> Sel = selectedStmts(*P, *C);
+  OpContext Op(P, *C);
+  std::vector<StmtRef> Sel = Op.stmts();
 
   frontend::ParseEnv Env;
   auto W = frontend::parseExprInScope(WindowSrc, scopeAt(*P, *C), Env);
@@ -276,10 +277,8 @@ Expected<ProcRef> exo::scheduling::stageMem(const ProcRef &P,
     return makeError(Error::Kind::Scheduling,
                      "stage_mem: window must keep at least one interval");
 
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
   Sym Stage = Sym::fresh(NewName);
-  StageRewriter RW(Ctx, Info, Buf, Coords, Stage);
+  StageRewriter RW(Op.Ctx, Op.info(), Buf, Coords, Stage);
   Block NewSel;
   for (auto &S : Sel) {
     Block One = RW.rewriteBlock({S});
@@ -346,7 +345,7 @@ Expected<ProcRef> exo::scheduling::stageMem(const ProcRef &P,
     Replacement.push_back(S);
   if (NeedCopyOut)
     Replacement.push_back(makeCopy(/*In=*/false));
-  return deriveProc(P, replaceRange(P->body(), *C, Replacement));
+  return Op.derive(Replacement);
 }
 
 namespace {
@@ -419,9 +418,10 @@ Expected<ProcRef> exo::scheduling::setMemory(const ProcRef &P,
   auto C = findOneOfKind(*P, Name + " : _", StmtKind::Alloc, "an allocation");
   if (!C)
     return C.error();
-  StmtRef Alloc = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef Alloc = Op.stmt();
   StmtRef NewAlloc = Stmt::alloc(Alloc->name(), Alloc->allocType(), Mem);
-  return deriveProc(P, replaceRange(P->body(), *C, {NewAlloc}));
+  return Op.derive({NewAlloc});
 }
 
 Expected<ProcRef> exo::scheduling::setPrecision(const ProcRef &P,

@@ -22,9 +22,58 @@ namespace exo {
 namespace scheduling {
 
 /// Builds the derived procedure: same signature, new body, provenance
-/// link to \p Old with the given configuration delta.
+/// link to \p Old with the given configuration delta. This overload is
+/// for whole-body rewrites (simplify, set_precision, ...): the recorded
+/// dirty region says "assume nothing is shared".
 ir::ProcRef deriveProc(const ir::ProcRef &Old, ir::Block NewBody,
                        std::set<ir::Sym> Delta = {});
+
+/// Cursor-carrying overload: the rewrite replaced the \p C selection of
+/// \p Old's body with \p NewCount statements (NewBody is the result of
+/// replaceRange at that cursor). The derived proc records the precise
+/// DirtyRegion — spine path plus replaced range — which the active
+/// EffectSnapshot uses for eager invalidation, and which debug builds
+/// validate against the tree in the well-formedness pass.
+ir::ProcRef deriveProc(const ir::ProcRef &Old, ir::Block NewBody,
+                       const StmtCursor &C, unsigned NewCount,
+                       std::set<ir::Sym> Delta = {});
+
+/// The deduplicated effect-extraction preamble the analysis-backed
+/// operators used to copy-paste: one AnalysisCtx plus the lazily-derived
+/// one-holed context of §6.1 for a resolved cursor. Construct it after
+/// pattern resolution succeeds; call info() only on the paths that need
+/// analysis (several operators have analysis-free fast paths). derive()
+/// splices a replacement at the cursor and stamps the dirty region.
+class OpContext {
+public:
+  OpContext(const ir::ProcRef &P, StmtCursor Cursor)
+      : P(P), C(std::move(Cursor)) {}
+
+  const StmtCursor &cursor() const { return C; }
+  std::vector<ir::StmtRef> stmts() const {
+    return analysis::selectedStmts(*P, C);
+  }
+  ir::StmtRef stmt() const { return stmts()[0]; }
+
+  analysis::AnalysisCtx Ctx;
+  const analysis::ContextInfo &info() {
+    if (!Info)
+      Info = analysis::computeContext(Ctx, *P, C);
+    return *Info;
+  }
+
+  /// deriveProc(replaceRange(...)) with the dirty region recorded.
+  ir::ProcRef derive(const std::vector<ir::StmtRef> &Replacement,
+                     std::set<ir::Sym> Delta = {}) const {
+    return deriveProc(P, analysis::replaceRange(P->body(), C, Replacement),
+                      C, unsigned(Replacement.size()), std::move(Delta));
+  }
+
+private:
+  ir::ProcRef P;
+  StmtCursor C;
+  std::optional<analysis::ContextInfo> Info;
+};
 
 /// Recursively simplifies index arithmetic (constant folding, neutral
 /// elements) — shared by simplify() and the ops that synthesize indices.

@@ -7,8 +7,10 @@
 #include "scheduling/OpsCommon.h"
 
 #include "analysis/Dataflow.h"
+#include "analysis/EffectSnapshot.h"
 #include "ir/FreeVars.h"
 #include "ir/Subst.h"
+#include "ir/WellFormed.h"
 #include "support/MathExtras.h"
 
 #include <algorithm>
@@ -19,12 +21,47 @@ using namespace exo::scheduling;
 using namespace exo::ir;
 using namespace exo::analysis;
 
+namespace {
+
+/// Shared tail of the deriveProc overloads: stamp the dirty region,
+/// assert tree/region coherence in debug builds, and let the active
+/// effect snapshot evict what the rewrite replaced.
+ProcRef finishDerive(std::shared_ptr<Proc> P, DirtyRegion Dirty) {
+  P->setDirtyRegion(std::move(Dirty));
+#ifndef NDEBUG
+  assertWellFormed(*P);
+#endif
+  if (EffectSnapshot *Snap = activeEffectSnapshot())
+    Snap->noteDerived(*P);
+  return P;
+}
+
+} // namespace
+
 ProcRef exo::scheduling::deriveProc(const ProcRef &Old, Block NewBody,
                                     std::set<Sym> Delta) {
   auto P = Old->clone();
   P->setBody(std::move(NewBody));
   P->setProvenance(Old, std::move(Delta));
-  return P;
+  return finishDerive(std::move(P), DirtyRegion{});
+}
+
+ProcRef exo::scheduling::deriveProc(const ProcRef &Old, Block NewBody,
+                                    const StmtCursor &C, unsigned NewCount,
+                                    std::set<Sym> Delta) {
+  auto P = Old->clone();
+  P->setBody(std::move(NewBody));
+  P->setProvenance(Old, std::move(Delta));
+  DirtyRegion Dirty;
+  Dirty.Whole = false;
+  Dirty.Path.reserve(C.Path.size());
+  for (const PathStep &Step : C.Path)
+    Dirty.Path.push_back(
+        {Step.Index, Step.Into == PathStep::Branch::Orelse});
+  Dirty.Begin = C.Begin;
+  Dirty.OldCount = C.count();
+  Dirty.NewCount = NewCount;
+  return finishDerive(std::move(P), std::move(Dirty));
 }
 
 Expected<StmtCursor> exo::scheduling::findOneOfKind(const Proc &P,

@@ -18,16 +18,17 @@ using namespace exo::scheduling;
 using namespace exo::ir;
 using namespace exo::analysis;
 
-Expected<ProcRef> exo::scheduling::reorderStmts(const ProcRef &P,
-                                                const std::string &FirstPat) {
-  auto C = findStmts(*P, FirstPat);
-  if (!C)
-    return C.error();
-  const Block &B = blockAt(*P, *C);
-  if (C->Begin + 1 >= B.size())
+namespace {
+
+/// Shared commute-and-swap used by reorderStmts / moveStmtUp: swaps the
+/// statement at \p C with its successor after proving they commute.
+Expected<ProcRef> swapAdjacent(const ProcRef &P, const StmtCursor &C,
+                               const std::string &Pattern) {
+  const Block &B = blockAt(*P, C);
+  if (C.Begin + 1 >= B.size())
     return makeError(Error::Kind::Scheduling,
                      "reorder_stmts: no statement after the match");
-  StmtRef S1 = B[C->Begin], S2 = B[C->Begin + 1];
+  StmtRef S1 = B[C.Begin], S2 = B[C.Begin + 1];
 
   // Binders of s1 must not be used by s2 (scope would break).
   if (S1->kind() == StmtKind::Alloc || S1->kind() == StmtKind::WindowStmt)
@@ -36,47 +37,29 @@ Expected<ProcRef> exo::scheduling::reorderStmts(const ProcRef &P,
                        "reorder_stmts: the second statement uses a binding "
                        "of the first");
 
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
-  FlowState State = Info.Pre;
-  EffectSets A1 = extractStmt(Ctx, State, S1);
-  EffectSets A2 = extractStmt(Ctx, State, S2);
-  if (auto E = checkProved(Ctx, Info.PathCond, commutesCond(A1, A2),
-                           "reorder_stmts", FirstPat, printStmt(S1),
-                           "reorder_stmts: statements do not commute"))
-    return *E;
-
-  StmtCursor Two = *C;
-  Two.End = C->Begin + 2;
-  return deriveProc(P, replaceRange(P->body(), Two, {S2, S1}));
-}
-
-namespace {
-
-/// Shared commute-and-swap used by reorderStmts / moveStmtUp.
-Expected<ProcRef> swapAdjacent(const ProcRef &P, const StmtCursor &C) {
-  const Block &B = blockAt(*P, C);
-  StmtRef S1 = B[C.Begin], S2 = B[C.Begin + 1];
-  if (S1->kind() == StmtKind::Alloc || S1->kind() == StmtKind::WindowStmt)
-    if (freeVars(S2).count(S1->name()))
-      return makeError(Error::Kind::Scheduling,
-                       "reorder_stmts: the second statement uses a binding "
-                       "of the first");
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, C);
-  FlowState State = Info.Pre;
-  EffectSets A1 = extractStmt(Ctx, State, S1);
-  EffectSets A2 = extractStmt(Ctx, State, S2);
-  if (auto E = checkProved(Ctx, Info.PathCond, commutesCond(A1, A2),
-                           "reorder_stmts", "", printStmt(S1),
-                           "reorder_stmts: statements do not commute"))
-    return *E;
   StmtCursor Two = C;
   Two.End = C.Begin + 2;
-  return deriveProc(P, replaceRange(P->body(), Two, {S2, S1}));
+  OpContext Op(P, Two);
+  const ContextInfo &Info = Op.info();
+  FlowState State = Info.Pre;
+  EffectSets A1 = extractStmt(Op.Ctx, State, S1);
+  EffectSets A2 = extractStmt(Op.Ctx, State, S2);
+  if (auto E = checkProved(Op.Ctx, Info.PathCond, commutesCond(A1, A2),
+                           "reorder_stmts", Pattern, printStmt(S1),
+                           "reorder_stmts: statements do not commute"))
+    return *E;
+  return Op.derive({S2, S1});
 }
 
 } // namespace
+
+Expected<ProcRef> exo::scheduling::reorderStmts(const ProcRef &P,
+                                                const std::string &FirstPat) {
+  auto C = findStmts(*P, FirstPat);
+  if (!C)
+    return C.error();
+  return swapAdjacent(P, *C, FirstPat);
+}
 
 Expected<ProcRef> exo::scheduling::moveStmtUp(const ProcRef &P,
                                               const std::string &StmtPat) {
@@ -89,7 +72,7 @@ Expected<ProcRef> exo::scheduling::moveStmtUp(const ProcRef &P,
   StmtCursor Prev = *C;
   --Prev.Begin;
   --Prev.End;
-  return swapAdjacent(P, Prev);
+  return swapAdjacent(P, Prev, StmtPat);
 }
 
 Expected<ProcRef> exo::scheduling::hoistStmtToTop(const ProcRef &P,
@@ -159,7 +142,8 @@ Expected<ProcRef> exo::scheduling::fissionAfter(const ProcRef &P,
   ParentCur.Path.assign(C->Path.begin(), C->Path.end() - 1);
   ParentCur.Begin = C->Path.back().Index;
   ParentCur.End = ParentCur.Begin + 1;
-  StmtRef Loop = selectedStmts(*P, ParentCur)[0];
+  OpContext Op(P, ParentCur);
+  StmtRef Loop = Op.stmt();
   if (Loop->kind() != StmtKind::For)
     return makeError(Error::Kind::Scheduling,
                      "fission_after: enclosing statement is not a loop");
@@ -181,8 +165,8 @@ Expected<ProcRef> exo::scheduling::fissionAfter(const ProcRef &P,
                            "' bound in the first half");
 
   // §5.8: B1 at iteration x moves before B2 at iteration x' for x' < x.
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, ParentCur);
+  AnalysisCtx &Ctx = Op.Ctx;
+  const ContextInfo &Info = Op.info();
   smt::TermRef X1 = smt::mkVar(smt::freshVar("x1", smt::Sort::Int));
   smt::TermRef X2 = smt::mkVar(smt::freshVar("x2", smt::Sort::Int));
   FlowState SA = Info.Pre;
@@ -215,7 +199,7 @@ Expected<ProcRef> exo::scheduling::fissionAfter(const ProcRef &P,
   StmtRef L1 = Stmt::forStmt(Loop->name(), Loop->lo(), Loop->hi(), B1);
   StmtRef L2 = Stmt::forStmt(Iter2, Loop->lo(), Loop->hi(),
                              refreshBinders(substBlock(B2, Map)));
-  return deriveProc(P, replaceRange(P->body(), ParentCur, {L1, L2}));
+  return Op.derive({L1, L2});
 }
 
 Expected<ProcRef> exo::scheduling::liftAlloc(const ProcRef &P,
@@ -249,7 +233,8 @@ Expected<ProcRef> exo::scheduling::liftAlloc(const ProcRef &P,
                          "iterator");
     }
     // Remove the alloc from its block and reinsert before the (rebuilt)
-    // parent statement; the path above the parent is unchanged.
+    // parent statement; the path above the parent is unchanged, so the
+    // net dirty region is the parent's slot widening to two statements.
     Block Without = replaceRange(Cur->body(), *C, {});
     const Block *Bp = &Without;
     for (const PathStep &Step : ParentCur.Path)
@@ -258,7 +243,7 @@ Expected<ProcRef> exo::scheduling::liftAlloc(const ProcRef &P,
                : &(*Bp)[Step.Index]->orelse();
     StmtRef NewParent = (*Bp)[ParentCur.Begin];
     Block Rebuilt = replaceRange(Without, ParentCur, {Alloc, NewParent});
-    Cur = deriveProc(Cur, std::move(Rebuilt));
+    Cur = deriveProc(Cur, std::move(Rebuilt), ParentCur, 2);
   }
   return Cur;
 }
@@ -270,7 +255,8 @@ Expected<ProcRef> exo::scheduling::bindExpr(const ProcRef &P,
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
-  StmtRef S = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef S = Op.stmt();
   if (S->kind() != StmtKind::Assign && S->kind() != StmtKind::Reduce)
     return makeError(Error::Kind::Scheduling,
                      "bind_expr: statement must be an assignment or "
@@ -329,10 +315,8 @@ Expected<ProcRef> exo::scheduling::bindExpr(const ProcRef &P,
       S->kind() == StmtKind::Assign
           ? Stmt::assign(S->name(), S->indices(), NewRhs)
           : Stmt::reduce(S->name(), S->indices(), NewRhs);
-  std::vector<StmtRef> Replacement = {
-      Stmt::alloc(NewSym, Type(Elem), "DRAM"),
-      Stmt::assign(NewSym, {}, Found), NewStmt};
-  return deriveProc(P, replaceRange(P->body(), *C, Replacement));
+  return Op.derive({Stmt::alloc(NewSym, Type(Elem), "DRAM"),
+                    Stmt::assign(NewSym, {}, Found), NewStmt});
 }
 
 Expected<ProcRef> exo::scheduling::addGuard(const ProcRef &P,
@@ -341,21 +325,20 @@ Expected<ProcRef> exo::scheduling::addGuard(const ProcRef &P,
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
-  StmtRef S = selectedStmts(*P, *C)[0];
+  OpContext Op(P, *C);
+  StmtRef S = Op.stmt();
 
   frontend::ParseEnv Env;
   auto Cond = frontend::parseExprInScope(CondSrc, scopeAt(*P, *C), Env);
   if (!Cond)
     return Cond.error();
 
-  AnalysisCtx Ctx;
-  ContextInfo Info = computeContext(Ctx, *P, *C);
-  TriBool CondT = Ctx.liftBool(*Cond, Info.Pre.Env);
-  if (auto E = checkProved(Ctx, Info.PathCond, CondT.Must, "add_guard",
+  const ContextInfo &Info = Op.info();
+  TriBool CondT = Op.Ctx.liftBool(*Cond, Info.Pre.Env);
+  if (auto E = checkProved(Op.Ctx, Info.PathCond, CondT.Must, "add_guard",
                            StmtPat, CondSrc,
                            "add_guard: condition '" + CondSrc +
                                "' is not provably true here"))
     return *E;
-  return deriveProc(P, replaceRange(P->body(), *C,
-                                    {Stmt::ifStmt(*Cond, {S})}));
+  return Op.derive({Stmt::ifStmt(*Cond, {S})});
 }

@@ -120,6 +120,19 @@ void printReport(const FuzzReport &R) {
               S.StepsAccepted, S.StepsProposed,
               S.StepsProposed ? 100.0 * S.StepsAccepted / S.StepsProposed
                               : 0.0);
+  if (S.DifferentialSteps) {
+    std::printf("      differential: %u steps, %u mismatches; snapshot "
+                "%llu hits / %llu misses (%.0f%% hit rate)\n",
+                S.DifferentialSteps, S.DifferentialMismatches,
+                (unsigned long long)S.IncrementalHits,
+                (unsigned long long)S.IncrementalMisses,
+                S.IncrementalHits + S.IncrementalMisses
+                    ? 100.0 * S.IncrementalHits /
+                          (S.IncrementalHits + S.IncrementalMisses)
+                    : 0.0);
+    for (const std::string &N : R.DifferentialNotes)
+      std::printf("  MISMATCH %s\n", N.c_str());
+  }
   for (const auto &[Op, PA] : S.OpStats)
     std::printf("        %-16s %4u/%4u\n", Op.c_str(), PA.second, PA.first);
   for (const FuzzDivergence &D : R.Divergences) {
@@ -184,6 +197,8 @@ int main(int Argc, char **Argv) {
       DoUpdateGolden = true;
     } else if (A == "--inject-unsound") {
       FO.Sched.InjectUnsound = true;
+    } else if (A == "--differential") {
+      FO.Sched.Differential = true;
     } else if (A == "--keep-files") {
       FO.Oracle.KeepFiles = true;
     } else if (A == "--tolerance") {
@@ -196,7 +211,8 @@ int main(int Argc, char **Argv) {
           "                  [--json PATH] [--repro-dir DIR]\n"
           "                  [--replay CASE.fuzz] [--emit-corpus DIR [N]]\n"
           "                  [--update-golden] [--inject-unsound]\n"
-          "                  [--keep-files] [--tolerance X]\n");
+          "                  [--differential] [--keep-files]\n"
+          "                  [--tolerance X]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown option '%s' (try --help)\n", A.c_str());

@@ -208,6 +208,14 @@ Expected<FuzzReport> exo::testing::runFuzz(const FuzzOptions &O) {
       ++S.Schedules;
       S.StepsProposed += SR.Proposed;
       S.StepsAccepted += SR.Accepted;
+      S.DifferentialSteps += SR.DifferentialSteps;
+      S.DifferentialMismatches += SR.DifferentialMismatches;
+      S.IncrementalHits += SR.IncrementalHits;
+      S.IncrementalMisses += SR.IncrementalMisses;
+      for (std::string &N : SR.DifferentialNotes)
+        Report.DifferentialNotes.push_back("seed " + std::to_string(Seed) +
+                                           " variant " + std::to_string(V) +
+                                           ": " + std::move(N));
       for (const auto &[Op, PA] : SR.OpStats) {
         S.OpStats[Op].first += PA.first;
         S.OpStats[Op].second += PA.second;
@@ -281,6 +289,17 @@ std::string exo::testing::statsJson(const FuzzReport &R,
   OS << "  \"divergences\": " << S.Divergences << ",\n";
   OS << "  \"steps_proposed\": " << S.StepsProposed << ",\n";
   OS << "  \"steps_accepted\": " << S.StepsAccepted << ",\n";
+  OS << "  \"differential_steps\": " << S.DifferentialSteps << ",\n";
+  OS << "  \"differential_mismatches\": " << S.DifferentialMismatches
+     << ",\n";
+  OS << "  \"incremental_hits\": " << S.IncrementalHits << ",\n";
+  OS << "  \"incremental_misses\": " << S.IncrementalMisses << ",\n";
+  OS << "  \"incremental_hit_rate\": "
+     << (S.IncrementalHits + S.IncrementalMisses
+             ? static_cast<double>(S.IncrementalHits) /
+                   (S.IncrementalHits + S.IncrementalMisses)
+             : 0.0)
+     << ",\n";
   OS << "  \"operator_acceptance_rate\": "
      << (S.StepsProposed
              ? static_cast<double>(S.StepsAccepted) / S.StepsProposed

@@ -60,14 +60,23 @@ struct FuzzStats {
   double WallMillis = 0;
   /// Per-operator {proposed, accepted} counts.
   std::map<std::string, std::pair<unsigned, unsigned>> OpStats;
+  /// Differential re-analysis tallies (ScheduleGenOptions::Differential):
+  /// every proposal applied full-vs-incremental, mismatches counted.
+  unsigned DifferentialSteps = 0;
+  unsigned DifferentialMismatches = 0;
+  uint64_t IncrementalHits = 0;   ///< EffectSnapshot hits across schedules
+  uint64_t IncrementalMisses = 0; ///< EffectSnapshot misses across schedules
 };
 
 struct FuzzReport {
   FuzzStats Stats;
   std::vector<FuzzDivergence> Divergences;
+  /// Human-readable descriptions of full-vs-incremental mismatches.
+  std::vector<std::string> DifferentialNotes;
 
   bool clean() const {
-    return Divergences.empty() && Stats.GenFailures == 0;
+    return Divergences.empty() && Stats.GenFailures == 0 &&
+           Stats.DifferentialMismatches == 0;
   }
 };
 

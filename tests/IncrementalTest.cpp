@@ -1,0 +1,402 @@
+//===- tests/IncrementalTest.cpp - Incremental re-analysis tests -*- C++-*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the dirty-region incremental analysis stack: the
+/// analysis::EffectSnapshot summary table (snapshot-on and snapshot-off
+/// analysis must be indistinguishable, summaries must be served warm and
+/// evicted along rewrites' dirty regions), the ir::wellFormednessErrors
+/// pass asserted between rewrites, the DirtyRegion stamps the scheduling
+/// operators record, and the provenance spine across nested rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Context.h"
+#include "analysis/EffectSnapshot.h"
+
+#include "frontend/Parser.h"
+#include "ir/FreeVars.h"
+#include "ir/WellFormed.h"
+#include "scheduling/Pattern.h"
+#include "scheduling/Schedule.h"
+#include "testing/Corpus.h"
+#include "testing/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace exo;
+using namespace exo::analysis;
+using namespace exo::ir;
+using namespace exo::scheduling;
+
+namespace {
+
+ProcRef parse(const char *Src, frontend::ParseEnv *Env = nullptr) {
+  auto P = Env ? frontend::parseProc(Src, *Env) : frontend::parseProc(Src);
+  if (!P)
+    fatalError("test parse failed: " + P.error().str());
+  return *P;
+}
+
+template <typename T> T must(Expected<T> E, const char *What) {
+  if (!E)
+    fatalError(std::string(What) + " failed: " + E.error().str());
+  return *E;
+}
+
+/// A procedure with configuration traffic on the spine, so the snapshot
+/// has all three summary families to cache: config sets, free variables,
+/// and loop-stabilization probes.
+ProcRef configProc(frontend::ParseEnv &Env) {
+  auto M = frontend::parseModule(R"(
+@config
+class CfgInc:
+    st : stride
+)",
+                                 Env);
+  if (!M)
+    fatalError("config parse failed: " + M.error().str());
+  ProcRef P = parse(R"(
+@proc
+def inc_p(x: R[16, 8], y: R[16]):
+    for i in seq(0, 16):
+        for j in seq(0, 8):
+            y[i] = x[i, j] + 0.0
+)",
+                    &Env);
+  return must(bindConfig(P, "for i in _: _", "16", Env.findConfig("CfgInc"),
+                         "st"),
+              "bind_config");
+}
+
+/// Full-mode (snapshot-off) reference context at \p C.
+ContextInfo fullContext(AnalysisCtx &Ctx, const Proc &P, const StmtCursor &C) {
+  ScopedEffectSnapshot Off(nullptr);
+  return computeContext(Ctx, P, C);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// EffectSnapshot: equivalence, counters, eviction
+//===----------------------------------------------------------------------===//
+
+TEST(EffectSnapshot, MatchesFullAnalysis) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  StmtCursor C = must(findStmts(*P, "for j in _: _"), "findStmts");
+
+  AnalysisCtx FullCtx;
+  ContextInfo Full = fullContext(FullCtx, *P, C);
+
+  EffectSnapshot Snap;
+  ScopedEffectSnapshot On(&Snap);
+  AnalysisCtx IncCtx;
+  ContextInfo Inc = computeContext(IncCtx, *P, C);
+
+  EXPECT_EQ(Full.PostReadFields, Inc.PostReadFields);
+  EXPECT_EQ(Full.PostWriteFields, Inc.PostWriteFields);
+  ASSERT_EQ(Full.EnclosingLoops.size(), Inc.EnclosingLoops.size());
+  for (size_t I = 0; I < Full.EnclosingLoops.size(); ++I)
+    EXPECT_EQ(Full.EnclosingLoops[I].get(), Inc.EnclosingLoops[I].get());
+  // Same environment keys: the flow tracks exactly the same symbols.
+  ASSERT_EQ(Full.Pre.Env.size(), Inc.Pre.Env.size());
+  auto FI = Full.Pre.Env.begin();
+  for (auto &[Key, Val] : Inc.Pre.Env) {
+    (void)Val;
+    EXPECT_EQ(FI->first, Key);
+    ++FI;
+  }
+}
+
+TEST(EffectSnapshot, SecondAnalysisIsServedFromTheTable) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  StmtCursor C = must(findStmts(*P, "for j in _: _"), "findStmts");
+
+  EffectSnapshot Snap;
+  ScopedEffectSnapshot On(&Snap);
+  {
+    AnalysisCtx Ctx;
+    computeContext(Ctx, *P, C);
+  }
+  EffectSnapshotStats Cold = Snap.stats();
+  EXPECT_GT(Cold.Misses, 0u) << "first analysis must derive summaries";
+  {
+    AnalysisCtx Ctx;
+    computeContext(Ctx, *P, C);
+  }
+  EffectSnapshotStats Warm = Snap.stats();
+  EXPECT_EQ(Warm.Misses, Cold.Misses)
+      << "second identical analysis re-derived summaries";
+  EXPECT_GT(Warm.Hits, Cold.Hits);
+}
+
+TEST(EffectSnapshot, RewriteEvictsItsDirtyRegion) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  StmtCursor C = must(findStmts(*P, "for j in _: _"), "findStmts");
+
+  EffectSnapshot Snap;
+  ScopedEffectSnapshot On(&Snap);
+  {
+    AnalysisCtx Ctx;
+    computeContext(Ctx, *P, C);
+  }
+  ProcRef Q = must(splitLoop(P, "for j in _: _", 2, "jo", "ji"), "split");
+  EXPECT_GT(Snap.stats().Invalidated, 0u)
+      << "deriveProc must evict the rebuilt spine from the live snapshot";
+
+  // Post-rewrite analysis through the warmed-then-evicted snapshot still
+  // agrees with a from-scratch run.
+  StmtCursor C2 = must(findStmts(*Q, "for ji in _: _"), "findStmts");
+  AnalysisCtx IncCtx;
+  ContextInfo Inc = computeContext(IncCtx, *Q, C2);
+  AnalysisCtx FullCtx;
+  ContextInfo Full = fullContext(FullCtx, *Q, C2);
+  EXPECT_EQ(Full.PostReadFields, Inc.PostReadFields);
+  EXPECT_EQ(Full.PostWriteFields, Inc.PostWriteFields);
+}
+
+TEST(EffectSnapshot, BlockFreeVarsMatchesTheCollector) {
+  // The compositional per-node derivation must agree with ir::freeVars on
+  // every block of a varied program population, binder scoping included.
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    auto G = exo::testing::generateProgram(Seed);
+    if (!G)
+      continue;
+    EffectSnapshot Snap;
+    std::function<void(const Block &)> Walk = [&](const Block &B) {
+      if (B.empty())
+        return;
+      EXPECT_EQ(Snap.blockFreeVars(B), freeVars(B)) << "seed " << Seed;
+      ++Checked;
+      for (const StmtRef &S : B) {
+        Walk(S->body());
+        Walk(S->orelse());
+      }
+    };
+    Walk(G->Proc->body());
+  }
+  EXPECT_GT(Checked, 50u) << "population too small to mean anything";
+}
+
+//===----------------------------------------------------------------------===//
+// Well-formedness pass
+//===----------------------------------------------------------------------===//
+
+TEST(WellFormed, AcceptsParsedAndScheduledProcedures) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  EXPECT_TRUE(wellFormednessErrors(*P).empty());
+  ProcRef Q = must(splitLoop(P, "for i in _: _", 4, "io", "ii"), "split");
+  EXPECT_TRUE(wellFormednessErrors(*Q).empty());
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    auto G = exo::testing::generateProgram(Seed);
+    if (!G)
+      continue;
+    auto Errs = wellFormednessErrors(*G->Proc);
+    EXPECT_TRUE(Errs.empty()) << "seed " << Seed << ": " << Errs.front();
+  }
+}
+
+TEST(WellFormed, FlagsEmptyLoopBody) {
+  Sym I = Sym::fresh("i");
+  Block Body{Stmt::forStmt(I, Expr::constInt(0), Expr::constInt(4), {})};
+  Proc P("bad_empty", {}, {}, std::move(Body));
+  auto Errs = wellFormednessErrors(P);
+  ASSERT_FALSE(Errs.empty());
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(WellFormed, FlagsShadowedBinder) {
+  // The same Sym bound twice on one path: the analysis keys environments
+  // by Sym, so this would silently conflate the two iterators.
+  Sym I = Sym::fresh("i");
+  Block Inner{Stmt::pass()};
+  Block Outer{Stmt::forStmt(
+      I, Expr::constInt(0), Expr::constInt(4),
+      {Stmt::forStmt(I, Expr::constInt(0), Expr::constInt(4),
+                     std::move(Inner))})};
+  Proc P("bad_shadow", {}, {}, std::move(Outer));
+  EXPECT_FALSE(isWellFormed(P));
+}
+
+TEST(WellFormed, FlagsUnresolvableDirtyRegion) {
+  Sym I = Sym::fresh("i");
+  auto Mk = [&] {
+    return std::make_shared<Proc>(
+        "bad_dirty", std::vector<FnArg>{}, std::vector<ExprRef>{},
+        Block{Stmt::forStmt(I.copy(), Expr::constInt(0), Expr::constInt(4),
+                            {Stmt::pass()})});
+  };
+  {
+    std::shared_ptr<Proc> P = Mk();
+    DirtyRegion D;
+    D.Whole = false;
+    D.Path = {{7, false}}; // index out of range at the root block
+    P->setDirtyRegion(std::move(D));
+    EXPECT_FALSE(isWellFormed(*P));
+  }
+  {
+    std::shared_ptr<Proc> P = Mk();
+    DirtyRegion D;
+    D.Whole = false;
+    D.Path = {{0, false}};
+    D.Begin = 5; // replaced range past the end of the loop body
+    D.NewCount = 1;
+    P->setDirtyRegion(std::move(D));
+    EXPECT_FALSE(isWellFormed(*P));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DirtyRegion stamps
+//===----------------------------------------------------------------------===//
+
+TEST(DirtyRegion, LeafRewriteRecordsANarrowResolvableRegion) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  ProcRef Q = must(splitLoop(P, "for j in _: _", 2, "jo", "ji"), "split");
+  const auto &D = Q->dirtyRegion();
+  ASSERT_TRUE(D.has_value()) << "scheduling ops must stamp a dirty region";
+  EXPECT_FALSE(D->Whole) << "a cursored rewrite must not claim the whole proc";
+  EXPECT_FALSE(D->Path.empty()) << "the split target is below the root";
+  EXPECT_EQ(D->OldCount, 1u);
+  // The region resolves in the derived tree (the well-formedness pass
+  // checks exactly this invariant).
+  EXPECT_TRUE(wellFormednessErrors(*Q).empty());
+}
+
+TEST(DirtyRegion, WholeProcRewriteIsMarkedWhole) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  ProcRef Q = must(simplify(P), "simplify");
+  const auto &D = Q->dirtyRegion();
+  ASSERT_TRUE(D.has_value());
+  EXPECT_TRUE(D->Whole) << "whole-body walkers cannot claim sharing";
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance spine across nested rewrites
+//===----------------------------------------------------------------------===//
+
+TEST(Provenance, NestedRewritesKeepTheSpine) {
+  frontend::ParseEnv Env;
+  ProcRef P = configProc(Env);
+  ProcRef Q = must(splitLoop(P, "for j in _: _", 2, "jo", "ji"), "split");
+  ProcRef R = must(splitLoop(Q, "for ji in _: _", 2, "jio", "jii"), "split");
+  ProcRef S = must(unrollLoop(R, "for jii in _: _"), "unroll");
+
+  // The parent chain of the final procedure walks back to the base.
+  unsigned Links = 0;
+  bool FoundBase = false;
+  for (ProcRef Cur = S; Cur; Cur = Cur->parent()) {
+    if (Cur.get() == P.get())
+      FoundBase = true;
+    ++Links;
+  }
+  EXPECT_TRUE(FoundBase);
+  EXPECT_GE(Links, 4u); // base + three rewrites
+
+  // Pure loop restructuring pollutes no configuration state: the delta is
+  // present (the procs are related) and empty.
+  auto Delta = equivalenceDelta(P, S);
+  ASSERT_TRUE(Delta.has_value());
+  EXPECT_TRUE(Delta->empty());
+}
+
+TEST(Provenance, ConfigPollutionAccumulatesAlongTheSpine) {
+  frontend::ParseEnv Env;
+  auto M = frontend::parseModule(R"(
+@config
+class CfgProv:
+    st : stride
+)",
+                                 Env);
+  ASSERT_TRUE(bool(M));
+  ProcRef P = parse(R"(
+@proc
+def prov_p(x: R[16]):
+    for i in seq(0, 16):
+        x[i] = 0.0
+)",
+                    &Env);
+  ProcRef Q = must(bindConfig(P, "for i in _: _", "16",
+                              Env.findConfig("CfgProv"), "st"),
+                   "bind_config");
+  // A further structural rewrite on top keeps the accumulated delta.
+  ProcRef R = must(splitLoop(Q, "for i in _: _", 4, "io", "ii"), "split");
+  auto Delta = equivalenceDelta(P, R);
+  ASSERT_TRUE(Delta.has_value());
+  ASSERT_EQ(Delta->size(), 1u);
+  EXPECT_EQ(Delta->begin()->name(), "st");
+}
+
+TEST(Provenance, UnrelatedProceduresHaveNoDelta) {
+  ProcRef A = parse(R"(
+@proc
+def prov_a(x: R[4]):
+    x[0] = 0.0
+)");
+  ProcRef B = parse(R"(
+@proc
+def prov_b(x: R[4]):
+    x[1] = 0.0
+)");
+  EXPECT_FALSE(equivalenceDelta(A, B).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Deep-nesting corpus: differential replay
+//===----------------------------------------------------------------------===//
+
+TEST(DeepCorpus, PinnedDeepNestsReplayAndAgreeDifferentially) {
+  // The case_02x_deep* corpus files pin ≥6-level loop nests; their traces
+  // must still replay, and random differential scheduling over the same
+  // procedures must keep full and incremental analysis in lockstep.
+  std::string Dir = EXO_SOURCE_DIR "/tests/corpus";
+  std::vector<std::string> Files;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().filename().string().find("_deep") != std::string::npos)
+      Files.push_back(E.path().string());
+  std::sort(Files.begin(), Files.end());
+  ASSERT_GE(Files.size(), 5u) << "deep-nesting corpus shrank";
+
+  std::function<unsigned(const Block &)> LoopDepth =
+      [&](const Block &B) -> unsigned {
+    unsigned Max = 0;
+    for (const StmtRef &S : B) {
+      unsigned Sub = std::max(LoopDepth(S->body()), LoopDepth(S->orelse()));
+      if (S->kind() == StmtKind::For)
+        ++Sub;
+      Max = std::max(Max, Sub);
+    }
+    return Max;
+  };
+
+  for (const std::string &F : Files) {
+    auto Case = exo::testing::readCorpusFile(F);
+    ASSERT_TRUE(bool(Case)) << F << ": " << Case.error().str();
+    auto OC = exo::testing::materializeCorpus(*Case);
+    ASSERT_TRUE(bool(OC)) << F << ": " << OC.error().str();
+
+    ProcRef P = parse(Case->Source.c_str());
+    EXPECT_GE(LoopDepth(P->body()), 6u) << F << " lost its deep nest";
+
+    exo::testing::Rng R(Case->Seed);
+    exo::testing::ScheduleGenOptions O;
+    O.Differential = true;
+    exo::testing::ScheduleResult SR = exo::testing::generateSchedule(P, R, O);
+    EXPECT_GT(SR.DifferentialSteps, 0u) << F;
+    EXPECT_EQ(SR.DifferentialMismatches, 0u)
+        << F << ": "
+        << (SR.DifferentialNotes.empty() ? "" : SR.DifferentialNotes.front());
+  }
+}
