@@ -1,0 +1,228 @@
+//===- backend/Backend.cpp - Pluggable execution backends ------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Backend.h"
+
+#include "backend/BackendImpl.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+using namespace exo;
+using namespace exo::backend;
+using namespace exo::ir;
+
+#ifndef EXO_SOURCE_DIR
+#define EXO_SOURCE_DIR "."
+#endif
+
+const char *exo::backend::execKindName(ExecKind K) {
+  switch (K) {
+  case ExecKind::Ok:
+    return "ok";
+  case ExecKind::Trap:
+    return "trap";
+  case ExecKind::Unsupported:
+    return "unsupported";
+  case ExecKind::CompileError:
+    return "compile-error";
+  case ExecKind::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+const EntryInfo *LoweredModule::findEntry(const std::string &Name) const {
+  for (const EntryInfo &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+Backend::~Backend() = default;
+
+Expected<LoweredModuleRef> Backend::lower(const ProcRef &P,
+                                          const LowerOptions &LO) {
+  return lower(std::vector<ProcRef>{P}, LO);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared internals
+//===----------------------------------------------------------------------===//
+
+std::string detail::fnv1aHex(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)H);
+  return Buf;
+}
+
+bool detail::usesGemminiSim(const std::string &Source) {
+  return Source.find("gemmini_sim.h") != std::string::npos;
+}
+
+bool detail::usesAmxSim(const std::string &Source) {
+  return Source.find("amx_sim.h") != std::string::npos;
+}
+
+std::string detail::compileCommand(const std::string &Compiler,
+                                   const std::string &Flags,
+                                   const std::string &Src,
+                                   const std::string &Out,
+                                   const std::string &SourceText,
+                                   const std::string &ErrPath) {
+  std::string Cmd = (Compiler.empty() ? "cc" : Compiler) + " " + Flags +
+                    " -o " + Out + " " + Src +
+                    " -I " EXO_SOURCE_DIR "/src/hwlibs/avx512/runtime"
+                    " -I " EXO_SOURCE_DIR "/src/hwlibs/gemmini/runtime"
+                    " -I " EXO_SOURCE_DIR "/src/hwlibs/amx/runtime";
+  if (usesGemminiSim(SourceText))
+    Cmd += " " EXO_SOURCE_DIR "/src/hwlibs/gemmini/runtime/gemmini_sim.c";
+  if (usesAmxSim(SourceText))
+    Cmd += " " EXO_SOURCE_DIR "/src/hwlibs/amx/runtime/amx_sim.c";
+  Cmd += " -lm 2> " + ErrPath;
+  return Cmd;
+}
+
+std::string detail::readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string detail::truncated(std::string S, size_t N) {
+  if (S.size() > N)
+    S = S.substr(0, N) + "...";
+  return S;
+}
+
+Expected<LoweredModuleRef>
+detail::lowerCommon(const std::vector<ProcRef> &Procs, const LowerOptions &LO,
+                    const std::string &BackendName) {
+  auto C = generateC(Procs, LO.CG);
+  if (!C)
+    return C.error();
+
+  auto M = std::make_shared<LoweredModule>();
+  ModuleAccess::source(*M) = std::move(*C);
+  ModuleAccess::hash(*M) = fnv1aHex(M->source());
+  ModuleAccess::backendName(*M) = BackendName;
+  ModuleAccess::workDir(*M) = LO.WorkDir;
+  ModuleAccess::keepArtifacts(*M) = LO.KeepArtifacts;
+  ModuleAccess::compiler(*M) = LO.Compiler;
+  for (const ProcRef &P : Procs) {
+    if (M->findEntry(P->name()))
+      return makeError(Error::Kind::Internal,
+                       "backend: duplicate entry name '" + P->name() +
+                           "' in one module (rename clones before lowering)");
+    EntryInfo E;
+    E.Name = P->name();
+    E.Args = P->args();
+    for (const FnArg &A : P->args())
+      if (A.Ty.isWindow())
+        E.Executable = false; // no generic ABI for struct-by-value windows
+    ModuleAccess::entries(*M).push_back(std::move(E));
+  }
+  return M;
+}
+
+std::string detail::emitTrampolines(const std::vector<EntryInfo> &Entries) {
+  std::ostringstream OS;
+  OS << "\n/* --- generic execution trampolines (backend-internal; not part"
+        " of the\n   module's source()) --- */\n";
+  for (const EntryInfo &E : Entries) {
+    if (!E.Executable)
+      continue;
+    OS << "void exo_rt_" << E.Name << "(void **a);\n";
+    OS << "void exo_rt_" << E.Name << "(void **a) {\n  " << E.Name << "(";
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      const FnArg &A = E.Args[I];
+      if (A.Ty.isControl())
+        OS << "(int_fast32_t)*(const int64_t *)a[" << I << "]";
+      else
+        OS << "(" << cTypeOf(A.Ty.elem()) << " *)a[" << I << "]";
+    }
+    OS << ");\n}\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<Backend *> Backends;
+
+  static Registry &instance() {
+    static Registry *R = new Registry(); // leaked: backends live forever
+    return *R;
+  }
+};
+
+} // namespace
+
+CSourceBackend &exo::backend::csourceBackend() {
+  static CSourceBackend *B = [] {
+    auto *P = new CSourceBackend();
+    registerBackend(P);
+    return P;
+  }();
+  return *B;
+}
+
+JitBackend &exo::backend::jitBackend() {
+  static JitBackend *B = [] {
+    auto *P = new JitBackend();
+    registerBackend(P);
+    return P;
+  }();
+  return *B;
+}
+
+static void ensureBuiltins() {
+  csourceBackend();
+  jitBackend();
+}
+
+void exo::backend::registerBackend(Backend *B) {
+  Registry &R = Registry::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (Backend *&Existing : R.Backends)
+    if (Existing->name() == B->name()) {
+      Existing = B;
+      return;
+    }
+  R.Backends.push_back(B);
+}
+
+Backend *exo::backend::findBackend(const std::string &Name) {
+  ensureBuiltins();
+  Registry &R = Registry::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (Backend *B : R.Backends)
+    if (B->name() == Name)
+      return B;
+  return nullptr;
+}
+
+std::vector<Backend *> exo::backend::allBackends() {
+  ensureBuiltins();
+  Registry &R = Registry::instance();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Backends;
+}

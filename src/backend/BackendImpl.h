@@ -1,0 +1,79 @@
+//===- backend/BackendImpl.h - Shared backend internals --------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by CSourceBackend and JitBackend: module construction
+/// (generateC + entry metadata + content hash), the host-compiler command
+/// line (simulator runtime include paths, conditional sim sources), and
+/// the generic `void exo_rt_<entry>(void **)` trampoline emission both
+/// execution paths marshal through. Internal to src/backend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_BACKEND_BACKENDIMPL_H
+#define EXO_BACKEND_BACKENDIMPL_H
+
+#include "backend/Backend.h"
+
+namespace exo {
+namespace backend {
+namespace detail {
+
+/// Grants module-construction code access to LoweredModule's private
+/// fields without widening the public API.
+struct ModuleAccess {
+  static std::string &source(LoweredModule &M) { return M.Source; }
+  static std::string &hash(LoweredModule &M) { return M.Hash; }
+  static std::string &backendName(LoweredModule &M) { return M.BackendName; }
+  static std::vector<EntryInfo> &entries(LoweredModule &M) {
+    return M.Entries;
+  }
+  static std::shared_ptr<void> &state(LoweredModule &M) { return M.State; }
+  static std::string &workDir(LoweredModule &M) { return M.WorkDir; }
+  static bool &keepArtifacts(LoweredModule &M) { return M.KeepArtifacts; }
+  static std::string &compiler(LoweredModule &M) { return M.Compiler; }
+};
+
+/// FNV-1a 64-bit of \p S, as 16 hex digits.
+std::string fnv1aHex(const std::string &S);
+
+/// Builds the LoweredModule skeleton every backend shares: runs CodeGen
+/// on \p Procs, records one EntryInfo per root (rejecting duplicate
+/// names), hashes the source, and stamps the artifact policy from \p LO.
+Expected<LoweredModuleRef> lowerCommon(const std::vector<ir::ProcRef> &Procs,
+                                       const LowerOptions &LO,
+                                       const std::string &BackendName);
+
+/// Whether the generated source pulls in an accelerator simulator (and
+/// its .c must be linked into the artifact).
+bool usesGemminiSim(const std::string &Source);
+bool usesAmxSim(const std::string &Source);
+
+/// The full host-compiler command: `<cc> <Flags> -o <Out> <Src> -I <sim
+/// runtimes> [sim .c files] -lm 2> <ErrPath>`. Sim sources are appended
+/// only when \p SourceText references their header.
+std::string compileCommand(const std::string &Compiler,
+                           const std::string &Flags, const std::string &Src,
+                           const std::string &Out,
+                           const std::string &SourceText,
+                           const std::string &ErrPath);
+
+/// C source for the `void exo_rt_<name>(void **a)` trampolines of every
+/// executable entry: a[i] is read as int64_t for controls and cast to the
+/// argument's element-pointer type otherwise.
+std::string emitTrampolines(const std::vector<EntryInfo> &Entries);
+
+/// Reads a whole file; empty string when unreadable.
+std::string readFile(const std::string &Path);
+
+/// First \p N bytes of \p S with a "..." marker when truncated.
+std::string truncated(std::string S, size_t N);
+
+} // namespace detail
+} // namespace backend
+} // namespace exo
+
+#endif // EXO_BACKEND_BACKENDIMPL_H

@@ -255,6 +255,10 @@ int main(int Argc, char **Argv) {
       SOpts.MaxLiterals = static_cast<uint64_t>(std::atoll(Argv[++I]));
     else if (A == "--fallback-reference")
       SOpts.FallbackReference = true;
+    else if (A == "--backend" && I + 1 < Argc)
+      SOpts.BackendName = Argv[++I];
+    else if (A.rfind("--backend=", 0) == 0)
+      SOpts.BackendName = A.substr(10);
     else if (A == "--inject" && I + 1 < Argc)
       InjectSpec = Argv[++I];
     else if (A == "--inject-seed" && I + 1 < Argc)
@@ -272,7 +276,10 @@ int main(int Argc, char **Argv) {
           "                   [--max-literals N] [--fallback-reference]\n"
           "                   [--inject SPEC] [--inject-seed N]\n"
           "                   [--fuzz N] [--fuzz-seed S]\n"
+          "                   [--backend csource|jit]\n"
           "                   [--list] [job-name...]\n"
+          "--backend picks the execution backend that lowers each job\n"
+          "(default csource; every backend emits identical C).\n"
           "--fuzz N compiles N randomly generated+scheduled procedures\n"
           "instead of the kernel suite (same parallel pipeline).\n"
           "inject SPEC: comma-separated kind[@prob][*count]; kinds:\n"

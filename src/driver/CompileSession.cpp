@@ -7,7 +7,7 @@
 #include "driver/CompileSession.h"
 
 #include "analysis/EffectSnapshot.h"
-#include "backend/CodeGen.h"
+#include "backend/Backend.h"
 #include "support/Deadline.h"
 
 #include <chrono>
@@ -42,11 +42,11 @@ static bool isRetryableError(const Error &E) {
          Info->SolverVerdict == ScheduleErrorInfo::Verdict::UnknownBudget;
 }
 
-/// One build-then-codegen attempt under the given solver budget. Returns
+/// One build-then-lower attempt under the given solver budget. Returns
 /// true on success; on failure the error is recorded into \p R.
 static bool attemptJob(const CompileJob &Job, JobResult &R,
-                       uint64_t MaxLiterals, bool UseQueryCache,
-                       Error *OutError) {
+                       backend::Backend &BE, uint64_t MaxLiterals,
+                       bool UseQueryCache, Error *OutError) {
   smt::ScopedSolverDefaults Defaults(MaxLiterals, UseQueryCache);
   Expected<std::vector<ir::ProcRef>> Procs = Job.Build();
   if (!Procs) {
@@ -55,15 +55,15 @@ static bool attemptJob(const CompileJob &Job, JobResult &R,
       *OutError = Procs.error();
     return false;
   }
-  Expected<std::string> C = backend::generateC(*Procs);
-  if (!C) {
-    recordError(R, C.error());
+  Expected<backend::LoweredModuleRef> M = BE.lower(*Procs, {});
+  if (!M) {
+    recordError(R, M.error());
     if (OutError)
-      *OutError = C.error();
+      *OutError = M.error();
     return false;
   }
   R.Ok = true;
-  R.Output = std::move(*C);
+  R.Output = (*M)->source();
   // A retried attempt may have recorded an earlier failure; the job
   // succeeded, so only the retry counters keep that history.
   R.ErrorKind.clear();
@@ -79,6 +79,13 @@ JobResult CompileSession::run(const CompileJob &Job) const {
   JobResult R;
   R.Name = Job.Name;
   auto Start = std::chrono::steady_clock::now();
+
+  backend::Backend *BE = backend::findBackend(Opts.BackendName);
+  if (!BE) {
+    R.ErrorKind = errorKindName(Error::Kind::Internal);
+    R.ErrorMessage = "unknown backend '" + Opts.BackendName + "'";
+    return R;
+  }
 
   {
     // Pin this job's deadline for the current thread; solver hot loops
@@ -106,7 +113,7 @@ JobResult CompileSession::run(const CompileJob &Job) const {
     unsigned EscalationsLeft = Opts.MaxRetries;
     for (;;) {
       R.FinalMaxLiterals = Budget;
-      if (attemptJob(Job, R, Budget, Opts.UseQueryCache, &LastError))
+      if (attemptJob(Job, R, *BE, Budget, Opts.UseQueryCache, &LastError))
         break;
       if (EscalationsLeft == 0 || !isRetryableError(LastError) || D.expired())
         break;
@@ -155,11 +162,11 @@ JobResult CompileSession::run(const CompileJob &Job) const {
       // schedule's failure stays on the result for the batch report.
       Expected<std::vector<ir::ProcRef>> Ref = Job.BuildReference();
       if (Ref) {
-        Expected<std::string> C = backend::generateC(*Ref);
-        if (C) {
+        Expected<backend::LoweredModuleRef> M = BE->lower(*Ref, {});
+        if (M) {
           R.Ok = true;
           R.Degraded = true;
-          R.Output = std::move(*C);
+          R.Output = (*M)->source();
         }
       }
     }

@@ -74,6 +74,12 @@ struct SessionOptions {
   /// this is purely a time optimization; the hit/miss counters land on
   /// the JobResult.
   bool UseEffectSnapshot = true;
+
+  /// Which execution backend lowers the job (backend::findBackend name).
+  /// Every backend's module source is byte-identical generated C, so the
+  /// choice only matters to callers that go on to execute the module;
+  /// "csource" is what exocc-batch ships and the goldens pin.
+  std::string BackendName = "csource";
 };
 
 /// One unit of batch work: a name plus a builder producing the procedures

@@ -6,6 +6,7 @@
 
 #include "driver/KernelSuite.h"
 
+#include "apps/AmxMatmul.h"
 #include "apps/Autoschedule.h"
 #include "apps/Conv.h"
 #include "apps/GemminiMatmul.h"
@@ -15,13 +16,75 @@ using namespace exo;
 using namespace exo::driver;
 using namespace exo::ir;
 
-// Every suite job carries a BuildReference producing the unscheduled
-// algorithm its kernel was derived from (the apps' parse-only entry
-// points, which run no scheduling and no solver queries), so
-// --fallback-reference can degrade to correct naive C no matter why the
-// scheduled build failed.
+// Every suite job's BuildReference delegates to the buildReference
+// lookup table below, which produces the unscheduled algorithm the
+// kernel was derived from (the apps' parse-only entry points — no
+// scheduling, no solver queries), so --fallback-reference can degrade to
+// correct naive C no matter why the scheduled build failed.
+
+namespace {
+
+using RefBuilder = Expected<std::vector<ProcRef>> (*)();
+
+template <typename Fn> Expected<std::vector<ProcRef>> one(Fn Build) {
+  auto A = Build();
+  if (!A)
+    return A.error();
+  return std::vector<ProcRef>{*A};
+}
+
+struct RefEntry {
+  const char *Name;
+  RefBuilder Build;
+};
+
+/// The one place the per-app build*Algorithm entry points are enumerated.
+const RefEntry RefTable[] = {
+    {"fig4a_gemmini_matmul",
+     [] { return one([] { return apps::buildGemminiMatmulAlgorithm(128, 128, 128); }); }},
+    {"fig4b_gemmini_conv",
+     [] {
+       return one([] {
+         return apps::buildConvGemminiAlgorithm({1, 16, 16, 16, 16});
+       });
+     }},
+    {"fig5a_sgemm_square",
+     [] { return one([] { return apps::buildSgemmAlgorithm(48, 128, 64); }); }},
+    {"fig5b_sgemm_aspect",
+     [] { return one([] { return apps::buildSgemmAlgorithm(24, 192, 64); }); }},
+    {"fig6_conv_x86",
+     [] {
+       return one([] { return apps::buildConvX86Algorithm({1, 8, 8, 16, 32}); });
+     }},
+    {"sgemm_autoschedule",
+     [] { return one([] { return apps::buildSgemmAlgorithm(48, 128, 64); }); }},
+    {"amx_matmul",
+     [] { return one([] { return apps::buildAmxMatmulAlgorithm(64, 64, 64); }); }},
+};
+
+} // namespace
+
+Expected<std::vector<ProcRef>>
+exo::driver::buildReference(const std::string &Name) {
+  for (const RefEntry &E : RefTable)
+    if (Name == E.Name)
+      return E.Build();
+  return makeError(Error::Kind::Internal,
+                   "kernel suite has no reference named '" + Name + "'");
+}
+
+std::vector<std::string> exo::driver::referenceNames() {
+  std::vector<std::string> Names;
+  for (const RefEntry &E : RefTable)
+    Names.push_back(E.Name);
+  return Names;
+}
 
 std::vector<CompileJob> exo::driver::standardKernelSuite() {
+  auto RefFor = [](std::string Name) {
+    return [Name]() { return buildReference(Name); };
+  };
+
   std::vector<CompileJob> Jobs;
 
   Jobs.push_back({"fig4a_gemmini_matmul",
@@ -31,12 +94,7 @@ std::vector<CompileJob> exo::driver::standardKernelSuite() {
                       return K.error();
                     return std::vector<ProcRef>{K->OldLib, K->ExoLib};
                   },
-                  []() -> Expected<std::vector<ProcRef>> {
-                    auto A = apps::buildGemminiMatmulAlgorithm(128, 128, 128);
-                    if (!A)
-                      return A.error();
-                    return std::vector<ProcRef>{*A};
-                  }});
+                  RefFor("fig4a_gemmini_matmul")});
 
   Jobs.push_back({"fig4b_gemmini_conv",
                   []() -> Expected<std::vector<ProcRef>> {
@@ -46,13 +104,7 @@ std::vector<CompileJob> exo::driver::standardKernelSuite() {
                       return K.error();
                     return std::vector<ProcRef>{K->OldLib, K->Scheduled};
                   },
-                  []() -> Expected<std::vector<ProcRef>> {
-                    apps::ConvShape Shape{1, 16, 16, 16, 16};
-                    auto A = apps::buildConvGemminiAlgorithm(Shape);
-                    if (!A)
-                      return A.error();
-                    return std::vector<ProcRef>{*A};
-                  }});
+                  RefFor("fig4b_gemmini_conv")});
 
   Jobs.push_back({"fig5a_sgemm_square",
                   []() -> Expected<std::vector<ProcRef>> {
@@ -61,12 +113,7 @@ std::vector<CompileJob> exo::driver::standardKernelSuite() {
                       return K.error();
                     return std::vector<ProcRef>{K->ExoSgemm};
                   },
-                  []() -> Expected<std::vector<ProcRef>> {
-                    auto A = apps::buildSgemmAlgorithm(48, 128, 64);
-                    if (!A)
-                      return A.error();
-                    return std::vector<ProcRef>{*A};
-                  }});
+                  RefFor("fig5a_sgemm_square")});
 
   Jobs.push_back({"fig5b_sgemm_aspect",
                   []() -> Expected<std::vector<ProcRef>> {
@@ -75,12 +122,7 @@ std::vector<CompileJob> exo::driver::standardKernelSuite() {
                       return K.error();
                     return std::vector<ProcRef>{K->ExoSgemm};
                   },
-                  []() -> Expected<std::vector<ProcRef>> {
-                    auto A = apps::buildSgemmAlgorithm(24, 192, 64);
-                    if (!A)
-                      return A.error();
-                    return std::vector<ProcRef>{*A};
-                  }});
+                  RefFor("fig5b_sgemm_aspect")});
 
   Jobs.push_back({"fig6_conv_x86",
                   []() -> Expected<std::vector<ProcRef>> {
@@ -90,13 +132,7 @@ std::vector<CompileJob> exo::driver::standardKernelSuite() {
                       return K.error();
                     return std::vector<ProcRef>{K->Scheduled};
                   },
-                  []() -> Expected<std::vector<ProcRef>> {
-                    apps::ConvShape Shape{1, 8, 8, 16, 32};
-                    auto A = apps::buildConvX86Algorithm(Shape);
-                    if (!A)
-                      return A.error();
-                    return std::vector<ProcRef>{*A};
-                  }});
+                  RefFor("fig6_conv_x86")});
 
   Jobs.push_back({"sgemm_autoschedule",
                   []() -> Expected<std::vector<ProcRef>> {
@@ -105,12 +141,16 @@ std::vector<CompileJob> exo::driver::standardKernelSuite() {
                       return R.error();
                     return std::vector<ProcRef>{R->Kernels.ExoSgemm};
                   },
+                  RefFor("sgemm_autoschedule")});
+
+  Jobs.push_back({"amx_matmul",
                   []() -> Expected<std::vector<ProcRef>> {
-                    auto A = apps::buildSgemmAlgorithm(48, 128, 64);
-                    if (!A)
-                      return A.error();
-                    return std::vector<ProcRef>{*A};
-                  }});
+                    auto K = apps::buildAmxMatmul(64, 64, 64);
+                    if (!K)
+                      return K.error();
+                    return std::vector<ProcRef>{K->PerTile, K->Hoisted};
+                  },
+                  RefFor("amx_matmul")});
 
   return Jobs;
 }

@@ -8,9 +8,10 @@
 /// The paper's benchmark kernels packaged as CompileJobs for exocc-batch
 /// and the parallel-compile benchmark: the Gemmini matmul (fig. 4a), the
 /// Gemmini conv (fig. 4b), the AVX-512 sgemm at square and skewed aspect
-/// ratios (figs. 5a/5b), the AVX-512 conv (fig. 6), and the
-/// autoscheduled sgemm (§9). Shapes are kept modest so a full batch
-/// compiles in seconds.
+/// ratios (figs. 5a/5b), the AVX-512 conv (fig. 6), the autoscheduled
+/// sgemm (§9), and the AMX-style tile-engine matmul (the second
+/// accelerator library). Shapes are kept modest so a full batch compiles
+/// in seconds.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +25,15 @@ namespace driver {
 
 /// All standard kernels, one job per bench figure.
 std::vector<CompileJob> standardKernelSuite();
+
+/// The unscheduled reference algorithm of the named suite job — a single
+/// lookup table over the apps' parse-only entry points (no scheduling, no
+/// solver queries). This is what every job's BuildReference delegates to,
+/// and what tests use to fetch a kernel's naive form by name.
+Expected<std::vector<ir::ProcRef>> buildReference(const std::string &Name);
+
+/// The names buildReference knows, in suite order.
+std::vector<std::string> referenceNames();
 
 } // namespace driver
 } // namespace exo

@@ -1,0 +1,52 @@
+//===- hwlibs/amx/AmxLib.h - An AMX-style tile engine library --*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second hardware accelerator defined entirely *as a user library*
+/// (§3.2), modeled on Intel AMX: a non-addressable tile-register memory,
+/// configuration structs for the load/store channels, and @instr
+/// procedures for the tileload/tilezero/tdp/tilestore ISA. Existing with
+/// Gemmini in one process demonstrates the paper's central claim — the
+/// core compiler knows neither target, and targets compose without
+/// compiler changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_HWLIBS_AMX_AMXLIB_H
+#define EXO_HWLIBS_AMX_AMXLIB_H
+
+#include "frontend/Parser.h"
+
+namespace exo {
+namespace hw {
+namespace amx {
+
+struct AmxLib {
+  /// Parse environment pre-populated with the AMX definitions;
+  /// applications parse their algorithms against it.
+  frontend::ParseEnv Env;
+
+  ir::ConfigRef CfgLdA, CfgLdB, CfgSt;
+
+  ir::ProcRef ConfigLdA; ///< amx_config_ld_a (tile load channel A)
+  ir::ProcRef ConfigLdB; ///< amx_config_ld_b (tile load channel B)
+  ir::ProcRef ConfigSt;  ///< amx_config_st
+  ir::ProcRef LoadA;     ///< tileloadd via channel A (DRAM -> tile)
+  ir::ProcRef LoadB;     ///< tileloadd via channel B
+  ir::ProcRef ZeroTile;  ///< tilezero
+  ir::ProcRef Tdp16;     ///< 16x16x16 tile dot-product
+  ir::ProcRef StoreAcc;  ///< tilestored, accumulating into DRAM
+};
+
+/// The library singleton; parsing and memory registration happen on
+/// first use. The tile-register memory is "AMX_TILE" — non-addressable.
+const AmxLib &amxLib();
+
+} // namespace amx
+} // namespace hw
+} // namespace exo
+
+#endif // EXO_HWLIBS_AMX_AMXLIB_H

@@ -1,0 +1,63 @@
+//===- support/TempDir.cpp - RAII scratch directories ----------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TempDir.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <unistd.h>
+
+using namespace exo;
+using namespace exo::support;
+
+TempDir::TempDir(const std::string &Prefix) {
+  const char *Base = std::getenv("TMPDIR");
+  std::string Tmpl = std::string(Base && *Base ? Base : "/tmp") + "/exo_" +
+                     Prefix + "XXXXXX";
+  std::string Buf = Tmpl; // mkdtemp mutates in place
+  if (mkdtemp(Buf.data()))
+    Path = Buf;
+}
+
+TempDir TempDir::adopt(std::string P) {
+  TempDir D;
+  D.Path = std::move(P);
+  D.Adopted = true;
+  std::error_code EC;
+  std::filesystem::create_directories(D.Path, EC);
+  return D;
+}
+
+TempDir::TempDir(TempDir &&O) noexcept
+    : Path(std::move(O.Path)), Keep(O.Keep), Adopted(O.Adopted) {
+  O.Path.clear();
+}
+
+TempDir &TempDir::operator=(TempDir &&O) noexcept {
+  if (this != &O) {
+    remove();
+    Path = std::move(O.Path);
+    Keep = O.Keep;
+    Adopted = O.Adopted;
+    O.Path.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() { remove(); }
+
+std::string TempDir::file(const std::string &Name) const {
+  return Path + "/" + Name;
+}
+
+void TempDir::remove() {
+  if (Path.empty() || Keep || Adopted)
+    return;
+  std::error_code EC;
+  std::filesystem::remove_all(Path, EC); // best effort; never throws
+  Path.clear();
+}

@@ -1,0 +1,75 @@
+//===- support/TempDir.h - RAII scratch directories ------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scratch directory that cleans up after itself. The oracle and the
+/// execution backends compile generated C into throwaway artifacts
+/// (sources, shared objects, harness binaries, marshalled buffers); every
+/// one of those goes through a TempDir so that early returns, traps, and
+/// exceptions never strand files in the working directory. keep() opts a
+/// directory out of removal when its contents are evidence (a compile
+/// failure under investigation, --keep-files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_TEMPDIR_H
+#define EXO_SUPPORT_TEMPDIR_H
+
+#include <string>
+
+namespace exo {
+namespace support {
+
+class TempDir {
+public:
+  /// An empty, invalid TempDir (assign over it to populate).
+  TempDir() = default;
+
+  /// Creates a fresh directory under the system temp dir (mkdtemp). On
+  /// failure the TempDir is invalid: valid() is false and path() empty.
+  /// \p Prefix becomes part of the directory name ("exo_<Prefix>XXXXXX").
+  explicit TempDir(const std::string &Prefix);
+
+  /// Adopts an existing directory instead of creating one. Adopted
+  /// directories are never removed (the caller owns them); this lets
+  /// callers honor a user-provided work dir through the same interface.
+  static TempDir adopt(std::string Path);
+
+  /// Removes the directory and everything under it, unless kept, adopted,
+  /// or already released.
+  ~TempDir();
+
+  TempDir(TempDir &&O) noexcept;
+  TempDir &operator=(TempDir &&O) noexcept;
+  TempDir(const TempDir &) = delete;
+  TempDir &operator=(const TempDir &) = delete;
+
+  bool valid() const { return !Path.empty(); }
+  const std::string &path() const { return Path; }
+
+  /// Builds "<path>/<Name>".
+  std::string file(const std::string &Name) const;
+
+  /// Disowns the directory: it survives destruction. Returns the path.
+  const std::string &keep() {
+    Keep = true;
+    return Path;
+  }
+  bool kept() const { return Keep; }
+
+  /// Removes now (idempotent; a kept directory stays).
+  void remove();
+
+private:
+  std::string Path;
+  bool Keep = false;
+  bool Adopted = false;
+};
+
+} // namespace support
+} // namespace exo
+
+#endif // EXO_SUPPORT_TEMPDIR_H

@@ -135,6 +135,25 @@ void printReport(const FuzzReport &R) {
   }
   for (const auto &[Op, PA] : S.OpStats)
     std::printf("        %-16s %4u/%4u\n", Op.c_str(), PA.second, PA.first);
+  if (!S.BackendBenches.empty()) {
+    std::printf("      backends (lower+execute over %u cases, interp phase "
+                "excluded):\n",
+                S.BackendBenches.front().Cases);
+    for (const FuzzStats::BackendBench &B : S.BackendBenches) {
+      auto Cps = [&](double Ms) {
+        return Ms > 0 ? B.Cases / (Ms / 1000.0) : 0.0;
+      };
+      std::printf("        %-8s cold %8.1f ms (%6.1f cases/s)   warm %8.1f "
+                  "ms (%6.1f cases/s)\n",
+                  B.Backend.c_str(), B.ColdExecMillis, Cps(B.ColdExecMillis),
+                  B.WarmExecMillis, Cps(B.WarmExecMillis));
+    }
+    std::printf("      jit module cache: %llu compiles, %llu hits, %llu "
+                "evictions; %u backend mismatches\n",
+                (unsigned long long)S.JitCompiles,
+                (unsigned long long)S.JitCacheHits,
+                (unsigned long long)S.JitEvictions, S.BackendMismatches);
+  }
   for (const FuzzDivergence &D : R.Divergences) {
     std::printf("  DIVERGENCE seed %llu: %s: %s\n",
                 (unsigned long long)D.ProgramSeed,
@@ -201,6 +220,13 @@ int main(int Argc, char **Argv) {
       FO.Sched.Differential = true;
     } else if (A == "--keep-files") {
       FO.Oracle.KeepFiles = true;
+    } else if (A == "--backend") {
+      if (const char *V = Next())
+        FO.Oracle.Backend = V;
+    } else if (A.rfind("--backend=", 0) == 0) {
+      FO.Oracle.Backend = A.substr(std::strlen("--backend="));
+    } else if (A == "--compare-backends") {
+      FO.CompareBackends = true;
     } else if (A == "--tolerance") {
       if (const char *V = Next())
         FO.Oracle.Tolerance = std::strtod(V, nullptr);
@@ -212,6 +238,10 @@ int main(int Argc, char **Argv) {
           "                  [--replay CASE.fuzz] [--emit-corpus DIR [N]]\n"
           "                  [--update-golden] [--inject-unsound]\n"
           "                  [--differential] [--keep-files]\n"
+          "                  [--backend csource|jit]   (oracle backend; "
+          "default jit)\n"
+          "                  [--compare-backends]      (re-run cases per "
+          "backend, cross-check + time)\n"
           "                  [--tolerance X]\n");
       return 0;
     } else {
@@ -236,6 +266,26 @@ int main(int Argc, char **Argv) {
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
     Out << statsJson(*R, FO);
+  }
+  if (FO.CompareBackends) {
+    // CI tripwire: the warm in-process JIT must beat the spawn-per-call
+    // csource backend by at least 2x on lower+execute throughput.
+    double CsWarm = 0, JitWarm = 0;
+    for (const auto &B : R->Stats.BackendBenches) {
+      double Cps =
+          B.WarmExecMillis > 0 ? B.Cases / (B.WarmExecMillis / 1000.0) : 0.0;
+      if (B.Backend == "csource")
+        CsWarm = Cps;
+      else if (B.Backend == "jit")
+        JitWarm = Cps;
+    }
+    if (CsWarm > 0 && JitWarm < 2.0 * CsWarm) {
+      std::fprintf(stderr,
+                   "fuzz: jit warm throughput %.1f cases/s is below 2x "
+                   "csource (%.1f cases/s) -- backend perf regression\n",
+                   JitWarm, CsWarm);
+      return 1;
+    }
   }
   return R->clean() ? 0 : 1;
 }

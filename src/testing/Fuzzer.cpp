@@ -6,6 +6,7 @@
 
 #include "testing/Fuzzer.h"
 
+#include "backend/Backend.h"
 #include "frontend/Parser.h"
 
 #include <chrono>
@@ -225,18 +226,25 @@ Expected<FuzzReport> exo::testing::runFuzz(const FuzzOptions &O) {
     }
   }
 
-  // Run the oracle in batches; each batch is a handful of `cc` runs.
+  // Run the oracle in batches; with the JIT backend each batch is one
+  // shared-object compile (or a cache hit on replay).
+  backend::JitBackend::resetCacheStats();
+  OracleTimings MainTimings;
+  OracleOptions MainOracle = O.Oracle;
+  MainOracle.Timings = &MainTimings;
+  std::vector<OracleOutcome> AllOut(Cases.size());
   unsigned Batch = O.OracleBatch ? O.OracleBatch : 64;
   for (size_t Lo = 0; Lo < Cases.size(); Lo += Batch) {
     size_t Hi = std::min(Cases.size(), Lo + Batch);
     std::vector<OracleCase> Slice(Cases.begin() + Lo, Cases.begin() + Hi);
-    auto Out = runOracle(std::move(Slice), O.Oracle);
+    auto Out = runOracle(std::move(Slice), MainOracle);
     if (!Out)
       return Out.error();
     ++S.OracleBatches;
     S.Cases += static_cast<unsigned>(Hi - Lo);
 
     for (size_t I = 0; I < Out->size(); ++I) {
+      AllOut[Lo + I] = (*Out)[I];
       const OracleOutcome &R = (*Out)[I];
       if (R.ok())
         continue;
@@ -266,6 +274,72 @@ Expected<FuzzReport> exo::testing::runFuzz(const FuzzOptions &O) {
       Report.Divergences.push_back(std::move(D));
     }
   }
+
+  S.OracleInterpMillis = MainTimings.InterpMillis;
+  S.OracleExecMillis = MainTimings.ExecMillis;
+
+  if (O.CompareBackends) {
+    // Re-run every retained case through each executable backend, cold
+    // (empty module cache) then warm, timing only the backend-dependent
+    // lower+execute phase. Statuses must match the main run's — a
+    // mismatch means the backends disagree about the same program and
+    // fails the run via clean().
+    auto runAll = [&](const std::string &Name,
+                      double &Millis,
+                      bool CrossCheck) -> Expected<bool> {
+      OracleTimings T;
+      OracleOptions OB = O.Oracle;
+      OB.Backend = Name;
+      OB.Timings = &T;
+      for (size_t Lo = 0; Lo < Cases.size(); Lo += Batch) {
+        size_t Hi = std::min(Cases.size(), Lo + Batch);
+        std::vector<OracleCase> Slice(Cases.begin() + Lo, Cases.begin() + Hi);
+        auto Out = runOracle(std::move(Slice), OB);
+        if (!Out)
+          return Out.error();
+        if (!CrossCheck)
+          continue;
+        for (size_t I = 0; I < Out->size(); ++I) {
+          if ((*Out)[I].Status == AllOut[Lo + I].Status)
+            continue;
+          ++S.BackendMismatches;
+          Report.DifferentialNotes.push_back(
+              "backend mismatch: seed " +
+              std::to_string(Metas[Lo + I].ProgramSeed) + " is " +
+              oracleStatusName(AllOut[Lo + I].Status) + " under " +
+              O.Oracle.Backend + " but " +
+              oracleStatusName((*Out)[I].Status) + " under " + Name);
+        }
+      }
+      Millis = T.ExecMillis;
+      return true;
+    };
+
+    for (backend::Backend *BE : backend::allBackends()) {
+      if (!(BE->caps() & backend::CapCanExecute))
+        continue;
+      FuzzStats::BackendBench B;
+      B.Backend = BE->name();
+      B.Cases = static_cast<unsigned>(Cases.size());
+      // Only the JIT caches modules across calls; dropping its cache is
+      // what makes the cold rep cold. csource rebuilds every batch, so
+      // its "warm" rep measures the same work again.
+      if (B.Backend == "jit")
+        backend::JitBackend::clearCache();
+      auto Cold = runAll(B.Backend, B.ColdExecMillis, true);
+      if (!Cold)
+        return Cold.error();
+      auto Warm = runAll(B.Backend, B.WarmExecMillis, false);
+      if (!Warm)
+        return Warm.error();
+      S.BackendBenches.push_back(std::move(B));
+    }
+  }
+
+  backend::JitBackend::CacheStats JS = backend::JitBackend::cacheStats();
+  S.JitCompiles = JS.Compiles;
+  S.JitCacheHits = JS.Hits;
+  S.JitEvictions = JS.Evictions;
 
   S.WallMillis = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - Start)
@@ -309,6 +383,41 @@ std::string exo::testing::statsJson(const FuzzReport &R,
   OS << "  \"programs_per_sec\": " << (Secs > 0 ? S.Programs / Secs : 0.0)
      << ",\n";
   OS << "  \"cases_per_sec\": " << (Secs > 0 ? S.Cases / Secs : 0.0) << ",\n";
+  OS << "  \"backend\": \"" << O.Oracle.Backend << "\",\n";
+  OS << "  \"oracle_interp_ms\": " << S.OracleInterpMillis << ",\n";
+  OS << "  \"oracle_exec_ms\": " << S.OracleExecMillis << ",\n";
+  OS << "  \"backend_mismatches\": " << S.BackendMismatches << ",\n";
+  OS << "  \"jit_cache\": {\"compiles\": " << S.JitCompiles
+     << ", \"hits\": " << S.JitCacheHits
+     << ", \"evictions\": " << S.JitEvictions << "},\n";
+  // Per-backend lower+execute throughput: cases/sec over the phase whose
+  // cost the backend controls (the shared interpreter phase is excluded).
+  auto Cps = [](unsigned Cases, double Ms) {
+    return Ms > 0 ? Cases / (Ms / 1000.0) : 0.0;
+  };
+  double CsWarm = 0, JitWarm = 0;
+  OS << "  \"backend_bench\": [";
+  for (size_t I = 0; I < S.BackendBenches.size(); ++I) {
+    const FuzzStats::BackendBench &B = S.BackendBenches[I];
+    double ColdCps = Cps(B.Cases, B.ColdExecMillis);
+    double WarmCps = Cps(B.Cases, B.WarmExecMillis);
+    if (B.Backend == "csource")
+      CsWarm = WarmCps;
+    else if (B.Backend == "jit")
+      JitWarm = WarmCps;
+    OS << (I ? ",\n" : "\n") << "    {\"backend\": \"" << B.Backend
+       << "\", \"cases\": " << B.Cases << ", \"cold_ms\": " << B.ColdExecMillis
+       << ", \"warm_ms\": " << B.WarmExecMillis
+       << ", \"cold_cases_per_sec\": " << ColdCps
+       << ", \"warm_cases_per_sec\": " << WarmCps
+       << ", \"programs_per_sec\": "
+       << (B.WarmExecMillis > 0 ? S.Programs / (B.WarmExecMillis / 1000.0)
+                                : 0.0)
+       << "}";
+  }
+  OS << (S.BackendBenches.empty() ? "],\n" : "\n  ],\n");
+  OS << "  \"jit_speedup_warm\": " << (CsWarm > 0 ? JitWarm / CsWarm : 0.0)
+     << ",\n";
   OS << "  \"ops\": {";
   bool First = true;
   for (const auto &[Op, PA] : S.OpStats) {

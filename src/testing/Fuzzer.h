@@ -37,6 +37,13 @@ struct FuzzOptions {
   OracleOptions Oracle;
   std::string ReproDir;         ///< empty: report divergences, write nothing
   unsigned OracleBatch = 64;    ///< cases per C compile
+
+  /// After the main loop, re-run every retained case through each
+  /// registered executable backend twice (cold then warm cache),
+  /// cross-checking statuses and timing the lower+execute phase per
+  /// backend. Feeds the per-backend throughput figures in
+  /// BENCH_fuzz.json and the CI tripwire.
+  bool CompareBackends = false;
 };
 
 struct FuzzDivergence {
@@ -66,6 +73,25 @@ struct FuzzStats {
   unsigned DifferentialMismatches = 0;
   uint64_t IncrementalHits = 0;   ///< EffectSnapshot hits across schedules
   uint64_t IncrementalMisses = 0; ///< EffectSnapshot misses across schedules
+
+  /// Oracle-phase wall time of the main loop, split between the
+  /// interpreter pipelines (backend-independent) and lower+execute.
+  double OracleInterpMillis = 0;
+  double OracleExecMillis = 0;
+
+  /// One row per (backend, cold/warm) measurement of CompareBackends.
+  struct BackendBench {
+    std::string Backend;
+    unsigned Cases = 0;       ///< cases re-run (all retained cases)
+    double ColdExecMillis = 0; ///< lower+execute, empty module cache
+    double WarmExecMillis = 0; ///< same cases again, cache warm
+  };
+  std::vector<BackendBench> BackendBenches;
+  /// Cases whose oracle status differed between two backends (always 0
+  /// on a healthy build; nonzero fails the run via clean()).
+  unsigned BackendMismatches = 0;
+  /// JIT module-cache counters over the whole run.
+  uint64_t JitCompiles = 0, JitCacheHits = 0, JitEvictions = 0;
 };
 
 struct FuzzReport {
@@ -76,7 +102,7 @@ struct FuzzReport {
 
   bool clean() const {
     return Divergences.empty() && Stats.GenFailures == 0 &&
-           Stats.DifferentialMismatches == 0;
+           Stats.DifferentialMismatches == 0 && Stats.BackendMismatches == 0;
   }
 };
 

@@ -6,30 +6,27 @@
 
 #include "testing/Oracle.h"
 
+#include "backend/Backend.h"
 #include "backend/CodeGen.h"
 #include "interp/Interp.h"
+#include "scheduling/Schedule.h"
 
+#include <chrono>
 #include <cmath>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 using namespace exo;
 using namespace exo::ir;
 using namespace exo::testing;
 
-#ifndef EXO_SOURCE_DIR
-#define EXO_SOURCE_DIR "."
-#endif
-
 namespace {
 
-/// The input fill: a 32-bit LCG producing small integers in [-3, 3],
-/// replicated verbatim in the emitted C harness so both sides see the
-/// same values. Integer inputs keep every pipeline bit-exact (see
-/// ProgramGen.h).
+/// The input fill: a 32-bit LCG producing small integers in [-3, 3].
+/// Every pipeline consumes the same stream — the interpreter as doubles,
+/// the executed module as the argument's element type; the values are
+/// small integers, exact in all of them.
 struct Lcg {
   uint32_t S;
   explicit Lcg(uint64_t Seed)
@@ -45,6 +42,55 @@ int64_t numElems(const ArgSpec &A) {
   for (int64_t D : A.Dims)
     N *= D;
   return N;
+}
+
+size_t elemSize(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F64:
+    return sizeof(double);
+  case ScalarKind::I8:
+    return sizeof(int8_t);
+  case ScalarKind::I16:
+    return sizeof(int16_t);
+  case ScalarKind::I32:
+    return sizeof(int32_t);
+  default:
+    return sizeof(float); // R / F32
+  }
+}
+
+void writeElem(void *Buf, size_t I, ScalarKind K, int V) {
+  switch (K) {
+  case ScalarKind::F64:
+    static_cast<double *>(Buf)[I] = V;
+    break;
+  case ScalarKind::I8:
+    static_cast<int8_t *>(Buf)[I] = static_cast<int8_t>(V);
+    break;
+  case ScalarKind::I16:
+    static_cast<int16_t *>(Buf)[I] = static_cast<int16_t>(V);
+    break;
+  case ScalarKind::I32:
+    static_cast<int32_t *>(Buf)[I] = V;
+    break;
+  default:
+    static_cast<float *>(Buf)[I] = static_cast<float>(V);
+  }
+}
+
+double readElem(const void *Buf, size_t I, ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F64:
+    return static_cast<const double *>(Buf)[I];
+  case ScalarKind::I8:
+    return static_cast<const int8_t *>(Buf)[I];
+  case ScalarKind::I16:
+    return static_cast<const int16_t *>(Buf)[I];
+  case ScalarKind::I32:
+    return static_cast<const int32_t *>(Buf)[I];
+  default:
+    return static_cast<const float *>(Buf)[I];
+  }
 }
 
 /// Fills fresh interpreter storage for every buffer argument of a case.
@@ -80,7 +126,7 @@ Expected<bool> runInterp(const ProcRef &P, const OracleCase &C,
 }
 
 /// Flattens all buffers of a run into the comparison order (argument
-/// order, row-major), matching what the C harness prints.
+/// order, row-major).
 std::vector<double> flatten(const std::vector<std::vector<double>> &Storage) {
   std::vector<double> Out;
   for (const auto &Buf : Storage)
@@ -132,149 +178,6 @@ std::string describeMismatch(const OracleCase &C, const char *LHS,
          (Bad == 1 ? "" : "s") + " differ)";
 }
 
-/// Emits the per-case block of the C harness: typed buffers, the LCG
-/// fill, the call, and the output dump framed by CASE/END markers so a
-/// mid-batch crash still leaves the earlier cases judgeable.
-void emitCaseC(std::ostream &OS, size_t Idx, const OracleCase &C) {
-  Lcg Seed(C.InputSeed);
-  OS << "  { /* case " << Idx << " */\n";
-  OS << "    unsigned s = " << Seed.S << "u;\n";
-  std::vector<std::string> CallArgs;
-  for (const ArgSpec &A : C.Args) {
-    if (A.IsControl) {
-      CallArgs.push_back(std::to_string(A.Value));
-      continue;
-    }
-    const char *Ty = backend::cTypeOf(A.Elem);
-    int64_t N = numElems(A);
-    OS << "    static " << Ty << " " << A.Name << "[" << N << "];\n";
-    OS << "    for (long i = 0; i < " << N << "; i++) " << A.Name
-       << "[i] = (" << Ty << ")exo_fuzz_next(&s);\n";
-    CallArgs.push_back(A.Name);
-  }
-  OS << "    " << C.Scheduled->name() << "(";
-  for (size_t I = 0; I < CallArgs.size(); ++I)
-    OS << (I ? ", " : "") << CallArgs[I];
-  OS << ");\n";
-  OS << "    printf(\"CASE " << Idx << "\\n\");\n";
-  for (const ArgSpec &A : C.Args) {
-    if (A.IsControl)
-      continue;
-    OS << "    for (long i = 0; i < " << numElems(A)
-       << "; i++) printf(\"%.17g\\n\", (double)" << A.Name << "[i]);\n";
-  }
-  OS << "    printf(\"END " << Idx << "\\n\");\n";
-  OS << "  }\n";
-}
-
-std::string readFile(const std::string &Path) {
-  std::ifstream In(Path);
-  std::ostringstream SS;
-  SS << In.rdbuf();
-  return SS.str();
-}
-
-/// Runs the C pipeline for one sub-batch of cases whose scheduled procs
-/// have pairwise-distinct definitions per name. Expected values are the
-/// reference-interpreter results already computed by the caller.
-void runCBatch(const std::vector<size_t> &Idxs,
-               const std::vector<OracleCase> &Cases,
-               const std::vector<std::vector<double>> &Expected,
-               const OracleOptions &O, const std::string &Dir, unsigned Batch,
-               std::vector<OracleOutcome> &Out) {
-  // One emission per distinct proc; several cases may call the same one.
-  std::vector<ProcRef> Procs;
-  for (size_t I : Idxs) {
-    bool Seen = false;
-    for (const ProcRef &P : Procs)
-      Seen = Seen || P == Cases[I].Scheduled;
-    if (!Seen)
-      Procs.push_back(Cases[I].Scheduled);
-  }
-  auto C = backend::generateC(Procs);
-  if (!C) {
-    // The per-case pre-check passed, so a whole-batch failure is a
-    // harness-level surprise; attribute it to every case.
-    for (size_t I : Idxs)
-      Out[I] = {OracleStatus::CodegenError,
-                "batch generateC: " + C.error().str()};
-    return;
-  }
-
-  std::string Tag = std::to_string(Batch);
-  std::string CPath = Dir + "/fuzz_batch" + Tag + ".c";
-  std::string Bin = Dir + "/fuzz_batch" + Tag;
-  std::string OutPath = Dir + "/fuzz_batch" + Tag + ".out";
-  std::string ErrPath = Dir + "/fuzz_batch" + Tag + ".cc.err";
-  {
-    std::ofstream F(CPath);
-    F << *C;
-    F << "\n#include <stdio.h>\n";
-    F << "static int exo_fuzz_next(unsigned *s) {\n"
-         "  *s = *s * 1103515245u + 12345u;\n"
-         "  return (int)((*s >> 16) % 7) - 3;\n"
-         "}\n";
-    F << "int main(void) {\n";
-    for (size_t I : Idxs)
-      emitCaseC(F, I, Cases[I]);
-    F << "  return 0;\n}\n";
-  }
-
-  std::string Cmd = O.Compiler + " -O1 -std=c11 -o " + Bin + " " + CPath +
-                    " -I " EXO_SOURCE_DIR "/src/hwlibs/avx512/runtime" +
-                    " -I " EXO_SOURCE_DIR "/src/hwlibs/gemmini/runtime";
-  if (C->find("gemmini_sim.h") != std::string::npos)
-    Cmd += " " EXO_SOURCE_DIR "/src/hwlibs/gemmini/runtime/gemmini_sim.c";
-  Cmd += " -lm 2> " + ErrPath;
-  if (std::system(Cmd.c_str()) != 0) {
-    std::string Err = readFile(ErrPath);
-    if (Err.size() > 800)
-      Err = Err.substr(0, 800) + "...";
-    for (size_t I : Idxs)
-      Out[I] = {OracleStatus::CompileError,
-                "cc failed on " + CPath + ": " + Err};
-    return;
-  }
-
-  int Rc = std::system((Bin + " > " + OutPath + " 2>&1").c_str());
-
-  // Parse the CASE/END framed output; a crash leaves later cases
-  // unframed and they report RunError below.
-  std::map<size_t, std::vector<double>> Got;
-  {
-    std::ifstream In(OutPath);
-    std::string Line;
-    size_t Cur = SIZE_MAX;
-    std::vector<double> Vals;
-    while (std::getline(In, Line)) {
-      if (Line.rfind("CASE ", 0) == 0) {
-        Cur = static_cast<size_t>(std::strtoull(Line.c_str() + 5, nullptr, 10));
-        Vals.clear();
-      } else if (Line.rfind("END ", 0) == 0) {
-        if (Cur != SIZE_MAX)
-          Got[Cur] = Vals;
-        Cur = SIZE_MAX;
-      } else if (Cur != SIZE_MAX) {
-        Vals.push_back(std::strtod(Line.c_str(), nullptr));
-      }
-    }
-  }
-
-  for (size_t I : Idxs) {
-    auto It = Got.find(I);
-    if (It == Got.end()) {
-      Out[I] = {OracleStatus::RunError,
-                "binary " + Bin + (Rc != 0 ? " exited nonzero" : "") +
-                    " before completing case " + std::to_string(I)};
-      continue;
-    }
-    std::string Diff = describeMismatch(Cases[I], "interp", "C", Expected[I],
-                                        It->second, O.Tolerance);
-    if (!Diff.empty())
-      Out[I] = {OracleStatus::CodegenDivergence, Diff};
-  }
-}
-
 } // namespace
 
 const char *exo::testing::oracleStatusName(OracleStatus S) {
@@ -305,8 +208,19 @@ exo::testing::runOracle(std::vector<OracleCase> Cases, const OracleOptions &O) {
   std::vector<std::vector<double>> Expected(Cases.size());
   std::vector<bool> NeedsC(Cases.size(), false);
 
+  using Clock = std::chrono::steady_clock;
+  auto PhaseStart = Clock::now();
+  auto chargePhase = [&](double &Sink) {
+    auto Now = Clock::now();
+    Sink += std::chrono::duration<double, std::milli>(Now - PhaseStart)
+                .count();
+    PhaseStart = Now;
+  };
+  OracleTimings Discard;
+  OracleTimings &T = O.Timings ? *O.Timings : Discard;
+
   // Pipelines 1 and 2: the interpreter on both forms, then a per-case
-  // codegen pre-check so batch emission only sees procs C accepts.
+  // codegen pre-check so batch lowering only sees procs C accepts.
   for (size_t I = 0; I < Cases.size(); ++I) {
     const OracleCase &C = Cases[I];
     if (!C.Reference || !C.Scheduled) {
@@ -345,57 +259,115 @@ exo::testing::runOracle(std::vector<OracleCase> Cases, const OracleOptions &O) {
     }
     NeedsC[I] = true;
   }
+  chargePhase(T.InterpMillis);
 
   if (O.SkipC)
     return Out;
 
-  // Pipeline 3. Partition into sub-batches where each proc *name* maps
-  // to one definition (replayed clones of the same program share a name
-  // but not a ProcRef, and C allows only one definition per name).
-  std::vector<std::vector<size_t>> Groups;
-  std::vector<std::map<std::string, ProcRef>> GroupNames;
+  // Pipeline 3, through the execution backend. One module covers the
+  // whole batch: one entry per distinct scheduled proc, with distinct
+  // procs that share a name (replayed clones of one program) renamed to
+  // unique entry names before lowering — C allows only one definition
+  // per name.
+  backend::Backend *BE = backend::findBackend(O.Backend);
+  if (!BE)
+    return makeError(Error::Kind::Internal,
+                     "oracle: unknown backend '" + O.Backend + "'");
+
+  std::map<const Proc *, std::string> EntryOf;
+  std::set<std::string> UsedNames;
+  std::vector<ProcRef> Procs;
   for (size_t I = 0; I < Cases.size(); ++I) {
     if (!NeedsC[I])
       continue;
     const ProcRef &P = Cases[I].Scheduled;
-    bool Placed = false;
-    for (size_t G = 0; G < Groups.size() && !Placed; ++G) {
-      auto It = GroupNames[G].find(P->name());
-      if (It == GroupNames[G].end() || It->second == P) {
-        GroupNames[G][P->name()] = P;
-        Groups[G].push_back(I);
-        Placed = true;
-      }
+    if (EntryOf.count(P.get()))
+      continue;
+    std::string Name = P->name();
+    ProcRef ToLower = P;
+    if (!UsedNames.insert(Name).second) {
+      Name += "__exo_c" + std::to_string(I);
+      UsedNames.insert(Name);
+      ToLower = scheduling::renameProc(P, Name);
     }
-    if (!Placed) {
-      Groups.push_back({I});
-      GroupNames.push_back({{P->name(), P}});
-    }
+    EntryOf[P.get()] = Name;
+    Procs.push_back(ToLower);
   }
-  if (Groups.empty())
+  if (Procs.empty()) {
+    chargePhase(T.ExecMillis);
     return Out;
-
-  std::string Dir = O.WorkDir;
-  bool OwnDir = Dir.empty();
-  if (OwnDir) {
-    char Tmpl[] = "/tmp/exo_oracle_XXXXXX";
-    if (!mkdtemp(Tmpl))
-      return makeError(Error::Kind::Internal,
-                       "oracle: cannot create scratch directory");
-    Dir = Tmpl;
   }
 
-  for (size_t G = 0; G < Groups.size(); ++G)
-    runCBatch(Groups[G], Cases, Expected, O, Dir, static_cast<unsigned>(G),
-              Out);
+  backend::LowerOptions LO;
+  LO.WorkDir = O.WorkDir;
+  LO.KeepArtifacts = O.KeepFiles;
+  LO.Compiler = O.Compiler;
+  auto M = BE->lower(Procs, LO);
+  if (!M) {
+    // The per-case pre-check passed, so a whole-batch failure is a
+    // harness-level surprise; attribute it to every case.
+    for (size_t I = 0; I < Cases.size(); ++I)
+      if (NeedsC[I])
+        Out[I] = {OracleStatus::CodegenError,
+                  "batch lower: " + M.error().str()};
+    chargePhase(T.ExecMillis);
+    return Out;
+  }
 
-  // Keep the evidence when anything in the C pipeline needs inspection.
-  bool Trouble = false;
-  for (const OracleOutcome &R : Out)
-    Trouble = Trouble || R.Status == OracleStatus::CompileError ||
-              R.Status == OracleStatus::RunError;
-  if (OwnDir && !O.KeepFiles && !Trouble)
-    std::system(("rm -rf '" + Dir + "'").c_str());
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    if (!NeedsC[I])
+      continue;
+    const OracleCase &C = Cases[I];
+
+    // Typed argument buffers, LCG-filled in argument order — the same
+    // value stream the interpreter consumed, exact in every element type.
+    Lcg R(C.InputSeed);
+    std::vector<std::vector<unsigned char>> Bufs;
+    backend::BufferSet Args;
+    for (const ArgSpec &A : C.Args) {
+      if (A.IsControl) {
+        Args.push_back(backend::RunArg::control(A.Value));
+        continue;
+      }
+      size_t N = static_cast<size_t>(numElems(A));
+      Bufs.emplace_back(N * elemSize(A.Elem));
+      void *P = Bufs.back().data();
+      for (size_t E = 0; E < N; ++E)
+        writeElem(P, E, A.Elem, R.next());
+      Args.push_back(backend::RunArg::buffer(P, Bufs.back().size()));
+    }
+
+    backend::ExecStatus S =
+        BE->execute(**M, EntryOf[C.Scheduled.get()], Args);
+    if (S.Kind == backend::ExecKind::CompileError) {
+      Out[I] = {OracleStatus::CompileError, S.Detail};
+      continue;
+    }
+    if (!S.ok()) {
+      // Traps, missing entries, and unsupported signatures all mean the
+      // compiled module could not complete this case.
+      Out[I] = {OracleStatus::RunError,
+                std::string(backend::execKindName(S.Kind)) + ": " + S.Detail};
+      continue;
+    }
+
+    std::vector<double> Got;
+    Got.reserve(Expected[I].size());
+    size_t B = 0;
+    for (const ArgSpec &A : C.Args) {
+      if (A.IsControl)
+        continue;
+      size_t N = static_cast<size_t>(numElems(A));
+      for (size_t E = 0; E < N; ++E)
+        Got.push_back(readElem(Bufs[B].data(), E, A.Elem));
+      ++B;
+    }
+    std::string Diff =
+        describeMismatch(C, "interp", "C", Expected[I], Got, O.Tolerance);
+    if (!Diff.empty())
+      Out[I] = {OracleStatus::CodegenDivergence, Diff};
+  }
+  chargePhase(T.ExecMillis);
   return Out;
 }
 

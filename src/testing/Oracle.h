@@ -10,17 +10,19 @@
 ///
 ///   1. the reference interpreter on the *original* procedure,
 ///   2. the reference interpreter on the *scheduled* procedure,
-///   3. the generated C of the scheduled procedure, compiled with the
-///      host toolchain (with the gemmini_sim / avx512_sim runtimes on
-///      the include path when the generated code wants them),
+///   3. the generated C of the scheduled procedure, lowered and executed
+///      through a pluggable execution backend (backend/Backend.h) — the
+///      in-process JIT by default, or the process-isolated csource
+///      backend on request,
 ///
 /// and requires the three output states to agree bit-identically (the
 /// generator keeps every intermediate an exact small integer — see
 /// ProgramGen.h — so float/double/int32 all represent results exactly; a
 /// ULP tolerance knob exists for non-integer modes).
 ///
-/// Cases are batched: one C file, one `cc` invocation, and one process
-/// execution cover a whole batch, which is what makes the smoke target
+/// Cases are batched: one lowered module (one `cc` invocation) covers a
+/// whole batch, and with the JIT backend a replayed batch is a cache hit
+/// — no compile, no process spawn — which is what makes the smoke target
 /// cheap enough for tier-1.
 ///
 //===----------------------------------------------------------------------===//
@@ -58,6 +60,16 @@ enum class OracleStatus {
 
 const char *oracleStatusName(OracleStatus S);
 
+/// Per-phase wall-clock accumulators, filled (+=) when a caller wires
+/// them into OracleOptions::Timings. ExecMillis covers lowering plus
+/// execution — the part whose cost depends on the chosen backend — so
+/// backend benchmarks can subtract the interpreter phase both backends
+/// share.
+struct OracleTimings {
+  double InterpMillis = 0;
+  double ExecMillis = 0;
+};
+
 struct OracleOutcome {
   OracleStatus Status = OracleStatus::Agree;
   std::string Detail; ///< human-readable divergence site / error text
@@ -73,12 +85,18 @@ struct OracleOptions {
   std::string WorkDir;
   bool KeepFiles = false;
   std::string Compiler = "cc";
+  /// Execution backend for pipeline 3 (backend::findBackend name). The
+  /// default in-process JIT makes a replayed batch a pure cache hit; the
+  /// "csource" backend trades speed for child-process isolation.
+  std::string Backend = "jit";
   /// 0 demands bit-identical agreement (the integer-data default);
   /// otherwise the maximum tolerated absolute difference.
   double Tolerance = 0.0;
   /// Skip pipeline 3 (used by the shrinker's inner loop, where the
   /// interpreter disagreement alone is what is being minimized).
   bool SkipC = false;
+  /// Optional phase-timing accumulator (not owned; may be null).
+  OracleTimings *Timings = nullptr;
 };
 
 /// Runs the triple oracle over a batch. The returned vector has one

@@ -393,7 +393,7 @@ TEST(FuzzRegression, SeedCorpusReplaysClean) {
 TEST(GoldenCodeGen, SuiteKernelsMatchGoldenFiles) {
   driver::CompileSession Session;
   std::vector<driver::CompileJob> Suite = driver::standardKernelSuite();
-  ASSERT_EQ(Suite.size(), 6u);
+  ASSERT_EQ(Suite.size(), 7u);
   for (const driver::CompileJob &Job : Suite) {
     driver::JobResult R = Session.run(Job);
     ASSERT_TRUE(R.Ok) << R.Name << ": " << R.ErrorMessage;

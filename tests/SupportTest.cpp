@@ -8,8 +8,12 @@
 #include "support/MathExtras.h"
 #include "support/Printer.h"
 #include "support/StringExtras.h"
+#include "support/TempDir.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
 
 using namespace exo;
 
@@ -110,6 +114,62 @@ TEST(ErrorTest, KindNamesAreStable) {
   EXPECT_STREQ(errorKindName(Error::Kind::Unification),
                "unification error");
   EXPECT_STREQ(errorKindName(Error::Kind::Bounds), "bounds error");
+}
+
+TEST(TempDirTest, CreatesAndRemovesOnDestruction) {
+  std::string Path;
+  {
+    support::TempDir D("test");
+    ASSERT_TRUE(D.valid());
+    Path = D.path();
+    EXPECT_TRUE(std::filesystem::is_directory(Path));
+    EXPECT_EQ(D.file("x.c"), Path + "/x.c");
+    std::ofstream(D.file("x.c")) << "int x;\n"; // non-empty dirs go too
+  }
+  EXPECT_FALSE(std::filesystem::exists(Path));
+}
+
+TEST(TempDirTest, KeptDirectorySurvives) {
+  std::string Path;
+  {
+    support::TempDir D("keep");
+    ASSERT_TRUE(D.valid());
+    Path = D.keep();
+    EXPECT_TRUE(D.kept());
+    D.remove(); // explicit remove must also respect keep()
+    EXPECT_TRUE(std::filesystem::is_directory(Path));
+  }
+  EXPECT_TRUE(std::filesystem::is_directory(Path));
+  std::filesystem::remove_all(Path);
+}
+
+TEST(TempDirTest, AdoptedDirectoryIsNeverRemoved) {
+  support::TempDir Owner("adoptee");
+  ASSERT_TRUE(Owner.valid());
+  {
+    support::TempDir D = support::TempDir::adopt(Owner.path());
+    EXPECT_TRUE(D.valid());
+    EXPECT_EQ(D.path(), Owner.path());
+  }
+  EXPECT_TRUE(std::filesystem::is_directory(Owner.path()));
+}
+
+TEST(TempDirTest, MoveTransfersOwnership) {
+  support::TempDir A("move");
+  ASSERT_TRUE(A.valid());
+  std::string Path = A.path();
+  support::TempDir B = std::move(A);
+  EXPECT_FALSE(A.valid());
+  EXPECT_EQ(B.path(), Path);
+  B.remove();
+  EXPECT_FALSE(std::filesystem::exists(Path));
+  EXPECT_FALSE(B.valid());
+}
+
+TEST(TempDirTest, DefaultConstructedIsInvalidAndInert) {
+  support::TempDir D;
+  EXPECT_FALSE(D.valid());
+  D.remove(); // must be a no-op, not a crash
 }
 
 } // namespace
