@@ -114,7 +114,14 @@ detail::lowerCommon(const std::vector<ProcRef> &Procs, const LowerOptions &LO,
 
   auto M = std::make_shared<LoweredModule>();
   ModuleAccess::source(*M) = std::move(*C);
-  ModuleAccess::hash(*M) = fnv1aHex(M->source());
+  // Tenant/compiler salts partition the content-addressed module caches;
+  // the unsalted form is kept bit-stable so existing hashes (and the
+  // csource-vs-jit equal-hash property under equal options) don't move.
+  if (LO.CacheSalt.empty() && LO.Compiler.empty())
+    ModuleAccess::hash(*M) = fnv1aHex(M->source());
+  else
+    ModuleAccess::hash(*M) = fnv1aHex(LO.CacheSalt + '\x1f' + LO.Compiler +
+                                      '\x1f' + M->source());
   ModuleAccess::backendName(*M) = BackendName;
   ModuleAccess::workDir(*M) = LO.WorkDir;
   ModuleAccess::keepArtifacts(*M) = LO.KeepArtifacts;

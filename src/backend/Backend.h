@@ -167,6 +167,16 @@ struct LowerOptions {
   bool KeepArtifacts = false;
   /// Host C compiler; empty means "cc".
   std::string Compiler;
+  /// Extra bytes folded into the module content hash ahead of the source
+  /// (tenant id, option fingerprint, ...). The hash keys the JIT's
+  /// process-wide module cache, so two tenants lowering byte-identical C
+  /// under different salts get distinct cache entries — an unloaded or
+  /// breaker-quarantined module can never be resurrected for a different
+  /// tenant by content-hash collision. Empty (the default) preserves the
+  /// plain source hash. The compiler choice is folded in alongside for
+  /// the same reason: same C under a different host compiler is a
+  /// different artifact.
+  std::string CacheSalt;
 };
 
 class Backend {

@@ -20,6 +20,7 @@
 #include "backend/Backend.h"
 
 #include "backend/BackendImpl.h"
+#include "support/Signals.h"
 #include "support/TempDir.h"
 
 #include <atomic>
@@ -133,6 +134,9 @@ std::string emitHarness(const LoweredModule &M) {
 /// Compiles the module binary once; later calls reuse or report the
 /// recorded failure.
 ExecStatus ensureBuilt(LoweredModule &M, CsModule &S) {
+  // Child marshalling writes to files today and sockets/pipes tomorrow; a
+  // peer dying mid-write must yield an Error status, not SIGPIPE death.
+  support::ignoreSigpipe();
   std::lock_guard<std::mutex> Lock(S.Mu);
   if (S.Built)
     return S.BuildError.empty()

@@ -28,6 +28,7 @@
 #include "backend/Backend.h"
 
 #include "backend/BackendImpl.h"
+#include "support/Signals.h"
 #include "support/TempDir.h"
 
 #include <cstdlib>
@@ -140,6 +141,7 @@ struct JitCache {
 /// Compiles one module into a fresh .so; returns a JitModule whose
 /// BuildError is set on failure (with the evidence directory kept).
 JitModuleRef compileModule(const LoweredModule &M) {
+  support::ignoreSigpipe(); // cc children write through pipes
   auto J = std::make_shared<JitModule>();
   J->Dir = M.workDirHint().empty()
                ? support::TempDir("jit")

@@ -46,7 +46,8 @@ static bool isRetryableError(const Error &E) {
 /// true on success; on failure the error is recorded into \p R.
 static bool attemptJob(const CompileJob &Job, JobResult &R,
                        backend::Backend &BE, uint64_t MaxLiterals,
-                       bool UseQueryCache, Error *OutError) {
+                       bool UseQueryCache, const std::string &Tenant,
+                       Error *OutError) {
   smt::ScopedSolverDefaults Defaults(MaxLiterals, UseQueryCache);
   Expected<std::vector<ir::ProcRef>> Procs = Job.Build();
   if (!Procs) {
@@ -55,7 +56,9 @@ static bool attemptJob(const CompileJob &Job, JobResult &R,
       *OutError = Procs.error();
     return false;
   }
-  Expected<backend::LoweredModuleRef> M = BE.lower(*Procs, {});
+  backend::LowerOptions LO;
+  LO.CacheSalt = Tenant;
+  Expected<backend::LoweredModuleRef> M = BE.lower(*Procs, LO);
   if (!M) {
     recordError(R, M.error());
     if (OutError)
@@ -113,7 +116,8 @@ JobResult CompileSession::run(const CompileJob &Job) const {
     unsigned EscalationsLeft = Opts.MaxRetries;
     for (;;) {
       R.FinalMaxLiterals = Budget;
-      if (attemptJob(Job, R, *BE, Budget, Opts.UseQueryCache, &LastError))
+      if (attemptJob(Job, R, *BE, Budget, Opts.UseQueryCache, Opts.Tenant,
+                     &LastError))
         break;
       if (EscalationsLeft == 0 || !isRetryableError(LastError) || D.expired())
         break;
@@ -162,7 +166,9 @@ JobResult CompileSession::run(const CompileJob &Job) const {
       // schedule's failure stays on the result for the batch report.
       Expected<std::vector<ir::ProcRef>> Ref = Job.BuildReference();
       if (Ref) {
-        Expected<backend::LoweredModuleRef> M = BE->lower(*Ref, {});
+        backend::LowerOptions LO;
+        LO.CacheSalt = Opts.Tenant;
+        Expected<backend::LoweredModuleRef> M = BE->lower(*Ref, LO);
         if (M) {
           R.Ok = true;
           R.Degraded = true;

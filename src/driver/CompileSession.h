@@ -80,6 +80,14 @@ struct SessionOptions {
   /// choice only matters to callers that go on to execute the module;
   /// "csource" is what exocc-batch ships and the goldens pin.
   std::string BackendName = "csource";
+
+  /// Tenant identity of the submitting client (empty for single-tenant
+  /// CLI runs). The generated C is tenant-independent — Sym minting is
+  /// globally unique and codegen naming procedure-local, so outputs stay
+  /// bit-identical across tenants — but the tenant id is folded into the
+  /// module content hash (LowerOptions::CacheSalt) so tenants never share
+  /// compiled-artifact cache entries. See DESIGN.md, "Service layer".
+  std::string Tenant;
 };
 
 /// One unit of batch work: a name plus a builder producing the procedures

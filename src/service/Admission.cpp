@@ -1,0 +1,110 @@
+//===- service/Admission.cpp -----------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Admission.h"
+
+#include <cmath>
+
+using namespace exo;
+using namespace exo::service;
+
+const char *exo::service::admitDecisionName(AdmitDecision D) {
+  switch (D) {
+  case AdmitDecision::Admit:
+    return "admit";
+  case AdmitDecision::RateLimited:
+    return "rate-limited";
+  case AdmitDecision::ClientQueueFull:
+    return "client-queue-full";
+  case AdmitDecision::Overloaded:
+    return "overloaded";
+  }
+  return "?";
+}
+
+void AdmissionController::refill(ClientState &CS, int64_t NowMillis) const {
+  if (!CS.Seen) {
+    CS.Tokens = Opts.BurstTokens; // fresh clients start with a full burst
+    CS.LastRefillMillis = NowMillis;
+    CS.Seen = true;
+    return;
+  }
+  int64_t Elapsed = NowMillis - CS.LastRefillMillis;
+  if (Elapsed <= 0)
+    return;
+  CS.Tokens += Opts.TokensPerSecond * static_cast<double>(Elapsed) / 1000.0;
+  if (CS.Tokens > Opts.BurstTokens)
+    CS.Tokens = Opts.BurstTokens;
+  CS.LastRefillMillis = NowMillis;
+}
+
+AdmitDecision AdmissionController::tryAdmit(const std::string &Client,
+                                            int64_t NowMillis) {
+  std::lock_guard<std::mutex> Lock(Mu);
+
+  // Global backpressure first: when the daemon is saturated, shed before
+  // touching per-client state so the rejection cost stays flat.
+  if (GlobalInFlight >= Opts.MaxGlobal) {
+    ++TheStats.Shed;
+    return AdmitDecision::Overloaded;
+  }
+
+  ClientState &CS = Clients[Client];
+  refill(CS, NowMillis);
+
+  if (CS.InFlight >= Opts.MaxPerClient) {
+    ++TheStats.ClientQueueFull;
+    return AdmitDecision::ClientQueueFull;
+  }
+  if (Opts.TokensPerSecond > 0) {
+    if (CS.Tokens < 1.0) {
+      ++TheStats.RateLimited;
+      return AdmitDecision::RateLimited;
+    }
+    CS.Tokens -= 1.0;
+  }
+
+  ++CS.InFlight;
+  ++GlobalInFlight;
+  ++TheStats.Admitted;
+  return AdmitDecision::Admit;
+}
+
+void AdmissionController::release(const std::string &Client) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Clients.find(Client);
+  if (It != Clients.end() && It->second.InFlight > 0)
+    --It->second.InFlight;
+  if (GlobalInFlight > 0)
+    --GlobalInFlight;
+}
+
+int64_t AdmissionController::retryAfterMillis(const std::string &Client,
+                                              int64_t NowMillis) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Opts.TokensPerSecond <= 0)
+    return 0;
+  auto It = Clients.find(Client);
+  if (It == Clients.end())
+    return 0;
+  ClientState CS = It->second; // simulate a refill without mutating
+  refill(CS, NowMillis);
+  if (CS.Tokens >= 1.0)
+    return 0;
+  double Needed = 1.0 - CS.Tokens;
+  return static_cast<int64_t>(
+      std::ceil(Needed * 1000.0 / Opts.TokensPerSecond));
+}
+
+unsigned AdmissionController::globalInFlight() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return GlobalInFlight;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TheStats;
+}

@@ -1,0 +1,114 @@
+//===- service/Admission.h - Admission control & backpressure --*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's first line of defense: every request passes admission
+/// before any IR is built or any solver query posed. Three independent
+/// gates, cheapest first:
+///
+///  1. a per-client token bucket (steady-state rate + burst capacity), so
+///     one chatty tenant cannot starve the rest;
+///  2. a per-client in-flight cap (bounded queue depth per tenant), so a
+///     tenant that never reads replies cannot park unbounded work;
+///  3. a global in-flight cap — the backpressure valve. When the whole
+///     daemon is saturated, new work is shed with Overloaded instead of
+///     queued without bound; clients retry with jitter. Shedding is the
+///     contract: a bounded, honest "no" beats an unbounded, silent queue
+///     (the latency cliff hides until OOM).
+///
+/// Decisions are reported distinctly (RateLimited / ClientQueueFull /
+/// Overloaded) because clients back off differently: rate limiting is
+/// per-tenant and retry-after is computable; overload is global and wants
+/// randomized exponential backoff.
+///
+/// Time is passed in, not read from a clock, so tests drive the bucket
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SERVICE_ADMISSION_H
+#define EXO_SERVICE_ADMISSION_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace exo {
+namespace service {
+
+enum class AdmitDecision {
+  Admit,
+  RateLimited,    ///< per-client token bucket is empty
+  ClientQueueFull,///< per-client in-flight cap reached
+  Overloaded,     ///< global in-flight cap reached (load shed)
+};
+
+const char *admitDecisionName(AdmitDecision D);
+
+struct AdmissionOptions {
+  /// Steady-state tokens per second per client; <= 0 disables the rate
+  /// gate.
+  double TokensPerSecond = 50.0;
+  /// Bucket capacity (burst size). A fresh client starts full.
+  double BurstTokens = 25.0;
+  /// Max jobs a single client may have admitted-but-unfinished.
+  unsigned MaxPerClient = 8;
+  /// Max jobs the whole daemon may have admitted-but-unfinished.
+  unsigned MaxGlobal = 64;
+};
+
+struct AdmissionStats {
+  uint64_t Admitted = 0;
+  uint64_t RateLimited = 0;
+  uint64_t ClientQueueFull = 0;
+  uint64_t Shed = 0; ///< Overloaded rejections
+};
+
+/// Thread-safe admission controller. tryAdmit/release bracket a job's
+/// admitted lifetime; the in-flight counters they maintain are what the
+/// queue-depth gates read.
+class AdmissionController {
+public:
+  explicit AdmissionController(AdmissionOptions Opts = {}) : Opts(Opts) {}
+
+  /// Decides admission for one request from \p Client at \p NowMillis
+  /// (monotonic). On Admit the client's in-flight count (and the global
+  /// one) is incremented; the caller must pair it with release().
+  AdmitDecision tryAdmit(const std::string &Client, int64_t NowMillis);
+
+  /// Marks one admitted job finished (any terminal status).
+  void release(const std::string &Client);
+
+  /// Milliseconds until \p Client's bucket next has a whole token; 0 when
+  /// it already does (or the rate gate is off). For retry-after hints.
+  int64_t retryAfterMillis(const std::string &Client,
+                           int64_t NowMillis) const;
+
+  unsigned globalInFlight() const;
+  AdmissionStats stats() const;
+
+private:
+  struct ClientState {
+    double Tokens = 0;
+    int64_t LastRefillMillis = 0;
+    unsigned InFlight = 0;
+    bool Seen = false;
+  };
+
+  void refill(ClientState &CS, int64_t NowMillis) const;
+
+  AdmissionOptions Opts;
+  mutable std::mutex Mu;
+  std::map<std::string, ClientState> Clients;
+  unsigned GlobalInFlight = 0;
+  AdmissionStats TheStats;
+};
+
+} // namespace service
+} // namespace exo
+
+#endif // EXO_SERVICE_ADMISSION_H

@@ -1,0 +1,122 @@
+//===- service/CircuitBreaker.cpp ------------------------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CircuitBreaker.h"
+
+using namespace exo;
+using namespace exo::service;
+
+const char *exo::service::breakerStateName(BreakerState S) {
+  switch (S) {
+  case BreakerState::Closed:
+    return "closed";
+  case BreakerState::Open:
+    return "open";
+  case BreakerState::HalfOpen:
+    return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::trip(int64_t NowMillis) {
+  if (BackoffMillis == 0)
+    BackoffMillis = Opts.InitialBackoffMillis;
+  else if (St == BreakerState::HalfOpen) {
+    // Only a failed recovery grows the backoff; the first trip and any
+    // repeat trips from Closed use the current value.
+    double Grown = static_cast<double>(BackoffMillis) * Opts.BackoffFactor;
+    BackoffMillis = Grown > static_cast<double>(Opts.MaxBackoffMillis)
+                        ? Opts.MaxBackoffMillis
+                        : static_cast<int64_t>(Grown);
+  }
+  St = BreakerState::Open;
+  OpenedAtMillis = NowMillis;
+  ConsecutiveFailures = 0;
+  ConsecutiveSuccesses = 0;
+  ProbeInFlight = false;
+  ++TheStats.Trips;
+}
+
+bool CircuitBreaker::allow(int64_t NowMillis) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (St) {
+  case BreakerState::Closed:
+    return true;
+  case BreakerState::Open:
+    if (NowMillis - OpenedAtMillis < BackoffMillis) {
+      ++TheStats.ShortCircuits;
+      return false;
+    }
+    St = BreakerState::HalfOpen;
+    ConsecutiveSuccesses = 0;
+    ProbeInFlight = true;
+    ++TheStats.Probes;
+    return true;
+  case BreakerState::HalfOpen:
+    // One probe at a time: concurrent callers fall back while a probe's
+    // verdict is pending, otherwise a thundering herd re-trips on the
+    // same broken dependency all at once.
+    if (ProbeInFlight) {
+      ++TheStats.ShortCircuits;
+      return false;
+    }
+    ProbeInFlight = true;
+    ++TheStats.Probes;
+    return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::onSuccess(int64_t NowMillis) {
+  (void)NowMillis;
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (St) {
+  case BreakerState::Closed:
+    ConsecutiveFailures = 0;
+    break;
+  case BreakerState::Open:
+    break; // stale result from before the trip; ignore
+  case BreakerState::HalfOpen:
+    ProbeInFlight = false;
+    if (++ConsecutiveSuccesses >= Opts.SuccessThreshold) {
+      St = BreakerState::Closed;
+      ConsecutiveFailures = 0;
+      BackoffMillis = 0; // full recovery resets the backoff schedule
+      ++TheStats.Recoveries;
+    }
+    break;
+  }
+}
+
+void CircuitBreaker::onFailure(int64_t NowMillis) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (St) {
+  case BreakerState::Closed:
+    if (++ConsecutiveFailures >= Opts.FailureThreshold)
+      trip(NowMillis);
+    break;
+  case BreakerState::Open:
+    break;
+  case BreakerState::HalfOpen:
+    trip(NowMillis); // failed probe: back to Open with grown backoff
+    break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TheStats;
+}
+
+int64_t CircuitBreaker::currentBackoffMillis() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return BackoffMillis;
+}

@@ -1,0 +1,98 @@
+//===- service/CircuitBreaker.h - Per-backend circuit breaker --*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guards the risky execution path (the in-process JIT) with the classic
+/// three-state breaker:
+///
+///   Closed ──N consecutive failures──▶ Open
+///   Open ──backoff elapses──▶ HalfOpen (one probe admitted)
+///   HalfOpen ──M consecutive successes──▶ Closed
+///   HalfOpen ──any failure──▶ Open (backoff grows geometrically)
+///
+/// While the breaker is Open the server routes oracle jobs to the
+/// out-of-process csource harness instead: slower, but a trapping module
+/// cannot take the daemon with it. The breaker exists because JIT traps
+/// cluster — one poisoned module, replayed by a retrying client, would
+/// otherwise fail every request it touches; tripping converts a failure
+/// storm into a bounded degradation with automatic recovery.
+///
+/// Time is injected (millis, monotonic) so tests step the state machine
+/// without sleeping. Thread-safe; allow() + onSuccess/onFailure bracket
+/// each guarded call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SERVICE_CIRCUITBREAKER_H
+#define EXO_SERVICE_CIRCUITBREAKER_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace exo {
+namespace service {
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char *breakerStateName(BreakerState S);
+
+struct BreakerOptions {
+  /// Consecutive failures in Closed that trip the breaker.
+  unsigned FailureThreshold = 3;
+  /// Consecutive successes in HalfOpen that re-close it.
+  unsigned SuccessThreshold = 2;
+  /// Backoff before the first half-open probe, in milliseconds.
+  int64_t InitialBackoffMillis = 200;
+  /// Geometric growth of the backoff on each re-trip from HalfOpen.
+  double BackoffFactor = 2.0;
+  /// Ceiling on the grown backoff.
+  int64_t MaxBackoffMillis = 10000;
+};
+
+struct BreakerStats {
+  uint64_t Trips = 0;        ///< Closed/HalfOpen -> Open transitions
+  uint64_t Recoveries = 0;   ///< HalfOpen -> Closed transitions
+  uint64_t ShortCircuits = 0;///< calls refused while Open
+  uint64_t Probes = 0;       ///< calls admitted in HalfOpen
+};
+
+class CircuitBreaker {
+public:
+  explicit CircuitBreaker(BreakerOptions Opts = {}) : Opts(Opts) {}
+
+  /// May a guarded call proceed now? Open transitions to HalfOpen here
+  /// once the backoff has elapsed (admitting exactly one probe at a
+  /// time: further allow() calls in HalfOpen wait for the probe verdict).
+  bool allow(int64_t NowMillis);
+
+  /// Reports the guarded call's outcome; drives the state machine.
+  void onSuccess(int64_t NowMillis);
+  void onFailure(int64_t NowMillis);
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+  /// Current backoff the next trip would impose (tests assert growth).
+  int64_t currentBackoffMillis() const;
+
+private:
+  void trip(int64_t NowMillis); // Mu held
+
+  BreakerOptions Opts;
+  mutable std::mutex Mu;
+  BreakerState St = BreakerState::Closed;
+  unsigned ConsecutiveFailures = 0;
+  unsigned ConsecutiveSuccesses = 0;
+  int64_t BackoffMillis = 0;   ///< 0 until first trip
+  int64_t OpenedAtMillis = 0;
+  bool ProbeInFlight = false;
+  BreakerStats TheStats;
+};
+
+} // namespace service
+} // namespace exo
+
+#endif // EXO_SERVICE_CIRCUITBREAKER_H

@@ -1,0 +1,273 @@
+//===- service/ServeMain.cpp - exocc-serve entry point ---------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exocc-serve daemon: a supervised, crash-resilient wrapper around
+/// service::Server. Two processes when --supervise is on:
+///
+///   supervisor ──fork──▶ worker (runs the Server)
+///        │  waitpid
+///        ├─ worker exits 0 (drained): supervisor exits 0
+///        ├─ worker dies (signal / crash op): respawn it — the fresh
+///        │  worker loads the crash journal, so clients that reconnect
+///        │  and poll their unanswered ids get "worker-crash" instead of
+///        │  silence
+///        └─ SIGTERM: forwarded to the worker, which drains gracefully
+///
+/// A crash-loop guard stops respawning after --max-respawns consecutive
+/// fast deaths; a broken build must fail loudly, not flap forever.
+///
+/// On startup the worker scavenges stale exo_* scratch directories left
+/// under the temp root by previously crashed processes (age-gated, so
+/// concurrent live daemons are untouched).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "support/FaultInjector.h"
+#include "support/Signals.h"
+#include "support/TempDir.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace exo;
+using namespace exo::service;
+
+namespace {
+
+struct ServeFlags {
+  ServerOptions Server;
+  bool Supervise = false;
+  unsigned MaxRespawns = 16;
+  int64_t ScavengeAgeSeconds = 3600; ///< <0 disables startup scavenging
+  int64_t DrainGraceMillis = 10000;
+  std::string InjectSpec;
+  uint64_t InjectSeed = 0;
+};
+
+void usage() {
+  std::printf(
+      "usage: exocc-serve [--unix PATH | --port N] [options]\n"
+      "  --unix PATH            listen on a unix socket (stable across\n"
+      "                         supervised respawns)\n"
+      "  --port N               listen on 127.0.0.1:N (0 = ephemeral)\n"
+      "  --workers N            job worker threads (default 4)\n"
+      "  --deadline-ms N        default per-job deadline (default 30000)\n"
+      "  --journal PATH         crash journal for worker-crash replay\n"
+      "  --supervise            respawn the worker process if it crashes\n"
+      "  --max-respawns N       crash-loop guard (default 16)\n"
+      "  --drain-grace-ms N     in-flight grace on shutdown (default 10000)\n"
+      "  --idle-timeout-ms N    per-connection idle deadline (default 60000)\n"
+      "  --frame-timeout-ms N   slow-loris frame deadline (default 5000)\n"
+      "  --rate N               admission tokens/sec per client (default 50)\n"
+      "  --burst N              admission burst size (default 25)\n"
+      "  --max-per-client N     per-client in-flight cap (default 8)\n"
+      "  --max-global N         global in-flight cap / shed point (64)\n"
+      "  --breaker-failures N   consecutive failures that trip (default 3)\n"
+      "  --breaker-successes N  half-open successes to close (default 2)\n"
+      "  --breaker-backoff-ms N initial open backoff (default 200)\n"
+      "  --max-literals N       solver budget for compile jobs\n"
+      "  --trim-terms N         flush the term interner between jobs once\n"
+      "                         it holds > N live nodes (default 8192;\n"
+      "                         0 disables)\n"
+      "  --scavenge-age-s N     reap exo_* scratch dirs older than N s\n"
+      "                         at startup (default 3600; -1 disables)\n"
+      "  --allow-crash-op       honor {\"op\":\"crash\"} (tests only)\n"
+      "  --inject SPEC          server-side fault plan (runtime-trap,\n"
+      "                         solver-timeout, ... — see exocc-batch)\n"
+      "  --inject-seed N        fault plan seed\n");
+}
+
+int runWorker(const ServeFlags &F) {
+  support::ignoreSigpipe();
+  support::installTerminationFlag();
+
+  if (F.ScavengeAgeSeconds >= 0) {
+    unsigned N = support::TempDir::scavenge("", F.ScavengeAgeSeconds);
+    if (N)
+      std::fprintf(stderr, "exocc-serve: scavenged %u stale scratch dir%s\n",
+                   N, N == 1 ? "" : "s");
+  }
+
+  if (!F.InjectSpec.empty()) {
+    auto C = support::FaultInjector::instance().configure(F.InjectSpec,
+                                                          F.InjectSeed);
+    if (!C) {
+      std::fprintf(stderr, "--inject: %s\n", C.error().message().c_str());
+      return 2;
+    }
+  }
+
+  Server S(F.Server);
+  Expected<bool> Started = S.start();
+  if (!Started) {
+    std::fprintf(stderr, "exocc-serve: %s\n",
+                 Started.error().message().c_str());
+    return 1;
+  }
+
+  // The readiness line is the contract with clients and tests: once it
+  // appears on stdout the socket accepts connections.
+  if (!F.Server.UnixPath.empty())
+    std::printf("READY unix=%s pid=%d\n", F.Server.UnixPath.c_str(),
+                static_cast<int>(::getpid()));
+  else
+    std::printf("READY port=%d pid=%d\n", S.port(),
+                static_cast<int>(::getpid()));
+  std::fflush(stdout);
+
+  // Serve until a termination signal lands or a client asks us to drain.
+  while (support::terminationSignal() == 0 && !S.draining())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  S.stop(F.DrainGraceMillis);
+  std::fprintf(stderr, "exocc-serve: final stats %s\n",
+               S.statsJson().dump().c_str());
+  return 0;
+}
+
+int supervise(const ServeFlags &F) {
+  support::installTerminationFlag();
+  unsigned Respawns = 0;
+  for (;;) {
+    pid_t Child = ::fork();
+    if (Child < 0) {
+      std::perror("exocc-serve: fork");
+      return 1;
+    }
+    if (Child == 0)
+      ::_exit(runWorker(F));
+
+    int Status = 0;
+    for (;;) {
+      pid_t W = ::waitpid(Child, &Status, 0);
+      if (W == Child)
+        break;
+      if (W < 0 && errno == EINTR) {
+        if (support::terminationSignal() != 0) {
+          // Forward the shutdown and keep waiting: the worker drains.
+          ::kill(Child, SIGTERM);
+        }
+        continue;
+      }
+      if (W < 0) {
+        std::perror("exocc-serve: waitpid");
+        return 1;
+      }
+    }
+
+    if (support::terminationSignal() != 0)
+      return WIFEXITED(Status) ? WEXITSTATUS(Status) : 0;
+    if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+      return 0; // clean drain
+    if (WIFEXITED(Status) && WEXITSTATUS(Status) == 2)
+      return 2; // flag/config error: respawning cannot fix it
+
+    if (++Respawns > F.MaxRespawns) {
+      std::fprintf(stderr,
+                   "exocc-serve: worker crashed %u times; giving up\n",
+                   Respawns);
+      return 1;
+    }
+    if (WIFSIGNALED(Status))
+      std::fprintf(stderr,
+                   "exocc-serve: worker died on signal %d; respawning "
+                   "(%u/%u)\n",
+                   WTERMSIG(Status), Respawns, F.MaxRespawns);
+    else
+      std::fprintf(stderr,
+                   "exocc-serve: worker exited %d; respawning (%u/%u)\n",
+                   WIFEXITED(Status) ? WEXITSTATUS(Status) : -1, Respawns,
+                   F.MaxRespawns);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServeFlags F;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "";
+    };
+    if (A == "--unix")
+      F.Server.UnixPath = Next();
+    else if (A == "--port")
+      F.Server.TcpPort = std::atoi(Next());
+    else if (A == "--workers")
+      F.Server.Workers = static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--deadline-ms")
+      F.Server.DefaultDeadlineMillis = std::atoll(Next());
+    else if (A == "--journal")
+      F.Server.JournalPath = Next();
+    else if (A == "--supervise")
+      F.Supervise = true;
+    else if (A == "--max-respawns")
+      F.MaxRespawns = static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--drain-grace-ms")
+      F.DrainGraceMillis = std::atoll(Next());
+    else if (A == "--idle-timeout-ms")
+      F.Server.IdleTimeoutMillis = std::atoi(Next());
+    else if (A == "--frame-timeout-ms")
+      F.Server.FrameTimeoutMillis = std::atoi(Next());
+    else if (A == "--rate")
+      F.Server.Admission.TokensPerSecond = std::atof(Next());
+    else if (A == "--burst")
+      F.Server.Admission.BurstTokens = std::atof(Next());
+    else if (A == "--max-per-client")
+      F.Server.Admission.MaxPerClient =
+          static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--max-global")
+      F.Server.Admission.MaxGlobal = static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--breaker-failures")
+      F.Server.Breaker.FailureThreshold =
+          static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--breaker-successes")
+      F.Server.Breaker.SuccessThreshold =
+          static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--breaker-backoff-ms")
+      F.Server.Breaker.InitialBackoffMillis = std::atoll(Next());
+    else if (A == "--max-literals")
+      F.Server.MaxLiterals = static_cast<uint64_t>(std::atoll(Next()));
+    else if (A == "--trim-terms")
+      F.Server.TermTrimThreshold = static_cast<size_t>(std::atoll(Next()));
+    else if (A == "--scavenge-age-s")
+      F.ScavengeAgeSeconds = std::atoll(Next());
+    else if (A == "--allow-crash-op")
+      F.Server.AllowCrashOp = true;
+    else if (A == "--inject")
+      F.InjectSpec = Next();
+    else if (A == "--inject-seed")
+      F.InjectSeed = static_cast<uint64_t>(std::atoll(Next()));
+    else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return 2;
+    }
+  }
+
+  if (F.Supervise && F.Server.UnixPath.empty() && F.Server.TcpPort == 0) {
+    std::fprintf(stderr, "exocc-serve: --supervise needs a stable endpoint "
+                         "(--unix PATH or a fixed --port)\n");
+    return 2;
+  }
+
+  return F.Supervise ? supervise(F) : runWorker(F);
+}

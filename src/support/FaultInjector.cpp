@@ -22,6 +22,12 @@ const char *exo::support::faultName(Fault F) {
     return "alloc-fail";
   case Fault::RuntimeTrap:
     return "runtime-trap";
+  case Fault::SockShortRead:
+    return "sock-short-read";
+  case Fault::SockDisconnect:
+    return "sock-disconnect";
+  case Fault::SockSlowLoris:
+    return "sock-slowloris";
   }
   return "?";
 }
@@ -101,8 +107,9 @@ Expected<bool> FaultInjector::configure(const std::string &Spec,
     if (!F)
       return makeError(Error::Kind::Internal,
                        "unknown fault kind '" + Name + "' (expected "
-                       "solver-timeout, budget-unknown, alloc-fail, or "
-                       "runtime-trap)");
+                       "solver-timeout, budget-unknown, alloc-fail, "
+                       "runtime-trap, sock-short-read, sock-disconnect, or "
+                       "sock-slowloris)");
     Plan &P = Parsed[static_cast<unsigned>(*F)];
     P.Active = true;
     P.Probability = Prob;

@@ -20,9 +20,13 @@
 ///   kind*N          fire on at most the first N firing decisions
 ///   kind@P*N        both
 ///
-/// Kinds: solver-timeout, budget-unknown, alloc-fail, runtime-trap.
-/// Injection is off by default and costs one relaxed atomic load per site
-/// when disabled.
+/// Kinds: solver-timeout, budget-unknown, alloc-fail, runtime-trap, plus
+/// the socket-level kinds the compile service's soak harness drives
+/// through the wire protocol: sock-short-read (frames dribbled out in
+/// tiny chunks, exercising reassembly), sock-disconnect (the peer
+/// vanishes mid-frame), sock-slowloris (a byte at a time with long
+/// pauses, exercising the per-frame read deadline). Injection is off by
+/// default and costs one relaxed atomic load per site when disabled.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,9 +49,12 @@ enum class Fault : unsigned {
   SolverBudgetUnknown,///< a solver query reports Unknown{budget}
   AllocFail,          ///< codegen fails a buffer allocation
   RuntimeTrap,        ///< the accelerator runtime raises a trap
+  SockShortRead,      ///< a frame write is split into tiny partial chunks
+  SockDisconnect,     ///< the peer closes the socket mid-frame
+  SockSlowLoris,      ///< the peer trickles bytes with long pauses
 };
 
-constexpr unsigned NumFaultKinds = 4;
+constexpr unsigned NumFaultKinds = 7;
 
 /// Printable spec name of a fault kind (e.g. "solver-timeout").
 const char *faultName(Fault F);

@@ -1,0 +1,63 @@
+//===- support/Signals.cpp - Process signal policy -------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Signals.h"
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+
+using namespace exo;
+using namespace exo::support;
+
+namespace {
+
+std::atomic<bool> SigpipeOff{false};
+std::atomic<int> TermSignal{0};
+
+void termHandler(int Signo) {
+  // First signal wins; later ones are redundant drain requests.
+  int Expected = 0;
+  TermSignal.compare_exchange_strong(Expected, Signo);
+}
+
+} // namespace
+
+void exo::support::ignoreSigpipe() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    struct sigaction SA;
+    SA.sa_handler = SIG_IGN;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0;
+    sigaction(SIGPIPE, &SA, nullptr);
+    SigpipeOff.store(true, std::memory_order_release);
+  });
+}
+
+bool exo::support::sigpipeIgnored() {
+  return SigpipeOff.load(std::memory_order_acquire);
+}
+
+void exo::support::installTerminationFlag() {
+  static std::once_flag Once;
+  std::call_once(Once, [] {
+    struct sigaction SA;
+    SA.sa_handler = termHandler;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0; // no SA_RESTART: blocked accept/poll calls wake up
+    sigaction(SIGTERM, &SA, nullptr);
+    sigaction(SIGINT, &SA, nullptr);
+  });
+}
+
+int exo::support::terminationSignal() {
+  return TermSignal.load(std::memory_order_acquire);
+}
+
+void exo::support::requestTermination(int Signo) {
+  termHandler(Signo == 0 ? SIGTERM : Signo);
+}

@@ -1,0 +1,55 @@
+//===- support/Signals.h - Process signal policy ---------------*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide signal policy for anything that writes to pipes or
+/// sockets. The default SIGPIPE disposition kills the process the moment
+/// a peer goes away mid-write — fatal for a long-lived daemon whose
+/// clients disconnect at will, and wrong even for the one-shot tools: a
+/// dead child harness should surface as an ExecStatus error, not take the
+/// compiler down with it. ignoreSigpipe() flips the disposition to
+/// SIG_IGN exactly once, so writes to dead peers fail with EPIPE and the
+/// caller decides.
+///
+/// installTerminationFlag() gives cooperative shutdown the same shape as
+/// the deadline machinery: SIGTERM/SIGINT set an async-signal-safe flag
+/// that the daemon's accept and worker loops poll, triggering a graceful
+/// drain (stop accepting, finish or deadline-fail in-flight work) instead
+/// of dying mid-job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SUPPORT_SIGNALS_H
+#define EXO_SUPPORT_SIGNALS_H
+
+namespace exo {
+namespace support {
+
+/// Sets SIGPIPE to SIG_IGN for the whole process. Idempotent and
+/// thread-safe; cheap enough to call defensively before any pipe/socket
+/// write. Child processes inherit the disposition across fork, and the
+/// generated csource harness neither relies on SIGPIPE nor restores it.
+void ignoreSigpipe();
+
+/// True once ignoreSigpipe() has run (testing hook).
+bool sigpipeIgnored();
+
+/// Routes SIGTERM and SIGINT to an internal async-signal-safe flag
+/// instead of the default terminate action. Idempotent.
+void installTerminationFlag();
+
+/// The signal number of the first termination request since
+/// installTerminationFlag(), or 0 when none arrived. Never resets: a
+/// termination request is a one-way door into draining.
+int terminationSignal();
+
+/// Testing hook: raise the flag as if a signal had arrived.
+void requestTermination(int Signo);
+
+} // namespace support
+} // namespace exo
+
+#endif // EXO_SUPPORT_SIGNALS_H

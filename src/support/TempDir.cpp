@@ -6,6 +6,7 @@
 
 #include "support/TempDir.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 
@@ -14,10 +15,13 @@
 using namespace exo;
 using namespace exo::support;
 
-TempDir::TempDir(const std::string &Prefix) {
+std::string TempDir::tempRoot() {
   const char *Base = std::getenv("TMPDIR");
-  std::string Tmpl = std::string(Base && *Base ? Base : "/tmp") + "/exo_" +
-                     Prefix + "XXXXXX";
+  return Base && *Base ? Base : "/tmp";
+}
+
+TempDir::TempDir(const std::string &Prefix) {
+  std::string Tmpl = tempRoot() + "/exo_" + Prefix + "XXXXXX";
   std::string Buf = Tmpl; // mkdtemp mutates in place
   if (mkdtemp(Buf.data()))
     Path = Buf;
@@ -60,4 +64,37 @@ void TempDir::remove() {
   std::error_code EC;
   std::filesystem::remove_all(Path, EC); // best effort; never throws
   Path.clear();
+}
+
+unsigned TempDir::scavenge(const std::string &Prefix, int64_t MaxAgeSeconds) {
+  namespace fs = std::filesystem;
+  unsigned Removed = 0;
+  std::string Match = "exo_" + Prefix;
+  std::error_code EC;
+  fs::directory_iterator It(tempRoot(), EC), End;
+  if (EC)
+    return 0;
+  auto Now = fs::file_time_type::clock::now();
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    const fs::directory_entry &E = *It;
+    std::string Name = E.path().filename().string();
+    if (Name.rfind(Match, 0) != 0)
+      continue;
+    std::error_code DirEC;
+    if (!E.is_directory(DirEC) || DirEC)
+      continue;
+    auto Mtime = fs::last_write_time(E.path(), DirEC);
+    if (DirEC)
+      continue;
+    auto Age =
+        std::chrono::duration_cast<std::chrono::seconds>(Now - Mtime).count();
+    if (Age < MaxAgeSeconds)
+      continue; // plausibly a live process's scratch space
+    std::error_code RmEC;
+    if (fs::remove_all(E.path(), RmEC) > 0 && !RmEC)
+      ++Removed;
+  }
+  return Removed;
 }

@@ -18,6 +18,7 @@
 #ifndef EXO_SUPPORT_TEMPDIR_H
 #define EXO_SUPPORT_TEMPDIR_H
 
+#include <cstdint>
 #include <string>
 
 namespace exo {
@@ -62,6 +63,19 @@ public:
 
   /// Removes now (idempotent; a kept directory stays).
   void remove();
+
+  /// Removes stale "exo_<Prefix>*" directories under the temp root that a
+  /// crashed prior process left behind. A live process's scratch dirs are
+  /// protected by the age gate: only directories whose last modification
+  /// is older than \p MaxAgeSeconds are removed (and only ones matching
+  /// the exo_ prefix convention, so foreign /tmp entries are never
+  /// touched). A long-lived daemon calls this at startup so worker
+  /// crashes cannot leak /tmp across restarts. Returns the number of
+  /// directories removed; best-effort, never throws.
+  static unsigned scavenge(const std::string &Prefix, int64_t MaxAgeSeconds);
+
+  /// The root scavenge() and the constructor use: $TMPDIR or /tmp.
+  static std::string tempRoot();
 
 private:
   std::string Path;

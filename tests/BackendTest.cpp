@@ -285,6 +285,66 @@ TEST(JitCache, HitsAndEvictionsAreCounted) {
   JitBackend::setCacheCapacity(64); // restore the default for later tests
 }
 
+TEST(JitCache, CacheSaltPartitionsTenantsInTheModuleCache) {
+  JitBackend &BE = jitBackend();
+  JitBackend::clearCache();
+  JitBackend::resetCacheStats();
+
+  ProcRef P = addOneProc("salted_probe");
+
+  LowerOptions Unsalted;
+  LowerOptions TenantA;
+  TenantA.CacheSalt = "tenant-a";
+  LowerOptions TenantB;
+  TenantB.CacheSalt = "tenant-b";
+
+  auto M0 = BE.lower(P, Unsalted);
+  auto MA = BE.lower(P, TenantA);
+  auto MB = BE.lower(P, TenantB);
+  ASSERT_TRUE(bool(M0)) << M0.error().str();
+  ASSERT_TRUE(bool(MA)) << MA.error().str();
+  ASSERT_TRUE(bool(MB)) << MB.error().str();
+
+  // Same byte-identical C under every salt ...
+  EXPECT_EQ((*M0)->source(), (*MA)->source());
+  EXPECT_EQ((*MA)->source(), (*MB)->source());
+
+  // ... but pairwise-distinct content hashes: the cache key includes the
+  // tenant, so an unloaded module can never be resurrected for a
+  // different tenant by content-hash collision.
+  EXPECT_NE((*M0)->hash(), (*MA)->hash());
+  EXPECT_NE((*M0)->hash(), (*MB)->hash());
+  EXPECT_NE((*MA)->hash(), (*MB)->hash());
+
+  // The empty salt preserves the legacy plain-source hash — golden
+  // snapshots and the cross-backend hash equality above depend on it.
+  auto Cs = csourceBackend().lower(P);
+  ASSERT_TRUE(bool(Cs)) << Cs.error().str();
+  EXPECT_EQ((*M0)->hash(), (*Cs)->hash());
+
+  // Executing the same source for two tenants compiles two distinct
+  // cached modules; re-executing per tenant hits that tenant's entry.
+  float Buf[8] = {0};
+  auto runAs = [&](const LowerOptions &LO) {
+    auto M = BE.lower(P, LO);
+    ASSERT_TRUE(bool(M)) << M.error().str();
+    std::vector<float> A(8, 1.0f), B(8, 0.0f);
+    BufferSet Args = {RunArg::buffer(A.data(), sizeof(Buf)),
+                      RunArg::buffer(B.data(), sizeof(Buf))};
+    ExecStatus S = BE.execute(**M, "salted_probe", Args);
+    ASSERT_TRUE(S.ok()) << S.Detail;
+    EXPECT_EQ(B[0], 2.0f); // identical behavior regardless of tenant
+  };
+  JitBackend::resetCacheStats();
+  runAs(TenantA);
+  runAs(TenantB);
+  runAs(TenantA);
+  runAs(TenantB);
+  JitBackend::CacheStats St = JitBackend::cacheStats();
+  EXPECT_EQ(St.Compiles, 2u); // one artifact per tenant, not one shared
+  EXPECT_GE(St.Hits, 2u);     // repeats stay within their own tenant
+}
+
 //===----------------------------------------------------------------------===//
 // Trap containment in-process
 //===----------------------------------------------------------------------===//

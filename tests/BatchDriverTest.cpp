@@ -21,7 +21,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <thread>
 
 using namespace exo;
 using namespace exo::driver;
@@ -167,6 +169,66 @@ TEST(BatchDriverTest, SessionBudgetReachesSolver) {
   // not leak out of the starved session.
   BatchResult Ok = BatchDriver(1).run(Jobs);
   EXPECT_TRUE(Ok.AllOk) << Ok.Jobs[0].ErrorMessage;
+}
+
+TEST(BatchDriverTest, DrainCompletesEveryJobExactlyOnceUnderWatchdog) {
+  // Two workers, six jobs: fast jobs queued behind Build lambdas that
+  // sleep well past the deadline without ever polling it. Cooperative
+  // cancellation can't see the sleepers — the watchdog must. The drain
+  // contract under test: run() returns only after every job (queued,
+  // in-flight, or overdue) reached a terminal result, in input order,
+  // exactly once, and the pool survives to run another batch.
+  auto sleepyJob = [](std::string Name, int Millis) {
+    return CompileJob{std::move(Name),
+                      [Millis]() -> Expected<std::vector<ProcRef>> {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(Millis));
+                        auto P = frontend::parseProc(GemmSrc);
+                        if (!P)
+                          return P.error();
+                        return std::vector<ProcRef>{*P};
+                      },
+                      /*BuildReference=*/{}};
+  };
+  std::vector<CompileJob> Jobs;
+  Jobs.push_back(sleepyJob("overdue_a", 900));
+  Jobs.push_back(tiledGemmJob("fast_1", 4));
+  Jobs.push_back(sleepyJob("overdue_b", 900));
+  Jobs.push_back(tiledGemmJob("fast_2", 8));
+  Jobs.push_back(tiledGemmJob("fast_3", 16));
+  Jobs.push_back(tiledGemmJob("fast_4", 32));
+
+  SessionOptions SO;
+  SO.DeadlineMillis = 400; // per job, measured from job start
+  BatchResult R = BatchDriver(2, SO).run(Jobs);
+
+  ASSERT_EQ(R.Jobs.size(), Jobs.size());
+  std::set<std::string> Names;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    EXPECT_EQ(R.Jobs[I].Name, Jobs[I].Name) << "order must hold";
+    EXPECT_TRUE(Names.insert(R.Jobs[I].Name).second);
+    // Terminal exactly once: success carries output, failure a diagnosis.
+    if (R.Jobs[I].Ok)
+      EXPECT_FALSE(R.Jobs[I].Output.empty()) << R.Jobs[I].Name;
+    else
+      EXPECT_FALSE(R.Jobs[I].ErrorKind.empty()) << R.Jobs[I].Name;
+  }
+
+  EXPECT_FALSE(R.AllOk);
+  EXPECT_GE(R.NumDeadlineMiss, 2u);
+  for (size_t I : {size_t(0), size_t(2)}) {
+    EXPECT_FALSE(R.Jobs[I].Ok) << R.Jobs[I].Name;
+    EXPECT_TRUE(R.Jobs[I].DeadlineMiss) << R.Jobs[I].Name;
+  }
+  for (size_t I : {size_t(1), size_t(3), size_t(4), size_t(5)})
+    EXPECT_TRUE(R.Jobs[I].Ok)
+        << R.Jobs[I].Name << ": " << R.Jobs[I].ErrorMessage;
+
+  // The overdue jobs were reported, not killed; the same configuration
+  // runs a clean follow-up batch.
+  BatchResult Again = BatchDriver(2, SO).run({tiledGemmJob("after", 8)});
+  EXPECT_TRUE(Again.AllOk)
+      << (Again.Jobs.empty() ? "" : Again.Jobs[0].ErrorMessage);
 }
 
 TEST(BatchDriverTest, StandardSuiteIsWellFormed) {

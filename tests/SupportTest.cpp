@@ -7,13 +7,22 @@
 #include "support/Error.h"
 #include "support/MathExtras.h"
 #include "support/Printer.h"
+#include "support/Signals.h"
 #include "support/StringExtras.h"
 #include "support/TempDir.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace exo;
 
@@ -170,6 +179,115 @@ TEST(TempDirTest, DefaultConstructedIsInvalidAndInert) {
   support::TempDir D;
   EXPECT_FALSE(D.valid());
   D.remove(); // must be a no-op, not a crash
+}
+
+TEST(TempDirTest, ScavengeReapsOnlyStaleMatchingDirectories) {
+  namespace fs = std::filesystem;
+  // A "crashed process's" leftover: created outside TempDir ownership,
+  // with an old mtime.
+  std::string Stale = support::TempDir::tempRoot() + "/exo_scvtestAAAA";
+  fs::create_directory(Stale);
+  std::ofstream(Stale + "/junk.c") << "int j;\n";
+  fs::last_write_time(Stale,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(2));
+
+  // A live process's scratch dir with the same prefix: too fresh to reap.
+  support::TempDir Live("scvtest");
+  ASSERT_TRUE(Live.valid());
+
+  // A stale directory of a *different* prefix: not ours to touch.
+  std::string Other = support::TempDir::tempRoot() + "/exo_otherprefBBBB";
+  fs::create_directory(Other);
+  fs::last_write_time(Other,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(2));
+
+  unsigned N = support::TempDir::scavenge("scvtest", /*MaxAgeSeconds=*/3600);
+  EXPECT_GE(N, 1u);
+  EXPECT_FALSE(fs::exists(Stale));             // stale + matching: reaped
+  EXPECT_TRUE(fs::is_directory(Live.path()));  // fresh: kept
+  EXPECT_TRUE(fs::is_directory(Other));        // wrong prefix: kept
+
+  fs::remove_all(Other);
+}
+
+TEST(TempDirTest, ScavengeWithEmptyPrefixMatchesAllExoDirs) {
+  namespace fs = std::filesystem;
+  std::string Stale = support::TempDir::tempRoot() + "/exo_anycrashCCCC";
+  fs::create_directory(Stale);
+  fs::last_write_time(Stale,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(2));
+  std::string NotOurs = support::TempDir::tempRoot() + "/notexo_DDDD";
+  fs::create_directory(NotOurs);
+  fs::last_write_time(NotOurs,
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(2));
+
+  EXPECT_GE(support::TempDir::scavenge("", 3600), 1u);
+  EXPECT_FALSE(fs::exists(Stale));
+  EXPECT_TRUE(fs::is_directory(NotOurs)); // non-exo dirs are never touched
+
+  fs::remove_all(NotOurs);
+}
+
+TEST(ThreadPoolTest, WaitIdleDrainsQueuedAndInFlightTasksExactlyOnce) {
+  // The graceful-drain primitive under everything (BatchDriver, the
+  // compile service): waitIdle must block until queued *and* in-flight
+  // tasks finish, each running exactly once, and must leave the pool
+  // usable for more work afterwards.
+  support::ThreadPool Pool(4);
+  constexpr int N = 256;
+  std::vector<std::atomic<int>> Ran(N);
+  for (auto &R : Ran)
+    R.store(0);
+  for (int I = 0; I < N; ++I)
+    Pool.submit([&Ran, I] {
+      if (I % 7 == 0) // keep some tasks in flight while others queue
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      Ran[I].fetch_add(1);
+    });
+  Pool.waitIdle();
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Ran[I].load(), 1) << "task " << I;
+
+  // waitIdle is a drain, not a shutdown.
+  std::atomic<int> More{0};
+  for (int I = 0; I < 32; ++I)
+    Pool.submit([&More] { ++More; });
+  Pool.waitIdle();
+  EXPECT_EQ(More.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionsAreDrainedToo) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.submit([&] {
+      // Submission from inside a worker lands on that worker's own
+      // deque; waitIdle must not return before these grandchildren ran.
+      Pool.submit([&Ran] { ++Ran; });
+    });
+  Pool.waitIdle();
+  EXPECT_EQ(Ran.load(), 8);
+}
+
+TEST(SignalsTest, SigpipeIsIgnoredProcessWide) {
+  support::ignoreSigpipe();
+  EXPECT_TRUE(support::sigpipeIgnored());
+
+  // Writing into a socket whose peer is gone must surface EPIPE, not kill
+  // the process (without the SIG_IGN this test would die right here).
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ::close(Fds[1]);
+  const char Byte = 'x';
+  ssize_t W1 = ::write(Fds[0], &Byte, 1);
+  ssize_t W2 = ::write(Fds[0], &Byte, 1);
+  EXPECT_TRUE(W1 < 0 || W2 < 0);
+  EXPECT_EQ(errno, EPIPE);
+  ::close(Fds[0]);
 }
 
 } // namespace
