@@ -27,6 +27,20 @@
 /// construction; unchanged subtrees keep their node and keep their cache
 /// line.
 ///
+/// On top of the address-keyed table sits a *canonical content index* for
+/// loop/branch subtrees: the statement and its environment slice are
+/// serialized with symbols and solver variables alpha-renamed to
+/// first-occurrence indices (the same De Bruijn-style canonicalization the
+/// solver query cache uses), so a recompile of the same kernel — which
+/// mints entirely fresh Syms and solver variables — maps to the same key.
+/// A canonical hit rehydrates the stored summary by substituting the
+/// current compile's variables and symbols positionally; byte-equal keys
+/// guarantee the substitution is a bijective alpha-renaming, under which
+/// extraction is deterministic, so the rehydrated summary is exactly what
+/// a cold extraction would produce. This is what makes effect analysis
+/// amortize *across* compiles (BatchDriver, exocc-serve, exocc-tune), not
+/// just within one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXO_ANALYSIS_EFFECTCACHE_H
@@ -43,7 +57,14 @@ struct EffectCacheStats {
   uint64_t Misses = 0;
   uint64_t Uncacheable = 0; ///< extractions that could not be stored
   uint64_t Evictions = 0;   ///< whole-table flushes on overflow
-  size_t Size = 0;          ///< statements currently cached
+  /// Summaries served by rehydrating a canonically-equal statement's
+  /// record from a previous compile (subset of Hits). The cross-compile
+  /// amortization gauge.
+  uint64_t CrossCompileHits = 0;
+  uint64_t CanonIndexed = 0;     ///< canonical records stored
+  uint64_t CanonUnshareable = 0; ///< summaries not canonically indexable
+  size_t Size = 0;               ///< statements currently cached
+  size_t CanonSize = 0;          ///< canonical records currently stored
 };
 
 /// True iff extracting \p S can neither read nor write dataflow state: no
@@ -57,8 +78,11 @@ bool isStateInvariant(const ir::StmtRef &S);
 smt::TermVar stableLoopVar(const ir::StmtRef &ForStmt);
 
 /// Looks up a summary for \p S under \p State; returns true on a hit.
-bool effectCacheLookup(const ir::StmtRef &S, const FlowState &State,
-                       EffectSets &Out);
+/// Tries the address-keyed table first, then the canonical content index
+/// (which needs \p Ctx to resolve per-symbol and stride variables of the
+/// current compile during rehydration).
+bool effectCacheLookup(AnalysisCtx &Ctx, const ir::StmtRef &S,
+                       const FlowState &State, EffectSets &Out);
 
 /// Stores \p Eff for \p S under \p State. \p FreshMark must be the
 /// freshVarMark() taken immediately before the extraction; it is how leaks

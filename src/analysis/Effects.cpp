@@ -204,7 +204,7 @@ static EffectSets extractStmtUncached(AnalysisCtx &Ctx, FlowState &State,
 EffectSets exo::analysis::extractStmt(AnalysisCtx &Ctx, FlowState &State,
                                       const StmtRef &S) {
   EffectSets Out;
-  if (effectCacheLookup(S, State, Out))
+  if (effectCacheLookup(Ctx, S, State, Out))
     return Out; // cache hits are state-invariant by construction
   unsigned Mark = smt::freshVarMark();
   Out = extractStmtUncached(Ctx, State, S);

@@ -142,6 +142,9 @@ BatchResult BatchDriver::run(const std::vector<CompileJob> &Jobs) const {
   Out.Cache.SolverQueries = Solver1.NumQueries - Solver0.NumQueries;
   Out.Cache.QueryCacheHits = Query1.Hits - Query0.Hits;
   Out.Cache.QueryCacheMisses = Query1.Misses - Query0.Misses;
+  Out.Cache.QueryCacheCrossJobHits = Query1.CrossJobHits - Query0.CrossJobHits;
+  Out.Cache.EffectCrossCompileHits =
+      Eff1.CrossCompileHits - Eff0.CrossCompileHits;
   Out.Cache.TermHits = Term1.Hits - Term0.Hits;
   Out.Cache.TermMisses = Term1.Misses - Term0.Misses;
   Out.Cache.EffectHits = Eff1.Hits - Eff0.Hits;

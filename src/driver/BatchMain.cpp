@@ -137,6 +137,8 @@ void writeJson(const std::string &Path, const BatchResult &R) {
       << ",\n  \"cache\": {\"solver_queries\": " << R.Cache.SolverQueries
       << ", \"query_cache_hits\": " << R.Cache.QueryCacheHits
       << ", \"query_cache_misses\": " << R.Cache.QueryCacheMisses
+      << ", \"query_cache_cross_job_hits\": " << R.Cache.QueryCacheCrossJobHits
+      << ", \"effect_cross_compile_hits\": " << R.Cache.EffectCrossCompileHits
       << ", \"term_hits\": " << R.Cache.TermHits
       << ", \"effect_hits\": " << R.Cache.EffectHits
       << ", \"simplify_decided\": " << R.Cache.SimplifyDecided

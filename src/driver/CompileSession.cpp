@@ -8,6 +8,7 @@
 
 #include "analysis/EffectSnapshot.h"
 #include "backend/Backend.h"
+#include "smt/QueryCache.h"
 #include "support/Deadline.h"
 
 #include <chrono>
@@ -100,6 +101,12 @@ JobResult CompileSession::run(const CompileJob &Job) const {
                               : support::Deadline::never();
     support::ScopedDeadline Scope(D);
 
+    // Every job is its own cache job: verdicts it inserts are tagged with
+    // this id, so hits a *later* job takes on them count as cross-job
+    // (the batch/daemon/tuner amortization gauge).
+    smt::ScopedQueryJob QCJob;
+    smt::QueryCacheStats QCBefore = smt::queryCacheThreadStats();
+
     // One snapshot for the whole job (including retries): every rewrite
     // in the schedule chain re-analyzes only its dirty region. The
     // snapshot caches summaries, never solver verdicts, so retries under
@@ -157,6 +164,10 @@ JobResult CompileSession::run(const CompileJob &Job) const {
     R.SolverQueries = After.NumQueries - Before.NumQueries;
     R.SimplifyDecided = After.SimplifyDecided - Before.SimplifyDecided;
     R.FastPathHits = After.FastPathHits - Before.FastPathHits;
+    smt::QueryCacheStats QCAfter = smt::queryCacheThreadStats();
+    R.QueryCacheHits = QCAfter.Hits - QCBefore.Hits;
+    R.QueryCacheMisses = QCAfter.Misses - QCBefore.Misses;
+    R.QueryCacheCrossJobHits = QCAfter.CrossJobHits - QCBefore.CrossJobHits;
     analysis::EffectSnapshotStats SS = Snapshot.stats();
     R.IncrementalHits = SS.Hits;
     R.IncrementalMisses = SS.Misses;

@@ -136,6 +136,13 @@ struct JobResult {
   uint64_t SimplifyDecided = 0;
   uint64_t FastPathHits = 0;
 
+  /// Per-job query-cache activity (thread-exact deltas). CrossJobHits is
+  /// the subset of hits served from entries another compile inserted —
+  /// the cross-compile amortization the VarId-canonical keys exist for.
+  uint64_t QueryCacheHits = 0;
+  uint64_t QueryCacheMisses = 0;
+  uint64_t QueryCacheCrossJobHits = 0;
+
   /// Incremental re-analysis activity of the job's EffectSnapshot (zero
   /// when SessionOptions::UseEffectSnapshot is off): subtree summaries
   /// served from the snapshot vs (re)derived.

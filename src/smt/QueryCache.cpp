@@ -20,16 +20,58 @@ using namespace exo::smt;
 
 namespace {
 
+/// First pass: number the free variables of the query by first occurrence
+/// in a natural (unsorted) pre-order walk. The numbering is a pure
+/// function of term structure — it never sees the raw VarId beyond
+/// identity — so alpha-renamed re-posings of the same obligation get the
+/// same numbers. Conflating two keys therefore only ever identifies terms
+/// equal up to a bijective renaming of free variables, which preserves the
+/// verdict.
+struct FreeVarNumberer {
+  std::unordered_map<unsigned, unsigned> Canon; ///< id -> canonical index
+  std::unordered_map<unsigned, unsigned> Bound; ///< id -> active binders
+
+  void walk(const TermRef &T) {
+    switch (T->kind()) {
+    case TermKind::IntConst:
+    case TermKind::BoolConst:
+      return;
+    case TermKind::Var: {
+      unsigned Id = T->var().Id;
+      auto B = Bound.find(Id);
+      if (B == Bound.end() || B->second == 0)
+        Canon.emplace(Id, (unsigned)Canon.size());
+      return;
+    }
+    case TermKind::Forall:
+    case TermKind::Exists: {
+      unsigned Id = T->var().Id;
+      ++Bound[Id];
+      walk(T->operand(0));
+      --Bound[Id];
+      return;
+    }
+    default:
+      for (auto &Op : T->operands())
+        walk(Op);
+      return;
+    }
+  }
+};
+
 /// Serializer state. Bound variables map to the *level* (depth) of their
 /// binder, so the rendering of a subterm depends only on the binders above
 /// it — which is what lets us sort the children of commutative operators
-/// independently. Shadowing is handled with a per-id level stack.
+/// independently. Shadowing is handled with a per-id level stack. Free
+/// variables render as their canonical first-occurrence index (computed by
+/// FreeVarNumberer before rendering), never as a raw VarId.
 struct KeySerializer {
   // Keys past this size cost more to build and compare than the solve they
   // would save; abandon them.
   static constexpr size_t MaxKeyBytes = 4u << 20;
 
   std::unordered_map<unsigned, std::vector<unsigned>> Levels;
+  const std::unordered_map<unsigned, unsigned> *FreeCanon = nullptr;
   unsigned Depth = 0;
   bool Overflow = false;
 
@@ -44,10 +86,19 @@ struct KeySerializer {
       break;
     case TermKind::Var: {
       auto It = Levels.find(T->var().Id);
-      if (It != Levels.end() && !It->second.empty())
+      if (It != Levels.end() && !It->second.empty()) {
         Out = "b" + std::to_string(It->second.back());
-      else
-        Out = "v" + std::to_string(T->var().Id); // free var (open query)
+      } else {
+        // Free var: render the canonical first-occurrence index, never the
+        // raw VarId (ids are fresh per compile and would defeat
+        // cross-compile sharing).
+        Out = "v?"; // unreachable when FreeCanon covers the term
+        if (FreeCanon) {
+          auto C = FreeCanon->find(T->var().Id);
+          if (C != FreeCanon->end())
+            Out = "v" + std::to_string(C->second);
+        }
+      }
       break;
     }
     case TermKind::Mul:
@@ -126,7 +177,10 @@ struct KeySerializer {
 } // namespace
 
 std::string exo::smt::canonicalQueryKey(const TermRef &Closed) {
+  FreeVarNumberer N;
+  N.walk(Closed);
   KeySerializer S;
+  S.FreeCanon = &N.Canon;
   std::string Key = S.render(Closed);
   return S.Overflow ? std::string() : Key;
 }
@@ -144,9 +198,16 @@ namespace {
 /// so per-stripe mutexes — not a global one — are what keep the parallel
 /// batch driver off a single lock. Flush-on-cap becomes per stripe; a
 /// flush only forgets verdicts, never changes one.
+/// A stored verdict plus the cache job that inserted it (for same-job vs
+/// cross-job hit attribution; see ScopedQueryJob).
+struct CacheEntry {
+  SolverResult R;
+  uint64_t OwnerJob;
+};
+
 struct CacheStripe {
   std::mutex M;
-  std::unordered_map<std::string, SolverResult> Table;
+  std::unordered_map<std::string, CacheEntry> Table;
   QueryCacheStats Stats;
   size_t KeyBytes = 0;
 };
@@ -170,7 +231,27 @@ struct QueryCache {
   }
 };
 
+/// Thread-local current cache-job id; 0 outside any job. Minted from a
+/// process-wide counter so ids are never reused.
+thread_local uint64_t CurrentJobId = 0;
+std::atomic<uint64_t> NextJobId{1};
+
+/// Thread-local mirror of this thread's own cache activity, so a compile
+/// job (which runs entirely on one thread) can take exact deltas without
+/// seeing its concurrent siblings' traffic.
+thread_local QueryCacheStats TLStats;
+
 } // namespace
+
+exo::smt::ScopedQueryJob::ScopedQueryJob()
+    : Id(NextJobId.fetch_add(1, std::memory_order_relaxed)),
+      Prev(CurrentJobId) {
+  CurrentJobId = Id;
+}
+
+exo::smt::ScopedQueryJob::~ScopedQueryJob() { CurrentJobId = Prev; }
+
+uint64_t exo::smt::currentQueryJobId() { return CurrentJobId; }
 
 bool exo::smt::queryCacheEnabled() {
   return QueryCache::get().Enabled.load(std::memory_order_relaxed);
@@ -183,6 +264,7 @@ void exo::smt::setQueryCacheEnabled(bool Enabled) {
 bool exo::smt::queryCacheLookup(const std::string &Key, SolverResult &Out) {
   QueryCache &C = QueryCache::get();
   if (Key.empty()) {
+    ++TLStats.Uncacheable;
     CacheStripe &S = C.Stripes[0]; // arbitrary home for the counter
     std::lock_guard<std::mutex> Lock(S.M);
     ++S.Stats.Uncacheable;
@@ -193,10 +275,16 @@ bool exo::smt::queryCacheLookup(const std::string &Key, SolverResult &Out) {
   auto It = S.Table.find(Key);
   if (It == S.Table.end()) {
     ++S.Stats.Misses;
+    ++TLStats.Misses;
     return false;
   }
   ++S.Stats.Hits;
-  Out = It->second;
+  ++TLStats.Hits;
+  if (It->second.OwnerJob != CurrentJobId) {
+    ++S.Stats.CrossJobHits;
+    ++TLStats.CrossJobHits;
+  }
+  Out = It->second.R;
   return true;
 }
 
@@ -212,12 +300,15 @@ void exo::smt::queryCacheInsert(const std::string &Key, SolverResult R) {
     S.KeyBytes = 0;
     ++S.Stats.Evictions;
   }
-  auto [It, Inserted] = S.Table.emplace(Key, R);
+  auto [It, Inserted] = S.Table.emplace(Key, CacheEntry{R, CurrentJobId});
   if (Inserted) {
     S.KeyBytes += Key.size();
     ++S.Stats.Insertions;
+    ++TLStats.Insertions;
   }
 }
+
+QueryCacheStats exo::smt::queryCacheThreadStats() { return TLStats; }
 
 QueryCacheStats exo::smt::solverQueryCacheStats() {
   QueryCache &C = QueryCache::get();
@@ -229,6 +320,7 @@ QueryCacheStats exo::smt::solverQueryCacheStats() {
     Sum.Insertions += S.Stats.Insertions;
     Sum.Evictions += S.Stats.Evictions;
     Sum.Uncacheable += S.Stats.Uncacheable;
+    Sum.CrossJobHits += S.Stats.CrossJobHits;
     Sum.Size += S.Table.size();
   }
   return Sum;

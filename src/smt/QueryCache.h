@@ -7,12 +7,20 @@
 /// \file
 /// A process-wide memo table for closed solver queries. Keys are canonical
 /// serializations — bound variables are alpha-renamed to De Bruijn *levels*
-/// (binder depth, so sibling subterms canonicalize independently) and the
-/// children of commutative operators (And, Or, Add, Eq) are sorted — so the
-/// same proof obligation re-posed by a scheduling operator with freshly
-/// minted variables still hits. Two terms with equal keys are logically
-/// equivalent, hence share a verdict; a hit returns exactly what the cold
-/// decision procedure returned.
+/// (binder depth, so sibling subterms canonicalize independently), free
+/// variables are alpha-renamed to their first-occurrence order in a
+/// pre-order walk (so no raw VarId ever reaches a key and re-posed
+/// obligations over freshly minted variables still collide), and the
+/// children of commutative operators (And, Or, Add, Eq) are sorted. Two
+/// terms with equal keys are logically equivalent up to a bijective
+/// renaming of variables, hence share a verdict; a hit returns exactly
+/// what the cold decision procedure returned.
+///
+/// Entries are tagged with the *cache job* (see ScopedQueryJob) that
+/// inserted them, so the stats can attribute each hit as same-job or
+/// cross-job. Cross-job hits are the currency of warm multi-compile paths
+/// (BatchDriver, exocc-serve, exocc-tune): they measure how much one
+/// compile amortizes for the next.
 ///
 /// Only Yes/No verdicts are stored. Unknown is NEVER cached: it depends on
 /// the literal budget, so raising the budget must re-run the query. Yes/No
@@ -42,6 +50,12 @@ struct QueryCacheStats {
   uint64_t Insertions = 0;  ///< verdicts stored
   uint64_t Evictions = 0;   ///< whole-table flushes on overflow
   uint64_t Uncacheable = 0; ///< keys abandoned at the serialization size cap
+  /// Hits whose entry was inserted by a *different* cache job than the one
+  /// performing the lookup (subset of Hits). Each CompileSession::run
+  /// installs a fresh job id, so this counts verdicts one compile reused
+  /// from another in the same process — batch siblings, daemon requests,
+  /// tuner candidates.
+  uint64_t CrossJobHits = 0;
   size_t Size = 0;          ///< entries currently stored
 };
 
@@ -63,7 +77,37 @@ bool queryCacheLookup(const std::string &Key, SolverResult &Out);
 void queryCacheInsert(const std::string &Key, SolverResult R);
 
 QueryCacheStats solverQueryCacheStats();
+
+/// The calling thread's own cache activity (Size is always 0 here). A
+/// compile job runs entirely on one worker thread, so before/after deltas
+/// of this snapshot give exact per-job hit counts even while sibling jobs
+/// hammer the same stripes.
+QueryCacheStats queryCacheThreadStats();
+
 void clearSolverQueryCache();
+
+/// Cache-job identity for cross-job hit attribution. A "job" is one
+/// logical compile (CompileSession::run installs one for its whole
+/// build+codegen span); ids are process-unique and never reused. The id is
+/// thread-local: a job runs entirely on one thread, and concurrent jobs on
+/// other threads each carry their own. Id 0 means "outside any job"
+/// (ad-hoc solver use); entries inserted there still count as cross-job
+/// when a later job hits them.
+class ScopedQueryJob {
+public:
+  ScopedQueryJob();
+  ~ScopedQueryJob();
+  ScopedQueryJob(const ScopedQueryJob &) = delete;
+  ScopedQueryJob &operator=(const ScopedQueryJob &) = delete;
+  uint64_t id() const { return Id; }
+
+private:
+  uint64_t Id;
+  uint64_t Prev;
+};
+
+/// The calling thread's current cache-job id (0 when none installed).
+uint64_t currentQueryJobId();
 
 } // namespace smt
 } // namespace exo

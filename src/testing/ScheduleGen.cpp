@@ -107,6 +107,8 @@ Expected<ProcRef> resolveInstr(const std::string &Ref) {
       {"gemmini:ld_data", G.LdData},       {"gemmini:ld_data2", G.LdData2},
       {"gemmini:zero_acc", G.ZeroAcc},     {"gemmini:matmul16", G.Matmul16},
       {"gemmini:st_acc", G.StAcc},         {"gemmini:st_acc_relu", G.StAccRelu},
+      {"gemmini:config_ld1", G.ConfigLd1}, {"gemmini:config_ld2", G.ConfigLd2},
+      {"gemmini:config_st", G.ConfigSt},
       {"avx512:loadu_ps", V.LoaduPs},      {"avx512:storeu_ps", V.StoreuPs},
       {"avx512:zero_ps", V.ZeroPs},        {"avx512:fmadd_ps", V.FmaddPs},
       {"avx512:accum_ps", V.AccumPs},      {"avx512:relu_ps", V.ReluPs},
@@ -115,6 +117,25 @@ Expected<ProcRef> resolveInstr(const std::string &Ref) {
     if (Ref == E.Name)
       return E.P;
   return makeError(Error::Kind::Parse, "unknown instruction ref '" + Ref + "'");
+}
+
+/// Resolves "gemmini:<name>" configuration-struct references for
+/// config_write steps.
+Expected<ConfigRef> resolveConfig(const std::string &Ref) {
+  const auto &G = hw::gemmini::gemminiLib();
+  struct Entry {
+    const char *Name;
+    const ConfigRef &C;
+  };
+  const Entry Table[] = {
+      {"gemmini:cfg_ld1", G.CfgLd1},
+      {"gemmini:cfg_ld2", G.CfgLd2},
+      {"gemmini:cfg_st", G.CfgSt},
+  };
+  for (const Entry &E : Table)
+    if (Ref == E.Name)
+      return E.C;
+  return makeError(Error::Kind::Parse, "unknown config ref '" + Ref + "'");
 }
 
 Error arity(const ScheduleStep &S, size_t Want) {
@@ -286,6 +307,19 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
       return Tgt.error();
     return replaceWith(P, A(0), unsigned(*C), *Tgt);
   }
+  if (Op == "config_write") {
+    if (S.Args.size() != 4)
+      return arity(S, 4);
+    auto Cfg = resolveConfig(A(1));
+    if (!Cfg)
+      return Cfg.error();
+    return configWriteAt(P, A(0), *Cfg, A(2), A(3));
+  }
+  if (Op == "hoist") {
+    if (S.Args.size() != 1)
+      return arity(S, 1);
+    return hoistStmtToTop(P, A(0));
+  }
   if (Op == "simplify")
     return simplify(P);
   if (Op == "delete_pass")
@@ -313,6 +347,23 @@ Expected<ProcRef> exo::testing::applyTrace(
     Cur = *Next;
   }
   return Cur;
+}
+
+LenientApplyResult
+exo::testing::applyTraceLenient(const ProcRef &P,
+                                const std::vector<ScheduleStep> &Trace) {
+  LenientApplyResult Out;
+  Out.Final = P;
+  for (const ScheduleStep &S : Trace) {
+    auto Next = applyStep(Out.Final, S);
+    if (!Next) {
+      ++Out.Rejected;
+      continue;
+    }
+    Out.Final = *Next;
+    Out.Applied.push_back(S);
+  }
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -695,6 +746,102 @@ Expected<ProcRef> applyStepDifferential(ScheduleResult &Res,
 }
 
 } // namespace
+
+std::optional<ScheduleStep> exo::testing::proposeStep(const ProcRef &P, Rng &R,
+                                                      unsigned &NameCounter) {
+  Targets T = collectTargets(P);
+  // A single roll can land on an empty target class; a few retries keep
+  // the proposal rate useful without biasing the distribution much.
+  for (unsigned Attempt = 0; Attempt < 4; ++Attempt)
+    if (std::optional<ScheduleStep> S = propose(T, R, NameCounter))
+      return S;
+  return std::nullopt;
+}
+
+namespace {
+
+/// A fresh-name floor no suffix in \p Trace reaches: split/stage names are
+/// "<iter>x<N>o"-shaped, so anything above the trace's step count times
+/// the per-step name budget is safe.
+unsigned nameCounterFloor(const std::vector<ScheduleStep> &Trace) {
+  return 100 + unsigned(Trace.size()) * 2;
+}
+
+/// The argument indices holding small positive integers, per op — the
+/// knobs numeric perturbation may turn.
+int numericArgIndex(const ScheduleStep &S) {
+  if (S.Op == "split" || S.Op == "partition" || S.Op == "lift_alloc")
+    return 1;
+  return -1;
+}
+
+} // namespace
+
+std::vector<ScheduleStep>
+exo::testing::mutateTrace(const ProcRef &P,
+                          const std::vector<ScheduleStep> &Trace, Rng &R) {
+  std::vector<ScheduleStep> Out = Trace;
+  // Empty traces can only grow.
+  unsigned Kind = Out.empty() ? 4 : unsigned(R.range(0, 4));
+  switch (Kind) {
+  case 0: { // drop a step
+    Out.erase(Out.begin() + R.next() % Out.size());
+    return Out;
+  }
+  case 1: { // duplicate a step in place (idempotence stress)
+    size_t I = R.next() % Out.size();
+    Out.insert(Out.begin() + I, Out[I]);
+    return Out;
+  }
+  case 2: { // swap two adjacent steps
+    if (Out.size() >= 2) {
+      size_t I = R.next() % (Out.size() - 1);
+      std::swap(Out[I], Out[I + 1]);
+      return Out;
+    }
+    [[fallthrough]];
+  }
+  case 3: { // perturb a numeric argument
+    std::vector<size_t> C;
+    for (size_t I = 0; I < Out.size(); ++I)
+      if (numericArgIndex(Out[I]) >= 0)
+        C.push_back(I);
+    if (!C.empty()) {
+      ScheduleStep &S = Out[C[R.next() % C.size()]];
+      int AI = numericArgIndex(S);
+      auto V = parseNum(S.Args[AI]);
+      int64_t Old = V ? *V : 2;
+      static const int64_t Factors[] = {2, 4, 8, 16, 32};
+      int64_t New = Old;
+      while (New == Old)
+        New = S.Op == "split" ? Factors[R.next() % 5]
+                              : std::max<int64_t>(1, Old + R.range(-2, 2));
+      S.Args[AI] = std::to_string(New);
+      return Out;
+    }
+    [[fallthrough]];
+  }
+  default: { // append a fresh proposal against the trace's endpoint
+    LenientApplyResult L = applyTraceLenient(P, Out);
+    unsigned NC = nameCounterFloor(Out);
+    if (std::optional<ScheduleStep> S = proposeStep(L.Final, R, NC))
+      Out.push_back(std::move(*S));
+    return Out;
+  }
+  }
+}
+
+std::vector<ScheduleStep>
+exo::testing::crossoverTraces(const std::vector<ScheduleStep> &A,
+                              const std::vector<ScheduleStep> &B, Rng &R) {
+  // Cut points include both ends, so a crossover can be a pure prefix or
+  // a pure suffix.
+  size_t CutA = A.empty() ? 0 : R.next() % (A.size() + 1);
+  size_t CutB = B.empty() ? 0 : R.next() % (B.size() + 1);
+  std::vector<ScheduleStep> Out(A.begin(), A.begin() + CutA);
+  Out.insert(Out.end(), B.begin() + CutB, B.end());
+  return Out;
+}
 
 ScheduleResult exo::testing::generateSchedule(const ProcRef &P, Rng &R,
                                               const ScheduleGenOptions &O) {

@@ -52,6 +52,42 @@ Expected<ir::ProcRef> applyStep(const ir::ProcRef &P, const ScheduleStep &S);
 Expected<ir::ProcRef> applyTrace(const ir::ProcRef &P,
                                  const std::vector<ScheduleStep> &Trace);
 
+/// Lenient trace application: rejected steps are skipped rather than
+/// fatal. Returns the final procedure, the steps that actually landed,
+/// and the rejection count. Used by trace mutation (a mutated trace is
+/// allowed to contain steps the safety checks refuse) and by search
+/// drivers that want "as much of this trace as applies".
+struct LenientApplyResult {
+  ir::ProcRef Final; ///< never null; == input when nothing landed
+  std::vector<ScheduleStep> Applied;
+  unsigned Rejected = 0;
+};
+LenientApplyResult applyTraceLenient(const ir::ProcRef &P,
+                                     const std::vector<ScheduleStep> &Trace);
+
+/// Proposes one random schedule step against \p P (the same proposal
+/// distribution generateSchedule drives), or nullopt when the roll found
+/// no target. \p NameCounter feeds fresh loop/buffer names; pass a value
+/// larger than any suffix already in use.
+std::optional<ScheduleStep> proposeStep(const ir::ProcRef &P, Rng &R,
+                                        unsigned &NameCounter);
+
+/// Returns a mutated copy of \p Trace: drop, duplicate, or swap a step,
+/// perturb a numeric argument, or append a fresh proposal against the
+/// procedure the (leniently applied) trace produces. The result is a
+/// syntactically valid trace but carries no applicability guarantee —
+/// callers apply it and treat rejection as a dead candidate.
+std::vector<ScheduleStep> mutateTrace(const ir::ProcRef &P,
+                                      const std::vector<ScheduleStep> &Trace,
+                                      Rng &R);
+
+/// One-point crossover: a prefix of \p A spliced onto a suffix of \p B.
+/// Same contract as mutateTrace: syntactically valid, applicability not
+/// guaranteed.
+std::vector<ScheduleStep>
+crossoverTraces(const std::vector<ScheduleStep> &A,
+                const std::vector<ScheduleStep> &B, Rng &R);
+
 struct ScheduleGenOptions {
   unsigned MaxSteps = 6;     ///< stop after this many accepted rewrites
   unsigned MaxAttempts = 20; ///< ... or this many proposals, either way

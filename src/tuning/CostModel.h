@@ -1,0 +1,87 @@
+//===- tuning/CostModel.h - Candidate scoring for the autotuner -*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scores one scheduled candidate end to end: lower through the JIT
+/// backend, execute on fixed pseudo-random inputs, verify the output
+/// against a host-side reference (a wrong answer is a dead candidate, not
+/// a fast one), and read the cost out of the module's own simulator copy.
+///
+/// Two metrics:
+///
+///  * SimCycles (gemmini): the module-local `gemmini_cycles()` counter
+///    after the call, plus a scalar-MAC penalty for the multiplies the
+///    schedule left *outside* accelerator instructions —
+///    max(0, N*M*K - matmuls*16^3). The simulator only meters work routed
+///    through its instructions, so without the penalty a pure-C loop nest
+///    would score zero cycles and beat every real schedule. A candidate
+///    that maps nothing scores exactly N*M*K.
+///
+///  * WallClock (avx512 sgemm): best-of-reps wall time of the in-process
+///    call, in milliseconds.
+///
+/// Lower is better in both. Lowering happens concurrently across
+/// threads (the JIT compiles outside any lock); execution and simulator
+/// reads are serialized on one mutex — sim state is module-global, and
+/// wall-clock numbers mean nothing when candidates time each other's
+/// cache pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_TUNING_COSTMODEL_H
+#define EXO_TUNING_COSTMODEL_H
+
+#include "tuning/SearchSpace.h"
+
+#include <mutex>
+
+namespace exo {
+namespace tuning {
+
+enum class Metric {
+  SimCycles, ///< simulated accelerator cycles + scalar-MAC penalty
+  WallClock, ///< best-of-reps in-process wall time (milliseconds)
+};
+
+const char *metricName(Metric M);
+
+/// The verdict on one candidate. Score is comparable only within one
+/// CostModel (same kernel, shape, metric); lower is better.
+struct EvalResult {
+  bool Ok = false;
+  /// Which stage killed the candidate: "lower", "unsupported",
+  /// "execute", or "verify". Empty when Ok.
+  std::string FailStage;
+  std::string Detail;
+  uint64_t SimCycles = 0;  ///< gemmini_cycles() (SimCycles metric)
+  uint64_t SimMatmuls = 0; ///< gemmini_stat_matmuls() (SimCycles metric)
+  double WallMillis = 0;   ///< call wall time (WallClock metric)
+  double Score = 0;        ///< the number the tuner ranks by
+};
+
+/// Holds the fixed inputs and the host reference for one kernel shape.
+/// Thread-safe: evaluate() may be called from many threads at once.
+class CostModel {
+public:
+  CostModel(const KernelShape &Shape, Metric M);
+
+  Metric metric() const { return TheMetric; }
+
+  /// Scores \p Candidate (a scheduled clone of the search space's
+  /// algorithm; the signature must still be the three R/f32 matrices).
+  EvalResult evaluate(const ir::ProcRef &Candidate);
+
+private:
+  KernelShape Shape;
+  Metric TheMetric;
+  std::vector<float> InA, InB, RefC;
+  std::mutex ExecMu; ///< serializes execution + simulator reads
+};
+
+} // namespace tuning
+} // namespace exo
+
+#endif // EXO_TUNING_COSTMODEL_H

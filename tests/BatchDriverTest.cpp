@@ -15,7 +15,9 @@
 #include "driver/BatchDriver.h"
 #include "driver/KernelSuite.h"
 
+#include "analysis/EffectCache.h"
 #include "frontend/Parser.h"
+#include "smt/QueryCache.h"
 #include "scheduling/Schedule.h"
 #include "smt/Simplify.h"
 
@@ -229,6 +231,39 @@ TEST(BatchDriverTest, DrainCompletesEveryJobExactlyOnceUnderWatchdog) {
   BatchResult Again = BatchDriver(2, SO).run({tiledGemmJob("after", 8)});
   EXPECT_TRUE(Again.AllOk)
       << (Again.Jobs.empty() ? "" : Again.Jobs[0].ErrorMessage);
+}
+
+TEST(BatchDriverTest, SecondCompileOfSameKernelHitsAcrossJobs) {
+  // Compiling the same kernel twice in one process must reuse solver and
+  // effect work across the two jobs: the second compile parses fresh IR
+  // (new Syms, new VarIds), so any reuse proves the caches key on
+  // canonical content, not on identities. This is the regression guard
+  // for the cross-compile amortization exocc-serve and exocc-tune rely
+  // on.
+  smt::clearSolverQueryCache();
+  analysis::clearEffectCache();
+
+  std::vector<CompileJob> Suite = standardKernelSuite();
+  std::vector<CompileJob> One;
+  for (CompileJob &J : Suite)
+    if (J.Name == "fig4a_gemmini_matmul")
+      One.push_back(J);
+  ASSERT_EQ(One.size(), 1u);
+
+  BatchResult Cold = BatchDriver(1).run(One);
+  ASSERT_TRUE(Cold.AllOk) << Cold.Jobs[0].ErrorMessage;
+
+  BatchResult Warm = BatchDriver(1).run(One);
+  ASSERT_TRUE(Warm.AllOk) << Warm.Jobs[0].ErrorMessage;
+
+  EXPECT_GT(Warm.Cache.QueryCacheCrossJobHits, 0u)
+      << "recompile should hit query-cache entries owned by the first job";
+  EXPECT_GT(Warm.Cache.EffectCrossCompileHits, 0u)
+      << "recompile should rehydrate the first job's effect summaries";
+  // The per-job counters tell the same story.
+  EXPECT_GT(Warm.Jobs[0].QueryCacheCrossJobHits, 0u);
+  EXPECT_EQ(Warm.Jobs[0].Output, Cold.Jobs[0].Output)
+      << "warm compile must be byte-identical to cold";
 }
 
 TEST(BatchDriverTest, StandardSuiteIsWellFormed) {

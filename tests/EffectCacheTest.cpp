@@ -226,6 +226,63 @@ TEST(EffectCacheTest, ParallelWarmExtractionsMatchCold) {
     EXPECT_TRUE(effectsEqual(Ctx, PerThread[T], ColdEff)) << "thread " << T;
 }
 
+TEST(EffectCacheTest, CanonicalIndexSharesAcrossParses) {
+  // Two parses of the same source mint disjoint Syms and statement nodes,
+  // so the address-keyed table cannot help the second one. The canonical
+  // content index must: the second extraction rehydrates the first's loop
+  // summaries (CrossCompileHits), and the rehydrated effects are
+  // semantically identical to what a cold extraction would produce.
+  clearEffectCache();
+  ProcRef P1 = parse(GemmSrc);
+  (void)extractProc(P1);
+  EffectCacheStats Mid = effectCacheStats();
+  EXPECT_GT(Mid.CanonIndexed, 0u) << "loop summaries should be indexed";
+
+  ProcRef P2 = parse(GemmSrc);
+  EffectSets Eff2 = extractProc(P2);
+  EffectCacheStats After = effectCacheStats();
+
+  EXPECT_GT(After.CrossCompileHits, Mid.CrossCompileHits)
+      << "second parse should rehydrate the first parse's summaries";
+
+  // The rehydrated summary speaks about P2's symbols (P1's effects live
+  // over different Syms, so they are alpha-equivalent, not comparable);
+  // the soundness bar is equality with a fully-cold extraction of P2.
+  clearEffectCache();
+  smt::clearSolverQueryCache();
+  EffectSets Fresh = extractProc(P2);
+  AnalysisCtx Ctx;
+  EXPECT_TRUE(effectsEqual(Ctx, Eff2, Fresh));
+}
+
+TEST(EffectCacheTest, CanonicalIndexDistinguishesDifferentKernels) {
+  // A kernel that differs only in an index expression must not alias the
+  // original in the canonical index.
+  const char *TransposedSrc = R"(
+@proc
+def gemm(A: R[32, 32], B: R[32, 32], C: R[32, 32]):
+    for i in seq(0, 32):
+        for j in seq(0, 32):
+            for k in seq(0, 32):
+                C[i, j] += A[k, i] * B[k, j]
+)";
+  clearEffectCache();
+  ProcRef P = parse(GemmSrc);
+  (void)extractProc(P);
+
+  ProcRef T = parse(TransposedSrc);
+  EffectCacheStats Before = effectCacheStats();
+  EffectSets TEff = extractProc(T);
+  EffectCacheStats After = effectCacheStats();
+  EXPECT_EQ(After.CrossCompileHits, Before.CrossCompileHits)
+      << "a different kernel must not hit the canonical index";
+
+  clearEffectCache();
+  EffectSets Fresh = extractProc(T);
+  AnalysisCtx Ctx;
+  EXPECT_TRUE(effectsEqual(Ctx, TEff, Fresh));
+}
+
 TEST(EffectCacheTest, StateInvariancePredicate) {
   ProcRef P = parse(GemmSrc);
   EXPECT_TRUE(isStateInvariant(P->body()[0]));
