@@ -17,7 +17,7 @@
 #include "frontend/Parser.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
-#include "scheduling/Schedule.h"
+#include "scheduling/Procedures.h"
 
 #include <cstdio>
 #include <vector>
@@ -44,18 +44,25 @@ def gemm(A: f32[64, 64], B: f32[64, 64], C: f32[64, 64]):
   std::printf("=== the algorithm ===\n%s\n", printProc(Gemm).c_str());
 
   // 2. Scheduling: each operator is an independent, safety-checked
-  //    rewrite chained through the fluent facade; the first failed
-  //    rewrite stops the chain and reports an error instead of wrong
-  //    code. (The same operators exist as free functions — splitLoop,
-  //    reorderLoops, ... — when you need to branch between steps.)
-  ProcRef Tiled = Schedule(Gemm)
-                      .split("i", 8, "io", "ii", SplitTail::Perfect)
-                      .split("j", 8, "jo", "ji", SplitTail::Perfect)
-                      .reorder("ii")
-                      .simplify()
-                      .take("tiling schedule");
-  std::printf("=== after split/split/reorder ===\n%s\n",
-              printProc(Tiled).c_str());
+  //    rewrite; the first failure reports an error instead of wrong
+  //    code. A Cursor is a stable handle into the tree — resolve it
+  //    once, then rewrite through it; named procedures like tile2D
+  //    compose the primitives (split/split/reorder*3/simplify here).
+  //    (The string-pattern free functions and the fluent Schedule
+  //    facade remain available — all three spellings are public API.)
+  Cursor I = Cursor::find(Gemm, "for i in _: _").take("find i");
+  ProcRef Tiled =
+      tile2D(I, 8, 8, "io", "ii", "jo", "ji").take("tiling schedule");
+  std::printf("=== after tile2D ===\n%s\n", printProc(Tiled).c_str());
+
+  // Cursors survive rewrites by *forwarding* — and a rewrite that
+  // consumed one invalidates it with a structured reason instead of
+  // leaving a dangling handle. The tiling rebuilt everything under the
+  // i loop, so forwarding the pre-tiling k cursor reports exactly that:
+  auto K =
+      Cursor::find(Gemm, "for k in _: _").take("find k").forwardTo(Tiled);
+  std::printf("=== forwarding the old k cursor across the tiling ===\n%s\n\n",
+              K ? K->str().c_str() : K.error().str().c_str());
 
   // 3. Equivalence: run both on the same inputs through the reference
   //    interpreter. Scheduling guarantees this can never differ — trust,

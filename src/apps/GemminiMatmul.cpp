@@ -7,7 +7,7 @@
 #include "apps/GemminiMatmul.h"
 
 #include "hwlibs/gemmini/GemminiLib.h"
-#include "scheduling/Schedule.h"
+#include "scheduling/Procedures.h"
 
 using namespace exo;
 using namespace exo::apps;
@@ -57,23 +57,29 @@ exo::apps::buildGemminiMatmul(int64_t N, int64_t M, int64_t K) {
   Out.AlgStmts = 5; // signature + 3 loops + 1 reduction
 
   Schedule Sch(*Alg);
-  // --- Tile all three loops by the 16x16 systolic array size. ---
-  Sch.split("i", 16, "io", "ii", SplitTail::Perfect)
-      .split("j", 16, "jo", "ji", SplitTail::Perfect)
-      .split("k", 16, "ko", "ki", SplitTail::Perfect)
-      // Loop order io ii jo ji ko ki -> io jo ko ii ji ki.
-      .reorder("ii") // io jo ii ji ko ki
-      .reorder("ji") // io jo ii ko ji ki
-      .reorder("ii") // io jo ko ii ji ki
-      .simplify()
+  // --- Tile all three loops by the 16x16 systolic array size: split the
+  //     reduction first, then tile2D handles i/j and sinks ii/ji below
+  //     ko (loop order io ii jo ji ko ki -> io jo ko ii ji ki). ---
+  Sch.split("k", 16, "ko", "ki", SplitTail::Perfect)
+      .apply(
+          [&](const ProcRef &P) {
+            return tile2D(P, "i", 16, 16, "io", "ii", "jo", "ji",
+                          SplitTail::Perfect);
+          },
+          "tile2d")
       // --- Stage the A row panel once per io strip (reused across all jo
-      //     tiles — the data reuse that makes the kernel compute-bound). --
-      .stage("for jo in _: _", 1,
-             "A[16 * io : 16 * io + 16, 0 : " + std::to_string(K) + "]",
-             "a_panel", "GEMM_SCRATCH")
-      // Shape the panel copy into 16-wide mvin chunks: split the column
-      // loop and bring it outermost.
-      .split("i1", 16, "lv", "ll", SplitTail::Perfect)
+      //     tiles — the data reuse that makes the kernel compute-bound),
+      //     its copy shaped into 16-wide mvin chunks. ---
+      .apply(
+          [&](const ProcRef &P) {
+            return stageAndVectorize(P, "for jo in _: _",
+                                     "A[16 * io : 16 * io + 16, 0 : " +
+                                         std::to_string(K) + "]",
+                                     "a_panel", "GEMM_SCRATCH", 16, "lv",
+                                     "ll");
+          },
+          "stage_and_vectorize")
+      // Bring the row loop of the panel copy innermost.
       .reorder("i0")
       .configWriteAt("for lv in _: _", HW.CfgLd1, "src_stride",
                      "stride(A, 0)")

@@ -7,7 +7,7 @@
 #include "apps/Sgemm.h"
 
 #include "hwlibs/avx512/Avx512Lib.h"
-#include "scheduling/Schedule.h"
+#include "scheduling/Procedures.h"
 
 using namespace exo;
 using namespace exo::apps;
@@ -61,27 +61,32 @@ Expected<SgemmKernels> exo::apps::buildSgemm(int64_t M, int64_t N, int64_t K,
 
   std::string RT = std::to_string(RowTile), CT = std::to_string(ColTile);
   Schedule S(*Alg);
-  // --- Register blocking: RowTile x ColTile of C per micro-kernel. ---
-  S.split("i", RowTile, "io", "ii", SplitTail::Perfect)
-      .split("j", ColTile, "jo", "ji", SplitTail::Perfect)
-      .reorder("ii") // io jo ii ji k
-      .reorder("ji") // io jo ii k ji
-      .reorder("ii") // io jo k ii ji
-      .simplify()
+  // --- Register blocking: RowTile x ColTile of C per micro-kernel
+  //     (tile2D = split i; split j; sink ii/ji below k). ---
+  S.apply(
+       [&](const ProcRef &P) {
+         return tile2D(P, "i", RowTile, ColTile, "io", "ii", "jo", "ji",
+                       SplitTail::Perfect);
+       },
+       "tile2d")
       // --- Keep the C tile in vector registers across the K loop. ---
       .stage("for k in _: _", 1,
              "C[" + RT + " * io : " + RT + " * io + " + RT + ", " + CT +
                  " * jo : " + CT + " * jo + " + CT + "]",
              "acc", "AVX512")
-      // --- Stage the current B row slice in registers. ---
-      .stage("for ii in _: _", 1,
-             "B[k, " + CT + " * jo : " + CT + " * jo + " + CT + "]", "bvec",
-             "AVX512")
-      // --- Vector shape: split lane loops by 16. ---
+      // --- Stage the current B row slice in registers, its copy-in
+      //     loop pre-split into 16-lane chunks. ---
+      .apply(
+          [&](const ProcRef &P) {
+            return stageAndVectorize(P, "for ii in _: _",
+                                     "B[k, " + CT + " * jo : " + CT +
+                                         " * jo + " + CT + "]",
+                                     "bvec", "AVX512", 16, "lv", "ll");
+          },
+          "stage_and_vectorize")
+      // --- Vector shape: split the remaining lane loops by 16. ---
       // acc zero-init (i0, i1): split the 64-wide inner loop.
       .split("i1 #0", 16, "zv", "zl", SplitTail::Perfect)
-      // bvec copy-in (single i0 loop of 64).
-      .split("i0 #1", 16, "lv", "ll", SplitTail::Perfect)
       // compute lanes.
       .split("ji", 16, "jv", "jl", SplitTail::Perfect)
       // copy-out (i0, i1): the last i1 loop.

@@ -79,6 +79,7 @@ Expected<ProcRef> exo::scheduling::configWriteAt(const ProcRef &P,
                                                  const ConfigRef &Cfg,
                                                  const std::string &Field,
                                                  const std::string &ValueSrc) {
+  ScopedOpName OpName("configwrite_at");
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
@@ -97,6 +98,7 @@ Expected<ProcRef> exo::scheduling::configWriteRoot(const ProcRef &P,
                                                    const ConfigRef &Cfg,
                                                    const std::string &Field,
                                                    const std::string &ValueSrc) {
+  ScopedOpName OpName("configwrite_root");
   StmtCursor Top;
   Top.Begin = 0;
   Top.End = 0; // empty selection at the very start
@@ -115,6 +117,7 @@ Expected<ProcRef> exo::scheduling::bindConfig(const ProcRef &P,
                                               const std::string &ExprPat,
                                               const ConfigRef &Cfg,
                                               const std::string &Field) {
+  ScopedOpName OpName("bind_config");
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();

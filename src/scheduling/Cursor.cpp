@@ -1,0 +1,381 @@
+//===- scheduling/Cursor.cpp - First-class scheduling cursors -------------===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheduling/Cursor.h"
+
+using namespace exo;
+using namespace exo::scheduling;
+using namespace exo::ir;
+using namespace exo::analysis;
+
+namespace {
+
+Error nullCursorError() {
+  return makeError(Error::Kind::Scheduling, "operation on a null cursor");
+}
+
+} // namespace
+
+Expected<Cursor> Cursor::find(const ProcRef &P, const std::string &Pattern,
+                              unsigned Count) {
+  auto C = findStmts(*P, Pattern, Count);
+  if (!C)
+    return C.error();
+  return Cursor(P, *C);
+}
+
+Cursor Cursor::whole(const ProcRef &P) {
+  StmtCursor C;
+  C.Begin = 0;
+  C.End = unsigned(P->body().size());
+  return Cursor(P, std::move(C));
+}
+
+Cursor Cursor::fromStmtCursor(const ProcRef &P, StmtCursor C) {
+  return Cursor(P, std::move(C));
+}
+
+std::vector<StmtRef> Cursor::stmts() const {
+  if (null() || isGap())
+    return {};
+  return selectedStmts(*Anchor, Cur);
+}
+
+Expected<StmtRef> Cursor::stmt() const {
+  if (null())
+    return nullCursorError();
+  if (Cur.count() != 1)
+    return makeError(Error::Kind::Scheduling,
+                     "cursor selects " + std::to_string(Cur.count()) +
+                         " statements, not one");
+  return selectedStmts(*Anchor, Cur)[0];
+}
+
+Expected<Cursor> Cursor::body() const {
+  auto S = stmt();
+  if (!S)
+    return S.error();
+  if ((*S)->body().empty())
+    return makeError(Error::Kind::Scheduling,
+                     "cursor target has no body to descend into");
+  StmtCursor N;
+  N.Path = Cur.Path;
+  N.Path.push_back({Cur.Begin, PathStep::Branch::Body});
+  N.Begin = 0;
+  N.End = 1;
+  return Cursor(Anchor, std::move(N));
+}
+
+Expected<Cursor> Cursor::orelse() const {
+  auto S = stmt();
+  if (!S)
+    return S.error();
+  if ((*S)->kind() != StmtKind::If || (*S)->orelse().empty())
+    return makeError(Error::Kind::Scheduling,
+                     "cursor target has no orelse branch");
+  StmtCursor N;
+  N.Path = Cur.Path;
+  N.Path.push_back({Cur.Begin, PathStep::Branch::Orelse});
+  N.Begin = 0;
+  N.End = 1;
+  return Cursor(Anchor, std::move(N));
+}
+
+Expected<Cursor> Cursor::next() const {
+  if (null())
+    return nullCursorError();
+  const Block &B = blockAt(*Anchor, Cur);
+  if (Cur.End >= B.size())
+    return makeError(Error::Kind::Scheduling,
+                     "no statement after the cursor in its block");
+  StmtCursor N = Cur;
+  N.Begin = Cur.End;
+  N.End = Cur.End + 1;
+  return Cursor(Anchor, std::move(N));
+}
+
+Expected<Cursor> Cursor::prev() const {
+  if (null())
+    return nullCursorError();
+  if (Cur.Begin == 0)
+    return makeError(Error::Kind::Scheduling,
+                     "no statement before the cursor in its block");
+  StmtCursor N = Cur;
+  N.Begin = Cur.Begin - 1;
+  N.End = Cur.Begin;
+  return Cursor(Anchor, std::move(N));
+}
+
+Expected<Cursor> Cursor::parent() const {
+  if (null())
+    return nullCursorError();
+  if (Cur.Path.empty())
+    return makeError(Error::Kind::Scheduling,
+                     "cursor is at the top level of the procedure");
+  StmtCursor N;
+  N.Path.assign(Cur.Path.begin(), Cur.Path.end() - 1);
+  N.Begin = Cur.Path.back().Index;
+  N.End = N.Begin + 1;
+  return Cursor(Anchor, std::move(N));
+}
+
+Cursor Cursor::before() const {
+  StmtCursor N = Cur;
+  N.End = N.Begin;
+  return Cursor(Anchor, std::move(N));
+}
+
+Cursor Cursor::after() const {
+  StmtCursor N = Cur;
+  N.Begin = N.End;
+  return Cursor(Anchor, std::move(N));
+}
+
+Expected<Cursor> Cursor::expand(unsigned Extra) const {
+  if (null())
+    return nullCursorError();
+  const Block &B = blockAt(*Anchor, Cur);
+  if (Cur.End + Extra > B.size())
+    return makeError(Error::Kind::Scheduling,
+                     "expanded selection runs past the end of the block");
+  StmtCursor N = Cur;
+  N.End += Extra;
+  return Cursor(Anchor, std::move(N));
+}
+
+ForwardResult Cursor::forwardResult(const ProcRef &Target) const {
+  if (null()) {
+    ForwardResult R;
+    R.Fate = ForwardFate::Invalidated;
+    R.Reason = "null cursor";
+    return R;
+  }
+  return forwardCursor(Anchor, Target, Cur);
+}
+
+Expected<Cursor> Cursor::forwardTo(const ProcRef &Target) const {
+  ForwardResult R = forwardResult(Target);
+  if (!R.live()) {
+    ScheduleErrorInfo Info;
+    Info.Op = R.Op;
+    Info.Loc = str();
+    return makeScheduleError(
+        Error::Kind::Scheduling,
+        "cursor invalidated" +
+            (R.Op.empty() ? std::string() : " by '" + R.Op + "'") + ": " +
+            R.Reason,
+        std::move(Info));
+  }
+  return Cursor(Target, std::move(R.Cur));
+}
+
+Expected<std::string> Cursor::pattern() const {
+  if (null())
+    return nullCursorError();
+  return patternFor(*Anchor, Cur);
+}
+
+std::string Cursor::str() const {
+  if (null())
+    return "<null cursor>";
+  std::string Out = Anchor->name() + "@[";
+  for (size_t I = 0; I < Cur.Path.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Cur.Path[I].Index);
+    Out += Cur.Path[I].Into == PathStep::Branch::Orelse ? ".orelse" : ".body";
+  }
+  Out += "] " + std::to_string(Cur.Begin) + ":" + std::to_string(Cur.End);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Cursor-taking operator overloads
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared preamble: resolve the cursor's unique pattern, then run the
+/// string-pattern primitive against the anchor procedure.
+template <typename Fn>
+Expected<ProcRef> withPattern(const Cursor &C, Fn &&F) {
+  if (C.null())
+    return nullCursorError();
+  auto Pat = C.pattern();
+  if (!Pat)
+    return Pat.error();
+  return F(C.proc(), *Pat);
+}
+
+} // namespace
+
+Expected<ProcRef> exo::scheduling::splitLoop(const Cursor &Loop,
+                                             int64_t Factor,
+                                             const std::string &OuterName,
+                                             const std::string &InnerName,
+                                             SplitTail Tail) {
+  return withPattern(Loop, [&](const ProcRef &P, const std::string &Pat) {
+    return splitLoop(P, Pat, Factor, OuterName, InnerName, Tail);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::reorderLoops(const Cursor &Loop) {
+  return withPattern(Loop, [&](const ProcRef &P, const std::string &Pat) {
+    return reorderLoops(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::unrollLoop(const Cursor &Loop) {
+  return withPattern(Loop, [&](const ProcRef &P, const std::string &Pat) {
+    return unrollLoop(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::partitionLoop(const Cursor &Loop,
+                                                 int64_t Cut) {
+  return withPattern(Loop, [&](const ProcRef &P, const std::string &Pat) {
+    return partitionLoop(P, Pat, Cut);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::removeLoop(const Cursor &Loop) {
+  return withPattern(Loop, [&](const ProcRef &P, const std::string &Pat) {
+    return removeLoop(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::fuseLoops(const Cursor &Loop) {
+  return withPattern(Loop, [&](const ProcRef &P, const std::string &Pat) {
+    return fuseLoops(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::liftIf(const Cursor &If) {
+  return withPattern(If, [&](const ProcRef &P, const std::string &Pat) {
+    return liftIf(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::reorderStmts(const Cursor &First) {
+  return withPattern(First, [&](const ProcRef &P, const std::string &Pat) {
+    return reorderStmts(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::moveStmtUp(const Cursor &Stmt) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return moveStmtUp(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::hoistStmtToTop(const Cursor &Stmt) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return hoistStmtToTop(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::fissionAfter(const Cursor &Stmt) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return fissionAfter(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::liftAlloc(const Cursor &Alloc,
+                                             unsigned Levels) {
+  return withPattern(Alloc, [&](const ProcRef &P, const std::string &Pat) {
+    return liftAlloc(P, Pat, Levels);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::bindExpr(const Cursor &Stmt,
+                                            const std::string &ExprPat,
+                                            const std::string &NewName) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return bindExpr(P, Pat, ExprPat, NewName);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::addGuard(const Cursor &Stmt,
+                                            const std::string &CondSrc) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return addGuard(P, Pat, CondSrc);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::configWriteAt(const Cursor &Stmt,
+                                                 const ConfigRef &Cfg,
+                                                 const std::string &Field,
+                                                 const std::string &ValueSrc) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return configWriteAt(P, Pat, Cfg, Field, ValueSrc);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::bindConfig(const Cursor &Stmt,
+                                              const std::string &ExprPat,
+                                              const ConfigRef &Cfg,
+                                              const std::string &Field) {
+  return withPattern(Stmt, [&](const ProcRef &P, const std::string &Pat) {
+    return bindConfig(P, Pat, ExprPat, Cfg, Field);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::stageMem(const Cursor &Stmts,
+                                            const std::string &WindowSrc,
+                                            const std::string &NewName,
+                                            const std::string &Mem) {
+  unsigned Count = Stmts.count();
+  return withPattern(Stmts, [&](const ProcRef &P, const std::string &Pat) {
+    return stageMem(P, Pat, Count, WindowSrc, NewName, Mem);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::setMemory(const Cursor &Alloc,
+                                             const std::string &Mem) {
+  if (Alloc.null())
+    return nullCursorError();
+  auto S = Alloc.stmt();
+  if (!S)
+    return S.error();
+  if ((*S)->kind() != StmtKind::Alloc)
+    return makeError(Error::Kind::Scheduling,
+                     "set_memory: cursor does not select an allocation");
+  return setMemory(Alloc.proc(), (*S)->name().name(), Mem);
+}
+
+Expected<ProcRef> exo::scheduling::setPrecision(const Cursor &Alloc,
+                                                ScalarKind Precision) {
+  if (Alloc.null())
+    return nullCursorError();
+  auto S = Alloc.stmt();
+  if (!S)
+    return S.error();
+  if ((*S)->kind() != StmtKind::Alloc)
+    return makeError(Error::Kind::Scheduling,
+                     "set_precision: cursor does not select an allocation");
+  return setPrecision(Alloc.proc(), (*S)->name().name(), Precision);
+}
+
+Expected<ProcRef> exo::scheduling::inlineCall(const Cursor &Call) {
+  return withPattern(Call, [&](const ProcRef &P, const std::string &Pat) {
+    return inlineCall(P, Pat);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::callEqv(const Cursor &Call,
+                                           const ProcRef &NewCallee) {
+  return withPattern(Call, [&](const ProcRef &P, const std::string &Pat) {
+    return callEqv(P, Pat, NewCallee);
+  });
+}
+
+Expected<ProcRef> exo::scheduling::replaceWith(const Cursor &Stmts,
+                                               const ProcRef &Target) {
+  unsigned Count = Stmts.count();
+  return withPattern(Stmts, [&](const ProcRef &P, const std::string &Pat) {
+    return replaceWith(P, Pat, Count, Target);
+  });
+}

@@ -1,0 +1,198 @@
+//===- scheduling/Forward.cpp - Cursor forwarding across rewrites ---------===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scheduling/Forward.h"
+
+#include <algorithm>
+
+using namespace exo;
+using namespace exo::scheduling;
+using namespace exo::ir;
+using namespace exo::analysis;
+
+const char *exo::scheduling::forwardFateName(ForwardFate F) {
+  switch (F) {
+  case ForwardFate::Unchanged:
+    return "unchanged";
+  case ForwardFate::Shifted:
+    return "shifted";
+  case ForwardFate::Rebuilt:
+    return "rebuilt";
+  case ForwardFate::Invalidated:
+    return "invalidated";
+  }
+  return "?";
+}
+
+namespace {
+
+ForwardResult invalidated(std::string Op, std::string Reason) {
+  ForwardResult R;
+  R.Fate = ForwardFate::Invalidated;
+  R.Op = std::move(Op);
+  R.Reason = std::move(Reason);
+  return R;
+}
+
+ForwardResult live(ForwardFate Fate, StmtCursor Cur, std::string Op) {
+  ForwardResult R;
+  R.Fate = Fate;
+  R.Cur = std::move(Cur);
+  if (Fate != ForwardFate::Unchanged)
+    R.Op = std::move(Op);
+  return R;
+}
+
+/// Rename-style derivations (renameProc, set_memory on an argument) share
+/// the body block with the parent statement-for-statement; every cursor
+/// survives them untouched.
+bool sameBody(const Block &A, const Block &B) {
+  return A.size() == B.size() && std::equal(A.begin(), A.end(), B.begin());
+}
+
+} // namespace
+
+ForwardResult exo::scheduling::forwardAcross(const Proc &Derived,
+                                             const StmtCursor &C) {
+  const ProcRef &Parent = Derived.parent();
+  if (!Parent)
+    return invalidated("", "procedure has no provenance link");
+
+  const std::optional<DirtyRegion> &D = Derived.dirtyRegion();
+  if (!D) {
+    if (sameBody(Parent->body(), Derived.body()))
+      return live(ForwardFate::Unchanged, C, "");
+    return invalidated("", "rewrite recorded no dirty region");
+  }
+  std::string Op = D->Op.empty() ? "rewrite" : D->Op;
+  if (D->Whole)
+    return invalidated(Op, "whole-body rewrite ('" + Op +
+                               "') shares no subtrees");
+
+  // The spine path is index-stable: replaceRange rebuilds the enclosing
+  // For/If statements in place, so a path step on the spine keeps its
+  // index and kind in the derived tree. Coordinates below are therefore
+  // valid in both parent and child; only indices *after* the replaced
+  // range in the edited block move, by NewCount - OldCount.
+  const long Delta = long(D->NewCount) - long(D->OldCount);
+  const unsigned RB = D->Begin;              // replaced range [RB, RE)
+  const unsigned RE = D->Begin + D->OldCount;
+
+  unsigned K = 0;
+  for (; K < D->Path.size() && K < C.Path.size(); ++K) {
+    const DirtyRegion::Step &DS = D->Path[K];
+    const PathStep &QS = C.Path[K];
+    if (QS.Index != DS.Index)
+      // The cursor leaves the spine through a different statement of this
+      // block; that whole subtree is shared with the parent by identity.
+      return live(ForwardFate::Unchanged, C, Op);
+    if ((QS.Into == PathStep::Branch::Orelse) != DS.IntoOrelse)
+      // Same If statement, other branch: the If is rebuilt but the
+      // untouched branch's block is reused, so the cursor still resolves
+      // to the identical nodes at the identical path.
+      return live(ForwardFate::Unchanged, C, Op);
+  }
+
+  if (K == D->Path.size() && K == C.Path.size()) {
+    // The cursor selects inside the edited block itself.
+    if (C.Begin == C.End) {
+      // Gap cursor: survives on either boundary of the replaced range.
+      unsigned G = C.Begin;
+      if (G <= RB)
+        return live(ForwardFate::Unchanged, C, Op);
+      if (G >= RE) {
+        StmtCursor N = C;
+        N.Begin = unsigned(long(G) + Delta);
+        N.End = N.Begin;
+        return live(Delta ? ForwardFate::Shifted : ForwardFate::Unchanged,
+                    std::move(N), Op);
+      }
+      return invalidated(Op, "gap lies strictly inside the region '" + Op +
+                                 "' replaced");
+    }
+    if (C.End <= RB)
+      return live(ForwardFate::Unchanged, C, Op);
+    if (C.Begin >= RE) {
+      StmtCursor N = C;
+      N.Begin = unsigned(long(N.Begin) + Delta);
+      N.End = unsigned(long(N.End) + Delta);
+      return live(Delta ? ForwardFate::Shifted : ForwardFate::Unchanged,
+                  std::move(N), Op);
+    }
+    if (C.Begin == RB && C.End == RE) {
+      // The cursor selected exactly what the rewrite replaced: re-anchor
+      // on the replacement. The subtree is new, so the fate says so.
+      StmtCursor N = C;
+      N.End = RB + D->NewCount;
+      return live(ForwardFate::Rebuilt, std::move(N), Op);
+    }
+    return invalidated(Op, "selection overlaps the region '" + Op +
+                               "' replaced");
+  }
+
+  if (K == D->Path.size()) {
+    // The cursor descends *through* the edited block into a deeper
+    // subtree. Statements outside the replaced range are shared.
+    unsigned Q = C.Path[K].Index;
+    if (Q < RB)
+      return live(ForwardFate::Unchanged, C, Op);
+    if (Q >= RE) {
+      StmtCursor N = C;
+      N.Path[K].Index = unsigned(long(Q) + Delta);
+      return live(Delta ? ForwardFate::Shifted : ForwardFate::Unchanged,
+                  std::move(N), Op);
+    }
+    return invalidated(Op, "cursor descends into the region '" + Op +
+                               "' replaced");
+  }
+
+  // K == C.Path.size() < D->Path.size(): the cursor terminates at an
+  // ancestor block of the edit; the spine statement there keeps its index
+  // and kind but its subtree was rebuilt.
+  unsigned Spine = D->Path[K].Index;
+  if (C.Begin == C.End)
+    return live(ForwardFate::Unchanged, C, Op); // gaps reference no nodes
+  if (Spine >= C.Begin && Spine < C.End)
+    return live(ForwardFate::Rebuilt, C, Op);
+  return live(ForwardFate::Unchanged, C, Op);
+}
+
+Expected<std::vector<ProcRef>>
+exo::scheduling::derivationChain(const ProcRef &From, const ProcRef &To) {
+  std::vector<ProcRef> Chain;
+  for (ProcRef P = To; P; P = P->parent()) {
+    if (P.get() == From.get()) {
+      std::reverse(Chain.begin(), Chain.end());
+      return Chain;
+    }
+    Chain.push_back(P);
+  }
+  return makeError(Error::Kind::Scheduling,
+                   "'" + To->name() + "' is not derived from '" +
+                       From->name() + "'");
+}
+
+ForwardResult exo::scheduling::forwardCursor(const ProcRef &From,
+                                             const ProcRef &To,
+                                             const StmtCursor &C) {
+  auto Chain = derivationChain(From, To);
+  if (!Chain)
+    return invalidated("", Chain.error().message());
+  ForwardResult Acc = live(ForwardFate::Unchanged, C, "");
+  for (const ProcRef &Step : *Chain) {
+    ForwardResult R = forwardAcross(*Step, Acc.Cur);
+    if (!R.live()) {
+      // Keep the killing step's op/reason; earlier hops are irrelevant.
+      return R;
+    }
+    if (R.Fate > Acc.Fate)
+      Acc.Fate = R.Fate;
+    if (!R.Op.empty())
+      Acc.Op = R.Op;
+    Acc.Cur = std::move(R.Cur);
+  }
+  return Acc;
+}

@@ -1,0 +1,89 @@
+//===- scheduling/Forward.h - Cursor forwarding across rewrites -*- C++ -*-===//
+//
+// Part of ExoCC, a C++ reimplementation of the Exo exocompiler (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forwarding maps (Exo 2, "Growing a Scheduling Language"): every
+/// scheduling rewrite records which region of the tree it replaced (the
+/// `ir::DirtyRegion` stamped by `finishDerive`), and that stamp induces a
+/// map from cursor positions in the parent procedure to positions in the
+/// derived one. Because rewrites are local, the map is total outside the
+/// replaced region:
+///
+///   - a cursor disjoint from the region is *unchanged* (the node it
+///     addresses is shared between parent and child by identity);
+///   - a cursor after the region in the edited block *shifts* by the
+///     insertion/removal delta (still node-identical);
+///   - a cursor selecting exactly the replaced range, or selecting an
+///     ancestor on the rebuilt spine, is *rebuilt*: it re-anchors on the
+///     replacement (same path/indices), but the subtree is new;
+///   - a cursor strictly inside the replaced region, or crossing its
+///     boundary, is *invalidated* — the rewrite consumed it, and the
+///     result records which operator did so and why.
+///
+/// Composing one such map per provenance link forwards a cursor across an
+/// arbitrary chain of rewrites; fates compose by maximum severity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXO_SCHEDULING_FORWARD_H
+#define EXO_SCHEDULING_FORWARD_H
+
+#include "analysis/Context.h"
+#include "support/Error.h"
+
+namespace exo {
+namespace scheduling {
+
+/// What happened to a cursor under one (or a chain of) rewrites, in
+/// increasing order of severity.
+enum class ForwardFate {
+  Unchanged,   ///< same position, node-identical subtree
+  Shifted,     ///< indices moved; still a node-identical subtree
+  Rebuilt,     ///< resolves to a valid position, but the subtree is new
+  Invalidated, ///< the rewrite consumed the cursor; no position exists
+};
+
+/// Printable fate name ("unchanged", ...).
+const char *forwardFateName(ForwardFate F);
+
+/// The outcome of forwarding one cursor.
+struct ForwardResult {
+  ForwardFate Fate = ForwardFate::Unchanged;
+  /// The forwarded position; meaningless when Fate == Invalidated.
+  analysis::StmtCursor Cur;
+  /// The operator whose rewrite determined the fate (last non-trivial
+  /// step for live cursors; the killing step for invalidated ones).
+  std::string Op;
+  /// Why the cursor died; empty unless Fate == Invalidated.
+  std::string Reason;
+
+  bool live() const { return Fate != ForwardFate::Invalidated; }
+};
+
+/// Forwards \p C — a cursor valid in Derived.parent() — across the single
+/// rewrite that produced \p Derived, using its recorded DirtyRegion.
+/// Rewrites that recorded no region forward cursors only when the body is
+/// shared verbatim with the parent (rename-style derivations); otherwise
+/// every cursor is invalidated with an explicit reason.
+ForwardResult forwardAcross(const ir::Proc &Derived,
+                            const analysis::StmtCursor &C);
+
+/// The provenance chain from \p From (exclusive) to \p To (inclusive),
+/// oldest first. Errors when \p To is not derived from \p From.
+Expected<std::vector<ir::ProcRef>> derivationChain(const ir::ProcRef &From,
+                                                   const ir::ProcRef &To);
+
+/// Forwards \p C from \p From to its derivative \p To, composing one
+/// forwarding map per provenance link. A cursor that dies mid-chain
+/// reports the operator and reason of the killing rewrite. When \p To is
+/// not derived from \p From the result is Invalidated as well.
+ForwardResult forwardCursor(const ir::ProcRef &From, const ir::ProcRef &To,
+                            const analysis::StmtCursor &C);
+
+} // namespace scheduling
+} // namespace exo
+
+#endif // EXO_SCHEDULING_FORWARD_H

@@ -37,6 +37,7 @@ Expected<ProcRef> exo::scheduling::splitLoop(const ProcRef &P,
                                              const std::string &OuterName,
                                              const std::string &InnerName,
                                              SplitTail Tail) {
+  ScopedOpName OpName("split");
   if (Factor <= 1)
     return makeError(Error::Kind::Scheduling, "split factor must be > 1");
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
@@ -119,6 +120,7 @@ Expected<ProcRef> exo::scheduling::splitLoop(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
                                                 const std::string &LoopPat) {
+  ScopedOpName OpName("reorder");
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
@@ -195,6 +197,7 @@ Expected<ProcRef> exo::scheduling::reorderLoops(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::unrollLoop(const ProcRef &P,
                                               const std::string &LoopPat) {
+  ScopedOpName OpName("unroll");
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
@@ -225,6 +228,7 @@ Expected<ProcRef> exo::scheduling::unrollLoop(const ProcRef &P,
 Expected<ProcRef> exo::scheduling::partitionLoop(const ProcRef &P,
                                                  const std::string &LoopPat,
                                                  int64_t Cut) {
+  ScopedOpName OpName("partition_loop");
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
@@ -258,6 +262,7 @@ Expected<ProcRef> exo::scheduling::partitionLoop(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::removeLoop(const ProcRef &P,
                                               const std::string &LoopPat) {
+  ScopedOpName OpName("remove_loop");
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
@@ -296,6 +301,7 @@ Expected<ProcRef> exo::scheduling::removeLoop(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
                                              const std::string &LoopPat) {
+  ScopedOpName OpName("fuse_loop");
   auto C = findOneOfKind(*P, LoopPat, StmtKind::For, "a loop");
   if (!C)
     return C.error();
@@ -361,6 +367,7 @@ Expected<ProcRef> exo::scheduling::fuseLoops(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::liftIf(const ProcRef &P,
                                           const std::string &IfPat) {
+  ScopedOpName OpName("lift_if");
   auto C = findOneOfKind(*P, IfPat, StmtKind::If, "an if");
   if (!C)
     return C.error();

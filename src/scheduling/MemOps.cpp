@@ -240,6 +240,7 @@ Expected<ProcRef> exo::scheduling::stageMem(const ProcRef &P,
                                             const std::string &WindowSrc,
                                             const std::string &NewName,
                                             const std::string &Mem) {
+  ScopedOpName OpName("stage_mem");
   auto C = findStmts(*P, StmtPat, Count);
   if (!C)
     return C.error();
@@ -403,6 +404,7 @@ StmtRef retypeStmt(const StmtRef &S, Sym Target, ScalarKind K) {
 Expected<ProcRef> exo::scheduling::setMemory(const ProcRef &P,
                                              const std::string &Name,
                                              const std::string &Mem) {
+  ScopedOpName OpName("set_memory");
   // Argument?
   for (size_t I = 0; I < P->args().size(); ++I) {
     if (P->args()[I].Name.name() == Name) {
@@ -427,6 +429,7 @@ Expected<ProcRef> exo::scheduling::setMemory(const ProcRef &P,
 Expected<ProcRef> exo::scheduling::setPrecision(const ProcRef &P,
                                                 const std::string &Name,
                                                 ScalarKind Precision) {
+  ScopedOpName OpName("set_precision");
   if (!isDataScalar(Precision))
     return makeError(Error::Kind::Scheduling,
                      "set_precision: not a data precision");

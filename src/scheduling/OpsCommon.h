@@ -75,6 +75,26 @@ private:
   std::optional<analysis::ContextInfo> Info;
 };
 
+/// The name of the scheduling operator currently executing on this
+/// thread ("" outside any operator). finishDerive stamps it into the
+/// derived proc's DirtyRegion so cursor forwarding can say *which*
+/// rewrite invalidated a handle.
+const char *currentOpName();
+
+/// RAII scope naming the operator for the duration of its body. Every
+/// primitive installs one at entry; composites inherit the innermost
+/// primitive's name, which is what the forwarding diagnostics want.
+class ScopedOpName {
+public:
+  explicit ScopedOpName(const char *Name);
+  ~ScopedOpName();
+  ScopedOpName(const ScopedOpName &) = delete;
+  ScopedOpName &operator=(const ScopedOpName &) = delete;
+
+private:
+  const char *Prev;
+};
+
 /// Recursively simplifies index arithmetic (constant folding, neutral
 /// elements) — shared by simplify() and the ops that synthesize indices.
 ir::ExprRef simplifyExpr(const ir::ExprRef &E);

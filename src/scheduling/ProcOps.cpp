@@ -23,10 +23,15 @@ using namespace exo::analysis;
 
 namespace {
 
-/// Shared tail of the deriveProc overloads: stamp the dirty region,
-/// assert tree/region coherence in debug builds, and let the active
-/// effect snapshot evict what the rewrite replaced.
+thread_local const char *CurOpName = "";
+
+/// Shared tail of the deriveProc overloads: stamp the dirty region
+/// (including the name of the operator that made the edit, for cursor
+/// forwarding diagnostics), assert tree/region coherence in debug
+/// builds, and let the active effect snapshot evict what the rewrite
+/// replaced.
 ProcRef finishDerive(std::shared_ptr<Proc> P, DirtyRegion Dirty) {
+  Dirty.Op = CurOpName;
   P->setDirtyRegion(std::move(Dirty));
 #ifndef NDEBUG
   assertWellFormed(*P);
@@ -37,6 +42,14 @@ ProcRef finishDerive(std::shared_ptr<Proc> P, DirtyRegion Dirty) {
 }
 
 } // namespace
+
+const char *exo::scheduling::currentOpName() { return CurOpName; }
+
+ScopedOpName::ScopedOpName(const char *Name) : Prev(CurOpName) {
+  CurOpName = Name;
+}
+
+ScopedOpName::~ScopedOpName() { CurOpName = Prev; }
 
 ProcRef exo::scheduling::deriveProc(const ProcRef &Old, Block NewBody,
                                     std::set<Sym> Delta) {
@@ -494,6 +507,7 @@ StmtRef simplifyStmt(const StmtRef &S) {
 } // namespace
 
 Expected<ProcRef> exo::scheduling::simplify(const ProcRef &P) {
+  ScopedOpName Op("simplify");
   Block NewBody = simplifyBlock(P->body());
   if (NewBody.empty())
     NewBody.push_back(Stmt::pass());
@@ -501,6 +515,7 @@ Expected<ProcRef> exo::scheduling::simplify(const ProcRef &P) {
 }
 
 Expected<ProcRef> exo::scheduling::deletePass(const ProcRef &P) {
+  ScopedOpName Op("delete_pass");
   // simplifyBlock drops nothing but Pass among leaves; reuse a dedicated
   // small walker to remove only Pass statements.
   std::function<Block(const Block &)> Walk = [&](const Block &B) -> Block {
@@ -536,17 +551,20 @@ Expected<ProcRef> exo::scheduling::deletePass(const ProcRef &P) {
 
 Expected<ProcRef> exo::scheduling::inlineCall(const ProcRef &P,
                                               const std::string &CallPat) {
+  ScopedOpName Op("inline");
   auto C = findOneOfKind(*P, CallPat, StmtKind::Call, "a call");
   if (!C)
     return C.error();
   StmtRef Call = selectedStmts(*P, *C)[0];
   Block Inlined = substitutedCalleeBody(Call);
-  return deriveProc(P, replaceRange(P->body(), *C, Inlined));
+  unsigned NewCount = unsigned(Inlined.size());
+  return deriveProc(P, replaceRange(P->body(), *C, Inlined), *C, NewCount);
 }
 
 Expected<ProcRef> exo::scheduling::callEqv(const ProcRef &P,
                                            const std::string &CallPat,
                                            const ProcRef &NewCallee) {
+  ScopedOpName Op("call_eqv");
   auto C = findOneOfKind(*P, CallPat, StmtKind::Call, "a call");
   if (!C)
     return C.error();
@@ -575,7 +593,7 @@ Expected<ProcRef> exo::scheduling::callEqv(const ProcRef &P,
   }
 
   StmtRef NewCall = Stmt::call(NewCallee, Call->args());
-  return deriveProc(P, replaceRange(P->body(), *C, {NewCall}), *Delta);
+  return deriveProc(P, replaceRange(P->body(), *C, {NewCall}), *C, 1, *Delta);
 }
 
 ProcRef exo::scheduling::renameProc(const ProcRef &P,

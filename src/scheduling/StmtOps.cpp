@@ -55,6 +55,7 @@ Expected<ProcRef> swapAdjacent(const ProcRef &P, const StmtCursor &C,
 
 Expected<ProcRef> exo::scheduling::reorderStmts(const ProcRef &P,
                                                 const std::string &FirstPat) {
+  ScopedOpName Op("reorder_stmts");
   auto C = findStmts(*P, FirstPat);
   if (!C)
     return C.error();
@@ -63,6 +64,7 @@ Expected<ProcRef> exo::scheduling::reorderStmts(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::moveStmtUp(const ProcRef &P,
                                               const std::string &StmtPat) {
+  ScopedOpName Op("move_up");
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
@@ -131,6 +133,7 @@ Expected<ProcRef> exo::scheduling::hoistStmtToTop(const ProcRef &P,
 
 Expected<ProcRef> exo::scheduling::fissionAfter(const ProcRef &P,
                                                 const std::string &StmtPat) {
+  ScopedOpName OpName("fission_after");
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
@@ -205,6 +208,7 @@ Expected<ProcRef> exo::scheduling::fissionAfter(const ProcRef &P,
 Expected<ProcRef> exo::scheduling::liftAlloc(const ProcRef &P,
                                              const std::string &AllocPat,
                                              unsigned Levels) {
+  ScopedOpName Op("lift_alloc");
   ProcRef Cur = P;
   for (unsigned L = 0; L < Levels; ++L) {
     auto C = findOneOfKind(*Cur, AllocPat, StmtKind::Alloc, "an allocation");
@@ -252,6 +256,7 @@ Expected<ProcRef> exo::scheduling::bindExpr(const ProcRef &P,
                                             const std::string &StmtPat,
                                             const std::string &ExprPat,
                                             const std::string &NewName) {
+  ScopedOpName OpName("bind_expr");
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();
@@ -322,6 +327,7 @@ Expected<ProcRef> exo::scheduling::bindExpr(const ProcRef &P,
 Expected<ProcRef> exo::scheduling::addGuard(const ProcRef &P,
                                             const std::string &StmtPat,
                                             const std::string &CondSrc) {
+  ScopedOpName OpName("add_guard");
   auto C = findStmts(*P, StmtPat);
   if (!C)
     return C.error();

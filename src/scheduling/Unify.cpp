@@ -687,6 +687,7 @@ Expected<ProcRef> exo::scheduling::replaceWith(const ProcRef &P,
                                                const std::string &StmtPat,
                                                unsigned Count,
                                                const ProcRef &Target) {
+  ScopedOpName OpName("replace");
   auto C = findStmts(*P, StmtPat, Count);
   if (!C)
     return C.error();
@@ -746,7 +747,7 @@ Expected<ProcRef> exo::scheduling::replaceWith(const ProcRef &P,
       continue;
     }
     StmtRef Call = Stmt::call(Target, std::move(*Args));
-    return deriveProc(P, replaceRange(P->body(), *C, {Call}));
+    return deriveProc(P, replaceRange(P->body(), *C, {Call}), *C, 1);
   }
   return makeError(Error::Kind::Unification,
                    "replace with '" + Target->name() + "' failed: " +

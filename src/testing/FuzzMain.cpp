@@ -133,6 +133,13 @@ void printReport(const FuzzReport &R) {
     for (const std::string &N : R.DifferentialNotes)
       std::printf("  MISMATCH %s\n", N.c_str());
   }
+  if (S.CursorChecks) {
+    std::printf("      cursors: %u forwarded, %u invalidated (valid fate), "
+                "%u contract violations\n",
+                S.CursorChecks, S.CursorInvalidated, S.CursorMismatches);
+    for (const std::string &N : R.CursorNotes)
+      std::printf("  CURSOR MISMATCH %s\n", N.c_str());
+  }
   for (const auto &[Op, PA] : S.OpStats)
     std::printf("        %-16s %4u/%4u\n", Op.c_str(), PA.second, PA.first);
   if (!S.BackendBenches.empty()) {
@@ -218,6 +225,11 @@ int main(int Argc, char **Argv) {
       FO.Sched.InjectUnsound = true;
     } else if (A == "--differential") {
       FO.Sched.Differential = true;
+    } else if (A == "--cursors") {
+      FO.Sched.CheckCursors = true;
+    } else if (A == "--cursors-per-step") {
+      if (const char *V = Next())
+        FO.Sched.CursorsPerStep = static_cast<unsigned>(std::atoi(V));
     } else if (A == "--keep-files") {
       FO.Oracle.KeepFiles = true;
     } else if (A == "--backend") {
@@ -238,6 +250,10 @@ int main(int Argc, char **Argv) {
           "                  [--replay CASE.fuzz] [--emit-corpus DIR [N]]\n"
           "                  [--update-golden] [--inject-unsound]\n"
           "                  [--differential] [--keep-files]\n"
+          "                  [--cursors]               (cursor-forwarding "
+          "property check per accepted step)\n"
+          "                  [--cursors-per-step N]    (cursors planted per "
+          "step; default 8)\n"
           "                  [--backend csource|jit]   (oracle backend; "
           "default jit)\n"
           "                  [--compare-backends]      (re-run cases per "

@@ -213,10 +213,17 @@ Expected<FuzzReport> exo::testing::runFuzz(const FuzzOptions &O) {
       S.DifferentialMismatches += SR.DifferentialMismatches;
       S.IncrementalHits += SR.IncrementalHits;
       S.IncrementalMisses += SR.IncrementalMisses;
+      S.CursorChecks += SR.CursorChecks;
+      S.CursorInvalidated += SR.CursorInvalidated;
+      S.CursorMismatches += SR.CursorMismatches;
       for (std::string &N : SR.DifferentialNotes)
         Report.DifferentialNotes.push_back("seed " + std::to_string(Seed) +
                                            " variant " + std::to_string(V) +
                                            ": " + std::move(N));
+      for (std::string &N : SR.CursorNotes)
+        Report.CursorNotes.push_back("seed " + std::to_string(Seed) +
+                                     " variant " + std::to_string(V) + ": " +
+                                     std::move(N));
       for (const auto &[Op, PA] : SR.OpStats) {
         S.OpStats[Op].first += PA.first;
         S.OpStats[Op].second += PA.second;
@@ -368,6 +375,9 @@ std::string exo::testing::statsJson(const FuzzReport &R,
      << ",\n";
   OS << "  \"incremental_hits\": " << S.IncrementalHits << ",\n";
   OS << "  \"incremental_misses\": " << S.IncrementalMisses << ",\n";
+  OS << "  \"cursor_checks\": " << S.CursorChecks << ",\n";
+  OS << "  \"cursor_invalidated\": " << S.CursorInvalidated << ",\n";
+  OS << "  \"cursor_mismatches\": " << S.CursorMismatches << ",\n";
   OS << "  \"incremental_hit_rate\": "
      << (S.IncrementalHits + S.IncrementalMisses
              ? static_cast<double>(S.IncrementalHits) /

@@ -73,6 +73,13 @@ struct FuzzStats {
   unsigned DifferentialMismatches = 0;
   uint64_t IncrementalHits = 0;   ///< EffectSnapshot hits across schedules
   uint64_t IncrementalMisses = 0; ///< EffectSnapshot misses across schedules
+  /// Cursor-forwarding property tallies (ScheduleGenOptions::CheckCursors):
+  /// random cursors planted before each accepted step and forwarded across
+  /// it; a contract violation is a mismatch, an explicit invalidation is a
+  /// valid fate counted separately.
+  unsigned CursorChecks = 0;
+  unsigned CursorInvalidated = 0;
+  unsigned CursorMismatches = 0;
 
   /// Oracle-phase wall time of the main loop, split between the
   /// interpreter pipelines (backend-independent) and lower+execute.
@@ -99,10 +106,13 @@ struct FuzzReport {
   std::vector<FuzzDivergence> Divergences;
   /// Human-readable descriptions of full-vs-incremental mismatches.
   std::vector<std::string> DifferentialNotes;
+  /// Human-readable descriptions of cursor-forwarding violations.
+  std::vector<std::string> CursorNotes;
 
   bool clean() const {
     return Divergences.empty() && Stats.GenFailures == 0 &&
-           Stats.DifferentialMismatches == 0 && Stats.BackendMismatches == 0;
+           Stats.DifferentialMismatches == 0 &&
+           Stats.BackendMismatches == 0 && Stats.CursorMismatches == 0;
   }
 };
 

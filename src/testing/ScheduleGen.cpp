@@ -11,8 +11,9 @@
 #include "hwlibs/gemmini/GemminiLib.h"
 #include "ir/Builder.h"
 #include "ir/StructuralEq.h"
-#include "scheduling/Schedule.h"
+#include "scheduling/Procedures.h"
 #include "smt/Solver.h"
+#include "support/StringExtras.h"
 
 #include <algorithm>
 #include <functional>
@@ -145,6 +146,57 @@ Error arity(const ScheduleStep &S, size_t Want) {
                                            std::to_string(S.Args.size()));
 }
 
+/// Cursor-navigation trace arguments: "<pattern> @nav[.nav...]" resolves
+/// the base pattern to a cursor, then applies structural navigation steps
+/// (body, orelse, next, prev, parent), so traces can address statements
+/// no unambiguous pattern string exists for — e.g. the inner of two
+/// same-named loops: "for t in _: _ @body".
+bool hasCursorNav(const std::string &A) {
+  return A.find(" @") != std::string::npos;
+}
+
+Expected<Cursor> resolveCursorArg(const ProcRef &P, const std::string &Arg,
+                                  bool LoopArg) {
+  size_t At = Arg.rfind(" @");
+  std::string Pat = trimString(Arg.substr(0, At));
+  if (LoopArg)
+    Pat = Schedule::loopPattern(Pat);
+  auto Found = Cursor::find(P, Pat);
+  if (!Found)
+    return Found.error();
+  Cursor Cur = *Found;
+  std::string Nav = Arg.substr(At + 2);
+  size_t Pos = 0;
+  for (;;) {
+    size_t Dot = Nav.find('.', Pos);
+    std::string Step = trimString(Dot == std::string::npos
+                                      ? Nav.substr(Pos)
+                                      : Nav.substr(Pos, Dot - Pos));
+    Expected<Cursor> Next = makeError(Error::Kind::Parse, "");
+    if (Step == "body")
+      Next = Cur.body();
+    else if (Step == "orelse")
+      Next = Cur.orelse();
+    else if (Step == "next")
+      Next = Cur.next();
+    else if (Step == "prev")
+      Next = Cur.prev();
+    else if (Step == "parent")
+      Next = Cur.parent();
+    else
+      return makeError(Error::Kind::Parse,
+                       "unknown cursor navigation '" + Step + "' in '" +
+                           Arg + "'");
+    if (!Next)
+      return Next.error();
+    Cur = *Next;
+    if (Dot == std::string::npos)
+      break;
+    Pos = Dot + 1;
+  }
+  return Cur;
+}
+
 /// TEST-ONLY unsound rewrite: shrinks the Nth loop (pre-order, counted
 /// among loops whose iterator is named \p Iter) to skip its last
 /// iteration — deliberately with no safety check. Exists so the
@@ -201,6 +253,11 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
                                           const ScheduleStep &S) {
   const std::string &Op = S.Op;
   auto A = [&](size_t I) -> const std::string & { return S.Args[I]; };
+  // Cursor-navigation form of a loop/statement argument: resolve to a
+  // Cursor and dispatch to the cursor-taking overload (byte-identical
+  // rewrite, structural addressing).
+  auto loopCur = [&](size_t I) { return resolveCursorArg(P, A(I), true); };
+  auto stmtCur = [&](size_t I) { return resolveCursorArg(P, A(I), false); };
 
   if (Op == "split") {
     if (S.Args.size() != 5)
@@ -211,16 +268,34 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
     SplitTail T = A(4) == "cut"       ? SplitTail::Cut
                   : A(4) == "perfect" ? SplitTail::Perfect
                                       : SplitTail::Guard;
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return splitLoop(*C, *F, A(2), A(3), T);
+    }
     return splitLoop(P, Schedule::loopPattern(A(0)), *F, A(2), A(3), T);
   }
   if (Op == "reorder") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return reorderLoops(*C);
+    }
     return reorderLoops(P, Schedule::loopPattern(A(0)));
   }
   if (Op == "unroll") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return unrollLoop(*C);
+    }
     return unrollLoop(P, Schedule::loopPattern(A(0)));
   }
   if (Op == "partition") {
@@ -229,36 +304,78 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
     auto C = parseNum(A(1));
     if (!C)
       return C.error();
+    if (hasCursorNav(A(0))) {
+      auto Cur = loopCur(0);
+      if (!Cur)
+        return Cur.error();
+      return partitionLoop(*Cur, *C);
+    }
     return partitionLoop(P, Schedule::loopPattern(A(0)), *C);
   }
   if (Op == "remove") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return removeLoop(*C);
+    }
     return removeLoop(P, Schedule::loopPattern(A(0)));
   }
   if (Op == "fuse") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return fuseLoops(*C);
+    }
     return fuseLoops(P, Schedule::loopPattern(A(0)));
   }
   if (Op == "lift_if") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return liftIf(*C);
+    }
     return liftIf(P, A(0));
   }
   if (Op == "reorder_stmts") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return reorderStmts(*C);
+    }
     return reorderStmts(P, A(0));
   }
   if (Op == "move_up") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return moveStmtUp(*C);
+    }
     return moveStmtUp(P, A(0));
   }
   if (Op == "fission") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return fissionAfter(*C);
+    }
     return fissionAfter(P, A(0));
   }
   if (Op == "lift_alloc") {
@@ -267,6 +384,12 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
     auto L = parseNum(A(1));
     if (!L)
       return L.error();
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return liftAlloc(*C, unsigned(*L));
+    }
     return liftAlloc(P, A(0), unsigned(*L));
   }
   if (Op == "stage") {
@@ -275,6 +398,16 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
     auto C = parseNum(A(1));
     if (!C)
       return C.error();
+    if (hasCursorNav(A(0))) {
+      auto Cur = stmtCur(0);
+      if (!Cur)
+        return Cur.error();
+      auto Wide = *C > 1 ? Cur->expand(unsigned(*C) - 1)
+                         : Expected<Cursor>(*Cur);
+      if (!Wide)
+        return Wide.error();
+      return stageMem(*Wide, A(2), A(3), A(4));
+    }
     return stageMem(P, A(0), unsigned(*C), A(2), A(3), A(4));
   }
   if (Op == "set_memory") {
@@ -305,6 +438,16 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
     auto Tgt = resolveInstr(A(2));
     if (!Tgt)
       return Tgt.error();
+    if (hasCursorNav(A(0))) {
+      auto Cur = stmtCur(0);
+      if (!Cur)
+        return Cur.error();
+      auto Wide = *C > 1 ? Cur->expand(unsigned(*C) - 1)
+                         : Expected<Cursor>(*Cur);
+      if (!Wide)
+        return Wide.error();
+      return replaceWith(*Wide, *Tgt);
+    }
     return replaceWith(P, A(0), unsigned(*C), *Tgt);
   }
   if (Op == "config_write") {
@@ -318,7 +461,64 @@ Expected<ProcRef> exo::testing::applyStep(const ProcRef &P,
   if (Op == "hoist") {
     if (S.Args.size() != 1)
       return arity(S, 1);
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return hoistStmtToTop(*C);
+    }
     return hoistStmtToTop(P, A(0));
+  }
+  // --- Composable named procedures (scheduling/Procedures.h) as single
+  //     trace steps, so ScheduleGen traces and tuner skeletons can speak
+  //     the same vocabulary the apps do. ---
+  if (Op == "tile2d") {
+    if (S.Args.size() != 8)
+      return arity(S, 8);
+    auto TI = parseNum(A(1));
+    if (!TI)
+      return TI.error();
+    auto TJ = parseNum(A(2));
+    if (!TJ)
+      return TJ.error();
+    SplitTail T = A(7) == "cut"       ? SplitTail::Cut
+                  : A(7) == "perfect" ? SplitTail::Perfect
+                                      : SplitTail::Guard;
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return tile2D(*C, *TI, *TJ, A(3), A(4), A(5), A(6), T);
+    }
+    return tile2D(P, A(0), *TI, *TJ, A(3), A(4), A(5), A(6), T);
+  }
+  if (Op == "auto_divide") {
+    if (S.Args.size() != 4)
+      return arity(S, 4);
+    auto M = parseNum(A(1));
+    if (!M)
+      return M.error();
+    if (hasCursorNav(A(0))) {
+      auto C = loopCur(0);
+      if (!C)
+        return C.error();
+      return autoDivide(*C, *M, A(2), A(3));
+    }
+    return autoDivide(P, Schedule::loopPattern(A(0)), *M, A(2), A(3));
+  }
+  if (Op == "stage_vec") {
+    if (S.Args.size() != 7)
+      return arity(S, 7);
+    auto L = parseNum(A(4));
+    if (!L)
+      return L.error();
+    if (hasCursorNav(A(0))) {
+      auto C = stmtCur(0);
+      if (!C)
+        return C.error();
+      return stageAndVectorize(*C, A(1), A(2), A(3), *L, A(5), A(6));
+    }
+    return stageAndVectorize(P, A(0), A(1), A(2), A(3), *L, A(5), A(6));
   }
   if (Op == "simplify")
     return simplify(P);
@@ -377,6 +577,12 @@ struct LoopTgt {
   unsigned Ord = 0; ///< among loops with this iterator name, pre-order
   int64_t ConstLo = -1, ConstHi = -1; ///< -1 when symbolic
   unsigned Depth = 0;
+  /// Const trip count of the sole perfectly-nested child loop (-1: no
+  /// single-For child or symbolic bounds) and whether that child itself
+  /// wraps a single For — the shape tile2d needs (it sinks the intra-tile
+  /// pair below the third loop).
+  int64_t ChildHi = -1;
+  bool HasGrandLoop = false;
 };
 
 struct WriteTgt {
@@ -442,6 +648,14 @@ void collectBlock(const Block &B, unsigned Depth, Targets &T,
         L.ConstLo = S->lo()->intValue();
       if (S->hi()->kind() == ExprKind::Const)
         L.ConstHi = S->hi()->intValue();
+      if (S->body().size() == 1 && S->body()[0]->kind() == StmtKind::For) {
+        const StmtRef &C = S->body()[0];
+        if (C->lo()->kind() == ExprKind::Const && C->lo()->intValue() == 0 &&
+            C->hi()->kind() == ExprKind::Const)
+          L.ChildHi = C->hi()->intValue();
+        L.HasGrandLoop =
+            C->body().size() == 1 && C->body()[0]->kind() == StmtKind::For;
+      }
       T.Loops.push_back(std::move(L));
       break;
     }
@@ -527,7 +741,7 @@ std::optional<ScheduleStep> propose(const Targets &T, Rng &R,
     return T.Writes.empty() ? nullptr : &T.Writes[R.next() % T.Writes.size()];
   };
 
-  switch (R.range(0, 15)) {
+  switch (R.range(0, 17)) {
   case 0:
   case 1: { // split
     const LoopTgt *L = pickLoop();
@@ -657,6 +871,45 @@ std::optional<ScheduleStep> propose(const Targets &T, Rng &R,
         {writePat(*W), "1",
          Instrs[R.next() % (sizeof(Instrs) / sizeof(Instrs[0]))]}};
   }
+  case 15: { // auto_divide — a named procedure as one trace step
+    std::vector<const LoopTgt *> C;
+    for (const LoopTgt &L : T.Loops)
+      if (L.ConstLo == 0 && L.ConstHi >= 2)
+        C.push_back(&L);
+    if (C.empty())
+      return std::nullopt;
+    const LoopTgt *L = C[R.next() % C.size()];
+    std::string Base = L->Iter + "x" + std::to_string(NameCounter++);
+    return ScheduleStep{"auto_divide",
+                        {loopRef(*L), std::to_string(R.range(2, 8)),
+                         Base + "o", Base + "i"}};
+  }
+  case 16: { // tile2d — the composite tiling procedure as one trace step.
+    // The procedure needs a matmul-shaped nest (perfect I -> J -> K chain;
+    // the last reorders sink the tile pair below K) and, with the perfect
+    // tail, factors dividing both trip counts. Target those loops; the
+    // safety checks still reject some (a body statement in the way, an
+    // effect conflict) — exercising that path is part of the point.
+    auto divisorOf = [](int64_t N) -> int64_t {
+      for (int64_t K = 4; K >= 2; --K)
+        if (N % K == 0)
+          return K;
+      return 0;
+    };
+    std::vector<const LoopTgt *> C;
+    for (const LoopTgt &L : T.Loops)
+      if (L.ConstLo == 0 && L.ConstHi >= 2 && L.HasGrandLoop &&
+          divisorOf(L.ConstHi) && L.ChildHi >= 2 && divisorOf(L.ChildHi))
+        C.push_back(&L);
+    if (C.empty())
+      return std::nullopt;
+    const LoopTgt *L = C[R.next() % C.size()];
+    std::string Base = L->Iter + "x" + std::to_string(NameCounter++);
+    return ScheduleStep{"tile2d",
+                        {loopRef(*L), std::to_string(divisorOf(L->ConstHi)),
+                         std::to_string(divisorOf(L->ChildHi)), Base + "io",
+                         Base + "ii", Base + "jo", Base + "ji", "perfect"}};
+  }
   default:
     return ScheduleStep{"simplify", {}};
   }
@@ -745,6 +998,110 @@ Expected<ProcRef> applyStepDifferential(ScheduleResult &Res,
   return Inc;
 }
 
+//===----------------------------------------------------------------------===//
+// Cursor-forwarding property check (--cursors)
+//===----------------------------------------------------------------------===//
+
+/// Every plantable cursor site in a block: each gap (including both block
+/// ends) and each single-statement selection, recursing into bodies and
+/// orelse blocks.
+void enumerateSitesIn(const Block &B, std::vector<PathStep> &Path,
+                      std::vector<StmtCursor> &Out) {
+  for (unsigned I = 0; I <= B.size(); ++I) {
+    StmtCursor Gap;
+    Gap.Path = Path;
+    Gap.Begin = Gap.End = I;
+    Out.push_back(std::move(Gap));
+  }
+  for (unsigned I = 0; I < unsigned(B.size()); ++I) {
+    StmtCursor Sel;
+    Sel.Path = Path;
+    Sel.Begin = I;
+    Sel.End = I + 1;
+    Out.push_back(std::move(Sel));
+    if (!B[I]->body().empty()) {
+      Path.push_back({I, PathStep::Branch::Body});
+      enumerateSitesIn(B[I]->body(), Path, Out);
+      Path.pop_back();
+    }
+    if (!B[I]->orelse().empty()) {
+      Path.push_back({I, PathStep::Branch::Orelse});
+      enumerateSitesIn(B[I]->orelse(), Path, Out);
+      Path.pop_back();
+    }
+  }
+}
+
+std::vector<StmtCursor> enumerateCursorSites(const ProcRef &P) {
+  std::vector<StmtCursor> Out;
+  std::vector<PathStep> Path;
+  enumerateSitesIn(P->body(), Path, Out);
+  return Out;
+}
+
+/// Bounds-checked path walk (blockAt aborts on malformed cursors; the
+/// property check must *report* them instead).
+bool cursorInBounds(const ProcRef &P, const StmtCursor &C) {
+  const Block *B = &P->body();
+  for (const PathStep &St : C.Path) {
+    if (St.Index >= B->size())
+      return false;
+    const StmtRef &S = (*B)[St.Index];
+    B = St.Into == PathStep::Branch::Body ? &S->body() : &S->orelse();
+  }
+  return C.Begin <= C.End && C.End <= B->size();
+}
+
+/// The forwarding contract, checked per accepted step: plant up to
+/// \p PerStep random cursors (gaps and selections, sampled without
+/// replacement) on the pre-rewrite procedure and forward each across the
+/// rewrite. Unchanged/shifted cursors must resolve to node-identical
+/// statements, rebuilt cursors must land in-bounds, and invalidations
+/// must carry a non-empty reason.
+void checkCursorForwarding(ScheduleResult &Res, const ProcRef &Before,
+                           const ProcRef &After, const ScheduleStep &S,
+                           Rng &R, unsigned PerStep) {
+  std::vector<StmtCursor> Sites = enumerateCursorSites(Before);
+  for (unsigned I = 0; I < PerStep && !Sites.empty(); ++I) {
+    size_t Pick = R.next() % Sites.size();
+    StmtCursor Site = Sites[Pick];
+    Sites[Pick] = Sites.back();
+    Sites.pop_back();
+    ++Res.CursorChecks;
+    ForwardResult F = forwardCursor(Before, After, Site);
+    auto Mismatch = [&](const std::string &What) {
+      ++Res.CursorMismatches;
+      Res.CursorNotes.push_back(
+          "step '" + S.str() + "', cursor " +
+          Cursor::fromStmtCursor(Before, Site).str() + ", fate " +
+          forwardFateName(F.Fate) + ": " + What);
+    };
+    if (F.Fate == ForwardFate::Invalidated) {
+      ++Res.CursorInvalidated;
+      if (F.Reason.empty())
+        Mismatch("invalidated without a reason");
+      continue;
+    }
+    if (!cursorInBounds(After, F.Cur)) {
+      Mismatch("forwarded out of bounds");
+      continue;
+    }
+    if (F.Fate == ForwardFate::Rebuilt)
+      continue; // landing in-bounds is the whole contract for rebuilt
+    // Unchanged/shifted promise node identity for selections (gaps carry
+    // no statements to compare).
+    if (Site.Begin != Site.End) {
+      std::vector<StmtRef> Old = analysis::selectedStmts(*Before, Site);
+      std::vector<StmtRef> New = analysis::selectedStmts(*After, F.Cur);
+      bool Same = Old.size() == New.size();
+      for (size_t K = 0; Same && K < Old.size(); ++K)
+        Same = Old[K].get() == New[K].get();
+      if (!Same)
+        Mismatch("live cursor is no longer node-identical");
+    }
+  }
+}
+
 } // namespace
 
 std::optional<ScheduleStep> exo::testing::proposeStep(const ProcRef &P, Rng &R,
@@ -770,7 +1127,8 @@ unsigned nameCounterFloor(const std::vector<ScheduleStep> &Trace) {
 /// The argument indices holding small positive integers, per op — the
 /// knobs numeric perturbation may turn.
 int numericArgIndex(const ScheduleStep &S) {
-  if (S.Op == "split" || S.Op == "partition" || S.Op == "lift_alloc")
+  if (S.Op == "split" || S.Op == "partition" || S.Op == "lift_alloc" ||
+      S.Op == "auto_divide" || S.Op == "tile2d")
     return 1;
   return -1;
 }
@@ -877,6 +1235,9 @@ ScheduleResult exo::testing::generateSchedule(const ProcRef &P, Rng &R,
       continue; // rejection is a valid outcome
     ++Stat.second;
     ++Res.Accepted;
+    if (O.CheckCursors)
+      checkCursorForwarding(Res, Res.Scheduled, *Next, *S, R,
+                            O.CursorsPerStep);
     Res.Scheduled = *Next;
     Res.Trace.push_back(std::move(*S));
   }

@@ -105,6 +105,17 @@ struct ScheduleGenOptions {
   /// incremental result carries the chain forward so the oracle later
   /// executes the incrementally-verified procedure.
   bool Differential = false;
+  /// Cursor-forwarding property check (`exocc-fuzz --cursors`): before
+  /// each *accepted* proposal lands, plant CursorsPerStep random cursors
+  /// — statement selections and gaps — on the pre-rewrite procedure,
+  /// forward each across the rewrite, and verify the forwarding
+  /// contract: unchanged/shifted cursors must resolve to the
+  /// pointer-identical statements, rebuilt cursors must resolve
+  /// in-bounds on the replacement, and invalidations must carry a
+  /// non-empty structured reason. Violations are counted as
+  /// CursorMismatches (a clean run has zero).
+  bool CheckCursors = false;
+  unsigned CursorsPerStep = 8;
 };
 
 struct ScheduleResult {
@@ -120,6 +131,11 @@ struct ScheduleResult {
   std::vector<std::string> DifferentialNotes; ///< one line per mismatch
   uint64_t IncrementalHits = 0;   ///< snapshot cache hits over the schedule
   uint64_t IncrementalMisses = 0; ///< snapshot cache misses over the schedule
+  /// Cursor-forwarding tallies (zero unless ScheduleGenOptions::CheckCursors).
+  unsigned CursorChecks = 0;      ///< cursors planted and forwarded
+  unsigned CursorInvalidated = 0; ///< explicit invalidations (a valid fate)
+  unsigned CursorMismatches = 0;  ///< forwarding-contract violations
+  std::vector<std::string> CursorNotes; ///< one line per mismatch
 };
 
 /// Drives random scheduling of \p P. Never fails: rejected operators are

@@ -31,21 +31,19 @@ std::string num(int64_t V) { return std::to_string(V); }
 std::vector<ScheduleStep> gemminiTemplate(const KernelShape &S, int64_t F,
                                           bool WithStages, bool WithHoist) {
   std::vector<ScheduleStep> T;
-  T.push_back(step("split", {"i", num(F), "io", "ii", "perfect"}));
-  T.push_back(step("split", {"j", num(F), "jo", "ji", "perfect"}));
+  // Same named procedures the hand-written pipeline composes: split the
+  // reduction, then tile2d handles i/j and sinks ii/ji below ko.
   T.push_back(step("split", {"k", num(F), "ko", "ki", "perfect"}));
-  T.push_back(step("reorder", {"ii"}));
-  T.push_back(step("reorder", {"ji"}));
-  T.push_back(step("reorder", {"ii"}));
-  T.push_back(step("simplify", {}));
+  T.push_back(step("tile2d",
+                   {"i", num(F), num(F), "io", "ii", "jo", "ji", "perfect"}));
   if (!WithStages)
     return T;
-  T.push_back(step("stage", {"for jo in _: _", "1",
-                             "A[" + num(F) + " * io : " + num(F) +
-                                 " * io + " + num(F) + ", 0 : " + num(S.K) +
-                                 "]",
-                             "a_panel", "GEMM_SCRATCH"}));
-  T.push_back(step("split", {"i1", num(F), "lv", "ll", "perfect"}));
+  T.push_back(step("stage_vec", {"for jo in _: _",
+                                 "A[" + num(F) + " * io : " + num(F) +
+                                     " * io + " + num(F) + ", 0 : " +
+                                     num(S.K) + "]",
+                                 "a_panel", "GEMM_SCRATCH", num(F), "lv",
+                                 "ll"}));
   T.push_back(step("reorder", {"i0"}));
   T.push_back(step("config_write", {"for lv in _: _", "gemmini:cfg_ld1",
                                     "src_stride", "stride(A, 0)"}));

@@ -156,6 +156,33 @@ TEST(TraceMutation, MutantsSampledThroughTripleOracle) {
 }
 
 //===----------------------------------------------------------------------===//
+// Trace round-trip for the procedure step kinds the cursor layer added
+// (tile2d / auto_divide / stage_vec, plus '@' cursor navigation) — the
+// corpus format, the mutator, and the tuner's seeded skeletons all
+// exchange these as text.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceRoundTrip, ProcedureStepKinds) {
+  for (const char *Line :
+       {"tile2d|i|4|4|io|ii|jo|ji|perfect", "auto_divide|i|8|io|ii",
+        "stage_vec|for j in _: _|x[i, 0:8]|xv|DRAM|4|lv|ll",
+        "split|t @body|2|a|b|perfect"}) {
+    auto S = ScheduleStep::parse(Line);
+    ASSERT_TRUE(bool(S)) << Line;
+    EXPECT_EQ(S->str(), Line);
+  }
+  // A procedure step drives the same scheduling layer as its primitive
+  // expansion: the tiled small_gemm applies cleanly from trace text.
+  ProcRef P = parse(GemmSrc);
+  std::vector<ScheduleStep> T = {
+      step("split", {"k", "4", "ko", "ki", "perfect"}),
+      step("tile2d", {"i", "4", "4", "io", "ii", "jo", "ji", "perfect"})};
+  LenientApplyResult A = applyTraceLenient(P, T);
+  EXPECT_EQ(A.Rejected, 0u);
+  EXPECT_EQ(A.Applied.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
 // The search
 //===----------------------------------------------------------------------===//
 
